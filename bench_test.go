@@ -1,0 +1,426 @@
+// Package repro's root benchmark harness: one benchmark per figure of the
+// paper's evaluation (the paper has no numeric tables), plus rendering and
+// scalability benches and the ablations called out in DESIGN.md. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each BenchmarkFigNN regenerates the complete artifact of figure NN; the
+// reported time is the cost of reproducing that experiment end to end.
+package repro
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/colormap"
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/figures"
+	"repro/internal/jedxml"
+	"repro/internal/pdf"
+	"repro/internal/platform"
+	"repro/internal/raster"
+	"repro/internal/render"
+	"repro/internal/sched/cpa"
+	"repro/internal/sched/cra"
+	"repro/internal/sched/heft"
+	"repro/internal/sim"
+	"repro/internal/svg"
+	"repro/internal/taskpool"
+	"repro/internal/workload"
+)
+
+// --- Figures -------------------------------------------------------------
+
+func BenchmarkFig01XMLRoundTrip(b *testing.B) {
+	s := figures.Fig1Schedule()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := jedxml.Write(&buf, s); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := jedxml.Read(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig02ColorMap(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := colormap.Write(&buf, colormap.Default()); err != nil {
+			b.Fatal(err)
+		}
+		m, err := colormap.Read(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = m.LookupComposite([]string{"computation", "transfer"})
+	}
+}
+
+func BenchmarkFig03Composite(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := figures.Fig3Composite()
+		if len(s.Tasks) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkFig04CPAvsMCPA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := figures.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.MakespanCPA >= r.MakespanMCPA {
+			b.Fatal("figure 4 property violated")
+		}
+	}
+}
+
+func BenchmarkFig05CRA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := figures.Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.IdleAfter > r.IdleBefore+1e-6 {
+			b.Fatal("backfilling increased idle time")
+		}
+	}
+}
+
+func BenchmarkFig06MontageDOT(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := figures.Fig6DOT(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig07Platform(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := platform.Figure7(platform.Figure7RealisticLatency)
+		if err := p.Validate(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.CommTime(0, 11, 1e7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig08HEFTFlawed(b *testing.B) {
+	g := dag.Montage(12)
+	p := platform.Figure7(platform.Figure7FlawedLatency)
+	for i := 0; i < b.N; i++ {
+		if _, err := heft.Schedule(g, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig09HEFTRealistic(b *testing.B) {
+	g := dag.Montage(12)
+	p := platform.Figure7(platform.Figure7RealisticLatency)
+	for i := 0; i < b.N; i++ {
+		if _, err := heft.Schedule(g, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11QuicksortRandom(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := figures.Fig11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Executed < 100 {
+			b.Fatal("too few tasks")
+		}
+	}
+}
+
+func BenchmarkFig12QuicksortInverse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := figures.Fig12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if f := r.BusyFractionWithOneWorker(200); f < 0.2 {
+			b.Fatal("serial prefix lost")
+		}
+	}
+}
+
+func BenchmarkFig13Workload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := figures.Fig13()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Schedule.Tasks) != 834 {
+			b.Fatal("job count wrong")
+		}
+	}
+}
+
+// --- Rendering backends (ablation: raster vs pdf vs svg) -----------------
+
+func benchSchedule() *core.Schedule {
+	r, err := figures.Fig13()
+	if err != nil {
+		panic(err)
+	}
+	return r.Schedule
+}
+
+func BenchmarkRenderPNG(b *testing.B) {
+	s := benchSchedule()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := raster.New(1200, 800)
+		render.Render(c, s, render.Options{})
+	}
+}
+
+func BenchmarkRenderPDF(b *testing.B) {
+	s := benchSchedule()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := pdf.New(1200, 800)
+		render.Render(c, s, render.Options{})
+		if err := c.Encode(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRenderSVG(b *testing.B) {
+	s := benchSchedule()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := svg.New(1200, 800)
+		render.Render(c, s, render.Options{})
+		if err := c.Encode(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations called out in DESIGN.md ------------------------------------
+
+// Composite construction: sweep vs naive reference on a dense schedule.
+func compositeInput() *core.Schedule {
+	rng := rand.New(rand.NewSource(9))
+	s := core.NewSingleCluster("c", 32)
+	for i := 0; i < 400; i++ {
+		start := rng.Float64() * 100
+		first := rng.Intn(32)
+		n := 1 + rng.Intn(32-first)
+		s.Add(taskID(i), []string{"computation", "transfer"}[i%2],
+			start, start+rng.Float64()*10, first, n)
+	}
+	return s
+}
+
+func taskID(i int) string {
+	return string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+i/676))
+}
+
+func BenchmarkAblationCompositeSweep(b *testing.B) {
+	s := compositeInput()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.CompositeTasks(); len(got) == 0 {
+			b.Fatal("no composites")
+		}
+	}
+}
+
+func BenchmarkAblationCompositeNaive(b *testing.B) {
+	s := compositeInput()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.CompositeTasksNaive(); len(got) == 0 {
+			b.Fatal("no composites")
+		}
+	}
+}
+
+// Task pool organization: central queue vs work stealing.
+func BenchmarkAblationPoolCentral(b *testing.B) {
+	cfg := taskpool.DefaultConfig()
+	cfg.Pool = taskpool.Central
+	for i := 0; i < b.N; i++ {
+		if _, err := taskpool.RunQuicksort(cfg, taskpool.Figure11Config()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPoolStealing(b *testing.B) {
+	cfg := taskpool.DefaultConfig()
+	cfg.Pool = taskpool.Stealing
+	for i := 0; i < b.N; i++ {
+		if _, err := taskpool.RunQuicksort(cfg, taskpool.Figure11Config()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// CPA variants across DAG shapes (allocation-phase sensitivity).
+func BenchmarkAblationCPAVariants(b *testing.B) {
+	g := dag.Generate(dag.ShapeRandom, dag.DefaultGenOptions(60), rand.New(rand.NewSource(3)))
+	p := platform.Homogeneous(32, 1e9)
+	for _, v := range []cpa.Variant{cpa.CPA, cpa.MCPA, cpa.MCPA2} {
+		b.Run(v.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cpa.Schedule(g, p, v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// CRA share strategies.
+func BenchmarkAblationCRAStrategies(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	graphs := []*dag.Graph{
+		dag.Generate(dag.ShapeRandom, dag.DefaultGenOptions(20), rng),
+		dag.Generate(dag.ShapeForkJoin, dag.DefaultGenOptions(20), rng),
+		dag.Generate(dag.ShapeLong, dag.DefaultGenOptions(20), rng),
+	}
+	p := platform.Homogeneous(24, 1e9)
+	for _, strat := range []cra.Strategy{cra.Work, cra.Width, cra.Equal} {
+		b.Run(strat.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cra.Schedule(graphs, p, strat, 0.5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Scalability ----------------------------------------------------------
+
+// The simulator kernel on large synthetic workflows.
+func BenchmarkSimLargeWorkflow(b *testing.B) {
+	p := platform.Homogeneous(64, 1e9)
+	rng := rand.New(rand.NewSource(8))
+	n := 2000
+	tasks := make([]sim.PlannedTask, n)
+	for i := range tasks {
+		tasks[i] = sim.PlannedTask{
+			ID: taskID(i), Type: "computation",
+			Hosts: []int{rng.Intn(64)}, Duration: rng.Float64(),
+		}
+		if i > 0 {
+			tasks[i].Deps = []sim.Dep{{From: taskID(rng.Intn(i)), Bytes: 1e6}}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Execute(p, tasks, sim.ExecOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Big-trace handling: "some experiments ... created more than 200,000
+// individual tasks". Parse-and-stat a 200k-task schedule.
+func BenchmarkLargeTraceStats(b *testing.B) {
+	s := core.NewSingleCluster("big", 64)
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 200_000; i++ {
+		start := rng.Float64() * 1e4
+		s.Add(taskID(i), "computation", start, start+rng.Float64(), rng.Intn(64), 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := s.ComputeStats()
+		if st.TaskCount != 200_000 {
+			b.Fatal("task count")
+		}
+	}
+}
+
+// SWF parsing throughput.
+func BenchmarkSWFParse(b *testing.B) {
+	jobs := workload.Thunder(workload.Figure13Config())
+	var buf bytes.Buffer
+	if err := workload.WriteSWF(&buf, jobs, nil); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := workload.ReadSWF(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The case-study-III experiment campaign (CPA vs MCPA factorial).
+func BenchmarkCampaign(b *testing.B) {
+	cfg := campaign.DefaultConfig()
+	cfg.Replicates = 2
+	for i := 0; i < b.N; i++ {
+		res, err := campaign.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Total == 0 {
+			b.Fatal("no runs")
+		}
+	}
+}
+
+// Multi-page PDF documents ("documents with hundreds of schedule pictures").
+func BenchmarkPDFBook(b *testing.B) {
+	s := benchSchedule()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doc := pdf.NewDocument()
+		for p := 0; p < 10; p++ {
+			render.Render(doc.AddPage(800, 500), s, render.Options{})
+		}
+		if err := doc.Encode(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Side-by-side comparison rendering (the Figure 4 layout).
+func BenchmarkSideBySide(b *testing.B) {
+	r, err := figures.Fig4()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := raster.New(1400, 500)
+		render.SideBySide(c, "cpa vs mcpa", []*core.Schedule{r.CPA, r.MCPA},
+			[]render.Options{{Labels: true}, {Labels: true}})
+	}
+}

@@ -1,0 +1,70 @@
+// Command jedbook renders many Jedule schedule files into one multi-page
+// PDF — the paper's batch workflow: "We have used the PDF export function
+// of Jedule to create documents with hundreds of schedule pictures."
+//
+// Usage:
+//
+//	jedbook -out book.pdf run1.jed run2.jed ...
+//
+// Each input file becomes one page titled with its file name.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/colormap"
+	"repro/internal/jedxml"
+	"repro/internal/pdf"
+	"repro/internal/render"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "jedbook:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("jedbook", flag.ContinueOnError)
+	var (
+		out    = fs.String("out", "book.pdf", "output PDF file")
+		width  = fs.Int("width", 1000, "page width in points")
+		height = fs.Int("height", 600, "page height in points")
+		gray   = fs.Bool("gray", false, "grayscale color map")
+		comps  = fs.Bool("composites", false, "overlay composite tasks")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return fmt.Errorf("at least one schedule file required")
+	}
+	cmap := colormap.Default()
+	if *gray {
+		cmap = cmap.Grayscale()
+	}
+	doc := pdf.NewDocument()
+	for _, path := range fs.Args() {
+		s, err := jedxml.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		page := doc.AddPage(float64(*width), float64(*height))
+		render.Render(page, s, render.Options{
+			Map: cmap, Labels: true, Composites: *comps,
+			Title: filepath.Base(path), ShowMeta: true, Legend: true,
+		})
+		fmt.Fprintf(w, "added %s (%d tasks)\n", path, len(s.Tasks))
+	}
+	if err := doc.WriteFile(*out); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s (%d pages)\n", *out, doc.PageCount())
+	return nil
+}

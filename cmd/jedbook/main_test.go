@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/jedxml"
+)
+
+func writeSchedules(t *testing.T, dir string, n int) []string {
+	t.Helper()
+	var paths []string
+	for i := 0; i < n; i++ {
+		s := core.NewSingleCluster("c", 4)
+		s.Add("a", "computation", 0, float64(5+i), 0, 4)
+		path := dir + "/s" + string(rune('0'+i)) + ".jed"
+		if err := jedxml.WriteFile(path, s); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, path)
+	}
+	return paths
+}
+
+func TestRunBuildsBook(t *testing.T) {
+	dir := t.TempDir()
+	paths := writeSchedules(t, dir, 3)
+	out := dir + "/book.pdf"
+	var buf bytes.Buffer
+	args := append([]string{"-out", out, "-gray", "-composites"}, paths...)
+	if err := run(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "3 pages") {
+		t.Fatalf("output: %s", buf.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(data, []byte("%PDF")) {
+		t.Fatal("not a PDF")
+	}
+	if got := bytes.Count(data, []byte("/Type /Page ")); got != 3 {
+		t.Fatalf("pages = %d", got)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{}, &buf); err == nil {
+		t.Error("no inputs accepted")
+	}
+	if err := run([]string{"/nonexistent.jed"}, &buf); err == nil {
+		t.Error("missing input accepted")
+	}
+	dir := t.TempDir()
+	paths := writeSchedules(t, dir, 1)
+	if err := run(append([]string{"-out", "/nonexistent-dir-xyz/b.pdf"}, paths...), &buf); err == nil {
+		t.Error("unwritable output accepted")
+	}
+	if err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,128 @@
+// Command jedgen generates Jedule XML schedules from the built-in case
+// studies, so the viewer and CLI have realistic inputs without running the
+// full figure harness:
+//
+//	jedgen -case cpa       CPA on the Figure 4 imbalanced DAG
+//	jedgen -case mcpa      MCPA on the same DAG (load-imbalance hole)
+//	jedgen -case cra       CRA_WORK multi-DAG schedule (Figure 5)
+//	jedgen -case heft      HEFT Montage on the Figure 7 platform (Figure 9)
+//	jedgen -case heft-flawed  the Figure 8 variant (flawed backbone)
+//	jedgen -case quicksort task-pool quicksort, random input (Figure 11)
+//	jedgen -case quicksort-inverse  adversarial input (Figure 12)
+//	jedgen -case workload  synthetic LLNL Thunder day (Figure 13)
+//	jedgen -case composite the composite-task demo (Figure 3)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/figures"
+	"repro/internal/jedxml"
+)
+
+var cases = map[string]func() (*core.Schedule, error){
+	"composite": func() (*core.Schedule, error) { return figures.Fig3Composite(), nil },
+	"cpa": func() (*core.Schedule, error) {
+		r, err := figures.Fig4()
+		if err != nil {
+			return nil, err
+		}
+		return r.CPA, nil
+	},
+	"mcpa": func() (*core.Schedule, error) {
+		r, err := figures.Fig4()
+		if err != nil {
+			return nil, err
+		}
+		return r.MCPA, nil
+	},
+	"cra": func() (*core.Schedule, error) {
+		r, err := figures.Fig5()
+		if err != nil {
+			return nil, err
+		}
+		return r.Schedule, nil
+	},
+	"heft": func() (*core.Schedule, error) {
+		r, err := figures.Fig8And9()
+		if err != nil {
+			return nil, err
+		}
+		return r.Realistic, nil
+	},
+	"heft-flawed": func() (*core.Schedule, error) {
+		r, err := figures.Fig8And9()
+		if err != nil {
+			return nil, err
+		}
+		return r.Flawed, nil
+	},
+	"quicksort": func() (*core.Schedule, error) {
+		r, err := figures.Fig11()
+		if err != nil {
+			return nil, err
+		}
+		return r.Schedule, nil
+	},
+	"quicksort-inverse": func() (*core.Schedule, error) {
+		r, err := figures.Fig12()
+		if err != nil {
+			return nil, err
+		}
+		return r.Schedule, nil
+	},
+	"workload": func() (*core.Schedule, error) {
+		r, err := figures.Fig13()
+		if err != nil {
+			return nil, err
+		}
+		return r.Schedule, nil
+	},
+}
+
+func main() {
+	names := make([]string, 0, len(cases))
+	for k := range cases {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var (
+		which = flag.String("case", "", fmt.Sprintf("case study to generate %v (required)", names))
+		out   = flag.String("out", "", "output Jedule XML file (default: <case>.jed)")
+	)
+	flag.Parse()
+	if _, ok := cases[*which]; !ok {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := generate(*which, *out, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "jedgen:", err)
+		os.Exit(1)
+	}
+}
+
+// generate builds the named case study and writes it to path (default
+// "<name>.jed").
+func generate(name, path string, w io.Writer) error {
+	gen, ok := cases[name]
+	if !ok {
+		return fmt.Errorf("unknown case %q", name)
+	}
+	if path == "" {
+		path = name + ".jed"
+	}
+	sched, err := gen()
+	if err != nil {
+		return err
+	}
+	if err := jedxml.WriteFile(path, sched); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s (%s)\n", path, sched)
+	return nil
+}

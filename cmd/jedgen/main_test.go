@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"repro/internal/jedxml"
+)
+
+// Fast cases run in milliseconds; the quicksort/workload ones are covered
+// by their packages, so exercise only the representative subset here plus
+// one full listing of the registry.
+func TestGenerateFastCases(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"composite", "cpa", "mcpa", "heft", "heft-flawed", "cra"} {
+		var buf bytes.Buffer
+		path := dir + "/" + name + ".jed"
+		if err := generate(name, path, &buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		s, err := jedxml.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(s.Tasks) == 0 {
+			t.Fatalf("%s: empty schedule", name)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := generate("nope", "", &buf); err == nil {
+		t.Error("unknown case accepted")
+	}
+	if err := generate("composite", "/nonexistent-dir-xyz/x.jed", &buf); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	var names []string
+	for k := range cases {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	want := []string{"composite", "cpa", "cra", "heft", "heft-flawed",
+		"mcpa", "quicksort", "quicksort-inverse", "workload"}
+	if len(names) != len(want) {
+		t.Fatalf("cases = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("cases = %v, want %v", names, want)
+		}
+	}
+}

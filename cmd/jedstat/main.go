@@ -1,0 +1,70 @@
+// Command jedstat prints textual reports about Jedule schedule files: the
+// summary statistics a developer would otherwise read off the chart, a
+// per-type breakdown, a terminal sparkline of the utilization profile, an
+// optional CSV export of that profile, and a quantified comparison of two
+// schedules (for example before and after a backfilling step).
+//
+// Usage:
+//
+//	jedstat schedule.jed                  summary report
+//	jedstat -profile 200 schedule.jed     + CSV profile on stdout
+//	jedstat -compare other.jed schedule.jed   comparison report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/jedxml"
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "jedstat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("jedstat", flag.ContinueOnError)
+	var (
+		profile = fs.Int("profile", 0, "emit a CSV utilization profile with N samples")
+		compare = fs.String("compare", "", "compare against this schedule file")
+		hosts   = fs.Bool("hosts", false, "print per-host busy times")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("exactly one schedule file required")
+	}
+	s, err := jedxml.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *compare != "" {
+		other, err := jedxml.ReadFile(*compare)
+		if err != nil {
+			return err
+		}
+		return stats.WriteComparison(w, *compare, fs.Arg(0), stats.Compare(other, s))
+	}
+	if err := stats.Report(w, s); err != nil {
+		return err
+	}
+	if *hosts {
+		fmt.Fprintln(w, "\ncluster host       busy   fraction")
+		for _, l := range stats.HostLoads(s) {
+			fmt.Fprintf(w, "%7d %4d %10.4g %9.1f%%\n", l.Cluster, l.Host, l.Busy, 100*l.Fraction)
+		}
+	}
+	if *profile > 0 {
+		fmt.Fprintln(w)
+		return stats.WriteProfileCSV(w, s, *profile)
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/jedxml"
+)
+
+func writeSample(t *testing.T, dir, name string, makespan float64) string {
+	t.Helper()
+	s := core.NewSingleCluster("c", 4)
+	s.Add("a", "computation", 0, makespan, 0, 4)
+	path := dir + "/" + name
+	if err := jedxml.WriteFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunReport(t *testing.T) {
+	dir := t.TempDir()
+	path := writeSample(t, dir, "s.jed", 10)
+	var buf bytes.Buffer
+	if err := run([]string{path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"makespan", "utilization", "computation"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("missing %q in:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestRunHostsAndProfile(t *testing.T) {
+	dir := t.TempDir()
+	path := writeSample(t, dir, "s.jed", 10)
+	var buf bytes.Buffer
+	if err := run([]string{"-hosts", "-profile", "5", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "cluster host") || !strings.Contains(out, "time,busy_hosts") {
+		t.Fatalf("output missing sections:\n%s", out)
+	}
+}
+
+func TestRunCompare(t *testing.T) {
+	dir := t.TempDir()
+	slow := writeSample(t, dir, "slow.jed", 10)
+	fast := writeSample(t, dir, "fast.jed", 5)
+	var buf bytes.Buffer
+	if err := run([]string{"-compare", slow, fast}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "speedup 2.000x") {
+		t.Fatalf("comparison output:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{}, &buf); err == nil {
+		t.Error("no args accepted")
+	}
+	if err := run([]string{"/nonexistent.jed"}, &buf); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	good := writeSample(t, dir, "g.jed", 1)
+	if err := run([]string{"-compare", "/nonexistent.jed", good}, &buf); err == nil {
+		t.Error("missing compare file accepted")
+	}
+	if err := run([]string{"-bogusflag", good}, &buf); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

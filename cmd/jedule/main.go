@@ -1,0 +1,104 @@
+// Command jedule is the command-line mode of the tool (paper section
+// II-D.2): it renders a Jedule schedule file into PNG, JPEG, PDF, or SVG
+// with full control over the color map, output size, alignment, cluster
+// subset, and composite-task overlay — ready for batch pipelines that
+// produce one graphic per experiment.
+//
+// Usage:
+//
+//	jedule -in schedule.jed -out schedule.png [flags]
+//
+// The output format follows the -out file extension.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/colormap"
+	"repro/internal/core"
+	"repro/internal/jedxml"
+	"repro/internal/render"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "jedule:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("jedule", flag.ContinueOnError)
+	var (
+		in         = fs.String("in", "", "input schedule file (required)")
+		out        = fs.String("out", "", "output graphic file: .png .jpg .pdf .svg (required)")
+		format     = fs.String("format", "jedule", "input format: "+strings.Join(jedxml.Formats(), ", "))
+		width      = fs.Int("width", 1000, "output width in pixels/points")
+		height     = fs.Int("height", 600, "output height in pixels/points")
+		cmapPath   = fs.String("cmap", "", "color map XML file (default: built-in standard map)")
+		gray       = fs.Bool("gray", false, "convert the color map to grayscale")
+		aligned    = fs.Bool("aligned", true, "align cluster time axes on the global extent")
+		labels     = fs.Bool("labels", true, "draw task id labels when they fit")
+		composites = fs.Bool("composites", false, "overlay composite tasks for overlapping intervals")
+		clusters   = fs.String("clusters", "", "comma-separated cluster ids to render (default: all)")
+		title      = fs.String("title", "", "chart title")
+		meta       = fs.Bool("meta", false, "append schedule meta info to the title")
+		stats      = fs.Bool("stats", false, "print schedule statistics to stdout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		fs.Usage()
+		return fmt.Errorf("-in and -out are required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	sched, err := jedxml.ReadFormat(*format, f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	cmap := colormap.Default()
+	if *cmapPath != "" {
+		cmap, err = colormap.ReadFile(*cmapPath)
+		if err != nil {
+			return err
+		}
+	}
+	if *gray {
+		cmap = cmap.Grayscale()
+	}
+	opt := render.Options{
+		Map: cmap, Labels: *labels, Composites: *composites,
+		Title: *title, ShowMeta: *meta,
+	}
+	if !*aligned {
+		opt.Mode = core.ScaledView
+	}
+	if *clusters != "" {
+		for _, part := range strings.Split(*clusters, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("bad -clusters value %q", part)
+			}
+			opt.Clusters = append(opt.Clusters, id)
+		}
+	}
+	if *stats {
+		st := sched.ComputeStats()
+		fmt.Printf("tasks=%d hosts=%d makespan=%g utilization=%.3f idle=%g\n",
+			st.TaskCount, st.Hosts, st.Makespan, st.Utilization, st.IdleArea)
+	}
+	if err := render.ToFile(*out, sched, *width, *height, opt); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/colormap"
+	"repro/internal/core"
+	"repro/internal/jedxml"
+)
+
+func writeSchedule(t *testing.T, dir string) string {
+	t.Helper()
+	s := core.NewSingleCluster("c", 4)
+	s.Add("a", "computation", 0, 10, 0, 4)
+	s.Add("b", "transfer", 5, 8, 0, 2)
+	path := dir + "/in.jed"
+	if err := jedxml.WriteFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunRendersAllFormats(t *testing.T) {
+	dir := t.TempDir()
+	in := writeSchedule(t, dir)
+	for _, ext := range []string{".png", ".jpg", ".pdf", ".svg"} {
+		out := dir + "/out" + ext
+		if err := run([]string{"-in", in, "-out", out, "-width", "300", "-height", "200"}); err != nil {
+			t.Fatalf("%s: %v", ext, err)
+		}
+		fi, err := os.Stat(out)
+		if err != nil || fi.Size() == 0 {
+			t.Fatalf("%s: empty or missing output", ext)
+		}
+	}
+}
+
+func TestRunFlags(t *testing.T) {
+	dir := t.TempDir()
+	in := writeSchedule(t, dir)
+	args := []string{
+		"-in", in, "-out", dir + "/x.png",
+		"-gray", "-aligned=false", "-labels=false",
+		"-composites", "-clusters", "0", "-title", "t", "-meta", "-stats",
+	}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCustomColorMap(t *testing.T) {
+	dir := t.TempDir()
+	in := writeSchedule(t, dir)
+	cmapPath := dir + "/map.xml"
+	f, err := os.Create(cmapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := colormap.Write(f, colormap.Default()); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run([]string{"-in", in, "-out", dir + "/y.png", "-cmap", cmapPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", in, "-out", dir + "/z.png", "-cmap", dir + "/missing.xml"}); err == nil {
+		t.Fatal("missing cmap accepted")
+	}
+}
+
+func TestRunCSVInput(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := dir + "/in.csv"
+	if err := os.WriteFile(csvPath, []byte("cluster,0,c,4\ntask,t,computation,0,2,0,0,4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", csvPath, "-out", dir + "/c.png", "-format", "csv"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	in := writeSchedule(t, dir)
+	cases := [][]string{
+		{},          // missing flags
+		{"-in", in}, // missing -out
+		{"-in", dir + "/nope.jed", "-out", dir + "/o.png"},     // missing input
+		{"-in", in, "-out", dir + "/o.bmp"},                    // bad format
+		{"-in", in, "-out", dir + "/o.png", "-clusters", "x"},  // bad clusters
+		{"-in", in, "-out", dir + "/o.png", "-format", "nope"}, // bad input format
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("case %d (%s) accepted", i, strings.Join(args, " "))
+		}
+	}
+}

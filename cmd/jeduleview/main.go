@@ -1,0 +1,45 @@
+// Command jeduleview is the interactive mode of the tool: it serves a
+// schedule file over HTTP with the gestures of the original Swing viewer —
+// zoom at the cursor, panning, rubber-band zoom, click-for-task-details,
+// cluster selection, fast reread of the file, and export to PNG/PDF/SVG.
+//
+// Usage:
+//
+//	jeduleview -in schedule.jed [-addr :8080] [-width 1200] [-height 800]
+//
+// Then open http://localhost:8080/ in a browser. While a scheduling
+// algorithm is being developed, rerun the simulation and hit "reread" to
+// see the new schedule immediately.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/view"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "Jedule XML schedule file (required)")
+		addr   = flag.String("addr", ":8080", "HTTP listen address")
+		width  = flag.Int("width", 1200, "view width in pixels")
+		height = flag.Int("height", 800, "view height in pixels")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	vp, err := view.Open(*in, *width, *height)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jeduleview:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("jeduleview: serving %s on %s\n", *in, *addr)
+	if err := view.NewServer(vp).ListenAndServe(*addr); err != nil {
+		fmt.Fprintln(os.Stderr, "jeduleview:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,72 @@
+// Workload example (paper case study VII): a bird's-eye view of a parallel
+// production workload. Generates the synthetic LLNL Thunder day (or loads a
+// real SWF trace if a path is given), places the jobs on concrete nodes,
+// and renders the day with one user's jobs highlighted — Figure 13.
+//
+// Usage:
+//
+//	workload [path/to/trace.swf [highlightUser]]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"repro/internal/render"
+	"repro/internal/workload"
+)
+
+func main() {
+	cfg := workload.Figure13Config()
+	var jobs []workload.Job
+
+	if len(os.Args) > 1 {
+		var hdr workload.Header
+		var err error
+		jobs, hdr, err = workload.ReadSWFFile(os.Args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loaded %d jobs from %s (computer: %s)\n",
+			len(jobs), os.Args[1], hdr.Get("Computer"))
+		if len(os.Args) > 2 {
+			u, err := strconv.Atoi(os.Args[2])
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg.HighlightUser = u
+		}
+		// One day, as in the paper's selection of jobs finishing on 02/02.
+		jobs = workload.FilterWindow(jobs, 0, cfg.DaySeconds)
+		fmt.Printf("%d jobs finished within the first day\n", len(jobs))
+	} else {
+		jobs = workload.Thunder(cfg)
+		fmt.Printf("generated %d synthetic Thunder jobs\n", len(jobs))
+	}
+
+	placements, err := workload.Place(jobs, cfg.Nodes, cfg.Reserved)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched := workload.ToSchedule(placements, cfg.Nodes, cfg.HighlightUser)
+	st := sched.ComputeStats()
+	fmt.Printf("cluster utilization %.1f%% over %d nodes; nodes 0-%d reserved\n",
+		100*st.Utilization, cfg.Nodes, cfg.Reserved-1)
+
+	highlighted := 0
+	for i := range sched.Tasks {
+		if sched.Tasks[i].Type == "highlight" {
+			highlighted++
+		}
+	}
+	fmt.Printf("user %d has %d jobs (highlighted yellow)\n", cfg.HighlightUser, highlighted)
+
+	if err := render.ToFile("thunder_day.png", sched, 1200, 800, render.Options{
+		Title: "parallel workload, one day", ShowMeta: true,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote thunder_day.png")
+}

@@ -1,0 +1,220 @@
+// Package campaign reproduces the experiment campaign of the paper's first
+// case study: "We conducted several thousand experiments with different
+// types of DAGs (long, wide, serial, etc.) and multiple parallel platforms
+// (from smaller cluster with 32 processors to bigger ones)" comparing the
+// scheduling performance of CPA and MCPA. Browsing those results is how
+// the authors isolated the Figure 4 corner case.
+//
+// A campaign is a full factorial over DAG shape x DAG size x cluster size
+// with several random replicates per cell. Cells run concurrently on a
+// bounded worker pool; results are deterministic for a given seed
+// regardless of the worker count, because every replicate derives its own
+// seeded generator.
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/dag"
+	"repro/internal/platform"
+	"repro/internal/sched/cpa"
+)
+
+// Config spans the factorial.
+type Config struct {
+	Shapes       []dag.Shape
+	DAGSizes     []int
+	ClusterSizes []int
+	Replicates   int
+	Seed         int64
+	// Workers bounds the concurrency; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// DefaultConfig mirrors the paper's campaign dimensions at a size that
+// completes in seconds: five shapes, three DAG sizes, clusters from 32
+// processors up.
+func DefaultConfig() Config {
+	return Config{
+		Shapes: []dag.Shape{
+			dag.ShapeSerial, dag.ShapeWide, dag.ShapeLong,
+			dag.ShapeRandom, dag.ShapeForkJoin,
+		},
+		DAGSizes:     []int{20, 40, 80},
+		ClusterSizes: []int{32, 64, 128},
+		Replicates:   8,
+		Seed:         1,
+	}
+}
+
+// Cell aggregates one factorial cell.
+type Cell struct {
+	Shape    dag.Shape
+	DAGSize  int
+	Cluster  int
+	Runs     int
+	WinsCPA  int // CPA strictly better makespan
+	WinsMCPA int
+	Ties     int
+	// MeanRatio is the geometric mean of makespan(MCPA)/makespan(CPA);
+	// above 1 means CPA wins on average.
+	MeanRatio float64
+	// MaxRatio is the worst corner case for MCPA in the cell — large
+	// values are Figure 4 material.
+	MaxRatio float64
+}
+
+// Key identifies the cell.
+func (c Cell) Key() string {
+	return fmt.Sprintf("%s/%d/%d", c.Shape, c.DAGSize, c.Cluster)
+}
+
+// Result is a completed campaign.
+type Result struct {
+	Cells []Cell
+	Total int
+}
+
+// Run executes the campaign. The error is non-nil only for configuration
+// mistakes; individual scheduling runs cannot fail on valid inputs.
+func Run(cfg Config) (*Result, error) {
+	if len(cfg.Shapes) == 0 || len(cfg.DAGSizes) == 0 || len(cfg.ClusterSizes) == 0 {
+		return nil, fmt.Errorf("campaign: empty factorial dimension")
+	}
+	if cfg.Replicates < 1 {
+		return nil, fmt.Errorf("campaign: need at least one replicate")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	type cellJob struct {
+		idx                  int
+		shape                dag.Shape
+		dagSize, clusterSize int
+	}
+	var jobs []cellJob
+	for _, sh := range cfg.Shapes {
+		for _, ds := range cfg.DAGSizes {
+			for _, cs := range cfg.ClusterSizes {
+				jobs = append(jobs, cellJob{len(jobs), sh, ds, cs})
+			}
+		}
+	}
+	cells := make([]Cell, len(jobs))
+	errs := make([]error, len(jobs))
+
+	jobCh := make(chan cellJob)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				cells[j.idx], errs[j.idx] = runCell(cfg, j.shape, j.dagSize, j.clusterSize)
+			}
+		}()
+	}
+	for _, j := range jobs {
+		jobCh <- j
+	}
+	close(jobCh)
+	wg.Wait()
+
+	res := &Result{Cells: cells}
+	for i := range errs {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		res.Total += cells[i].Runs
+	}
+	return res, nil
+}
+
+// runCell executes the replicates of one factorial cell. Each replicate
+// gets its own generator seeded from (campaign seed, cell key, replicate),
+// so results do not depend on scheduling order.
+func runCell(cfg Config, shape dag.Shape, dagSize, clusterSize int) (Cell, error) {
+	cell := Cell{Shape: shape, DAGSize: dagSize, Cluster: clusterSize, MeanRatio: 1}
+	p := platform.Homogeneous(clusterSize, 1e9)
+	logSum := 0.0
+	for r := 0; r < cfg.Replicates; r++ {
+		seed := cfg.Seed*1_000_003 + int64(dagSize)*7919 + int64(clusterSize)*104_729 +
+			int64(shape)*15_485_863 + int64(r)
+		g := dag.Generate(shape, dag.DefaultGenOptions(dagSize), rand.New(rand.NewSource(seed)))
+		resCPA, err := cpa.Schedule(g, p, cpa.CPA)
+		if err != nil {
+			return cell, fmt.Errorf("campaign %s: %w", cell.Key(), err)
+		}
+		resMCPA, err := cpa.Schedule(g, p, cpa.MCPA)
+		if err != nil {
+			return cell, fmt.Errorf("campaign %s: %w", cell.Key(), err)
+		}
+		cell.Runs++
+		ratio := resMCPA.Makespan / resCPA.Makespan
+		logSum += math.Log(ratio)
+		if ratio > cell.MaxRatio {
+			cell.MaxRatio = ratio
+		}
+		switch {
+		case ratio > 1+1e-9:
+			cell.WinsCPA++
+		case ratio < 1-1e-9:
+			cell.WinsMCPA++
+		default:
+			cell.Ties++
+		}
+	}
+	cell.MeanRatio = math.Exp(logSum / float64(cell.Runs))
+	return cell, nil
+}
+
+// CornerCases returns the cells whose worst MCPA/CPA ratio is at least the
+// threshold, sorted by descending ratio — the candidates a developer would
+// open in Jedule, exactly how the paper found Figure 4.
+func (r *Result) CornerCases(threshold float64) []Cell {
+	var out []Cell
+	for _, c := range r.Cells {
+		if c.MaxRatio >= threshold {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].MaxRatio > out[j].MaxRatio })
+	return out
+}
+
+// Summary aggregates wins across all cells.
+func (r *Result) Summary() (winsCPA, winsMCPA, ties int) {
+	for _, c := range r.Cells {
+		winsCPA += c.WinsCPA
+		winsMCPA += c.WinsMCPA
+		ties += c.Ties
+	}
+	return
+}
+
+// WriteTable prints the per-cell results.
+func (r *Result) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintln(w,
+		"shape     nodes  procs  runs  cpa-wins  mcpa-wins  ties  mean-ratio  max-ratio"); err != nil {
+		return err
+	}
+	for _, c := range r.Cells {
+		if _, err := fmt.Fprintf(w, "%-9s %5d %6d %5d %9d %10d %5d %11.3f %10.3f\n",
+			c.Shape, c.DAGSize, c.Cluster, c.Runs,
+			c.WinsCPA, c.WinsMCPA, c.Ties, c.MeanRatio, c.MaxRatio); err != nil {
+			return err
+		}
+	}
+	a, b, t := r.Summary()
+	_, err := fmt.Fprintf(w, "total %d runs: cpa wins %d, mcpa wins %d, ties %d\n",
+		r.Total, a, b, t)
+	return err
+}

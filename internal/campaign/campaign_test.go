@@ -1,0 +1,149 @@
+package campaign
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/dag"
+)
+
+func smallConfig() Config {
+	return Config{
+		Shapes:       []dag.Shape{dag.ShapeSerial, dag.ShapeWide, dag.ShapeRandom},
+		DAGSizes:     []int{15, 30},
+		ClusterSizes: []int{32, 64},
+		Replicates:   3,
+		Seed:         7,
+	}
+}
+
+func TestRunShape(t *testing.T) {
+	res, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 3*2*2 {
+		t.Fatalf("cells = %d, want 12", len(res.Cells))
+	}
+	if res.Total != 12*3 {
+		t.Fatalf("total = %d, want 36", res.Total)
+	}
+	for _, c := range res.Cells {
+		if c.Runs != 3 {
+			t.Fatalf("cell %s runs = %d", c.Key(), c.Runs)
+		}
+		if c.WinsCPA+c.WinsMCPA+c.Ties != c.Runs {
+			t.Fatalf("cell %s wins do not sum", c.Key())
+		}
+		if c.MeanRatio <= 0 || c.MaxRatio <= 0 {
+			t.Fatalf("cell %s ratios invalid: %+v", c.Key(), c)
+		}
+		if c.MaxRatio < c.MeanRatio-1e-9 {
+			t.Fatalf("cell %s max < mean", c.Key())
+		}
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Workers = 1
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("campaign results depend on worker count")
+	}
+}
+
+func TestSerialDAGsNeverFavorMCPAcaps(t *testing.T) {
+	// On pure chains both algorithms see the same critical path; MCPA's
+	// level cap never binds (one task per level), so every run ties.
+	cfg := Config{
+		Shapes: []dag.Shape{dag.ShapeSerial}, DAGSizes: []int{20},
+		ClusterSizes: []int{32}, Replicates: 5, Seed: 3,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Cells[0]
+	if c.Ties != c.Runs {
+		t.Fatalf("serial cell should tie every run: %+v", c)
+	}
+}
+
+func TestCornerCases(t *testing.T) {
+	res, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := res.CornerCases(0) // everything qualifies
+	if len(all) != len(res.Cells) {
+		t.Fatalf("corner cases = %d", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].MaxRatio > all[i-1].MaxRatio {
+			t.Fatal("corner cases unsorted")
+		}
+	}
+	none := res.CornerCases(1e9)
+	if len(none) != 0 {
+		t.Fatal("impossible threshold matched")
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	res, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"shape", "cpa-wins", "serial", "total 36 runs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "\n"); got != 14 { // header + 12 cells + total
+		t.Errorf("table lines = %d, want 14", got)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	bad := smallConfig()
+	bad.Shapes = nil
+	if _, err := Run(bad); err == nil {
+		t.Error("empty shapes accepted")
+	}
+	bad = smallConfig()
+	bad.Replicates = 0
+	if _, err := Run(bad); err == nil {
+		t.Error("zero replicates accepted")
+	}
+}
+
+func TestDefaultConfigRunsThousands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaign")
+	}
+	cfg := DefaultConfig()
+	cfg.Replicates = 2 // keep CI fast; cmd/campaign runs the full size
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != len(cfg.Shapes)*len(cfg.DAGSizes)*len(cfg.ClusterSizes)*2 {
+		t.Fatalf("total = %d", res.Total)
+	}
+}

@@ -1,0 +1,408 @@
+// Package colormap implements Jedule color maps (paper section II-C.4 and
+// Figure 2). A color map assigns a foreground (label) and background (fill)
+// color to each task type, plus dedicated colors for composite types: a
+// composite entry lists the member task types it applies to, so "computation
+// overlapping transfer" can get its own color (the orange band of paper
+// Figure 3).
+//
+// Color maps are defined in an XML dialect mirroring the paper's Figure 2:
+//
+//	<cmap name="standard_map">
+//	  <conf name="min_font_size_label" value="11"/>
+//	  <conf name="font_size_label" value="13"/>
+//	  <conf name="font_size_axes" value="12"/>
+//	  <task id="computation">
+//	    <color type="fg" rgb="FFFFFF"/>
+//	    <color type="bg" rgb="0000FF"/>
+//	  </task>
+//	  <composite>
+//	    <task id="computation"/>
+//	    <task id="transfer"/>
+//	    <color type="fg" rgb="FFFFFF"/>
+//	    <color type="bg" rgb="ff6200"/>
+//	  </composite>
+//	</cmap>
+package colormap
+
+import (
+	"encoding/xml"
+	"fmt"
+	"image/color"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Colors is a fg/bg pair.
+type Colors struct {
+	FG, BG color.RGBA
+}
+
+// CompositeRule assigns colors to a composite task whose members have
+// exactly the given set of task types.
+type CompositeRule struct {
+	Members []string // sorted member type names
+	Colors  Colors
+}
+
+// Map is a complete color map.
+type Map struct {
+	Name string
+	// Conf holds style settings (font sizes etc.) as ordered key/value
+	// pairs, preserved through file round-trips.
+	Conf []ConfEntry
+	// ByType maps a task type to its colors.
+	ByType map[string]Colors
+	// Composites lists composite color rules, most specific first.
+	Composites []CompositeRule
+	// Default is used for task types with no entry.
+	Default Colors
+	// CompositeDefault is used for composite tasks matching no rule.
+	CompositeDefault Colors
+}
+
+// ConfEntry is one <conf> setting.
+type ConfEntry struct {
+	Name, Value string
+}
+
+// ConfInt returns the integer value of a conf entry, or def.
+func (m *Map) ConfInt(name string, def int) int {
+	for _, c := range m.Conf {
+		if c.Name == name {
+			if v, err := strconv.Atoi(c.Value); err == nil {
+				return v
+			}
+		}
+	}
+	return def
+}
+
+// SetConf sets (or replaces) a conf entry.
+func (m *Map) SetConf(name, value string) {
+	for i := range m.Conf {
+		if m.Conf[i].Name == name {
+			m.Conf[i].Value = value
+			return
+		}
+	}
+	m.Conf = append(m.Conf, ConfEntry{name, value})
+}
+
+// SetType assigns colors to a task type ("changed on the fly", paper §IX).
+func (m *Map) SetType(taskType string, c Colors) {
+	if m.ByType == nil {
+		m.ByType = map[string]Colors{}
+	}
+	m.ByType[taskType] = c
+}
+
+// AddComposite appends a composite rule for the given member types.
+func (m *Map) AddComposite(c Colors, memberTypes ...string) {
+	members := append([]string(nil), memberTypes...)
+	sort.Strings(members)
+	m.Composites = append(m.Composites, CompositeRule{Members: members, Colors: c})
+}
+
+// Lookup resolves the colors of a plain task type.
+func (m *Map) Lookup(taskType string) Colors {
+	if c, ok := m.ByType[taskType]; ok {
+		return c
+	}
+	return m.Default
+}
+
+// LookupComposite resolves the colors of a composite task given its member
+// task types. The first rule whose member set equals the (sorted,
+// de-duplicated) input wins; otherwise CompositeDefault is returned.
+func (m *Map) LookupComposite(memberTypes []string) Colors {
+	key := canonicalTypes(memberTypes)
+	for _, r := range m.Composites {
+		if strings.Join(r.Members, "\x00") == key {
+			return r.Colors
+		}
+	}
+	return m.CompositeDefault
+}
+
+func canonicalTypes(types []string) string {
+	set := map[string]bool{}
+	for _, t := range types {
+		set[t] = true
+	}
+	list := make([]string, 0, len(set))
+	for t := range set {
+		list = append(list, t)
+	}
+	sort.Strings(list)
+	return strings.Join(list, "\x00")
+}
+
+// Types returns the sorted task types with explicit entries.
+func (m *Map) Types() []string {
+	out := make([]string, 0, len(m.ByType))
+	for t := range m.ByType {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a deep copy, useful for deriving tweaked maps on the fly.
+func (m *Map) Clone() *Map {
+	out := &Map{
+		Name:             m.Name,
+		Conf:             append([]ConfEntry(nil), m.Conf...),
+		ByType:           make(map[string]Colors, len(m.ByType)),
+		Default:          m.Default,
+		CompositeDefault: m.CompositeDefault,
+	}
+	for k, v := range m.ByType {
+		out.ByType[k] = v
+	}
+	for _, r := range m.Composites {
+		out.Composites = append(out.Composites, CompositeRule{
+			Members: append([]string(nil), r.Members...),
+			Colors:  r.Colors,
+		})
+	}
+	return out
+}
+
+// RGB constructs an opaque color from 8-bit channels.
+func RGB(r, g, b uint8) color.RGBA { return color.RGBA{r, g, b, 255} }
+
+// ParseRGB parses a 6-digit hexadecimal color like "ff6200".
+func ParseRGB(s string) (color.RGBA, error) {
+	s = strings.TrimPrefix(strings.TrimSpace(s), "#")
+	if len(s) != 6 {
+		return color.RGBA{}, fmt.Errorf("colormap: bad rgb %q: want 6 hex digits", s)
+	}
+	v, err := strconv.ParseUint(s, 16, 32)
+	if err != nil {
+		return color.RGBA{}, fmt.Errorf("colormap: bad rgb %q: %v", s, err)
+	}
+	return RGB(uint8(v>>16), uint8(v>>8), uint8(v)), nil
+}
+
+// FormatRGB renders a color as 6 lowercase hex digits.
+func FormatRGB(c color.RGBA) string {
+	return fmt.Sprintf("%02x%02x%02x", c.R, c.G, c.B)
+}
+
+// Grayscale converts the map to gray levels (luma), for the journal
+// style-guide use case in paper section II-D.2.
+func (m *Map) Grayscale() *Map {
+	out := m.Clone()
+	out.Name = m.Name + "-gray"
+	gray := func(c color.RGBA) color.RGBA {
+		y := uint8((299*int(c.R) + 587*int(c.G) + 114*int(c.B)) / 1000)
+		return color.RGBA{y, y, y, c.A}
+	}
+	grayPair := func(c Colors) Colors { return Colors{gray(c.FG), gray(c.BG)} }
+	for k, v := range out.ByType {
+		out.ByType[k] = grayPair(v)
+	}
+	for i := range out.Composites {
+		out.Composites[i].Colors = grayPair(out.Composites[i].Colors)
+	}
+	out.Default = grayPair(out.Default)
+	out.CompositeDefault = grayPair(out.CompositeDefault)
+	return out
+}
+
+// Default returns the standard color map bundled with the tool, matching the
+// paper's examples: blue computation, red transfer, orange composite of the
+// two, plus entries for the other case-study task types.
+func Default() *Map {
+	m := &Map{
+		Name: "standard_map",
+		Conf: []ConfEntry{
+			{"min_font_size_label", "11"},
+			{"font_size_label", "13"},
+			{"font_size_axes", "12"},
+		},
+		ByType:           map[string]Colors{},
+		Default:          Colors{FG: RGB(0, 0, 0), BG: RGB(200, 200, 200)},
+		CompositeDefault: Colors{FG: RGB(255, 255, 255), BG: RGB(255, 98, 0)},
+	}
+	m.SetType("computation", Colors{FG: RGB(255, 255, 255), BG: RGB(0, 0, 255)})
+	m.SetType("transfer", Colors{FG: RGB(0, 0, 0), BG: RGB(241, 0, 0)})
+	m.SetType("waiting", Colors{FG: RGB(0, 0, 0), BG: RGB(241, 0, 0)})
+	m.SetType("io", Colors{FG: RGB(0, 0, 0), BG: RGB(0, 170, 0)})
+	m.SetType("job", Colors{FG: RGB(0, 0, 0), BG: RGB(120, 160, 220)})
+	m.SetType("highlight", Colors{FG: RGB(0, 0, 0), BG: RGB(255, 225, 0)})
+	m.AddComposite(Colors{FG: RGB(255, 255, 255), BG: RGB(255, 98, 0)},
+		"computation", "transfer")
+	return m
+}
+
+// Palette generates a map that assigns a distinct hue to each of n task
+// types named by key(i). It serves the multi-DAG case study, where "each
+// application has its own color" (paper Figure 5).
+func Palette(n int, key func(int) string) *Map {
+	m := Default()
+	m.Name = "palette"
+	for i := 0; i < n; i++ {
+		m.SetType(key(i), Colors{FG: RGB(0, 0, 0), BG: hueColor(i, n)})
+	}
+	return m
+}
+
+// hueColor picks evenly spaced hues with full saturation.
+func hueColor(i, n int) color.RGBA {
+	if n <= 0 {
+		n = 1
+	}
+	h := float64(i%n) / float64(n) * 6.0
+	seg := int(h)
+	f := h - float64(seg)
+	q := uint8(255 * (1 - f))
+	t := uint8(255 * f)
+	switch seg % 6 {
+	case 0:
+		return RGB(255, t, 64)
+	case 1:
+		return RGB(q, 255, 64)
+	case 2:
+		return RGB(64, 255, t)
+	case 3:
+		return RGB(64, q, 255)
+	case 4:
+		return RGB(t, 64, 255)
+	default:
+		return RGB(255, 64, q)
+	}
+}
+
+// xml mirror types for the cmap format
+
+type xmlCmap struct {
+	XMLName    xml.Name       `xml:"cmap"`
+	Name       string         `xml:"name,attr"`
+	Conf       []xmlConf      `xml:"conf"`
+	Tasks      []xmlTask      `xml:"task"`
+	Composites []xmlComposite `xml:"composite"`
+}
+
+type xmlConf struct {
+	Name  string `xml:"name,attr"`
+	Value string `xml:"value,attr"`
+}
+
+type xmlTask struct {
+	ID     string     `xml:"id,attr"`
+	Colors []xmlColor `xml:"color"`
+}
+
+type xmlComposite struct {
+	Tasks  []xmlTask  `xml:"task"`
+	Colors []xmlColor `xml:"color"`
+}
+
+type xmlColor struct {
+	Type string `xml:"type,attr"`
+	RGB  string `xml:"rgb,attr"`
+}
+
+func colorsFromXML(cs []xmlColor) (Colors, error) {
+	out := Colors{FG: RGB(0, 0, 0), BG: RGB(255, 255, 255)}
+	for _, c := range cs {
+		v, err := ParseRGB(c.RGB)
+		if err != nil {
+			return out, err
+		}
+		switch c.Type {
+		case "fg":
+			out.FG = v
+		case "bg":
+			out.BG = v
+		default:
+			return out, fmt.Errorf("colormap: unknown color type %q (want fg or bg)", c.Type)
+		}
+	}
+	return out, nil
+}
+
+// Read parses a cmap XML document.
+func Read(r io.Reader) (*Map, error) {
+	var doc xmlCmap
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("colormap: decode: %w", err)
+	}
+	m := Default()
+	m.Name = doc.Name
+	m.Conf = nil
+	m.ByType = map[string]Colors{}
+	m.Composites = nil
+	for _, c := range doc.Conf {
+		m.Conf = append(m.Conf, ConfEntry{c.Name, c.Value})
+	}
+	for _, t := range doc.Tasks {
+		cs, err := colorsFromXML(t.Colors)
+		if err != nil {
+			return nil, fmt.Errorf("colormap: task %q: %w", t.ID, err)
+		}
+		m.ByType[t.ID] = cs
+	}
+	for _, cp := range doc.Composites {
+		cs, err := colorsFromXML(cp.Colors)
+		if err != nil {
+			return nil, fmt.Errorf("colormap: composite: %w", err)
+		}
+		var members []string
+		for _, t := range cp.Tasks {
+			members = append(members, t.ID)
+		}
+		if len(members) < 2 {
+			return nil, fmt.Errorf("colormap: composite rule needs >=2 member types, got %v", members)
+		}
+		m.AddComposite(cs, members...)
+	}
+	return m, nil
+}
+
+// Write serializes the map as cmap XML.
+func Write(w io.Writer, m *Map) error {
+	doc := xmlCmap{Name: m.Name}
+	for _, c := range m.Conf {
+		doc.Conf = append(doc.Conf, xmlConf{c.Name, c.Value})
+	}
+	for _, t := range m.Types() {
+		c := m.ByType[t]
+		doc.Tasks = append(doc.Tasks, xmlTask{ID: t, Colors: []xmlColor{
+			{"fg", FormatRGB(c.FG)}, {"bg", FormatRGB(c.BG)},
+		}})
+	}
+	for _, cp := range m.Composites {
+		x := xmlComposite{Colors: []xmlColor{
+			{"fg", FormatRGB(cp.Colors.FG)}, {"bg", FormatRGB(cp.Colors.BG)},
+		}}
+		for _, mt := range cp.Members {
+			x.Tasks = append(x.Tasks, xmlTask{ID: mt})
+		}
+		doc.Composites = append(doc.Composites, x)
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("colormap: encode: %w", err)
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// ReadFile loads a cmap file.
+func ReadFile(path string) (*Map, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

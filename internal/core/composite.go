@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CompositeTasks materializes the paper's composite tasks (section II-C.3):
+// "For each resource which is shared by several tasks, Jedule creates a
+// composite task. The identifier of a composite task is the concatenation of
+// the single task IDs and the type is set to 'composite'."
+//
+// The returned tasks cover exactly the (host, time) regions where at least
+// two of the schedule's tasks are simultaneously allocated to the same host.
+// Hosts that share the same set of overlapping tasks over the same interval
+// are merged into one composite task, so the result is compact. Composite
+// tasks carry a "members" property listing the member task IDs.
+//
+// The input schedule is not modified. Tasks whose type is already
+// CompositeType are ignored, so the operation is idempotent. Zero-duration
+// tasks never produce composites.
+func (s *Schedule) CompositeTasks() []Task {
+	type segment struct {
+		key        string // canonical member-set key
+		start, end float64
+		members    []int // task indices
+	}
+	// Per (cluster, host) interval sets, swept independently, then grouped.
+	segsByKey := map[string][]struct {
+		cluster, host int
+		start, end    float64
+		members       []int
+	}{}
+
+	for _, c := range s.Clusters {
+		// Gather tasks per host of this cluster.
+		type iv struct {
+			task       int
+			start, end float64
+		}
+		byHost := make([][]iv, c.Hosts)
+		for i := range s.Tasks {
+			t := &s.Tasks[i]
+			if t.Type == CompositeType || t.End <= t.Start {
+				continue
+			}
+			a, ok := t.AllocationOn(c.ID)
+			if !ok {
+				continue
+			}
+			for _, h := range a.HostList() {
+				if h >= 0 && h < c.Hosts {
+					byHost[h] = append(byHost[h], iv{i, t.Start, t.End})
+				}
+			}
+		}
+		for h, ivs := range byHost {
+			if len(ivs) < 2 {
+				continue
+			}
+			// Sweep the elementary intervals between all boundaries.
+			bounds := make([]float64, 0, 2*len(ivs))
+			for _, v := range ivs {
+				bounds = append(bounds, v.start, v.end)
+			}
+			sort.Float64s(bounds)
+			bounds = dedupFloats(bounds)
+			var segs []segment
+			for bi := 0; bi+1 < len(bounds); bi++ {
+				lo, hi := bounds[bi], bounds[bi+1]
+				var members []int
+				for _, v := range ivs {
+					if v.start <= lo && v.end >= hi {
+						members = append(members, v.task)
+					}
+				}
+				if len(members) < 2 {
+					continue
+				}
+				sort.Ints(members)
+				key := memberKey(s, members)
+				// Merge with previous segment when contiguous and identical.
+				if n := len(segs); n > 0 && segs[n-1].key == key && segs[n-1].end == lo {
+					segs[n-1].end = hi
+					continue
+				}
+				segs = append(segs, segment{key, lo, hi, members})
+			}
+			for _, sg := range segs {
+				gk := fmt.Sprintf("%s|%.17g|%.17g", sg.key, sg.start, sg.end)
+				segsByKey[gk] = append(segsByKey[gk], struct {
+					cluster, host int
+					start, end    float64
+					members       []int
+				}{c.ID, h, sg.start, sg.end, sg.members})
+			}
+		}
+	}
+
+	// Deterministic output order: sort group keys.
+	keys := make([]string, 0, len(segsByKey))
+	for k := range segsByKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	var out []Task
+	for _, k := range keys {
+		group := segsByKey[k]
+		first := group[0]
+		// Hosts per cluster.
+		hostsByCluster := map[int][]int{}
+		for _, g := range group {
+			hostsByCluster[g.cluster] = append(hostsByCluster[g.cluster], g.host)
+		}
+		clusters := make([]int, 0, len(hostsByCluster))
+		for cid := range hostsByCluster {
+			clusters = append(clusters, cid)
+		}
+		sort.Ints(clusters)
+		var allocs []Allocation
+		for _, cid := range clusters {
+			allocs = append(allocs, Allocation{Cluster: cid, Hosts: RangesFromHosts(hostsByCluster[cid])})
+		}
+		ids := make([]string, len(first.members))
+		for i, m := range first.members {
+			ids[i] = s.Tasks[m].ID
+		}
+		out = append(out, Task{
+			ID:          strings.Join(ids, "+"),
+			Type:        CompositeType,
+			Start:       first.start,
+			End:         first.end,
+			Allocations: allocs,
+			Properties:  []Property{{Name: "members", Value: strings.Join(ids, ",")}},
+		})
+	}
+	// Composite IDs are concatenations and may repeat across disjoint time
+	// intervals of the same member set; disambiguate duplicates.
+	seen := map[string]int{}
+	for i := range out {
+		seen[out[i].ID]++
+		if n := seen[out[i].ID]; n > 1 {
+			out[i].ID = fmt.Sprintf("%s#%d", out[i].ID, n)
+		}
+	}
+	return out
+}
+
+// WithComposites returns a copy of the schedule with all composite tasks
+// appended, ready for rendering with a composite color entry.
+func (s *Schedule) WithComposites() *Schedule {
+	out := s.Clone()
+	out.Tasks = append(out.Tasks, s.CompositeTasks()...)
+	return out
+}
+
+// CompositeTasksNaive is a reference implementation of composite
+// construction that tests every pair of tasks for overlap on every shared
+// host. It produces one composite task per (host, elementary interval)
+// without any host merging, so its output is larger but covers the same
+// (host, time) region. It exists for differential testing and for the
+// ablation benchmark comparing the naive and sweep implementations.
+func (s *Schedule) CompositeTasksNaive() []Task {
+	var out []Task
+	n := 0
+	for _, c := range s.Clusters {
+		for h := 0; h < c.Hosts; h++ {
+			var onHost []int
+			for i := range s.Tasks {
+				t := &s.Tasks[i]
+				if t.Type == CompositeType || t.End <= t.Start {
+					continue
+				}
+				if a, ok := t.AllocationOn(c.ID); ok && a.ContainsHost(h) {
+					onHost = append(onHost, i)
+				}
+			}
+			for x := 0; x < len(onHost); x++ {
+				for y := x + 1; y < len(onHost); y++ {
+					a, b := &s.Tasks[onHost[x]], &s.Tasks[onHost[y]]
+					lo, hi := maxf(a.Start, b.Start), minf(a.End, b.End)
+					if hi <= lo {
+						continue
+					}
+					n++
+					out = append(out, Task{
+						ID:    fmt.Sprintf("%s+%s#n%d", a.ID, b.ID, n),
+						Type:  CompositeType,
+						Start: lo, End: hi,
+						Allocations: []Allocation{{Cluster: c.ID, Hosts: []HostRange{{h, 1}}}},
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// memberKey builds a canonical key for a sorted member index set.
+func memberKey(s *Schedule, members []int) string {
+	parts := make([]string, len(members))
+	for i, m := range members {
+		parts[i] = s.Tasks[m].ID
+	}
+	return strings.Join(parts, "\x00")
+}
+
+func dedupFloats(xs []float64) []float64 {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

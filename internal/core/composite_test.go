@@ -1,0 +1,200 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// Figure 3 scenario: a computation and a transfer overlap on shared hosts,
+// producing an orange composite band.
+func TestCompositeBasicOverlap(t *testing.T) {
+	s := NewSingleCluster("c", 4)
+	s.Add("comp", "computation", 0, 10, 0, 4)
+	s.Add("xfer", "transfer", 4, 6, 0, 2)
+	comps := s.CompositeTasks()
+	if len(comps) != 1 {
+		t.Fatalf("got %d composites, want 1: %+v", len(comps), comps)
+	}
+	c := comps[0]
+	if c.Type != CompositeType {
+		t.Errorf("type = %q, want %q", c.Type, CompositeType)
+	}
+	if c.ID != "comp+xfer" {
+		t.Errorf("id = %q, want comp+xfer (concatenated member ids)", c.ID)
+	}
+	if c.Start != 4 || c.End != 6 {
+		t.Errorf("interval = [%g,%g], want [4,6]", c.Start, c.End)
+	}
+	if got := c.Allocations[0].HostList(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("hosts = %v, want [0 1]", got)
+	}
+	if c.Property("members") != "comp,xfer" {
+		t.Errorf("members = %q", c.Property("members"))
+	}
+}
+
+func TestCompositeNoOverlap(t *testing.T) {
+	s := NewSingleCluster("c", 4)
+	s.Add("a", "x", 0, 1, 0, 2)
+	s.Add("b", "x", 1, 2, 0, 2) // touching endpoints do not overlap
+	s.Add("c", "x", 0, 2, 2, 2) // disjoint hosts
+	if comps := s.CompositeTasks(); len(comps) != 0 {
+		t.Fatalf("got %d composites, want 0: %+v", len(comps), comps)
+	}
+}
+
+func TestCompositeThreeWay(t *testing.T) {
+	s := NewSingleCluster("c", 1)
+	s.Add("a", "x", 0, 10, 0, 1)
+	s.Add("b", "y", 2, 8, 0, 1)
+	s.Add("c", "z", 4, 6, 0, 1)
+	comps := s.CompositeTasks()
+	// Expected segments on host 0: [2,4) {a,b}, [4,6) {a,b,c}, [6,8) {a,b}.
+	if len(comps) != 3 {
+		t.Fatalf("got %d composites, want 3: %+v", len(comps), comps)
+	}
+	var threeWay *Task
+	for i := range comps {
+		if comps[i].Start == 4 && comps[i].End == 6 {
+			threeWay = &comps[i]
+		}
+	}
+	if threeWay == nil {
+		t.Fatal("missing [4,6] three-way composite")
+	}
+	if threeWay.ID != "a+b+c" {
+		t.Errorf("three-way id = %q, want a+b+c", threeWay.ID)
+	}
+	// The two {a,b} segments have the same member set; IDs must still be unique.
+	seen := map[string]bool{}
+	for _, c := range comps {
+		if seen[c.ID] {
+			t.Errorf("duplicate composite id %q", c.ID)
+		}
+		seen[c.ID] = true
+	}
+}
+
+func TestCompositeMergesHosts(t *testing.T) {
+	// Same overlap on hosts 0-3 must yield ONE composite spanning 4 hosts.
+	s := NewSingleCluster("c", 8)
+	s.Add("a", "x", 0, 10, 0, 4)
+	s.Add("b", "y", 5, 10, 0, 4)
+	comps := s.CompositeTasks()
+	if len(comps) != 1 {
+		t.Fatalf("got %d composites, want 1 merged: %+v", len(comps), comps)
+	}
+	if n := comps[0].Allocations[0].HostCount(); n != 4 {
+		t.Errorf("composite spans %d hosts, want 4", n)
+	}
+}
+
+func TestCompositeAcrossClusters(t *testing.T) {
+	s := New(Cluster{ID: 0, Hosts: 2}, Cluster{ID: 1, Hosts: 2})
+	s.AddTask(Task{ID: "a", Type: "x", Start: 0, End: 10, Allocations: []Allocation{
+		{Cluster: 0, Hosts: []HostRange{{0, 2}}},
+		{Cluster: 1, Hosts: []HostRange{{0, 2}}},
+	}})
+	s.AddTask(Task{ID: "b", Type: "y", Start: 5, End: 8, Allocations: []Allocation{
+		{Cluster: 0, Hosts: []HostRange{{0, 1}}},
+		{Cluster: 1, Hosts: []HostRange{{0, 1}}},
+	}})
+	comps := s.CompositeTasks()
+	if len(comps) != 1 {
+		t.Fatalf("got %d composites, want 1: %+v", len(comps), comps)
+	}
+	if len(comps[0].Allocations) != 2 {
+		t.Fatalf("composite should span both clusters: %+v", comps[0].Allocations)
+	}
+}
+
+func TestCompositeIgnoresComposites(t *testing.T) {
+	s := NewSingleCluster("c", 2)
+	s.Add("a", "x", 0, 10, 0, 2)
+	s.Add("b", "y", 2, 4, 0, 2)
+	first := s.WithComposites()
+	if err := first.Validate(); err != nil {
+		t.Fatalf("WithComposites invalid: %v", err)
+	}
+	again := first.CompositeTasks()
+	if len(again) != 1 {
+		t.Fatalf("idempotency broken: second pass found %d composites, want 1", len(again))
+	}
+}
+
+func TestCompositeZeroDuration(t *testing.T) {
+	s := NewSingleCluster("c", 1)
+	s.Add("a", "x", 0, 10, 0, 1)
+	s.Add("b", "y", 5, 5, 0, 1)
+	if comps := s.CompositeTasks(); len(comps) != 0 {
+		t.Fatalf("zero-duration task produced composites: %+v", comps)
+	}
+}
+
+// coverage maps a schedule's (host,time) overlap region by sampling.
+func overlapAt(s *Schedule, cluster, host int, t float64) bool {
+	n := 0
+	for i := range s.Tasks {
+		task := &s.Tasks[i]
+		if task.Type == CompositeType || t < task.Start || t >= task.End {
+			continue
+		}
+		if a, ok := task.AllocationOn(cluster); ok && a.ContainsHost(host) {
+			n++
+		}
+	}
+	return n >= 2
+}
+
+func compositeAt(comps []Task, cluster, host int, t float64) bool {
+	for i := range comps {
+		if t < comps[i].Start || t >= comps[i].End {
+			continue
+		}
+		if a, ok := comps[i].AllocationOn(cluster); ok && a.ContainsHost(host) {
+			return true
+		}
+	}
+	return false
+}
+
+// Property: composites cover exactly the region where >=2 tasks share a host,
+// and the sweep implementation agrees with the naive reference.
+func TestCompositeCoverageProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 120; iter++ {
+		s := randomSchedule(r)
+		comps := s.CompositeTasks()
+		naive := s.CompositeTasksNaive()
+		ext := s.Extent()
+		if !ext.Valid() || ext.Span() == 0 {
+			continue
+		}
+		for probe := 0; probe < 60; probe++ {
+			tt := ext.Min + r.Float64()*ext.Span()
+			c := s.Clusters[r.Intn(len(s.Clusters))]
+			h := r.Intn(c.Hosts)
+			want := overlapAt(s, c.ID, h, tt)
+			if got := compositeAt(comps, c.ID, h, tt); got != want {
+				t.Fatalf("iter %d: sweep composite at (c%d,h%d,t=%g) = %v, want %v",
+					iter, c.ID, h, tt, got, want)
+			}
+			if got := compositeAt(naive, c.ID, h, tt); got != want {
+				t.Fatalf("iter %d: naive composite at (c%d,h%d,t=%g) = %v, want %v",
+					iter, c.ID, h, tt, got, want)
+			}
+		}
+		// All composite IDs unique and members recorded.
+		seen := map[string]bool{}
+		for _, cmp := range comps {
+			if seen[cmp.ID] {
+				t.Fatalf("iter %d: duplicate composite id %q", iter, cmp.ID)
+			}
+			seen[cmp.ID] = true
+			if !strings.Contains(cmp.Property("members"), ",") {
+				t.Fatalf("iter %d: composite %q has <2 members: %q", iter, cmp.ID, cmp.Property("members"))
+			}
+		}
+	}
+}

@@ -1,0 +1,357 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHostRange(t *testing.T) {
+	r := HostRange{Start: 3, N: 4}
+	if r.End() != 7 {
+		t.Fatalf("End() = %d, want 7", r.End())
+	}
+	for h := 3; h < 7; h++ {
+		if !r.Contains(h) {
+			t.Errorf("Contains(%d) = false, want true", h)
+		}
+	}
+	for _, h := range []int{2, 7, -1} {
+		if r.Contains(h) {
+			t.Errorf("Contains(%d) = true, want false", h)
+		}
+	}
+	if got := r.String(); got != "3-6" {
+		t.Errorf("String() = %q, want 3-6", got)
+	}
+	if got := (HostRange{5, 1}).String(); got != "5" {
+		t.Errorf("single-host String() = %q, want 5", got)
+	}
+}
+
+func TestAllocationHostList(t *testing.T) {
+	a := Allocation{Cluster: 0, Hosts: []HostRange{{4, 2}, {0, 2}, {5, 2}}}
+	got := a.HostList()
+	want := []int{0, 1, 4, 5, 6}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("HostList() = %v, want %v", got, want)
+	}
+	if a.HostCount() != 5 {
+		t.Errorf("HostCount() = %d, want 5", a.HostCount())
+	}
+	if a.Contiguous() {
+		t.Error("Contiguous() = true for a scattered allocation")
+	}
+	b := Allocation{Hosts: []HostRange{{0, 2}, {2, 3}}}
+	if !b.Contiguous() {
+		t.Error("Contiguous() = false for adjoining ranges")
+	}
+}
+
+func TestRangesFromHosts(t *testing.T) {
+	tests := []struct {
+		hosts []int
+		want  []HostRange
+	}{
+		{nil, nil},
+		{[]int{0}, []HostRange{{0, 1}}},
+		{[]int{0, 1, 2}, []HostRange{{0, 3}}},
+		{[]int{2, 0, 1}, []HostRange{{0, 3}}},
+		{[]int{0, 2, 3, 7}, []HostRange{{0, 1}, {2, 2}, {7, 1}}},
+		{[]int{5, 5, 6}, []HostRange{{5, 2}}}, // duplicates collapse
+	}
+	for _, tc := range tests {
+		if got := RangesFromHosts(tc.hosts); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("RangesFromHosts(%v) = %v, want %v", tc.hosts, got, tc.want)
+		}
+	}
+}
+
+// Property: RangesFromHosts round-trips through HostList.
+func TestRangesFromHostsRoundTrip(t *testing.T) {
+	f := func(raw []uint8) bool {
+		hosts := map[int]bool{}
+		for _, h := range raw {
+			hosts[int(h)] = true
+		}
+		var list []int
+		for h := range hosts {
+			list = append(list, h)
+		}
+		a := Allocation{Hosts: RangesFromHosts(list)}
+		back := a.HostList()
+		if len(back) != len(hosts) {
+			return false
+		}
+		for _, h := range back {
+			if !hosts[h] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTaskAccessors(t *testing.T) {
+	task := Task{
+		ID: "t", Type: "computation", Start: 1, End: 3.5,
+		Allocations: []Allocation{
+			{Cluster: 0, Hosts: []HostRange{{0, 4}}},
+			{Cluster: 2, Hosts: []HostRange{{1, 1}, {3, 1}}},
+		},
+	}
+	if task.Duration() != 2.5 {
+		t.Errorf("Duration() = %g, want 2.5", task.Duration())
+	}
+	if task.TotalHosts() != 6 {
+		t.Errorf("TotalHosts() = %d, want 6", task.TotalHosts())
+	}
+	if !task.UsesCluster(2) || task.UsesCluster(1) {
+		t.Error("UsesCluster wrong")
+	}
+	if a, ok := task.AllocationOn(2); !ok || a.HostCount() != 2 {
+		t.Error("AllocationOn(2) wrong")
+	}
+	task.SetProperty("node", "n17")
+	task.SetProperty("node", "n18")
+	if task.Property("node") != "n18" {
+		t.Errorf("Property overwrite failed: %q", task.Property("node"))
+	}
+	if task.Property("missing") != "" {
+		t.Error("missing property should be empty")
+	}
+}
+
+func buildSample() *Schedule {
+	s := New(
+		Cluster{ID: 0, Name: "c0", Hosts: 8},
+		Cluster{ID: 1, Name: "c1", Hosts: 4},
+	)
+	s.Add("1", "computation", 0, 0.31, 0, 8)
+	s.AddTask(Task{
+		ID: "2", Type: "transfer", Start: 0.31, End: 0.4,
+		Allocations: []Allocation{
+			{Cluster: 0, Hosts: []HostRange{{0, 2}}},
+			{Cluster: 1, Hosts: []HostRange{{0, 2}}},
+		},
+	})
+	s.AddTask(Task{
+		ID: "3", Type: "computation", Start: 0.4, End: 1.0,
+		Allocations: []Allocation{{Cluster: 1, Hosts: []HostRange{{0, 4}}}},
+	})
+	s.SetMeta("algorithm", "demo")
+	return s
+}
+
+func TestScheduleBasics(t *testing.T) {
+	s := buildSample()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if s.TotalHosts() != 12 {
+		t.Errorf("TotalHosts = %d, want 12", s.TotalHosts())
+	}
+	if c, ok := s.Cluster(1); !ok || c.Hosts != 4 {
+		t.Error("Cluster(1) wrong")
+	}
+	if _, ok := s.Cluster(9); ok {
+		t.Error("Cluster(9) should not exist")
+	}
+	if s.Task("2") == nil || s.Task("x") != nil {
+		t.Error("Task lookup wrong")
+	}
+	if got := s.TaskTypes(); !reflect.DeepEqual(got, []string{"computation", "transfer"}) {
+		t.Errorf("TaskTypes = %v", got)
+	}
+	if got := s.TasksOn(1); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Errorf("TasksOn(1) = %v, want [1 2]", got)
+	}
+	if s.MetaValue("algorithm") != "demo" {
+		t.Error("MetaValue wrong")
+	}
+	s.SetMeta("algorithm", "demo2")
+	if s.MetaValue("algorithm") != "demo2" || len(s.Meta) != 1 {
+		t.Error("SetMeta overwrite wrong")
+	}
+}
+
+func TestSubSchedule(t *testing.T) {
+	s := buildSample()
+	sub := s.SubSchedule(1)
+	if len(sub.Clusters) != 1 || sub.Clusters[0].ID != 1 {
+		t.Fatalf("sub clusters = %v", sub.Clusters)
+	}
+	if len(sub.Tasks) != 2 {
+		t.Fatalf("sub has %d tasks, want 2 (transfer + computation)", len(sub.Tasks))
+	}
+	for _, task := range sub.Tasks {
+		if len(task.Allocations) != 1 || task.Allocations[0].Cluster != 1 {
+			t.Errorf("task %s kept foreign allocations: %v", task.ID, task.Allocations)
+		}
+	}
+	if err := sub.Validate(); err != nil {
+		t.Errorf("sub Validate: %v", err)
+	}
+	if empty := s.SubSchedule(42); len(empty.Tasks) != 0 {
+		t.Error("SubSchedule(42) should be empty")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := buildSample()
+	c := s.Clone()
+	c.Tasks[0].ID = "mutated"
+	c.Tasks[1].Allocations[0].Hosts[0] = HostRange{7, 1}
+	c.Clusters[0].Hosts = 99
+	c.SetMeta("algorithm", "other")
+	if s.Tasks[0].ID != "1" || s.Tasks[1].Allocations[0].Hosts[0].Start != 0 ||
+		s.Clusters[0].Hosts != 8 || s.MetaValue("algorithm") != "demo" {
+		t.Fatal("Clone shares state with the original")
+	}
+}
+
+func TestSortTasks(t *testing.T) {
+	s := NewSingleCluster("c", 4)
+	s.Add("b", "x", 2, 3, 0, 1)
+	s.Add("a", "x", 2, 3, 1, 1)
+	s.Add("c", "x", 0, 1, 2, 1)
+	s.Add("d", "x", 2, 2.5, 3, 1)
+	s.SortTasks()
+	var ids []string
+	for _, task := range s.Tasks {
+		ids = append(ids, task.ID)
+	}
+	if got := strings.Join(ids, ","); got != "c,d,a,b" {
+		t.Fatalf("sorted order = %s, want c,d,a,b", got)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	tests := []struct {
+		name  string
+		mk    func() *Schedule
+		wants string
+	}{
+		{"no cluster", func() *Schedule { return &Schedule{} }, "no cluster"},
+		{"dup cluster", func() *Schedule {
+			return New(Cluster{ID: 0, Hosts: 1}, Cluster{ID: 0, Hosts: 2})
+		}, "duplicate cluster"},
+		{"bad hosts", func() *Schedule { return New(Cluster{ID: 0, Hosts: 0}) }, "non-positive host count"},
+		{"empty id", func() *Schedule {
+			s := NewSingleCluster("c", 2)
+			s.Add("", "x", 0, 1, 0, 1)
+			return s
+		}, "empty id"},
+		{"dup id", func() *Schedule {
+			s := NewSingleCluster("c", 2)
+			s.Add("t", "x", 0, 1, 0, 1)
+			s.Add("t", "x", 1, 2, 0, 1)
+			return s
+		}, "duplicate task id"},
+		{"reversed times", func() *Schedule {
+			s := NewSingleCluster("c", 2)
+			s.Add("t", "x", 2, 1, 0, 1)
+			return s
+		}, "ends"},
+		{"no allocation", func() *Schedule {
+			s := NewSingleCluster("c", 2)
+			s.AddTask(Task{ID: "t", Start: 0, End: 1})
+			return s
+		}, "no allocation"},
+		{"unknown cluster", func() *Schedule {
+			s := NewSingleCluster("c", 2)
+			s.AddTask(Task{ID: "t", Start: 0, End: 1,
+				Allocations: []Allocation{{Cluster: 7, Hosts: []HostRange{{0, 1}}}}})
+			return s
+		}, "undefined cluster"},
+		{"empty allocation", func() *Schedule {
+			s := NewSingleCluster("c", 2)
+			s.AddTask(Task{ID: "t", Start: 0, End: 1, Allocations: []Allocation{{Cluster: 0}}})
+			return s
+		}, "empty allocation"},
+		{"range too big", func() *Schedule {
+			s := NewSingleCluster("c", 2)
+			s.Add("t", "x", 0, 1, 1, 5)
+			return s
+		}, "exceeds cluster"},
+		{"negative range", func() *Schedule {
+			s := NewSingleCluster("c", 2)
+			s.AddTask(Task{ID: "t", Start: 0, End: 1,
+				Allocations: []Allocation{{Cluster: 0, Hosts: []HostRange{{0, -1}}}}})
+			return s
+		}, "non-positive host range"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.mk().Validate()
+			if err == nil {
+				t.Fatal("Validate returned nil, want error")
+			}
+			if !strings.Contains(err.Error(), tc.wants) {
+				t.Fatalf("error %q does not contain %q", err, tc.wants)
+			}
+		})
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := buildSample().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	s := buildSample()
+	got := s.String()
+	for _, want := range []string{"2 clusters", "12 hosts", "3 tasks", "t=[0,1]"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String() = %q missing %q", got, want)
+		}
+	}
+}
+
+// randomSchedule builds an arbitrary valid schedule for property tests.
+func randomSchedule(r *rand.Rand) *Schedule {
+	nc := 1 + r.Intn(3)
+	s := &Schedule{}
+	for c := 0; c < nc; c++ {
+		s.Clusters = append(s.Clusters, Cluster{ID: c, Name: "c", Hosts: 1 + r.Intn(16)})
+	}
+	nt := r.Intn(24)
+	for i := 0; i < nt; i++ {
+		start := float64(r.Intn(100)) / 10
+		dur := float64(1+r.Intn(50)) / 10
+		c := r.Intn(nc)
+		hosts := s.Clusters[c].Hosts
+		first := r.Intn(hosts)
+		n := 1 + r.Intn(hosts-first)
+		task := Task{
+			ID: string(rune('A'+i%26)) + string(rune('0'+i/26)), Type: []string{"computation", "transfer", "io"}[r.Intn(3)],
+			Start: start, End: start + dur,
+			Allocations: []Allocation{{Cluster: c, Hosts: []HostRange{{first, n}}}},
+		}
+		s.Tasks = append(s.Tasks, task)
+	}
+	return s
+}
+
+// Property: a random schedule validates and its sub-schedules validate.
+func TestRandomScheduleInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		s := randomSchedule(r)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("iteration %d: %v\n%s", i, err, s)
+		}
+		for _, c := range s.Clusters {
+			if err := s.SubSchedule(c.ID).Validate(); err != nil {
+				t.Fatalf("iteration %d sub %d: %v", i, c.ID, err)
+			}
+		}
+	}
+}

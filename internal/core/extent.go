@@ -1,0 +1,105 @@
+package core
+
+import "math"
+
+// Extent is a closed time interval [Min, Max].
+type Extent struct {
+	Min, Max float64
+}
+
+// Valid reports whether the extent covers at least one instant.
+func (e Extent) Valid() bool { return e.Max >= e.Min }
+
+// Span returns Max - Min, or 0 for invalid extents.
+func (e Extent) Span() float64 {
+	if !e.Valid() {
+		return 0
+	}
+	return e.Max - e.Min
+}
+
+// Union returns the smallest extent covering both operands. Invalid extents
+// act as identity elements.
+func (e Extent) Union(o Extent) Extent {
+	if !e.Valid() {
+		return o
+	}
+	if !o.Valid() {
+		return e
+	}
+	return Extent{math.Min(e.Min, o.Min), math.Max(e.Max, o.Max)}
+}
+
+// Intersect returns the overlap of both extents; the result may be invalid.
+func (e Extent) Intersect(o Extent) Extent {
+	return Extent{math.Max(e.Min, o.Min), math.Min(e.Max, o.Max)}
+}
+
+// Contains reports whether t lies inside the extent.
+func (e Extent) Contains(t float64) bool { return t >= e.Min && t <= e.Max }
+
+// emptyExtent is the identity for Union.
+func emptyExtent() Extent { return Extent{Min: math.Inf(1), Max: math.Inf(-1)} }
+
+// Extent returns the global time extent of the schedule: the minimum start
+// and maximum finish over all tasks. With no tasks the zero extent {0, 0} is
+// returned.
+func (s *Schedule) Extent() Extent {
+	e := emptyExtent()
+	for i := range s.Tasks {
+		e = e.Union(Extent{s.Tasks[i].Start, s.Tasks[i].End})
+	}
+	if !e.Valid() {
+		return Extent{}
+	}
+	return e
+}
+
+// ClusterExtent returns the local time extent of one cluster: the minimum
+// start and maximum finish over the tasks that use the cluster (paper
+// section II-C.3). With no tasks on the cluster the zero extent is returned.
+func (s *Schedule) ClusterExtent(cluster int) Extent {
+	e := emptyExtent()
+	for i := range s.Tasks {
+		if s.Tasks[i].UsesCluster(cluster) {
+			e = e.Union(Extent{s.Tasks[i].Start, s.Tasks[i].End})
+		}
+	}
+	if !e.Valid() {
+		return Extent{}
+	}
+	return e
+}
+
+// ViewMode selects how the time axes of several cluster panels relate,
+// reproducing the paper's two view modes.
+type ViewMode int
+
+const (
+	// ScaledView draws each cluster using its local min/max task times.
+	ScaledView ViewMode = iota
+	// AlignedView draws every cluster using the global min/max task times,
+	// so the panels share one time axis and the overall utilization across
+	// all resources is visible.
+	AlignedView
+)
+
+func (m ViewMode) String() string {
+	switch m {
+	case ScaledView:
+		return "scaled"
+	case AlignedView:
+		return "aligned"
+	default:
+		return "viewmode(?)"
+	}
+}
+
+// ExtentFor returns the extent the given cluster panel must use under the
+// view mode.
+func (s *Schedule) ExtentFor(cluster int, mode ViewMode) Extent {
+	if mode == AlignedView {
+		return s.Extent()
+	}
+	return s.ClusterExtent(cluster)
+}

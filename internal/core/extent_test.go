@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExtentOps(t *testing.T) {
+	a := Extent{0, 10}
+	b := Extent{5, 20}
+	if u := a.Union(b); u != (Extent{0, 20}) {
+		t.Errorf("Union = %v", u)
+	}
+	if x := a.Intersect(b); x != (Extent{5, 10}) {
+		t.Errorf("Intersect = %v", x)
+	}
+	if x := a.Intersect(Extent{15, 20}); x.Valid() {
+		t.Errorf("disjoint Intersect should be invalid, got %v", x)
+	}
+	if a.Span() != 10 {
+		t.Errorf("Span = %g", a.Span())
+	}
+	if (Extent{3, 1}).Span() != 0 {
+		t.Error("invalid extent must have zero span")
+	}
+	if !a.Contains(0) || !a.Contains(10) || a.Contains(-0.01) {
+		t.Error("Contains wrong")
+	}
+	// Invalid extents are identities for Union.
+	inv := emptyExtent()
+	if got := inv.Union(a); got != a {
+		t.Errorf("invalid.Union(a) = %v, want %v", got, a)
+	}
+	if got := a.Union(inv); got != a {
+		t.Errorf("a.Union(invalid) = %v, want %v", got, a)
+	}
+}
+
+func TestScheduleExtents(t *testing.T) {
+	s := buildSample()
+	if got := s.Extent(); got != (Extent{0, 1}) {
+		t.Errorf("Extent = %v, want {0 1}", got)
+	}
+	if got := s.ClusterExtent(0); got != (Extent{0, 0.4}) {
+		t.Errorf("ClusterExtent(0) = %v, want {0 0.4}", got)
+	}
+	if got := s.ClusterExtent(1); got != (Extent{0.31, 1}) {
+		t.Errorf("ClusterExtent(1) = %v, want {0.31 1}", got)
+	}
+	if got := s.ClusterExtent(99); got != (Extent{}) {
+		t.Errorf("ClusterExtent(99) = %v, want zero", got)
+	}
+	if got := (&Schedule{}).Extent(); got != (Extent{}) {
+		t.Errorf("empty Extent = %v, want zero", got)
+	}
+}
+
+func TestViewModes(t *testing.T) {
+	s := buildSample()
+	if got := s.ExtentFor(0, ScaledView); got != (Extent{0, 0.4}) {
+		t.Errorf("scaled extent = %v", got)
+	}
+	if got := s.ExtentFor(0, AlignedView); got != (Extent{0, 1}) {
+		t.Errorf("aligned extent = %v", got)
+	}
+	if ScaledView.String() != "scaled" || AlignedView.String() != "aligned" {
+		t.Error("ViewMode.String wrong")
+	}
+	if ViewMode(9).String() != "viewmode(?)" {
+		t.Error("unknown ViewMode.String wrong")
+	}
+}
+
+// Properties of the alignment semantics from the paper: the aligned extent
+// contains every cluster's scaled extent, and equals their union.
+func TestAlignmentEnvelopeProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 150; i++ {
+		s := randomSchedule(r)
+		global := s.Extent()
+		union := emptyExtent()
+		for _, c := range s.Clusters {
+			local := s.ClusterExtent(c.ID)
+			if len(s.TasksOn(c.ID)) == 0 {
+				continue
+			}
+			union = union.Union(local)
+			if local.Min < global.Min || local.Max > global.Max {
+				t.Fatalf("iter %d: cluster %d extent %v escapes global %v", i, c.ID, local, global)
+			}
+		}
+		if len(s.Tasks) > 0 && union.Valid() && union != global {
+			t.Fatalf("iter %d: union of cluster extents %v != global %v", i, union, global)
+		}
+	}
+}
+
+func TestExtentUnionCommutative(t *testing.T) {
+	f := func(a0, a1, b0, b1 float64) bool {
+		a := Extent{math.Min(a0, a1), math.Max(a0, a1)}
+		b := Extent{math.Min(b0, b1), math.Max(b0, b1)}
+		return a.Union(b) == b.Union(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

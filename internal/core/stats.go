@@ -1,0 +1,153 @@
+package core
+
+import "sort"
+
+// Stats aggregates the sanity-check quantities the paper reads off a Jedule
+// chart: makespan, resource utilization, and idle time. All host-time values
+// count overlapping tasks on the same host only once (a host is either busy
+// or idle at any instant).
+type Stats struct {
+	Extent      Extent  // global [min start, max finish]
+	Makespan    float64 // Extent.Span()
+	Hosts       int     // platform size
+	BusyArea    float64 // total busy host-time
+	IdleArea    float64 // Hosts*Makespan - BusyArea
+	Utilization float64 // BusyArea / (Hosts*Makespan); 0 when empty
+	TaskCount   int
+	// TypeArea is the task-time (duration x hosts) per task type; unlike
+	// BusyArea this counts overlaps multiply because it is a per-type sum.
+	TypeArea map[string]float64
+}
+
+// ComputeStats derives Stats for the whole schedule.
+func (s *Schedule) ComputeStats() Stats {
+	return s.statsOver(s.Extent(), nil)
+}
+
+// ClusterStats derives Stats restricted to one cluster, using the cluster's
+// local extent (scaled view semantics).
+func (s *Schedule) ClusterStats(cluster int) Stats {
+	return s.statsOver(s.ClusterExtent(cluster), &cluster)
+}
+
+func (s *Schedule) statsOver(ext Extent, only *int) Stats {
+	st := Stats{
+		Extent:   ext,
+		Makespan: ext.Span(),
+		TypeArea: map[string]float64{},
+	}
+	type hostKey struct{ cluster, host int }
+	intervals := map[hostKey][]Extent{}
+	for _, c := range s.Clusters {
+		if only != nil && c.ID != *only {
+			continue
+		}
+		st.Hosts += c.Hosts
+	}
+	for i := range s.Tasks {
+		t := &s.Tasks[i]
+		counted := false
+		for _, a := range t.Allocations {
+			if only != nil && a.Cluster != *only {
+				continue
+			}
+			hosts := a.HostList()
+			if t.Type != CompositeType {
+				st.TypeArea[t.Type] += t.Duration() * float64(len(hosts))
+			}
+			for _, h := range hosts {
+				k := hostKey{a.Cluster, h}
+				intervals[k] = append(intervals[k], Extent{t.Start, t.End})
+			}
+			counted = true
+		}
+		if counted {
+			st.TaskCount++
+		}
+	}
+	for _, ivs := range intervals {
+		st.BusyArea += unionLength(ivs)
+	}
+	total := float64(st.Hosts) * st.Makespan
+	st.IdleArea = total - st.BusyArea
+	if total > 0 {
+		st.Utilization = st.BusyArea / total
+	}
+	return st
+}
+
+// unionLength returns the total length of the union of the intervals.
+func unionLength(ivs []Extent) float64 {
+	if len(ivs) == 0 {
+		return 0
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].Min < ivs[j].Min })
+	total := 0.0
+	cur := ivs[0]
+	for _, iv := range ivs[1:] {
+		if iv.Min <= cur.Max {
+			if iv.Max > cur.Max {
+				cur.Max = iv.Max
+			}
+			continue
+		}
+		total += cur.Span()
+		cur = iv
+	}
+	return total + cur.Span()
+}
+
+// UtilizationProfile samples how many hosts are busy at n+1 evenly spaced
+// instants across the schedule extent (inclusive of both ends). It is the
+// quantity a human reads off an aligned Jedule view ("only 2-4 processors
+// actually running"), used by the quicksort and workload case studies.
+func (s *Schedule) UtilizationProfile(n int) []int {
+	ext := s.Extent()
+	if n < 1 || !ext.Valid() || ext.Span() == 0 {
+		return nil
+	}
+	out := make([]int, n+1)
+	for i := 0; i <= n; i++ {
+		t := ext.Min + ext.Span()*float64(i)/float64(n)
+		out[i] = s.BusyHostsAt(t)
+	}
+	return out
+}
+
+// BusyHostsAt returns the number of distinct hosts executing at least one
+// task at time t (half-open interval semantics: a task occupies [Start, End)).
+func (s *Schedule) BusyHostsAt(t float64) int {
+	type hostKey struct{ cluster, host int }
+	busy := map[hostKey]bool{}
+	for i := range s.Tasks {
+		task := &s.Tasks[i]
+		if task.Type == CompositeType {
+			continue
+		}
+		if t < task.Start || t >= task.End {
+			continue
+		}
+		for _, a := range task.Allocations {
+			for _, h := range a.HostList() {
+				busy[hostKey{a.Cluster, h}] = true
+			}
+		}
+	}
+	return len(busy)
+}
+
+// HostBusyTime returns, for one host of one cluster, the union length of the
+// task intervals on it.
+func (s *Schedule) HostBusyTime(cluster, host int) float64 {
+	var ivs []Extent
+	for i := range s.Tasks {
+		t := &s.Tasks[i]
+		if t.Type == CompositeType {
+			continue
+		}
+		if a, ok := t.AllocationOn(cluster); ok && a.ContainsHost(host) {
+			ivs = append(ivs, Extent{t.Start, t.End})
+		}
+	}
+	return unionLength(ivs)
+}

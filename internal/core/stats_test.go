@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestStatsSimple(t *testing.T) {
+	s := NewSingleCluster("c", 4)
+	s.Add("a", "computation", 0, 10, 0, 2) // 20 host-seconds
+	s.Add("b", "computation", 0, 5, 2, 2)  // 10 host-seconds
+	st := s.ComputeStats()
+	if st.Makespan != 10 {
+		t.Errorf("Makespan = %g, want 10", st.Makespan)
+	}
+	if !almost(st.BusyArea, 30) {
+		t.Errorf("BusyArea = %g, want 30", st.BusyArea)
+	}
+	if !almost(st.IdleArea, 10) {
+		t.Errorf("IdleArea = %g, want 10", st.IdleArea)
+	}
+	if !almost(st.Utilization, 0.75) {
+		t.Errorf("Utilization = %g, want 0.75", st.Utilization)
+	}
+	if st.TaskCount != 2 {
+		t.Errorf("TaskCount = %d", st.TaskCount)
+	}
+	if !almost(st.TypeArea["computation"], 30) {
+		t.Errorf("TypeArea = %v", st.TypeArea)
+	}
+}
+
+func TestStatsOverlapCountedOnce(t *testing.T) {
+	// Two tasks fully overlapping on the same host: busy area is 10, not 20.
+	s := NewSingleCluster("c", 1)
+	s.Add("a", "x", 0, 10, 0, 1)
+	s.Add("b", "y", 0, 10, 0, 1)
+	st := s.ComputeStats()
+	if !almost(st.BusyArea, 10) {
+		t.Fatalf("BusyArea = %g, want 10 (overlap once)", st.BusyArea)
+	}
+	if !almost(st.Utilization, 1.0) {
+		t.Fatalf("Utilization = %g, want 1", st.Utilization)
+	}
+	// TypeArea counts each type separately.
+	if !almost(st.TypeArea["x"], 10) || !almost(st.TypeArea["y"], 10) {
+		t.Fatalf("TypeArea = %v", st.TypeArea)
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	s := NewSingleCluster("c", 4)
+	st := s.ComputeStats()
+	if st.Utilization != 0 || st.BusyArea != 0 || st.Makespan != 0 {
+		t.Fatalf("empty stats wrong: %+v", st)
+	}
+}
+
+func TestClusterStats(t *testing.T) {
+	s := buildSample()
+	st0 := s.ClusterStats(0)
+	if st0.Hosts != 8 {
+		t.Errorf("cluster 0 hosts = %d", st0.Hosts)
+	}
+	// Cluster 0: task 1 (8 hosts x 0.31) + transfer (2 hosts x 0.09).
+	if !almost(st0.BusyArea, 8*0.31+2*0.09) {
+		t.Errorf("cluster 0 busy = %g", st0.BusyArea)
+	}
+	if !almost(st0.Makespan, 0.4) {
+		t.Errorf("cluster 0 makespan = %g (scaled extent)", st0.Makespan)
+	}
+	st1 := s.ClusterStats(1)
+	if st1.TaskCount != 2 {
+		t.Errorf("cluster 1 task count = %d", st1.TaskCount)
+	}
+}
+
+func TestUtilizationProfile(t *testing.T) {
+	s := NewSingleCluster("c", 4)
+	s.Add("a", "x", 0, 4, 0, 1)
+	s.Add("b", "x", 2, 4, 1, 3)
+	prof := s.UtilizationProfile(4) // samples at t = 0,1,2,3,4
+	want := []int{1, 1, 4, 4, 0}    // half-open intervals: nothing runs at t=4
+	if len(prof) != len(want) {
+		t.Fatalf("profile length = %d", len(prof))
+	}
+	for i := range want {
+		if prof[i] != want[i] {
+			t.Errorf("prof[%d] = %d, want %d", i, prof[i], want[i])
+		}
+	}
+	if got := s.UtilizationProfile(0); got != nil {
+		t.Error("n<1 must return nil")
+	}
+	if got := (&Schedule{}).UtilizationProfile(4); got != nil {
+		t.Error("empty schedule must return nil")
+	}
+}
+
+func TestBusyHostsAtIgnoresComposites(t *testing.T) {
+	s := NewSingleCluster("c", 2)
+	s.Add("a", "x", 0, 10, 0, 2)
+	s.Add("b", "y", 2, 4, 0, 2)
+	sc := s.WithComposites()
+	if got := sc.BusyHostsAt(3); got != 2 {
+		t.Fatalf("BusyHostsAt(3) = %d, want 2 (composites must not double-count)", got)
+	}
+}
+
+func TestHostBusyTime(t *testing.T) {
+	s := NewSingleCluster("c", 2)
+	s.Add("a", "x", 0, 4, 0, 1)
+	s.Add("b", "x", 2, 6, 0, 1) // overlaps a on host 0
+	s.Add("c", "x", 8, 9, 0, 1)
+	if got := s.HostBusyTime(0, 0); !almost(got, 7) {
+		t.Fatalf("HostBusyTime = %g, want 7 (union [0,6] + [8,9])", got)
+	}
+	if got := s.HostBusyTime(0, 1); got != 0 {
+		t.Fatalf("idle host busy = %g", got)
+	}
+}
+
+// Property: 0 <= Utilization <= 1, IdleArea + BusyArea == Hosts * Makespan.
+func TestStatsInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 150; i++ {
+		s := randomSchedule(r)
+		st := s.ComputeStats()
+		if st.Utilization < 0 || st.Utilization > 1+1e-9 {
+			t.Fatalf("iter %d: utilization %g out of range", i, st.Utilization)
+		}
+		if !almost(st.BusyArea+st.IdleArea, float64(st.Hosts)*st.Makespan) {
+			t.Fatalf("iter %d: busy %g + idle %g != hosts*makespan %g",
+				i, st.BusyArea, st.IdleArea, float64(st.Hosts)*st.Makespan)
+		}
+		// BusyArea is bounded by the per-type areas summed.
+		var typeSum float64
+		for _, v := range st.TypeArea {
+			typeSum += v
+		}
+		if st.BusyArea > typeSum+1e-9 {
+			t.Fatalf("iter %d: busy %g exceeds type sum %g", i, st.BusyArea, typeSum)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package dag
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// diamond builds a 4-node diamond A -> (B, C) -> D.
+func diamond() (*Graph, *Node, *Node, *Node, *Node) {
+	g := New("diamond")
+	a := g.AddNode("A", "computation", 10e9, 0)
+	b := g.AddNode("B", "computation", 20e9, 0)
+	c := g.AddNode("C", "computation", 5e9, 0)
+	d := g.AddNode("D", "computation", 10e9, 0)
+	g.AddEdge(a, b, 1e6)
+	g.AddEdge(a, c, 1e6)
+	g.AddEdge(b, d, 1e6)
+	g.AddEdge(c, d, 1e6)
+	return g, a, b, c, d
+}
+
+func TestAmdahlTime(t *testing.T) {
+	n := &Node{Work: 100e9, SerialFraction: 0.2}
+	speed := 1e9
+	if got := n.Time(1, speed); math.Abs(got-100) > 1e-9 {
+		t.Errorf("T(1) = %g, want 100", got)
+	}
+	// p=4: 100 * (0.2 + 0.8/4) = 40
+	if got := n.Time(4, speed); math.Abs(got-40) > 1e-9 {
+		t.Errorf("T(4) = %g, want 40", got)
+	}
+	// Monotone non-increasing in p.
+	prev := math.Inf(1)
+	for p := 1; p <= 64; p++ {
+		cur := n.Time(p, speed)
+		if cur > prev+1e-12 {
+			t.Fatalf("T not monotone at p=%d", p)
+		}
+		prev = cur
+	}
+	// Asymptote is the serial fraction.
+	if got := n.Time(1<<20, speed); got < 20 {
+		t.Errorf("T(inf) = %g, must stay above serial time 20", got)
+	}
+	if n.Time(0, speed) != n.Time(1, speed) {
+		t.Error("p<1 should clamp to 1")
+	}
+	if n.Time(4, 0) != 0 {
+		t.Error("zero speed returns 0")
+	}
+}
+
+func TestTopoOrderAndValidate(t *testing.T) {
+	g, a, b, c, d := diamond()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[*Node]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	if pos[a] > pos[b] || pos[a] > pos[c] || pos[b] > pos[d] || pos[c] > pos[d] {
+		t.Fatal("topological order violated")
+	}
+	// Introduce a cycle.
+	g.AddEdge(d, a, 0)
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("cycle not detected: %v", err)
+	}
+}
+
+func TestValidateFieldErrors(t *testing.T) {
+	g := New("bad")
+	n := g.AddNode("n", "x", -1, 0)
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "negative work") {
+		t.Fatalf("err = %v", err)
+	}
+	n.Work = 1
+	n.SerialFraction = 1.5
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "serial fraction") {
+		t.Fatalf("err = %v", err)
+	}
+	n.SerialFraction = 0
+	m := g.AddNode("m", "x", 1, 0)
+	g.AddEdge(n, m, -5)
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "negative edge") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLevels(t *testing.T) {
+	g, a, b, c, d := diamond()
+	levels, err := g.Levels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if levels[a.ID] != 0 || levels[b.ID] != 1 || levels[c.ID] != 1 || levels[d.ID] != 2 {
+		t.Fatalf("levels = %v", levels)
+	}
+	sets, err := g.LevelSets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 3 || len(sets[1]) != 2 {
+		t.Fatalf("level sets = %v", sets)
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	g, a, b, _, d := diamond()
+	speed := 1e9
+	alloc := map[int]int{} // all p=1
+	timeOf := func(n *Node) float64 { return n.Time(alloc[n.ID]+1, speed) }
+	cp, path, err := g.CriticalPath(timeOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A(10) -> B(20) -> D(10) = 40
+	if math.Abs(cp-40) > 1e-9 {
+		t.Fatalf("cp = %g, want 40", cp)
+	}
+	want := []int{a.ID, b.ID, d.ID}
+	if len(path) != 3 || path[0] != want[0] || path[1] != want[1] || path[2] != want[2] {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	// Empty graph.
+	if cp, _, err := New("e").CriticalPath(func(*Node) float64 { return 0 }); err != nil || cp != 0 {
+		t.Fatal("empty graph critical path")
+	}
+}
+
+func TestSourcesSinksTotals(t *testing.T) {
+	g, a, _, _, d := diamond()
+	if src := g.Sources(); len(src) != 1 || src[0] != a {
+		t.Fatal("sources wrong")
+	}
+	if snk := g.Sinks(); len(snk) != 1 || snk[0] != d {
+		t.Fatal("sinks wrong")
+	}
+	if g.TotalWork() != 45e9 {
+		t.Fatalf("TotalWork = %g", g.TotalWork())
+	}
+	if g.Len() != 4 || len(g.Edges()) != 4 {
+		t.Fatal("counts wrong")
+	}
+}
+
+func TestClone(t *testing.T) {
+	g, _, b, _, _ := diamond()
+	c := g.Clone()
+	if c.Len() != g.Len() || len(c.Edges()) != len(g.Edges()) {
+		t.Fatal("clone size wrong")
+	}
+	c.Nodes()[b.ID].Work = 999
+	if g.Nodes()[b.ID].Work == 999 {
+		t.Fatal("clone shares nodes")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, shape := range []Shape{ShapeSerial, ShapeWide, ShapeLong, ShapeRandom, ShapeForkJoin} {
+		t.Run(shape.String(), func(t *testing.T) {
+			g := Generate(shape, DefaultGenOptions(40), rng)
+			if err := g.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if g.Len() < 30 {
+				t.Fatalf("%s generated only %d nodes", shape, g.Len())
+			}
+			sets, _ := g.LevelSets()
+			switch shape {
+			case ShapeSerial:
+				if len(sets) != g.Len() {
+					t.Error("serial DAG must be a chain")
+				}
+			case ShapeWide:
+				if len(sets) != 3 {
+					t.Errorf("wide DAG has %d levels, want 3", len(sets))
+				}
+			case ShapeLong:
+				if len(sets) < g.Len()/4 {
+					t.Errorf("long DAG too short: %d levels", len(sets))
+				}
+			}
+			// Work bounds respected.
+			for _, n := range g.Nodes() {
+				if n.Work < 1e9-1 || n.Work > 5e10+1 {
+					t.Fatalf("work %g outside range", n.Work)
+				}
+			}
+		})
+	}
+	if Shape(99).String() != "shape(?)" {
+		t.Error("unknown shape string")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(ShapeRandom, DefaultGenOptions(30), rand.New(rand.NewSource(7)))
+	b := Generate(ShapeRandom, DefaultGenOptions(30), rand.New(rand.NewSource(7)))
+	if a.Len() != b.Len() || len(a.Edges()) != len(b.Edges()) {
+		t.Fatal("generator not deterministic")
+	}
+	for i, n := range a.Nodes() {
+		if n.Work != b.Nodes()[i].Work {
+			t.Fatal("node works differ")
+		}
+	}
+}
+
+func TestImbalancedLayer(t *testing.T) {
+	g := ImbalancedLayer(5, 8)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sets, _ := g.LevelSets()
+	if len(sets) != 3 || len(sets[1]) != 5 {
+		t.Fatalf("level structure = %v", sets)
+	}
+	// The expensive task dominates its siblings by the requested factor.
+	var works []float64
+	for _, id := range sets[1] {
+		works = append(works, g.Nodes()[id].Work)
+	}
+	maxW, minW := works[0], works[0]
+	for _, w := range works {
+		maxW = math.Max(maxW, w)
+		minW = math.Min(minW, w)
+	}
+	if math.Abs(maxW/minW-8) > 1e-9 {
+		t.Fatalf("cost ratio = %g, want 8", maxW/minW)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	g, _, _, _, _ := diamond()
+	s := g.Stats()
+	for _, want := range []string{"4 nodes", "4 edges", "3 levels", "max width 2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Stats %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package dag
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Shape selects one of the DAG families of the paper's m-task evaluation
+// ("different types of DAGs (long, wide, serial, etc.)").
+type Shape int
+
+const (
+	// ShapeSerial is a pure chain: maximal length, width 1.
+	ShapeSerial Shape = iota
+	// ShapeWide is a single parallel layer between source and sink.
+	ShapeWide
+	// ShapeLong is a tall layered graph with narrow layers.
+	ShapeLong
+	// ShapeRandom is a layered random graph with mixed widths.
+	ShapeRandom
+	// ShapeForkJoin is repeated fork-join diamonds.
+	ShapeForkJoin
+)
+
+func (s Shape) String() string {
+	switch s {
+	case ShapeSerial:
+		return "serial"
+	case ShapeWide:
+		return "wide"
+	case ShapeLong:
+		return "long"
+	case ShapeRandom:
+		return "random"
+	case ShapeForkJoin:
+		return "forkjoin"
+	default:
+		return "shape(?)"
+	}
+}
+
+// GenOptions parameterizes Generate.
+type GenOptions struct {
+	Nodes          int     // approximate node count (>= 2)
+	WorkMin        float64 // per-node work range, flop
+	WorkMax        float64
+	SerialFraction float64 // Amdahl fraction of every node
+	EdgeBytes      float64 // data per edge
+}
+
+// DefaultGenOptions returns the parameters used by the benchmark harness:
+// tasks between 1 and 50 Gflop with 5% serial fraction.
+func DefaultGenOptions(nodes int) GenOptions {
+	return GenOptions{
+		Nodes: nodes, WorkMin: 1e9, WorkMax: 5e10,
+		SerialFraction: 0.05, EdgeBytes: 1e7,
+	}
+}
+
+// Generate builds a random DAG of the given shape. The generator is
+// deterministic for a given rng state.
+func Generate(shape Shape, opt GenOptions, rng *rand.Rand) *Graph {
+	if opt.Nodes < 2 {
+		opt.Nodes = 2
+	}
+	work := func() float64 {
+		if opt.WorkMax <= opt.WorkMin {
+			return opt.WorkMin
+		}
+		return opt.WorkMin + rng.Float64()*(opt.WorkMax-opt.WorkMin)
+	}
+	g := New(shape.String())
+	switch shape {
+	case ShapeSerial:
+		prev := g.AddNode("n0", "computation", work(), opt.SerialFraction)
+		for i := 1; i < opt.Nodes; i++ {
+			n := g.AddNode(fmt.Sprintf("n%d", i), "computation", work(), opt.SerialFraction)
+			g.AddEdge(prev, n, opt.EdgeBytes)
+			prev = n
+		}
+	case ShapeWide:
+		src := g.AddNode("src", "computation", work(), opt.SerialFraction)
+		sink := g.AddNode("sink", "computation", work(), opt.SerialFraction)
+		for i := 0; i < opt.Nodes-2; i++ {
+			n := g.AddNode(fmt.Sprintf("w%d", i), "computation", work(), opt.SerialFraction)
+			g.AddEdge(src, n, opt.EdgeBytes)
+			g.AddEdge(n, sink, opt.EdgeBytes)
+		}
+	case ShapeLong:
+		g = layered(g, opt, rng, 1, 3, work)
+	case ShapeRandom:
+		g = layered(g, opt, rng, 1, 8, work)
+	case ShapeForkJoin:
+		prev := g.AddNode("j0", "computation", work(), opt.SerialFraction)
+		i := 1
+		for g.Len() < opt.Nodes-1 {
+			width := 2 + rng.Intn(3)
+			join := g.AddNode(fmt.Sprintf("j%d", i), "computation", work(), opt.SerialFraction)
+			for k := 0; k < width && g.Len() <= opt.Nodes; k++ {
+				n := g.AddNode(fmt.Sprintf("f%d_%d", i, k), "computation", work(), opt.SerialFraction)
+				g.AddEdge(prev, n, opt.EdgeBytes)
+				g.AddEdge(n, join, opt.EdgeBytes)
+			}
+			prev = join
+			i++
+		}
+	}
+	return g
+}
+
+// layered builds a layer-structured random DAG with layer widths drawn from
+// [wMin, wMax]; every node has at least one predecessor in the previous
+// layer.
+func layered(g *Graph, opt GenOptions, rng *rand.Rand, wMin, wMax int, work func() float64) *Graph {
+	var prevLayer []*Node
+	i := 0
+	for g.Len() < opt.Nodes {
+		width := wMin
+		if wMax > wMin {
+			width += rng.Intn(wMax - wMin + 1)
+		}
+		if rem := opt.Nodes - g.Len(); width > rem {
+			width = rem
+		}
+		var layer []*Node
+		for k := 0; k < width; k++ {
+			n := g.AddNode(fmt.Sprintf("l%d_%d", i, k), "computation", work(), opt.SerialFraction)
+			layer = append(layer, n)
+		}
+		for _, n := range layer {
+			if len(prevLayer) == 0 {
+				continue
+			}
+			// one guaranteed predecessor plus random extras
+			g.AddEdge(prevLayer[rng.Intn(len(prevLayer))], n, opt.EdgeBytes)
+			for _, p := range prevLayer {
+				if rng.Float64() < 0.25 {
+					if !hasEdge(p, n) {
+						g.AddEdge(p, n, opt.EdgeBytes)
+					}
+				}
+			}
+		}
+		prevLayer = layer
+		i++
+	}
+	return g
+}
+
+func hasEdge(from, to *Node) bool {
+	for _, e := range from.succs {
+		if e.To == to {
+			return true
+		}
+	}
+	return false
+}
+
+// ImbalancedLayer builds the Figure 4 scenario: a source task, one
+// precedence layer whose tasks have very different costs (the paper points
+// at "tasks 2 and 5"), and a sink. MCPA caps the per-level allocation at the
+// cluster size, so with `width` tasks on a `hosts`-processor cluster each
+// task gets few processors and the expensive task dominates the level —
+// the load-imbalance hole of the figure. CPA lets the expensive task's
+// allocation grow instead.
+//
+// bigFactor is the cost ratio between the expensive task and its siblings.
+func ImbalancedLayer(width int, bigFactor float64) *Graph {
+	g := New("imbalanced-layer")
+	base := 4e9
+	src := g.AddNode("1", "computation", base, 0.02)
+	sink := g.AddNode(fmt.Sprintf("%d", width+2), "computation", base, 0.02)
+	for i := 0; i < width; i++ {
+		w := base
+		if i == 0 {
+			w = base * bigFactor
+		}
+		n := g.AddNode(fmt.Sprintf("%d", i+2), "computation", w, 0.02)
+		g.AddEdge(src, n, 1e7)
+		g.AddEdge(n, sink, 1e7)
+	}
+	return g
+}

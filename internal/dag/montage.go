@@ -1,0 +1,136 @@
+package dag
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Montage builds an instance of the Montage astronomy workflow (paper
+// Figure 6, case study V) with the published stage structure:
+//
+//	mProjectPP (one per input image)      reproject input images
+//	  -> mDiffFit (one per overlap pair)  fit plane differences
+//	    -> mConcatFit (1)                 concatenate the fits
+//	      -> mBgModel (1)                 model the background
+//	        -> mBackground (one per image) correct each image
+//	          -> mImgtbl (1)              build the image table
+//	            -> mAdd (1)               co-add into the mosaic
+//	              -> mShrink (1)          shrink the mosaic
+//	                -> mJPEG (1)          render a preview
+//
+// Every mBackground also consumes the corresponding mProjectPP output.
+// With images = 12 the instance has exactly 50 compute nodes, matching the
+// 50-node instance of the case study.
+func Montage(images int) *Graph {
+	if images < 2 {
+		images = 2
+	}
+	g := New(fmt.Sprintf("montage-%d", images))
+	// Stage costs (flop) and data sizes (bytes), scaled so the 12-image
+	// instance runs on the order of tens of seconds on the Figure 7 platform,
+	// keeping computation and communication costs comparable as in the
+	// original case study.
+	const (
+		projWork   = 4.0e9
+		diffWork   = 1.2e9
+		concatWork = 6.0e8
+		bgmWork    = 3.0e9
+		backWork   = 2.4e9
+		imgtblWork = 6.0e8
+		addWork    = 6.0e9
+		shrinkWork = 1.5e9
+		jpegWork   = 8.0e8
+		imgBytes   = 4.0e7 // one reprojected image
+		fitBytes   = 1.0e5 // a plane fit
+	)
+	proj := make([]*Node, images)
+	for i := range proj {
+		proj[i] = g.AddNode(fmt.Sprintf("mProjectPP_%d", i), "mProjectPP", projWork, 0.9)
+	}
+	// Overlap pairs: neighbours (i, i+1) and (i, i+2) minus the tail,
+	// giving 2*images - 4 mDiffFit nodes (20 for images = 12).
+	var diffs []*Node
+	addDiff := func(a, b int) {
+		d := g.AddNode(fmt.Sprintf("mDiffFit_%d_%d", a, b), "mDiffFit", diffWork, 0.9)
+		g.AddEdge(proj[a], d, imgBytes)
+		g.AddEdge(proj[b], d, imgBytes)
+		diffs = append(diffs, d)
+	}
+	for i := 0; i+1 < images; i++ {
+		addDiff(i, i+1)
+	}
+	for i := 0; i+2 < images && len(diffs) < 2*images-4; i++ {
+		addDiff(i, i+2)
+	}
+	concat := g.AddNode("mConcatFit", "mConcatFit", concatWork, 1.0)
+	for _, d := range diffs {
+		g.AddEdge(d, concat, fitBytes)
+	}
+	bgm := g.AddNode("mBgModel", "mBgModel", bgmWork, 1.0)
+	g.AddEdge(concat, bgm, fitBytes)
+	back := make([]*Node, images)
+	for i := range back {
+		back[i] = g.AddNode(fmt.Sprintf("mBackground_%d", i), "mBackground", backWork, 0.9)
+		g.AddEdge(bgm, back[i], fitBytes)
+		g.AddEdge(proj[i], back[i], imgBytes)
+	}
+	imgtbl := g.AddNode("mImgtbl", "mImgtbl", imgtblWork, 1.0)
+	for _, b := range back {
+		g.AddEdge(b, imgtbl, fitBytes)
+	}
+	madd := g.AddNode("mAdd", "mAdd", addWork, 1.0)
+	g.AddEdge(imgtbl, madd, fitBytes)
+	for _, b := range back {
+		g.AddEdge(b, madd, imgBytes)
+	}
+	shrink := g.AddNode("mShrink", "mShrink", shrinkWork, 1.0)
+	g.AddEdge(madd, shrink, imgBytes)
+	jpeg := g.AddNode("mJPEG", "mJPEG", jpegWork, 1.0)
+	g.AddEdge(shrink, jpeg, imgBytes)
+	return g
+}
+
+// MontageStages lists the stage type names in pipeline order.
+func MontageStages() []string {
+	return []string{"mProjectPP", "mDiffFit", "mConcatFit", "mBgModel",
+		"mBackground", "mImgtbl", "mAdd", "mShrink", "mJPEG"}
+}
+
+// WriteDOT emits the graph in Graphviz DOT format, the textual equivalent of
+// the paper's Figure 6 ("nodes with the same color are of same task type"):
+// nodes of the same type share a fillcolor.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=TB;\n  node [style=filled];\n", g.Name); err != nil {
+		return err
+	}
+	// Stable color per type.
+	types := make([]string, 0)
+	seen := map[string]bool{}
+	for _, n := range g.nodes {
+		if !seen[n.Type] {
+			seen[n.Type] = true
+			types = append(types, n.Type)
+		}
+	}
+	sort.Strings(types)
+	palette := []string{"lightblue", "salmon", "palegreen", "gold", "plum",
+		"lightgray", "orange", "cyan", "wheat", "pink"}
+	colorOf := map[string]string{}
+	for i, t := range types {
+		colorOf[t] = palette[i%len(palette)]
+	}
+	for _, n := range g.nodes {
+		if _, err := fmt.Fprintf(w, "  n%d [label=%q fillcolor=%q];\n",
+			n.ID, n.Name, colorOf[n.Type]); err != nil {
+			return err
+		}
+	}
+	for _, e := range g.edges {
+		if _, err := fmt.Fprintf(w, "  n%d -> n%d;\n", e.From.ID, e.To.ID); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

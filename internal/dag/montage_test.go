@@ -1,0 +1,120 @@
+package dag
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMontageStructure(t *testing.T) {
+	g := Montage(12)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The case study uses a 50-node instance.
+	if g.Len() != 50 {
+		t.Fatalf("Montage(12) has %d nodes, want 50", g.Len())
+	}
+	counts := g.TypeCounts()
+	want := map[string]int{
+		"mProjectPP": 12, "mDiffFit": 20, "mConcatFit": 1, "mBgModel": 1,
+		"mBackground": 12, "mImgtbl": 1, "mAdd": 1, "mShrink": 1, "mJPEG": 1,
+	}
+	for typ, n := range want {
+		if counts[typ] != n {
+			t.Errorf("%s count = %d, want %d", typ, counts[typ], n)
+		}
+	}
+	// Pipeline order: every mDiffFit depends only on mProjectPP, the sink
+	// chain ends with mJPEG.
+	sinks := g.Sinks()
+	if len(sinks) != 1 || sinks[0].Type != "mJPEG" {
+		t.Fatalf("sink = %+v", sinks)
+	}
+	sources := g.Sources()
+	for _, s := range sources {
+		if s.Type != "mProjectPP" {
+			t.Fatalf("source %s has type %s", s.Name, s.Type)
+		}
+	}
+	// mBackground consumes both mBgModel and its own mProjectPP output.
+	for _, n := range g.Nodes() {
+		if n.Type != "mBackground" {
+			continue
+		}
+		var types []string
+		for _, e := range n.Preds() {
+			types = append(types, e.From.Type)
+		}
+		joined := strings.Join(types, ",")
+		if !strings.Contains(joined, "mBgModel") || !strings.Contains(joined, "mProjectPP") {
+			t.Fatalf("mBackground preds = %v", types)
+		}
+	}
+	// Synchronization bottleneck: mBgModel has a single predecessor chain
+	// through mConcatFit which joins all mDiffFit outputs.
+	concat := findByType(g, "mConcatFit")
+	if len(concat.Preds()) != 20 {
+		t.Fatalf("mConcatFit joins %d diffs, want 20", len(concat.Preds()))
+	}
+}
+
+func findByType(g *Graph, typ string) *Node {
+	for _, n := range g.Nodes() {
+		if n.Type == typ {
+			return n
+		}
+	}
+	return nil
+}
+
+func TestMontageMinimumSize(t *testing.T) {
+	g := Montage(1) // clamps to 2 images
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.TypeCounts()["mProjectPP"] != 2 {
+		t.Fatal("clamp to 2 images failed")
+	}
+}
+
+func TestMontageStages(t *testing.T) {
+	stages := MontageStages()
+	if len(stages) != 9 || stages[0] != "mProjectPP" || stages[8] != "mJPEG" {
+		t.Fatalf("stages = %v", stages)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := Montage(4)
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dot := buf.String()
+	if !strings.HasPrefix(dot, "digraph") || !strings.HasSuffix(strings.TrimSpace(dot), "}") {
+		t.Fatal("not a DOT document")
+	}
+	if strings.Count(dot, "->") != len(g.Edges()) {
+		t.Fatalf("edge count mismatch: %d vs %d", strings.Count(dot, "->"), len(g.Edges()))
+	}
+	// Same-type nodes share a fillcolor, different types differ.
+	colorOf := map[string]string{}
+	for _, line := range strings.Split(dot, "\n") {
+		if !strings.Contains(line, "fillcolor=") {
+			continue
+		}
+		name := line[strings.Index(line, `label="`)+7:]
+		name = name[:strings.Index(name, `"`)]
+		color := line[strings.Index(line, `fillcolor="`)+11:]
+		color = color[:strings.Index(color, `"`)]
+		typ := strings.SplitN(name, "_", 2)[0]
+		if prev, ok := colorOf[typ]; ok && prev != color {
+			t.Fatalf("type %s has two colors", typ)
+		}
+		colorOf[typ] = color
+	}
+	if colorOf["mProjectPP"] == colorOf["mDiffFit"] {
+		t.Fatal("distinct types share a color")
+	}
+}

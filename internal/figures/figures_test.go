@@ -1,0 +1,156 @@
+package figures
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFig1Schedule(t *testing.T) {
+	s := Fig1Schedule()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	task := s.Task("1")
+	if task == nil || task.Type != "computation" || task.End != 0.31 || task.TotalHosts() != 8 {
+		t.Fatalf("task = %+v", task)
+	}
+}
+
+func TestFig3Composite(t *testing.T) {
+	s := Fig3Composite()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	composites := 0
+	for i := range s.Tasks {
+		if s.Tasks[i].Type == "composite" {
+			composites++
+		}
+	}
+	if composites < 2 {
+		t.Fatalf("composites = %d, want >= 2 (two overlap regions)", composites)
+	}
+}
+
+func TestFig4(t *testing.T) {
+	r, err := Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The figure's finding, quantitatively.
+	if r.MakespanCPA >= r.MakespanMCPA {
+		t.Fatalf("CPA %g should beat MCPA %g", r.MakespanCPA, r.MakespanMCPA)
+	}
+	if r.UtilCPA <= r.UtilMCPA {
+		t.Fatalf("CPA utilization %g should exceed MCPA %g", r.UtilCPA, r.UtilMCPA)
+	}
+	if r.MCPA2Chose != "cpa" {
+		t.Fatalf("MCPA2 chose %s, want cpa", r.MCPA2Chose)
+	}
+	if err := r.CPA.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.MCPA.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig5(t *testing.T) {
+	r, err := Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Backfilled.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Result.Apps) != 4 {
+		t.Fatal("want 4 applications")
+	}
+	// Four distinct app colors in the trace.
+	if got := len(r.Schedule.TaskTypes()); got != 4 {
+		t.Fatalf("task types = %d, want 4", got)
+	}
+	// Backfilling reduces (or keeps) idle time, never increases it.
+	if r.IdleAfter > r.IdleBefore+1e-6 {
+		t.Fatalf("backfilling increased idle: %g -> %g", r.IdleBefore, r.IdleAfter)
+	}
+}
+
+func TestFig6DOT(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig6DOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dot := buf.String()
+	for _, stage := range []string{"mProjectPP", "mDiffFit", "mBgModel", "mJPEG"} {
+		if !strings.Contains(dot, stage) {
+			t.Fatalf("DOT missing stage %s", stage)
+		}
+	}
+}
+
+func TestFig8And9(t *testing.T) {
+	r, err := Fig8And9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Flawed.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Realistic.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if r.CrossEdgesRealistic >= r.CrossEdgesFlawed {
+		t.Fatalf("cross edges: %d -> %d, want reduction", r.CrossEdgesFlawed, r.CrossEdgesRealistic)
+	}
+	if r.BackgroundClustersReal > r.BackgroundClustersFlawed {
+		t.Fatal("mBackground should consolidate")
+	}
+	if len(r.Flawed.Clusters) != 4 {
+		t.Fatal("multi-cluster view lost")
+	}
+}
+
+func TestFig11And12(t *testing.T) {
+	r11, err := Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r12, err := Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r11.Executed < 100 || r12.Executed < 100 {
+		t.Fatal("too few tasks")
+	}
+	if f := r12.BusyFractionWithOneWorker(600); f < 0.3 {
+		t.Fatalf("fig12 one-busy fraction = %g", f)
+	}
+}
+
+func TestFig13(t *testing.T) {
+	r, err := Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Schedule.Tasks) != 834 {
+		t.Fatalf("jobs = %d", len(r.Schedule.Tasks))
+	}
+}
+
+func TestColorMaps(t *testing.T) {
+	mm := MontageMap()
+	a := mm.Lookup("mProjectPP").BG
+	b := mm.Lookup("mDiffFit").BG
+	if a == b {
+		t.Fatal("montage stages share a color")
+	}
+	am := AppMap(4)
+	if am.Lookup("app0").BG == am.Lookup("app3").BG {
+		t.Fatal("apps share a color")
+	}
+}

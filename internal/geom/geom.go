@@ -1,0 +1,90 @@
+// Package geom provides the small amount of 2D geometry shared by the
+// renderer and the interactive viewport: axis-aligned rectangles and linear
+// world/screen transforms.
+package geom
+
+// Rect is an axis-aligned rectangle with origin (X, Y) at the top-left.
+type Rect struct {
+	X, Y, W, H float64
+}
+
+// Contains reports whether the point lies inside the rectangle (borders
+// inclusive).
+func (r Rect) Contains(x, y float64) bool {
+	return x >= r.X && x <= r.X+r.W && y >= r.Y && y <= r.Y+r.H
+}
+
+// Empty reports whether the rectangle covers no area.
+func (r Rect) Empty() bool { return r.W <= 0 || r.H <= 0 }
+
+// Intersect returns the overlapping region (possibly empty).
+func (r Rect) Intersect(o Rect) Rect {
+	x0 := maxf(r.X, o.X)
+	y0 := maxf(r.Y, o.Y)
+	x1 := minf(r.X+r.W, o.X+o.W)
+	y1 := minf(r.Y+r.H, o.Y+o.H)
+	return Rect{x0, y0, x1 - x0, y1 - y0}
+}
+
+// Inset shrinks the rectangle by d on every side.
+func (r Rect) Inset(d float64) Rect {
+	return Rect{r.X + d, r.Y + d, r.W - 2*d, r.H - 2*d}
+}
+
+// Transform maps a world window (time on x, resource index on y) onto a
+// screen rectangle.
+type Transform struct {
+	// World window.
+	TimeMin, TimeMax float64
+	RowMin, RowMax   float64
+	// Screen target.
+	Screen Rect
+}
+
+// XToScreen converts a time value to a screen x coordinate.
+func (t Transform) XToScreen(time float64) float64 {
+	span := t.TimeMax - t.TimeMin
+	if span <= 0 {
+		return t.Screen.X
+	}
+	return t.Screen.X + (time-t.TimeMin)/span*t.Screen.W
+}
+
+// YToScreen converts a row value to a screen y coordinate.
+func (t Transform) YToScreen(row float64) float64 {
+	span := t.RowMax - t.RowMin
+	if span <= 0 {
+		return t.Screen.Y
+	}
+	return t.Screen.Y + (row-t.RowMin)/span*t.Screen.H
+}
+
+// XToWorld converts a screen x coordinate back to a time value.
+func (t Transform) XToWorld(x float64) float64 {
+	if t.Screen.W <= 0 {
+		return t.TimeMin
+	}
+	return t.TimeMin + (x-t.Screen.X)/t.Screen.W*(t.TimeMax-t.TimeMin)
+}
+
+// YToWorld converts a screen y coordinate back to a row value.
+func (t Transform) YToWorld(y float64) float64 {
+	if t.Screen.H <= 0 {
+		return t.RowMin
+	}
+	return t.RowMin + (y-t.Screen.Y)/t.Screen.H*(t.RowMax-t.RowMin)
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,91 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRectContains(t *testing.T) {
+	r := Rect{10, 20, 30, 40}
+	cases := []struct {
+		x, y float64
+		want bool
+	}{
+		{10, 20, true}, {40, 60, true}, {25, 40, true},
+		{9.9, 20, false}, {41, 60, false}, {25, 60.5, false},
+	}
+	for _, tc := range cases {
+		if got := r.Contains(tc.x, tc.y); got != tc.want {
+			t.Errorf("Contains(%g,%g) = %v, want %v", tc.x, tc.y, got, tc.want)
+		}
+	}
+}
+
+func TestRectIntersectInset(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	b := Rect{5, 5, 10, 10}
+	x := a.Intersect(b)
+	if x != (Rect{5, 5, 5, 5}) {
+		t.Errorf("Intersect = %+v", x)
+	}
+	if !a.Intersect(Rect{20, 20, 5, 5}).Empty() {
+		t.Error("disjoint intersect should be empty")
+	}
+	if got := a.Inset(2); got != (Rect{2, 2, 6, 6}) {
+		t.Errorf("Inset = %+v", got)
+	}
+	if !a.Inset(6).Empty() {
+		t.Error("over-inset should be empty")
+	}
+}
+
+func TestTransformForward(t *testing.T) {
+	tr := Transform{
+		TimeMin: 0, TimeMax: 100,
+		RowMin: 0, RowMax: 10,
+		Screen: Rect{50, 20, 200, 100},
+	}
+	if got := tr.XToScreen(0); got != 50 {
+		t.Errorf("XToScreen(0) = %g", got)
+	}
+	if got := tr.XToScreen(100); got != 250 {
+		t.Errorf("XToScreen(100) = %g", got)
+	}
+	if got := tr.XToScreen(50); got != 150 {
+		t.Errorf("XToScreen(50) = %g", got)
+	}
+	if got := tr.YToScreen(5); got != 70 {
+		t.Errorf("YToScreen(5) = %g", got)
+	}
+}
+
+func TestTransformDegenerate(t *testing.T) {
+	tr := Transform{TimeMin: 5, TimeMax: 5, RowMin: 0, RowMax: 0, Screen: Rect{10, 10, 100, 100}}
+	if tr.XToScreen(5) != 10 || tr.YToScreen(0) != 10 {
+		t.Error("degenerate forward transform should pin to origin")
+	}
+	tr2 := Transform{TimeMin: 0, TimeMax: 10, RowMin: 0, RowMax: 4, Screen: Rect{0, 0, 0, 0}}
+	if tr2.XToWorld(123) != 0 || tr2.YToWorld(55) != 0 {
+		t.Error("degenerate inverse transform should pin to world origin")
+	}
+}
+
+// Property: XToWorld inverts XToScreen (and same for Y) within tolerance.
+func TestTransformRoundTrip(t *testing.T) {
+	f := func(time, row float64) bool {
+		time = math.Mod(math.Abs(time), 1000)
+		row = math.Mod(math.Abs(row), 64)
+		tr := Transform{
+			TimeMin: -10, TimeMax: 1010,
+			RowMin: 0, RowMax: 64,
+			Screen: Rect{37, 11, 640, 480},
+		}
+		bt := tr.XToWorld(tr.XToScreen(time))
+		br := tr.YToWorld(tr.YToScreen(row))
+		return math.Abs(bt-time) < 1e-6 && math.Abs(br-row) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+package jedxml
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/core"
+)
+
+// ReadCSV parses the line-oriented alternative input format, demonstrating
+// the parser extension point the paper describes. The format has three
+// record kinds (leading keyword):
+//
+//	meta,<name>,<value>
+//	cluster,<id>,<name>,<hosts>
+//	task,<id>,<type>,<start>,<end>,<cluster>,<firstHost>,<hostCount>[,<cluster>,<firstHost>,<hostCount>...]
+//
+// Blank lines and lines starting with '#' are skipped.
+func ReadCSV(r io.Reader) (*core.Schedule, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	cr.Comment = '#'
+	s := &core.Schedule{}
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("jedxml/csv: %w", err)
+		}
+		line++
+		if len(rec) == 0 {
+			continue
+		}
+		switch rec[0] {
+		case "meta":
+			if len(rec) != 3 {
+				return nil, fmt.Errorf("jedxml/csv: record %d: meta needs 2 fields", line)
+			}
+			s.Meta = append(s.Meta, core.Property{Name: rec[1], Value: rec[2]})
+		case "cluster":
+			if len(rec) != 4 {
+				return nil, fmt.Errorf("jedxml/csv: record %d: cluster needs 3 fields", line)
+			}
+			id, err1 := strconv.Atoi(rec[1])
+			hosts, err2 := strconv.Atoi(rec[3])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("jedxml/csv: record %d: bad cluster numbers", line)
+			}
+			s.Clusters = append(s.Clusters, core.Cluster{ID: id, Name: rec[2], Hosts: hosts})
+		case "task":
+			if len(rec) < 8 || (len(rec)-5)%3 != 0 {
+				return nil, fmt.Errorf("jedxml/csv: record %d: task needs 4+3k fields", line)
+			}
+			start, err1 := strconv.ParseFloat(rec[3], 64)
+			end, err2 := strconv.ParseFloat(rec[4], 64)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("jedxml/csv: record %d: bad task times", line)
+			}
+			t := core.Task{ID: rec[1], Type: rec[2], Start: start, End: end}
+			for i := 5; i+2 < len(rec)+1 && i+2 <= len(rec); i += 3 {
+				cid, e1 := strconv.Atoi(rec[i])
+				first, e2 := strconv.Atoi(rec[i+1])
+				n, e3 := strconv.Atoi(rec[i+2])
+				if e1 != nil || e2 != nil || e3 != nil {
+					return nil, fmt.Errorf("jedxml/csv: record %d: bad allocation numbers", line)
+				}
+				t.Allocations = append(t.Allocations, core.Allocation{
+					Cluster: cid, Hosts: []core.HostRange{{Start: first, N: n}},
+				})
+			}
+			s.Tasks = append(s.Tasks, t)
+		default:
+			return nil, fmt.Errorf("jedxml/csv: record %d: unknown record kind %q", line, rec[0])
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("jedxml/csv: invalid schedule: %w", err)
+	}
+	return s, nil
+}
+
+// WriteCSV emits the CSV format accepted by ReadCSV. Only the first host
+// range of multi-range allocations is representable per triple; scattered
+// allocations are emitted as several triples on the same cluster.
+func WriteCSV(w io.Writer, s *core.Schedule) error {
+	if err := s.Validate(); err != nil {
+		return fmt.Errorf("jedxml/csv: refusing to write invalid schedule: %w", err)
+	}
+	cw := csv.NewWriter(w)
+	for _, m := range s.Meta {
+		if err := cw.Write([]string{"meta", m.Name, m.Value}); err != nil {
+			return err
+		}
+	}
+	for _, c := range s.Clusters {
+		if err := cw.Write([]string{"cluster", strconv.Itoa(c.ID), c.Name, strconv.Itoa(c.Hosts)}); err != nil {
+			return err
+		}
+	}
+	for i := range s.Tasks {
+		t := &s.Tasks[i]
+		rec := []string{"task", t.ID, t.Type, formatFloat(t.Start), formatFloat(t.End)}
+		for _, a := range t.Allocations {
+			for _, r := range a.Hosts {
+				rec = append(rec, strconv.Itoa(a.Cluster), strconv.Itoa(r.Start), strconv.Itoa(r.N))
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,306 @@
+package jedxml
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// paperFig1 is the task definition from Figure 1 of the paper, embedded in a
+// complete document (the paper notes clusters are defined in the header).
+const paperFig1 = `<?xml version="1.0" encoding="UTF-8"?>
+<grid_schedule>
+  <grid_info>
+    <info name="nb_clusters" value="1"/>
+    <clusters>
+      <cluster id="0" hosts="8" name="cluster-0"/>
+    </clusters>
+  </grid_info>
+  <node_infos>
+    <node_statistics>
+      <node_property name="id" value="1"/>
+      <node_property name="type" value="computation"/>
+      <node_property name="start_time" value="0.000"/>
+      <node_property name="end_time" value="0.310"/>
+      <configuration>
+        <conf_property name="cluster_id" value="0"/>
+        <conf_property name="host_nb" value="8"/>
+        <host_lists>
+          <hosts start="0" nb="8"/>
+        </host_lists>
+      </configuration>
+    </node_statistics>
+  </node_infos>
+</grid_schedule>
+`
+
+func TestReadPaperFigure1(t *testing.T) {
+	s, err := Read(strings.NewReader(paperFig1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Clusters) != 1 || s.Clusters[0].Hosts != 8 {
+		t.Fatalf("clusters = %+v", s.Clusters)
+	}
+	if len(s.Tasks) != 1 {
+		t.Fatalf("tasks = %d", len(s.Tasks))
+	}
+	task := s.Tasks[0]
+	if task.ID != "1" || task.Type != "computation" {
+		t.Errorf("task id/type = %q/%q", task.ID, task.Type)
+	}
+	if task.Start != 0 || task.End != 0.31 {
+		t.Errorf("task times = %g..%g", task.Start, task.End)
+	}
+	a := task.Allocations[0]
+	if a.Cluster != 0 || a.HostCount() != 8 || !a.Contiguous() {
+		t.Errorf("allocation = %+v", a)
+	}
+	if got := a.HostList(); got[0] != 0 || got[7] != 7 {
+		t.Errorf("hosts = %v, want 0..7", got)
+	}
+}
+
+func TestMetaInfoRoundTrip(t *testing.T) {
+	// The meta_info example from section II-C.2 of the paper.
+	s := core.NewSingleCluster("c", 4)
+	s.Add("1", "computation", 0, 1, 0, 4)
+	s.SetMeta("mindelta", "-2")
+	s.SetMeta("maxdelta", "2")
+	s.SetMeta("sort", "comm")
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `<meta name="mindelta" value="-2"`) {
+		t.Fatalf("meta_info not written:\n%s", buf.String())
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Meta, s.Meta) {
+		t.Fatalf("meta round-trip: got %v, want %v", back.Meta, s.Meta)
+	}
+}
+
+func TestTaskPropertiesRoundTrip(t *testing.T) {
+	s := core.NewSingleCluster("c", 2)
+	s.Add("j17", "job", 0, 5, 0, 2)
+	s.Tasks[0].SetProperty("user", "6447")
+	s.Tasks[0].SetProperty("node_name", "thunder42")
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Tasks[0].Property("user") != "6447" || back.Tasks[0].Property("node_name") != "thunder42" {
+		t.Fatalf("properties lost: %+v", back.Tasks[0].Properties)
+	}
+}
+
+func TestNonContiguousAllocation(t *testing.T) {
+	s := core.NewSingleCluster("c", 10)
+	s.AddTask(core.Task{ID: "scattered", Type: "computation", Start: 0, End: 1,
+		Allocations: []core.Allocation{{Cluster: 0, Hosts: []core.HostRange{{Start: 0, N: 2}, {Start: 5, N: 3}}}}})
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "<hosts "); got != 2 {
+		t.Fatalf("want 2 <hosts> elements for a scattered allocation, got %d", got)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Tasks[0].Allocations, s.Tasks[0].Allocations) {
+		t.Fatalf("allocations: got %+v want %+v", back.Tasks[0].Allocations, s.Tasks[0].Allocations)
+	}
+}
+
+func TestMultiClusterTask(t *testing.T) {
+	// "a task may belong to more than one cluster" — an inter-cluster
+	// transfer with one configuration per cluster.
+	s := core.New(core.Cluster{ID: 0, Hosts: 4}, core.Cluster{ID: 1, Hosts: 4})
+	s.AddTask(core.Task{ID: "xfer", Type: "transfer", Start: 1, End: 2,
+		Allocations: []core.Allocation{
+			{Cluster: 0, Hosts: []core.HostRange{{Start: 0, N: 1}}},
+			{Cluster: 1, Hosts: []core.HostRange{{Start: 3, N: 1}}},
+		}})
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "<configuration>"); got != 2 {
+		t.Fatalf("want 2 configurations, got %d", got)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Tasks[0].Allocations) != 2 {
+		t.Fatal("multi-cluster allocations lost")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name, doc, wants string
+	}{
+		{"garbage", "not xml at all", "decode"},
+		{"bad start", `<grid_schedule><grid_info><clusters><cluster id="0" hosts="1"/></clusters></grid_info>
+			<node_infos><node_statistics>
+			<node_property name="id" value="t"/><node_property name="type" value="x"/>
+			<node_property name="start_time" value="abc"/><node_property name="end_time" value="1"/>
+			<configuration><conf_property name="cluster_id" value="0"/><host_lists><hosts start="0" nb="1"/></host_lists></configuration>
+			</node_statistics></node_infos></grid_schedule>`, "bad start_time"},
+		{"bad end", `<grid_schedule><grid_info><clusters><cluster id="0" hosts="1"/></clusters></grid_info>
+			<node_infos><node_statistics>
+			<node_property name="id" value="t"/><node_property name="type" value="x"/>
+			<node_property name="start_time" value="0"/><node_property name="end_time" value="x"/>
+			<configuration><conf_property name="cluster_id" value="0"/><host_lists><hosts start="0" nb="1"/></host_lists></configuration>
+			</node_statistics></node_infos></grid_schedule>`, "bad end_time"},
+		{"missing cluster_id", `<grid_schedule><grid_info><clusters><cluster id="0" hosts="1"/></clusters></grid_info>
+			<node_infos><node_statistics>
+			<node_property name="id" value="t"/><node_property name="type" value="x"/>
+			<node_property name="start_time" value="0"/><node_property name="end_time" value="1"/>
+			<configuration><host_lists><hosts start="0" nb="1"/></host_lists></configuration>
+			</node_statistics></node_infos></grid_schedule>`, "without cluster_id"},
+		{"no clusters", `<grid_schedule><node_infos></node_infos></grid_schedule>`, "invalid schedule"},
+		{"bad cluster ref", `<grid_schedule><grid_info><clusters><cluster id="0" hosts="1"/></clusters></grid_info>
+			<node_infos><node_statistics>
+			<node_property name="id" value="t"/><node_property name="type" value="x"/>
+			<node_property name="start_time" value="0"/><node_property name="end_time" value="1"/>
+			<configuration><conf_property name="cluster_id" value="9"/><host_lists><hosts start="0" nb="1"/></host_lists></configuration>
+			</node_statistics></node_infos></grid_schedule>`, "undefined cluster"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Read(strings.NewReader(tc.doc))
+			if err == nil {
+				t.Fatal("Read succeeded, want error")
+			}
+			if !strings.Contains(err.Error(), tc.wants) {
+				t.Fatalf("error %q does not contain %q", err, tc.wants)
+			}
+		})
+	}
+}
+
+func TestWriteRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &core.Schedule{}); err == nil {
+		t.Fatal("Write accepted an invalid schedule")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/s.jed"
+	s := core.NewSingleCluster("c", 4)
+	s.Add("a", "computation", 0, 2.5, 0, 4)
+	if err := WriteFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, s) {
+		t.Fatalf("file round-trip mismatch:\n got %+v\nwant %+v", back, s)
+	}
+	if _, err := ReadFile(dir + "/missing.jed"); err == nil {
+		t.Fatal("ReadFile of missing file succeeded")
+	}
+}
+
+// randomSchedule mirrors the generator in package core for round-trip tests.
+func randomSchedule(r *rand.Rand) *core.Schedule {
+	nc := 1 + r.Intn(3)
+	s := &core.Schedule{}
+	for c := 0; c < nc; c++ {
+		s.Clusters = append(s.Clusters, core.Cluster{ID: c, Name: "cl", Hosts: 1 + r.Intn(16)})
+	}
+	nt := r.Intn(20)
+	for i := 0; i < nt; i++ {
+		start := r.Float64() * 100
+		task := core.Task{
+			ID:    "t" + string(rune('a'+i%26)) + string(rune('a'+i/26)),
+			Type:  []string{"computation", "transfer", "io"}[r.Intn(3)],
+			Start: start, End: start + r.Float64()*10,
+		}
+		for _, c := range s.Clusters {
+			if r.Intn(2) == 0 {
+				continue
+			}
+			first := r.Intn(c.Hosts)
+			task.Allocations = append(task.Allocations, core.Allocation{
+				Cluster: c.ID,
+				Hosts:   []core.HostRange{{Start: first, N: 1 + r.Intn(c.Hosts-first)}},
+			})
+		}
+		if len(task.Allocations) == 0 {
+			task.Allocations = []core.Allocation{{Cluster: 0, Hosts: []core.HostRange{{Start: 0, N: 1}}}}
+		}
+		if r.Intn(3) == 0 {
+			task.SetProperty("note", "p")
+		}
+		s.Tasks = append(s.Tasks, task)
+	}
+	return s
+}
+
+// Property: Read(Write(s)) == s for arbitrary valid schedules, including
+// float times that need shortest-round-trip formatting.
+func TestXMLRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 100; i++ {
+		s := randomSchedule(r)
+		var buf bytes.Buffer
+		if err := Write(&buf, s); err != nil {
+			t.Fatalf("iter %d: Write: %v", i, err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("iter %d: Read: %v", i, err)
+		}
+		if !reflect.DeepEqual(back, s) {
+			t.Fatalf("iter %d: round-trip mismatch\n got %+v\nwant %+v", i, back, s)
+		}
+	}
+}
+
+func TestParserRegistry(t *testing.T) {
+	got := Formats()
+	want := []string{"csv", "jedule"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Formats() = %v, want %v", got, want)
+	}
+	if _, err := ReadFormat("nope", strings.NewReader("")); err == nil {
+		t.Fatal("unknown format must error")
+	}
+	s, err := ReadFormat("jedule", strings.NewReader(paperFig1))
+	if err != nil || len(s.Tasks) != 1 {
+		t.Fatalf("ReadFormat(jedule) = %v, %v", s, err)
+	}
+	// Custom registration is visible and callable.
+	Register("fixed", func(io.Reader) (*core.Schedule, error) {
+		fs := core.NewSingleCluster("f", 1)
+		fs.Add("only", "x", 0, 1, 0, 1)
+		return fs, nil
+	})
+	defer delete(parsers, "fixed")
+	got2, err := ReadFormat("fixed", strings.NewReader("ignored"))
+	if err != nil || got2.Tasks[0].ID != "only" {
+		t.Fatalf("custom parser: %v, %v", got2, err)
+	}
+}

@@ -1,0 +1,102 @@
+package pdf
+
+import (
+	"bytes"
+	"compress/zlib"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Document is a multi-page PDF. The paper's authors "used the PDF export
+// function of Jedule to create documents with hundreds of schedule
+// pictures"; Document supports that workflow: add one page canvas per
+// schedule and encode a single file.
+type Document struct {
+	pages []*Canvas
+}
+
+// NewDocument creates an empty document.
+func NewDocument() *Document { return &Document{} }
+
+// AddPage appends a page of the given size in points and returns its
+// drawing canvas.
+func (d *Document) AddPage(width, height float64) *Canvas {
+	c := New(width, height)
+	d.pages = append(d.pages, c)
+	return c
+}
+
+// PageCount returns the number of pages added so far.
+func (d *Document) PageCount() int { return len(d.pages) }
+
+// Encode writes the complete PDF document.
+//
+// Object layout: 1 = catalog, 2 = page tree, 3..2+2n = alternating page and
+// content objects, 3+2n = the shared Helvetica font.
+func (d *Document) Encode(w io.Writer) error {
+	if len(d.pages) == 0 {
+		return fmt.Errorf("pdf: document has no pages")
+	}
+	n := len(d.pages)
+	fontObj := 3 + 2*n
+
+	var out bytes.Buffer
+	var offsets []int
+	obj := func(id int, body string) {
+		offsets = append(offsets, out.Len())
+		fmt.Fprintf(&out, "%d 0 obj\n%s\nendobj\n", id, body)
+	}
+
+	out.WriteString("%PDF-1.4\n%\xe2\xe3\xcf\xd3\n")
+	obj(1, "<< /Type /Catalog /Pages 2 0 R >>")
+	kids := ""
+	for i := 0; i < n; i++ {
+		kids += fmt.Sprintf("%d 0 R ", 3+2*i)
+	}
+	obj(2, fmt.Sprintf("<< /Type /Pages /Kids [%s] /Count %d >>", kids, n))
+	for i, page := range d.pages {
+		pageObj := 3 + 2*i
+		contentObj := pageObj + 1
+		obj(pageObj, fmt.Sprintf(
+			"<< /Type /Page /Parent 2 0 R /MediaBox [0 0 %.2f %.2f] /Contents %d 0 R /Resources << /Font << /F1 %d 0 R >> >> >>",
+			page.w, page.h, contentObj, fontObj))
+		var compressed bytes.Buffer
+		zw := zlib.NewWriter(&compressed)
+		if _, err := zw.Write(page.content.Bytes()); err != nil {
+			return fmt.Errorf("pdf: compress page %d: %w", i, err)
+		}
+		if err := zw.Close(); err != nil {
+			return fmt.Errorf("pdf: compress page %d: %w", i, err)
+		}
+		offsets = append(offsets, out.Len())
+		fmt.Fprintf(&out, "%d 0 obj\n<< /Length %d /Filter /FlateDecode >>\nstream\n",
+			contentObj, compressed.Len())
+		out.Write(compressed.Bytes())
+		out.WriteString("\nendstream\nendobj\n")
+	}
+	obj(fontObj, "<< /Type /Font /Subtype /Type1 /BaseFont /Helvetica /Encoding /WinAnsiEncoding >>")
+
+	xref := out.Len()
+	fmt.Fprintf(&out, "xref\n0 %d\n0000000000 65535 f \n", len(offsets)+1)
+	for _, off := range offsets {
+		fmt.Fprintf(&out, "%010d 00000 n \n", off)
+	}
+	fmt.Fprintf(&out, "trailer\n<< /Size %d /Root 1 0 R >>\nstartxref\n%d\n%%%%EOF\n",
+		len(offsets)+1, xref)
+	_, err := w.Write(out.Bytes())
+	return err
+}
+
+// WriteFile encodes the document to a file.
+func (d *Document) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,84 @@
+package pdf
+
+import (
+	"bytes"
+	"fmt"
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+func TestDocumentMultiPage(t *testing.T) {
+	d := NewDocument()
+	for i := 0; i < 3; i++ {
+		c := d.AddPage(200, 100)
+		c.FillRect(float64(i*10), 5, 20, 20, black)
+		c.Text(5, 50, "page", 10, black)
+	}
+	if d.PageCount() != 3 {
+		t.Fatalf("pages = %d", d.PageCount())
+	}
+	var buf bytes.Buffer
+	if err := d.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.Bytes()
+	if got := bytes.Count(doc, []byte("/Type /Page ")); got != 3 {
+		t.Fatalf("page objects = %d, want 3", got)
+	}
+	if !bytes.Contains(doc, []byte("/Count 3")) {
+		t.Fatal("page tree count wrong")
+	}
+	if got := bytes.Count(doc, []byte("/Filter /FlateDecode")); got != 3 {
+		t.Fatalf("content streams = %d, want 3", got)
+	}
+	// Exactly one shared font object.
+	if got := bytes.Count(doc, []byte("/BaseFont /Helvetica")); got != 1 {
+		t.Fatalf("font objects = %d, want 1", got)
+	}
+}
+
+func TestDocumentXrefValid(t *testing.T) {
+	d := NewDocument()
+	d.AddPage(100, 100).FillRect(0, 0, 10, 10, black)
+	d.AddPage(100, 100).Line(0, 0, 50, 50, black, 1)
+	var buf bytes.Buffer
+	if err := d.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.Bytes()
+	entries := regexp.MustCompile(`(?m)^(\d{10}) 00000 n `).FindAllSubmatch(doc, -1)
+	// 1 catalog + 1 pages + 2x(page+content) + font = 7 objects.
+	if len(entries) != 7 {
+		t.Fatalf("xref entries = %d, want 7", len(entries))
+	}
+	for i, e := range entries {
+		off, _ := strconv.Atoi(string(e[1]))
+		want := fmt.Sprintf("%d 0 obj", i+1)
+		if !bytes.HasPrefix(doc[off:], []byte(want)) {
+			t.Fatalf("xref %d points at %q, want %q", i+1, doc[off:off+12], want)
+		}
+	}
+}
+
+func TestDocumentEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewDocument().Encode(&buf); err == nil {
+		t.Fatal("empty document accepted")
+	}
+}
+
+func TestDocumentWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	d := NewDocument()
+	d.AddPage(50, 50)
+	if err := d.WriteFile(dir + "/book.pdf"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteFile("/nonexistent-dir-xyz/book.pdf"); err == nil {
+		t.Fatal("unwritable path accepted")
+	}
+	if err := NewDocument().WriteFile(dir + "/empty.pdf"); err == nil {
+		t.Fatal("empty document write accepted")
+	}
+}

@@ -1,0 +1,191 @@
+// Package pdf is a minimal from-scratch PDF 1.4 writer providing the vector
+// export of the Jedule command-line mode ("high quality graphics of
+// schedules ... to be included in articles or reports"). It supports exactly
+// what the Gantt renderer needs: filled and stroked rectangles, straight
+// lines, and horizontal or vertical text in the built-in Helvetica font,
+// with flate-compressed content streams.
+//
+// Coordinates follow the renderer convention (origin at the top-left, y
+// growing downward); the writer flips them into PDF space.
+package pdf
+
+import (
+	"bytes"
+	"compress/zlib"
+	"fmt"
+	"image/color"
+	"io"
+	"os"
+)
+
+// Canvas accumulates drawing operations for a single-page document.
+type Canvas struct {
+	w, h    float64 // page size in points
+	content bytes.Buffer
+}
+
+// New creates a page canvas of the given size in points.
+func New(width, height float64) *Canvas {
+	if width < 1 {
+		width = 1
+	}
+	if height < 1 {
+		height = 1
+	}
+	c := &Canvas{w: width, h: height}
+	// White background, matching the raster canvas.
+	c.FillRect(0, 0, width, height, color.RGBA{255, 255, 255, 255})
+	return c
+}
+
+// Size returns the page dimensions.
+func (c *Canvas) Size() (w, h float64) { return c.w, c.h }
+
+func rgb(col color.RGBA) (r, g, b float64) {
+	return float64(col.R) / 255, float64(col.G) / 255, float64(col.B) / 255
+}
+
+// FillRect fills an axis-aligned rectangle.
+func (c *Canvas) FillRect(x, y, w, h float64, col color.RGBA) {
+	if w <= 0 || h <= 0 {
+		return
+	}
+	r, g, b := rgb(col)
+	fmt.Fprintf(&c.content, "%.3f %.3f %.3f rg %.2f %.2f %.2f %.2f re f\n",
+		r, g, b, x, c.h-y-h, w, h)
+}
+
+// StrokeRect outlines an axis-aligned rectangle.
+func (c *Canvas) StrokeRect(x, y, w, h float64, col color.RGBA, lw float64) {
+	if w <= 0 || h <= 0 || lw <= 0 {
+		return
+	}
+	r, g, b := rgb(col)
+	fmt.Fprintf(&c.content, "%.3f %.3f %.3f RG %.2f w %.2f %.2f %.2f %.2f re S\n",
+		r, g, b, lw, x, c.h-y-h, w, h)
+}
+
+// Line draws a straight segment.
+func (c *Canvas) Line(x1, y1, x2, y2 float64, col color.RGBA, lw float64) {
+	if lw <= 0 {
+		lw = 1
+	}
+	r, g, b := rgb(col)
+	fmt.Fprintf(&c.content, "%.3f %.3f %.3f RG %.2f w %.2f %.2f m %.2f %.2f l S\n",
+		r, g, b, lw, x1, c.h-y1, x2, c.h-y2)
+}
+
+// helveticaWidth approximates the advance width of Helvetica text in
+// multiples of the font size. A constant average (0.52 em) keeps the layout
+// engine backend-independent; labels are elided by width before drawing.
+const helveticaWidth = 0.52
+
+// TextWidth estimates the width of s at the given size.
+func (c *Canvas) TextWidth(s string, size float64) float64 {
+	n := 0
+	for range s {
+		n++
+	}
+	return float64(n) * size * helveticaWidth
+}
+
+// TextHeight returns the nominal glyph height.
+func (c *Canvas) TextHeight(size float64) float64 { return size }
+
+// Text draws s with its top-left corner at (x, y).
+func (c *Canvas) Text(x, y float64, s string, size float64, col color.RGBA) {
+	if s == "" {
+		return
+	}
+	r, g, b := rgb(col)
+	// Baseline sits about 0.8 em below the top of the glyph box.
+	fmt.Fprintf(&c.content, "BT /F1 %.2f Tf %.3f %.3f %.3f rg %.2f %.2f Td (%s) Tj ET\n",
+		size, r, g, b, x, c.h-y-0.8*size, escape(s))
+}
+
+// VerticalText draws s rotated 90 degrees counter-clockwise with (x, y) the
+// top-left of the rotated block.
+func (c *Canvas) VerticalText(x, y float64, s string, size float64, col color.RGBA) {
+	if s == "" {
+		return
+	}
+	r, g, b := rgb(col)
+	// Rotation matrix (0 1 -1 0) rotates CCW; translate to the block's
+	// bottom-left in PDF space.
+	fmt.Fprintf(&c.content,
+		"BT /F1 %.2f Tf %.3f %.3f %.3f rg 0 1 -1 0 %.2f %.2f Tm (%s) Tj ET\n",
+		size, r, g, b, x+0.8*size, c.h-y-c.TextWidth(s, size), escape(s))
+}
+
+// escape protects the PDF string delimiters.
+func escape(s string) string {
+	var b bytes.Buffer
+	for _, r := range s {
+		switch r {
+		case '(', ')', '\\':
+			b.WriteByte('\\')
+			b.WriteRune(r)
+		default:
+			if r < 32 || r > 126 {
+				b.WriteByte('?')
+			} else {
+				b.WriteRune(r)
+			}
+		}
+	}
+	return b.String()
+}
+
+// Encode writes the complete single-page PDF document.
+func (c *Canvas) Encode(w io.Writer) error {
+	var compressed bytes.Buffer
+	zw := zlib.NewWriter(&compressed)
+	if _, err := zw.Write(c.content.Bytes()); err != nil {
+		return fmt.Errorf("pdf: compress: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("pdf: compress: %w", err)
+	}
+
+	var out bytes.Buffer
+	offsets := make([]int, 0, 6)
+	obj := func(body string) {
+		offsets = append(offsets, out.Len())
+		fmt.Fprintf(&out, "%d 0 obj\n%s\nendobj\n", len(offsets), body)
+	}
+
+	out.WriteString("%PDF-1.4\n%\xe2\xe3\xcf\xd3\n")
+	obj("<< /Type /Catalog /Pages 2 0 R >>")
+	obj("<< /Type /Pages /Kids [3 0 R] /Count 1 >>")
+	obj(fmt.Sprintf("<< /Type /Page /Parent 2 0 R /MediaBox [0 0 %.2f %.2f] /Contents 4 0 R /Resources << /Font << /F1 5 0 R >> >> >>",
+		c.w, c.h))
+	offsets = append(offsets, out.Len())
+	fmt.Fprintf(&out, "4 0 obj\n<< /Length %d /Filter /FlateDecode >>\nstream\n", compressed.Len())
+	out.Write(compressed.Bytes())
+	out.WriteString("\nendstream\nendobj\n")
+	obj("<< /Type /Font /Subtype /Type1 /BaseFont /Helvetica /Encoding /WinAnsiEncoding >>")
+
+	xref := out.Len()
+	fmt.Fprintf(&out, "xref\n0 %d\n0000000000 65535 f \n", len(offsets)+1)
+	for _, off := range offsets {
+		fmt.Fprintf(&out, "%010d 00000 n \n", off)
+	}
+	fmt.Fprintf(&out, "trailer\n<< /Size %d /Root 1 0 R >>\nstartxref\n%d\n%%%%EOF\n",
+		len(offsets)+1, xref)
+
+	_, err := w.Write(out.Bytes())
+	return err
+}
+
+// WriteFile encodes the document to a file.
+func (c *Canvas) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

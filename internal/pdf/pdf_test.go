@@ -1,0 +1,183 @@
+package pdf
+
+import (
+	"bytes"
+	"compress/zlib"
+	"fmt"
+	"image/color"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var black = color.RGBA{0, 0, 0, 255}
+
+// decodeContent extracts and inflates the page content stream of a document
+// produced by Encode.
+func decodeContent(t *testing.T, doc []byte) string {
+	t.Helper()
+	i := bytes.Index(doc, []byte("stream\n"))
+	j := bytes.Index(doc, []byte("\nendstream"))
+	if i < 0 || j < 0 {
+		t.Fatal("no content stream found")
+	}
+	zr, err := zlib.NewReader(bytes.NewReader(doc[i+len("stream\n") : j]))
+	if err != nil {
+		t.Fatalf("zlib: %v", err)
+	}
+	defer zr.Close()
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatalf("inflate: %v", err)
+	}
+	return string(raw)
+}
+
+func encode(t *testing.T, c *Canvas) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := c.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestDocumentSkeleton(t *testing.T) {
+	c := New(400, 300)
+	doc := encode(t, c)
+	for _, want := range []string{
+		"%PDF-1.4", "/Type /Catalog", "/Type /Pages", "/Type /Page",
+		"/MediaBox [0 0 400.00 300.00]", "/BaseFont /Helvetica",
+		"xref", "trailer", "startxref", "%%EOF",
+	} {
+		if !bytes.Contains(doc, []byte(want)) {
+			t.Errorf("document missing %q", want)
+		}
+	}
+}
+
+func TestXrefOffsetsValid(t *testing.T) {
+	c := New(200, 100)
+	c.FillRect(10, 10, 50, 20, black)
+	doc := encode(t, c)
+	// Every xref entry must point at "N 0 obj".
+	m := regexp.MustCompile(`(?m)^(\d{10}) 00000 n `).FindAllSubmatch(doc, -1)
+	if len(m) != 5 {
+		t.Fatalf("expected 5 in-use xref entries, got %d", len(m))
+	}
+	for i, e := range m {
+		off, _ := strconv.Atoi(string(e[1]))
+		want := fmt.Sprintf("%d 0 obj", i+1)
+		if !bytes.HasPrefix(doc[off:], []byte(want)) {
+			t.Errorf("xref entry %d points at %q, want %q", i+1, doc[off:off+10], want)
+		}
+	}
+	// startxref must point at the xref keyword.
+	sx := regexp.MustCompile(`startxref\n(\d+)`).FindSubmatch(doc)
+	if sx == nil {
+		t.Fatal("no startxref")
+	}
+	off, _ := strconv.Atoi(string(sx[1]))
+	if !bytes.HasPrefix(doc[off:], []byte("xref")) {
+		t.Error("startxref does not point at xref table")
+	}
+}
+
+func TestFillRectFlipsY(t *testing.T) {
+	c := New(100, 200)
+	c.FillRect(10, 20, 30, 40, color.RGBA{255, 0, 0, 255})
+	content := decodeContent(t, encode(t, c))
+	// Renderer y=20 with h=40 on a 200-high page => PDF y = 200-20-40 = 140.
+	if !strings.Contains(content, "10.00 140.00 30.00 40.00 re f") {
+		t.Fatalf("rect not flipped correctly:\n%s", content)
+	}
+	if !strings.Contains(content, "1.000 0.000 0.000 rg") {
+		t.Error("fill color missing")
+	}
+}
+
+func TestStrokeAndLine(t *testing.T) {
+	c := New(100, 100)
+	c.StrokeRect(5, 5, 20, 10, black, 2)
+	c.Line(0, 0, 50, 50, black, 1.5)
+	content := decodeContent(t, encode(t, c))
+	if !strings.Contains(content, "re S") {
+		t.Error("stroke rect missing")
+	}
+	if !strings.Contains(content, "0.00 100.00 m 50.00 50.00 l S") {
+		t.Errorf("line missing or not flipped:\n%s", content)
+	}
+	if !strings.Contains(content, "2.00 w") || !strings.Contains(content, "1.50 w") {
+		t.Error("line widths missing")
+	}
+}
+
+func TestDegenerateOpsAreNoops(t *testing.T) {
+	c := New(100, 100)
+	before := c.content.Len()
+	c.FillRect(0, 0, 0, 10, black)
+	c.FillRect(0, 0, 10, -1, black)
+	c.StrokeRect(0, 0, 10, 10, black, 0)
+	c.Text(0, 0, "", 10, black)
+	c.VerticalText(0, 0, "", 10, black)
+	if c.content.Len() != before {
+		t.Fatal("degenerate operations emitted content")
+	}
+}
+
+func TestTextEscaping(t *testing.T) {
+	c := New(100, 100)
+	c.Text(5, 5, `a(b)c\d`, 10, black)
+	content := decodeContent(t, encode(t, c))
+	if !strings.Contains(content, `(a\(b\)c\\d) Tj`) {
+		t.Fatalf("escaping wrong:\n%s", content)
+	}
+	c2 := New(100, 100)
+	c2.Text(5, 5, "non-ascii: é", 10, black)
+	if !strings.Contains(decodeContent(t, encode(t, c2)), "non-ascii: ?") {
+		t.Error("non-ascii should degrade to ?")
+	}
+}
+
+func TestVerticalTextMatrix(t *testing.T) {
+	c := New(100, 100)
+	c.VerticalText(10, 10, "UP", 10, black)
+	content := decodeContent(t, encode(t, c))
+	if !strings.Contains(content, "0 1 -1 0") {
+		t.Fatalf("rotation matrix missing:\n%s", content)
+	}
+}
+
+func TestTextMetrics(t *testing.T) {
+	c := New(10, 10)
+	if got := c.TextWidth("abcd", 10); got != 4*10*helveticaWidth {
+		t.Errorf("TextWidth = %g", got)
+	}
+	if c.TextHeight(12) != 12 {
+		t.Error("TextHeight")
+	}
+	if c.TextWidth("", 10) != 0 {
+		t.Error("empty width")
+	}
+}
+
+func TestSizeClamped(t *testing.T) {
+	c := New(-5, 0)
+	w, h := c.Size()
+	if w != 1 || h != 1 {
+		t.Fatalf("size = %g x %g", w, h)
+	}
+}
+
+func TestWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	c := New(50, 50)
+	if err := c.WriteFile(dir + "/out.pdf"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteFile("/nonexistent-dir-xyz/out.pdf"); err == nil {
+		t.Error("unwritable path must error")
+	}
+}

@@ -1,0 +1,250 @@
+// Package platform describes the execution platforms of the paper's case
+// studies: homogeneous clusters (section III), multi-clusters (section IV),
+// and the heterogeneous four-cluster platform of Figure 7 (section V).
+//
+// A platform is a set of clusters; each cluster has hosts with a compute
+// speed (flop/s), per-host network links, and an internal switch. Clusters
+// are joined by a single backbone. The communication time between two hosts
+// follows the usual latency + size/bandwidth model over the route between
+// them, which is what makes the Figure 8 vs Figure 9 experiment work: the
+// anomaly the paper found came from a backbone whose latency equaled the
+// intra-cluster latency.
+package platform
+
+import (
+	"fmt"
+	"math"
+)
+
+// Host is one processor of a cluster.
+type Host struct {
+	Cluster int     // cluster ID
+	Index   int     // index within the cluster
+	Global  int     // global host number across the platform
+	Speed   float64 // flop/s
+}
+
+// Cluster groups hosts behind a switch.
+type Cluster struct {
+	ID    int
+	Name  string
+	Hosts []Host
+	// LinkLatency/LinkBandwidth describe each host's private link to the
+	// cluster switch (seconds, bytes/s).
+	LinkLatency   float64
+	LinkBandwidth float64
+}
+
+// Platform is a multi-cluster system joined by one backbone.
+type Platform struct {
+	Clusters []*Cluster
+	// Backbone link between cluster switches.
+	BackboneLatency   float64
+	BackboneBandwidth float64
+
+	hosts []Host // flattened, by global number
+}
+
+// Builder-style construction ----------------------------------------------
+
+// New creates an empty platform with the given backbone characteristics.
+func New(backboneLatency, backboneBandwidth float64) *Platform {
+	return &Platform{BackboneLatency: backboneLatency, BackboneBandwidth: backboneBandwidth}
+}
+
+// AddCluster appends a cluster of n hosts of the given speed and link
+// characteristics, returning it.
+func (p *Platform) AddCluster(name string, n int, speed, linkLat, linkBW float64) *Cluster {
+	c := &Cluster{
+		ID: len(p.Clusters), Name: name,
+		LinkLatency: linkLat, LinkBandwidth: linkBW,
+	}
+	for i := 0; i < n; i++ {
+		h := Host{Cluster: c.ID, Index: i, Global: len(p.hosts), Speed: speed}
+		c.Hosts = append(c.Hosts, h)
+		p.hosts = append(p.hosts, h)
+	}
+	p.Clusters = append(p.Clusters, c)
+	return c
+}
+
+// Homogeneous builds a single-cluster platform of n hosts (the paper's
+// section III/IV setting). Speed is per host in flop/s.
+func Homogeneous(n int, speed float64) *Platform {
+	p := New(1e-4, 1.25e9)
+	p.AddCluster("cluster", n, speed, 5e-5, 1.25e9) // ~GigE with 50us links
+	return p
+}
+
+// Figure7 builds the heterogeneous platform of the paper's Figure 7: two
+// fast 2-host clusters (3.3 Gflop/s) and two slow 4-host clusters
+// (1.65 Gflop/s), 12 processors in total, numbered so that the fast
+// clusters hold processors 0-1 and 6-7 as in Figures 8/9. backboneLatency
+// distinguishes the flawed platform description (equal to the intra-cluster
+// link latency) from the realistic one (much higher).
+func Figure7(backboneLatency float64) *Platform {
+	const (
+		slow    = 1.65e9
+		fast    = 3.3e9
+		linkLat = 1e-4
+		linkBW  = 1.25e8 // 1 Gb/s
+	)
+	p := New(backboneLatency, linkBW)
+	p.AddCluster("fast-0", 2, fast, linkLat, linkBW) // procs 0-1
+	p.AddCluster("slow-0", 4, slow, linkLat, linkBW) // procs 2-5
+	p.AddCluster("fast-1", 2, fast, linkLat, linkBW) // procs 6-7
+	p.AddCluster("slow-1", 4, slow, linkLat, linkBW) // procs 8-11
+	return p
+}
+
+// Figure7FlawedLatency is the backbone latency of the platform description
+// that produced the Figure 8 anomaly: identical to the intra-cluster link
+// latency.
+const Figure7FlawedLatency = 1e-4
+
+// Figure7RealisticLatency is the corrected backbone latency used for
+// Figure 9 ("in reality the inter-cluster latency is usually much higher").
+const Figure7RealisticLatency = 1.0
+
+// Accessors ----------------------------------------------------------------
+
+// NumHosts returns the platform size.
+func (p *Platform) NumHosts() int { return len(p.hosts) }
+
+// Host returns the host with the given global number.
+func (p *Platform) Host(global int) (Host, error) {
+	if global < 0 || global >= len(p.hosts) {
+		return Host{}, fmt.Errorf("platform: host %d out of range [0,%d)", global, len(p.hosts))
+	}
+	return p.hosts[global], nil
+}
+
+// Hosts returns all hosts in global order.
+func (p *Platform) Hosts() []Host { return p.hosts }
+
+// Cluster returns the cluster with the given ID.
+func (p *Platform) Cluster(id int) (*Cluster, error) {
+	if id < 0 || id >= len(p.Clusters) {
+		return nil, fmt.Errorf("platform: cluster %d out of range", id)
+	}
+	return p.Clusters[id], nil
+}
+
+// MeanSpeed returns the average host speed, used by HEFT's rank computation.
+func (p *Platform) MeanSpeed() float64 {
+	if len(p.hosts) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, h := range p.hosts {
+		sum += h.Speed
+	}
+	return sum / float64(len(p.hosts))
+}
+
+// Communication model -------------------------------------------------------
+
+// CommTime returns the time to move `bytes` from host a to host b (global
+// numbers). Same host: free. Same cluster: through the switch over both
+// host links. Different clusters: host link + backbone + host link, with the
+// bottleneck bandwidth.
+func (p *Platform) CommTime(a, b int, bytes float64) (float64, error) {
+	if bytes < 0 {
+		return 0, fmt.Errorf("platform: negative transfer size %g", bytes)
+	}
+	ha, err := p.Host(a)
+	if err != nil {
+		return 0, err
+	}
+	hb, err := p.Host(b)
+	if err != nil {
+		return 0, err
+	}
+	if a == b {
+		return 0, nil
+	}
+	ca := p.Clusters[ha.Cluster]
+	cb := p.Clusters[hb.Cluster]
+	if ha.Cluster == hb.Cluster {
+		lat := 2 * ca.LinkLatency
+		bw := ca.LinkBandwidth
+		return lat + bytes/bw, nil
+	}
+	lat := ca.LinkLatency + p.BackboneLatency + cb.LinkLatency
+	bw := math.Min(math.Min(ca.LinkBandwidth, cb.LinkBandwidth), p.BackboneBandwidth)
+	return lat + bytes/bw, nil
+}
+
+// MeanCommTime returns the platform-average communication time for a
+// transfer of the given size between two distinct random hosts; HEFT uses it
+// for rank computation. It averages latency and bandwidth over all
+// ordered host pairs on different or same clusters, weighted uniformly.
+func (p *Platform) MeanCommTime(bytes float64) float64 {
+	n := len(p.hosts)
+	if n < 2 {
+		return 0
+	}
+	var sum float64
+	var pairs int
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			t, err := p.CommTime(a, b, bytes)
+			if err != nil {
+				continue
+			}
+			sum += t
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return sum / float64(pairs)
+}
+
+// GlobalOf maps (cluster, index) to the global host number.
+func (p *Platform) GlobalOf(cluster, index int) (int, error) {
+	c, err := p.Cluster(cluster)
+	if err != nil {
+		return 0, err
+	}
+	if index < 0 || index >= len(c.Hosts) {
+		return 0, fmt.Errorf("platform: host %d out of range in cluster %d", index, cluster)
+	}
+	return c.Hosts[index].Global, nil
+}
+
+// Validate checks internal consistency.
+func (p *Platform) Validate() error {
+	if len(p.Clusters) == 0 {
+		return fmt.Errorf("platform: no clusters")
+	}
+	global := 0
+	for id, c := range p.Clusters {
+		if c.ID != id {
+			return fmt.Errorf("platform: cluster %d stored at index %d", c.ID, id)
+		}
+		if len(c.Hosts) == 0 {
+			return fmt.Errorf("platform: cluster %d has no hosts", id)
+		}
+		if c.LinkBandwidth <= 0 || c.LinkLatency < 0 {
+			return fmt.Errorf("platform: cluster %d has invalid link parameters", id)
+		}
+		for i, h := range c.Hosts {
+			if h.Speed <= 0 {
+				return fmt.Errorf("platform: host %d.%d has non-positive speed", id, i)
+			}
+			if h.Global != global || h.Cluster != id || h.Index != i {
+				return fmt.Errorf("platform: host numbering broken at %d.%d", id, i)
+			}
+			global++
+		}
+	}
+	if p.BackboneBandwidth <= 0 || p.BackboneLatency < 0 {
+		return fmt.Errorf("platform: invalid backbone parameters")
+	}
+	return nil
+}

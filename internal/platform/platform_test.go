@@ -1,0 +1,166 @@
+package platform
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHomogeneous(t *testing.T) {
+	p := Homogeneous(32, 1e9)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumHosts() != 32 || len(p.Clusters) != 1 {
+		t.Fatalf("hosts=%d clusters=%d", p.NumHosts(), len(p.Clusters))
+	}
+	for _, h := range p.Hosts() {
+		if h.Speed != 1e9 {
+			t.Fatal("speed wrong")
+		}
+	}
+	if p.MeanSpeed() != 1e9 {
+		t.Fatal("mean speed wrong")
+	}
+}
+
+func TestFigure7Structure(t *testing.T) {
+	p := Figure7(Figure7FlawedLatency)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumHosts() != 12 {
+		t.Fatalf("hosts = %d, want 12", p.NumHosts())
+	}
+	if len(p.Clusters) != 4 {
+		t.Fatalf("clusters = %d, want 4", len(p.Clusters))
+	}
+	// Paper numbering: fast clusters hold processors 0-1 and 6-7.
+	for _, g := range []int{0, 1, 6, 7} {
+		h, err := p.Host(g)
+		if err != nil || h.Speed != 3.3e9 {
+			t.Errorf("host %d speed = %g, want 3.3e9", g, h.Speed)
+		}
+	}
+	for _, g := range []int{2, 3, 4, 5, 8, 9, 10, 11} {
+		h, err := p.Host(g)
+		if err != nil || h.Speed != 1.65e9 {
+			t.Errorf("host %d speed = %g, want 1.65e9", g, h.Speed)
+		}
+	}
+	// Fast hosts run twice as fast as slow hosts.
+	f, _ := p.Host(0)
+	s, _ := p.Host(2)
+	if f.Speed != 2*s.Speed {
+		t.Error("fast/slow speed ratio wrong")
+	}
+}
+
+func TestCommTime(t *testing.T) {
+	p := Figure7(Figure7FlawedLatency)
+	// Same host: free.
+	if ct, err := p.CommTime(0, 0, 1e6); err != nil || ct != 0 {
+		t.Fatalf("same-host comm = %g, %v", ct, err)
+	}
+	// Same cluster: 2 link latencies + bytes/bw.
+	intra, err := p.CommTime(0, 1, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2*1e-4 + 1e6/1.25e8
+	if math.Abs(intra-want) > 1e-12 {
+		t.Fatalf("intra comm = %g, want %g", intra, want)
+	}
+	// Inter-cluster with flawed latency: nearly identical to intra.
+	interFlawed, _ := p.CommTime(0, 2, 1e6)
+	if interFlawed/intra > 1.1 {
+		t.Fatalf("flawed platform should hide the backbone: inter %g vs intra %g", interFlawed, intra)
+	}
+	// Realistic backbone: inter-cluster much more expensive.
+	pr := Figure7(Figure7RealisticLatency)
+	interReal, _ := pr.CommTime(0, 2, 1e6)
+	if interReal < 5*intra {
+		t.Fatalf("realistic backbone not visible: inter %g vs intra %g", interReal, intra)
+	}
+	// Intra-cluster costs are unchanged by the backbone fix.
+	intraReal, _ := pr.CommTime(0, 1, 1e6)
+	if intraReal != intra {
+		t.Fatal("backbone change leaked into intra-cluster costs")
+	}
+	// Errors.
+	if _, err := p.CommTime(-1, 0, 1); err == nil {
+		t.Error("negative host accepted")
+	}
+	if _, err := p.CommTime(0, 99, 1); err == nil {
+		t.Error("out-of-range host accepted")
+	}
+	if _, err := p.CommTime(0, 1, -2); err == nil {
+		t.Error("negative size accepted")
+	}
+}
+
+func TestMeanCommTime(t *testing.T) {
+	flawed := Figure7(Figure7FlawedLatency)
+	real := Figure7(Figure7RealisticLatency)
+	mf := flawed.MeanCommTime(1e6)
+	mr := real.MeanCommTime(1e6)
+	if mr <= mf {
+		t.Fatalf("realistic mean comm %g should exceed flawed %g", mr, mf)
+	}
+	single := Homogeneous(1, 1e9)
+	if single.MeanCommTime(1e6) != 0 {
+		t.Error("single-host mean comm should be 0")
+	}
+}
+
+func TestGlobalOf(t *testing.T) {
+	p := Figure7(Figure7FlawedLatency)
+	g, err := p.GlobalOf(1, 2) // cluster 1 = slow-0 (procs 2-5), index 2 -> global 4
+	if err != nil || g != 4 {
+		t.Fatalf("GlobalOf(1,2) = %d, %v", g, err)
+	}
+	if _, err := p.GlobalOf(9, 0); err == nil {
+		t.Error("bad cluster accepted")
+	}
+	if _, err := p.GlobalOf(0, 9); err == nil {
+		t.Error("bad index accepted")
+	}
+	// Round-trip through Host.
+	h, err := p.Host(g)
+	if err != nil || h.Cluster != 1 || h.Index != 2 {
+		t.Fatalf("Host(%d) = %+v", g, h)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	if err := New(1e-4, 1e9).Validate(); err == nil {
+		t.Error("empty platform accepted")
+	}
+	p := New(1e-4, 1e9)
+	p.AddCluster("c", 2, 0, 1e-4, 1e9) // zero speed
+	if err := p.Validate(); err == nil {
+		t.Error("zero-speed host accepted")
+	}
+	p2 := New(-1, 1e9)
+	p2.AddCluster("c", 2, 1e9, 1e-4, 1e9)
+	if err := p2.Validate(); err == nil {
+		t.Error("negative backbone latency accepted")
+	}
+	p3 := New(1e-4, 1e9)
+	p3.AddCluster("c", 2, 1e9, 1e-4, 0)
+	if err := p3.Validate(); err == nil {
+		t.Error("zero link bandwidth accepted")
+	}
+}
+
+func TestHostErrors(t *testing.T) {
+	p := Homogeneous(4, 1e9)
+	if _, err := p.Host(-1); err == nil {
+		t.Error("negative host accepted")
+	}
+	if _, err := p.Host(4); err == nil {
+		t.Error("out-of-range host accepted")
+	}
+	if _, err := p.Cluster(2); err == nil {
+		t.Error("bad cluster accepted")
+	}
+}

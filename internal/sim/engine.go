@@ -1,0 +1,97 @@
+// Package sim is the discrete-event simulation kernel standing in for
+// SimGrid, which the paper's case studies use to execute schedules
+// virtually and log task start/finish times. The kernel provides an event
+// queue with deterministic ordering, simulated hosts with FIFO occupancy,
+// and a trace recorder producing core.Schedule documents ready for Jedule.
+package sim
+
+import "container/heap"
+
+// event is one scheduled callback.
+type event struct {
+	time float64
+	seq  uint64 // tie-breaker: FIFO among simultaneous events
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator clock and event queue.
+type Engine struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+	count  int // events executed
+}
+
+// NewEngine creates an engine at time 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() int { return e.count }
+
+// At schedules fn at absolute time t. Scheduling in the past panics: it
+// indicates a simulation bug rather than a recoverable condition.
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.seq++
+	heap.Push(&e.events, &event{time: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn after a delay relative to now.
+func (e *Engine) After(d float64, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+d, fn)
+}
+
+// Run processes events until the queue is empty and returns the final time.
+func (e *Engine) Run() float64 {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.time
+		e.count++
+		ev.fn()
+	}
+	return e.now
+}
+
+// Step executes the single next event; it returns false when the queue is
+// empty.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.time
+	e.count++
+	ev.fn()
+	return true
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }

@@ -1,0 +1,315 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var log []float64
+	e.At(3, func() { log = append(log, 3) })
+	e.At(1, func() { log = append(log, 1) })
+	e.At(2, func() { log = append(log, 2) })
+	if got := e.Run(); got != 3 {
+		t.Fatalf("final time = %g", got)
+	}
+	if !sort.Float64sAreSorted(log) || len(log) != 3 {
+		t.Fatalf("order = %v", log)
+	}
+	if e.Processed() != 3 {
+		t.Fatalf("processed = %d", e.Processed())
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	e := NewEngine()
+	var log []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { log = append(log, i) })
+	}
+	e.Run()
+	for i, v := range log {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", log)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var hits []float64
+	e.At(1, func() {
+		hits = append(hits, e.Now())
+		e.After(2, func() { hits = append(hits, e.Now()) })
+		e.After(-5, func() { hits = append(hits, e.Now()) }) // negative clamps to now
+	})
+	e.Run()
+	if len(hits) != 3 || hits[0] != 1 || hits[1] != 1 || hits[2] != 3 {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestEnginePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past must panic")
+			}
+		}()
+		e.At(1, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineStep(t *testing.T) {
+	e := NewEngine()
+	e.At(1, func() {})
+	e.At(2, func() {})
+	if !e.Step() || e.Now() != 1 || e.Pending() != 1 {
+		t.Fatal("step 1 wrong")
+	}
+	if !e.Step() || e.Now() != 2 {
+		t.Fatal("step 2 wrong")
+	}
+	if e.Step() {
+		t.Fatal("empty queue should return false")
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	p := platform.Figure7(platform.Figure7FlawedLatency)
+	r := NewRecorder(p)
+	// Global hosts 0 (cluster 0) and 2,3 (cluster 1).
+	if err := r.Record("t", "computation", 1, 2, []int{0, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	r.SetMeta("algorithm", "x")
+	s := r.Schedule()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Clusters) != 4 {
+		t.Fatal("recorder lost platform clusters")
+	}
+	task := s.Task("t")
+	if len(task.Allocations) != 2 {
+		t.Fatalf("allocations = %+v", task.Allocations)
+	}
+	if task.Allocations[0].Cluster != 0 || task.Allocations[1].Cluster != 1 {
+		t.Fatal("cluster mapping wrong")
+	}
+	if got := task.Allocations[1].HostList(); got[0] != 0 || got[1] != 1 {
+		t.Fatalf("cluster-local indices = %v, want [0 1]", got)
+	}
+	if s.MetaValue("algorithm") != "x" {
+		t.Fatal("meta lost")
+	}
+	// Errors.
+	if err := r.Record("bad", "x", 2, 1, []int{0}); err == nil {
+		t.Error("end<start accepted")
+	}
+	if err := r.Record("bad2", "x", 0, 1, []int{99}); err == nil {
+		t.Error("unknown host accepted")
+	}
+}
+
+func TestExecuteChain(t *testing.T) {
+	p := platform.Homogeneous(4, 1e9)
+	tasks := []PlannedTask{
+		{ID: "a", Type: "computation", Hosts: []int{0}, Duration: 10},
+		{ID: "b", Type: "computation", Hosts: []int{0}, Duration: 5, Deps: []Dep{{From: "a", Bytes: 0}}},
+		{ID: "c", Type: "computation", Hosts: []int{1}, Duration: 5, Deps: []Dep{{From: "b", Bytes: 1.25e9}}},
+	}
+	res, err := Execute(p, tasks, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Start["a"] != 0 || res.Finish["a"] != 10 {
+		t.Fatalf("a = [%g,%g]", res.Start["a"], res.Finish["a"])
+	}
+	// b on the same host: no transfer time (same host => 0 comm).
+	if res.Start["b"] != 10 {
+		t.Fatalf("b start = %g", res.Start["b"])
+	}
+	// c on host 1: transfer 1.25 GB over ~1.25GB/s + 1e-4 latency ~ 1s.
+	wantC := 15 + 2*5e-5 + 1.0
+	if math.Abs(res.Start["c"]-wantC) > 1e-6 {
+		t.Fatalf("c start = %g, want %g", res.Start["c"], wantC)
+	}
+	if math.Abs(res.Makespan-(wantC+5)) > 1e-6 {
+		t.Fatalf("makespan = %g", res.Makespan)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecuteHostContention(t *testing.T) {
+	p := platform.Homogeneous(2, 1e9)
+	tasks := []PlannedTask{
+		{ID: "a", Type: "computation", Hosts: []int{0, 1}, Duration: 4},
+		{ID: "b", Type: "computation", Hosts: []int{0}, Duration: 3},
+		{ID: "c", Type: "computation", Hosts: []int{1}, Duration: 2},
+	}
+	res, err := Execute(p, tasks, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a reserves both hosts first (insertion order); b and c queue behind.
+	if res.Start["a"] != 0 {
+		t.Fatal("a should start first")
+	}
+	if res.Start["b"] != 4 || res.Start["c"] != 4 {
+		t.Fatalf("b,c starts = %g,%g, want 4,4", res.Start["b"], res.Start["c"])
+	}
+}
+
+// noOverlap verifies no two recorded tasks share a host at the same time.
+func noOverlap(t *testing.T, res *WorkflowResult) {
+	t.Helper()
+	s := res.Schedule
+	type iv struct{ lo, hi float64 }
+	used := map[[2]int][]iv{}
+	for i := range s.Tasks {
+		task := &s.Tasks[i]
+		if task.Type == "transfer" {
+			continue // transfers model links, not host occupancy
+		}
+		for _, a := range task.Allocations {
+			for _, h := range a.HostList() {
+				key := [2]int{a.Cluster, h}
+				for _, prev := range used[key] {
+					if task.Start < prev.hi && prev.lo < task.End {
+						t.Fatalf("host %v double-booked: [%g,%g] vs [%g,%g]",
+							key, prev.lo, prev.hi, task.Start, task.End)
+					}
+				}
+				used[key] = append(used[key], iv{task.Start, task.End})
+			}
+		}
+	}
+}
+
+// Property: random workflows respect precedence and never double-book hosts.
+func TestExecuteRandomWorkflowsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	p := platform.Figure7(platform.Figure7RealisticLatency)
+	for iter := 0; iter < 40; iter++ {
+		n := 5 + rng.Intn(30)
+		tasks := make([]PlannedTask, n)
+		for i := range tasks {
+			h1 := rng.Intn(p.NumHosts())
+			hosts := []int{h1}
+			if rng.Intn(3) == 0 {
+				h2 := rng.Intn(p.NumHosts())
+				if h2 != h1 {
+					hosts = append(hosts, h2)
+				}
+			}
+			tasks[i] = PlannedTask{
+				ID: string(rune('a'+i%26)) + string(rune('0'+i/26)), Type: "computation",
+				Hosts: hosts, Duration: rng.Float64() * 10,
+			}
+			// Edges only to earlier tasks: acyclic by construction.
+			for j := 0; j < i; j++ {
+				if rng.Float64() < 0.15 {
+					tasks[i].Deps = append(tasks[i].Deps,
+						Dep{From: tasks[j].ID, Bytes: rng.Float64() * 1e8})
+				}
+			}
+		}
+		res, err := Execute(p, tasks, ExecOptions{RecordTransfers: iter%2 == 0})
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		noOverlap(t, res)
+		// Precedence: every task starts at or after each dep's finish.
+		for _, task := range tasks {
+			for _, d := range task.Deps {
+				if res.Start[task.ID] < res.Finish[d.From]-1e-9 {
+					t.Fatalf("iter %d: %s starts before dep %s finishes", iter, task.ID, d.From)
+				}
+			}
+		}
+		if err := res.Schedule.Validate(); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+	}
+}
+
+func TestExecuteTransfersRecorded(t *testing.T) {
+	p := platform.Figure7(platform.Figure7RealisticLatency)
+	tasks := []PlannedTask{
+		{ID: "a", Type: "computation", Hosts: []int{0}, Duration: 1},
+		{ID: "b", Type: "computation", Hosts: []int{2}, Duration: 1, Deps: []Dep{{From: "a", Bytes: 1e7}}},
+	}
+	res, err := Execute(p, tasks, ExecOptions{RecordTransfers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for i := range res.Schedule.Tasks {
+		task := &res.Schedule.Tasks[i]
+		if task.Type != "transfer" {
+			continue
+		}
+		found = true
+		if len(task.Allocations) != 2 {
+			t.Fatal("transfer should span source and target clusters")
+		}
+		if !strings.Contains(task.ID, "a->b") {
+			t.Fatalf("transfer id = %q", task.ID)
+		}
+	}
+	if !found {
+		t.Fatal("no transfer recorded")
+	}
+	// With a floor higher than the transfer time, it is suppressed.
+	res2, err := Execute(p, tasks, ExecOptions{RecordTransfers: true, TransferFloor: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res2.Schedule.Tasks {
+		if res2.Schedule.Tasks[i].Type == "transfer" {
+			t.Fatal("floored transfer still recorded")
+		}
+	}
+}
+
+func TestExecuteErrors(t *testing.T) {
+	p := platform.Homogeneous(2, 1e9)
+	cases := []struct {
+		name  string
+		tasks []PlannedTask
+		wants string
+	}{
+		{"empty id", []PlannedTask{{ID: "", Hosts: []int{0}}}, "empty id"},
+		{"dup id", []PlannedTask{
+			{ID: "a", Hosts: []int{0}}, {ID: "a", Hosts: []int{1}},
+		}, "duplicate"},
+		{"no hosts", []PlannedTask{{ID: "a"}}, "no hosts"},
+		{"bad host", []PlannedTask{{ID: "a", Hosts: []int{7}}}, "out of range"},
+		{"negative duration", []PlannedTask{{ID: "a", Hosts: []int{0}, Duration: -1}}, "negative duration"},
+		{"unknown dep", []PlannedTask{{ID: "a", Hosts: []int{0}, Deps: []Dep{{From: "zz"}}}}, "unknown"},
+		{"cycle", []PlannedTask{
+			{ID: "a", Hosts: []int{0}, Deps: []Dep{{From: "b"}}},
+			{ID: "b", Hosts: []int{1}, Deps: []Dep{{From: "a"}}},
+		}, "deadlock"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Execute(p, tc.tasks, ExecOptions{})
+			if err == nil || !strings.Contains(err.Error(), tc.wants) {
+				t.Fatalf("err = %v, want %q", err, tc.wants)
+			}
+		})
+	}
+}

@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+// Recorder collects task execution intervals during a simulation and turns
+// them into a Jedule schedule. Host numbers are platform-global; the
+// recorder maps them back to (cluster, host-index) pairs so that Jedule's
+// multi-cluster view shows the platform structure.
+type Recorder struct {
+	plat  *platform.Platform
+	sched *core.Schedule
+}
+
+// NewRecorder creates a recorder whose schedule mirrors the platform's
+// cluster structure.
+func NewRecorder(p *platform.Platform) *Recorder {
+	s := &core.Schedule{}
+	for _, c := range p.Clusters {
+		s.Clusters = append(s.Clusters, core.Cluster{ID: c.ID, Name: c.Name, Hosts: len(c.Hosts)})
+	}
+	return &Recorder{plat: p, sched: s}
+}
+
+// Record adds one executed task covering the given global hosts.
+func (r *Recorder) Record(id, typ string, start, end float64, globalHosts []int, props ...core.Property) error {
+	if end < start {
+		return fmt.Errorf("sim: task %q recorded with end < start", id)
+	}
+	byCluster := map[int][]int{}
+	for _, g := range globalHosts {
+		h, err := r.plat.Host(g)
+		if err != nil {
+			return fmt.Errorf("sim: task %q: %w", id, err)
+		}
+		byCluster[h.Cluster] = append(byCluster[h.Cluster], h.Index)
+	}
+	clusters := make([]int, 0, len(byCluster))
+	for c := range byCluster {
+		clusters = append(clusters, c)
+	}
+	sort.Ints(clusters)
+	var allocs []core.Allocation
+	for _, c := range clusters {
+		allocs = append(allocs, core.Allocation{Cluster: c, Hosts: core.RangesFromHosts(byCluster[c])})
+	}
+	r.sched.AddTask(core.Task{
+		ID: id, Type: typ, Start: start, End: end,
+		Allocations: allocs, Properties: props,
+	})
+	return nil
+}
+
+// SetMeta forwards schedule-level meta information.
+func (r *Recorder) SetMeta(name, value string) { r.sched.SetMeta(name, value) }
+
+// Schedule returns the accumulated schedule, sorted by start time.
+func (r *Recorder) Schedule() *core.Schedule {
+	r.sched.SortTasks()
+	return r.sched
+}

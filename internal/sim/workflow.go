@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+// Dep is a data dependency of a planned task on an earlier one.
+type Dep struct {
+	From  string  // predecessor task ID
+	Bytes float64 // data to transfer once the predecessor completes
+}
+
+// PlannedTask is a scheduler's placement decision, ready for virtual
+// execution: the task runs on the given global hosts for Duration seconds
+// once all dependencies have delivered their data and the hosts are free.
+type PlannedTask struct {
+	ID       string
+	Type     string
+	Hosts    []int // platform-global host numbers, all held for the duration
+	Duration float64
+	Deps     []Dep
+}
+
+// WorkflowResult summarizes a virtual execution.
+type WorkflowResult struct {
+	Schedule *core.Schedule
+	Makespan float64
+	// Start and Finish give the simulated times per task ID.
+	Start, Finish map[string]float64
+}
+
+// ExecOptions tunes the virtual execution.
+type ExecOptions struct {
+	// RecordTransfers adds a "transfer" task to the trace for every
+	// inter-host data movement, spanning the source and target hosts (the
+	// paper's inter-cluster communication rectangles).
+	RecordTransfers bool
+	// TransferFloor suppresses recording of transfers shorter than this
+	// (avoids sub-pixel clutter); transfers still take their time.
+	TransferFloor float64
+}
+
+// Execute runs the planned tasks on the platform through the event kernel:
+// a task starts when every dependency's data has arrived at its first host
+// and all its hosts are free. Dependencies transfer from the predecessor's
+// first host to the successor's first host under the platform's
+// latency+bandwidth model. Host occupation is FIFO in event order, which is
+// deterministic.
+//
+// The returned trace contains one "computation"-typed task per planned task
+// (the planned Type is kept) and optionally the transfers.
+func Execute(p *platform.Platform, tasks []PlannedTask, opt ExecOptions) (*WorkflowResult, error) {
+	byID := make(map[string]*PlannedTask, len(tasks))
+	for i := range tasks {
+		t := &tasks[i]
+		if t.ID == "" {
+			return nil, fmt.Errorf("sim: task %d has empty id", i)
+		}
+		if _, dup := byID[t.ID]; dup {
+			return nil, fmt.Errorf("sim: duplicate task id %q", t.ID)
+		}
+		if len(t.Hosts) == 0 {
+			return nil, fmt.Errorf("sim: task %q has no hosts", t.ID)
+		}
+		for _, h := range t.Hosts {
+			if _, err := p.Host(h); err != nil {
+				return nil, fmt.Errorf("sim: task %q: %w", t.ID, err)
+			}
+		}
+		if t.Duration < 0 {
+			return nil, fmt.Errorf("sim: task %q has negative duration", t.ID)
+		}
+		byID[t.ID] = t
+	}
+	for i := range tasks {
+		for _, d := range tasks[i].Deps {
+			if _, ok := byID[d.From]; !ok {
+				return nil, fmt.Errorf("sim: task %q depends on unknown %q", tasks[i].ID, d.From)
+			}
+		}
+	}
+
+	eng := NewEngine()
+	rec := NewRecorder(p)
+	hostFree := make([]float64, p.NumHosts())
+	pending := make(map[string]int, len(tasks))   // unarrived dep count
+	ready := make(map[string]float64, len(tasks)) // max data-arrival time
+	finish := make(map[string]float64, len(tasks))
+	start := make(map[string]float64, len(tasks))
+	succs := map[string][]*PlannedTask{}
+	var execErr error
+
+	for i := range tasks {
+		t := &tasks[i]
+		pending[t.ID] = len(t.Deps)
+		for _, d := range t.Deps {
+			succs[d.From] = append(succs[d.From], t)
+		}
+	}
+
+	nTransfers := 0
+	var tryStart func(t *PlannedTask)
+	tryStart = func(t *PlannedTask) {
+		st := ready[t.ID]
+		if eng.Now() > st {
+			st = eng.Now()
+		}
+		for _, h := range t.Hosts {
+			if hostFree[h] > st {
+				st = hostFree[h]
+			}
+		}
+		for _, h := range t.Hosts {
+			hostFree[h] = st + t.Duration
+		}
+		start[t.ID] = st
+		eng.At(st+t.Duration, func() {
+			finish[t.ID] = eng.Now()
+			if err := rec.Record(t.ID, t.Type, st, eng.Now(), t.Hosts); err != nil && execErr == nil {
+				execErr = err
+			}
+			// Launch transfers to successors.
+			for _, s := range succs[t.ID] {
+				s := s
+				var bytes float64
+				for _, d := range s.Deps {
+					if d.From == t.ID {
+						bytes = d.Bytes
+					}
+				}
+				src := t.Hosts[0]
+				dst := s.Hosts[0]
+				ct, err := p.CommTime(src, dst, bytes)
+				if err != nil && execErr == nil {
+					execErr = err
+					ct = 0
+				}
+				arrive := eng.Now() + ct
+				if opt.RecordTransfers && src != dst && ct >= opt.TransferFloor {
+					nTransfers++
+					if err := rec.Record(
+						fmt.Sprintf("x%d:%s->%s", nTransfers, t.ID, s.ID),
+						"transfer", eng.Now(), arrive, []int{src, dst}); err != nil && execErr == nil {
+						execErr = err
+					}
+				}
+				eng.At(arrive, func() {
+					if arrive > ready[s.ID] {
+						ready[s.ID] = arrive
+					}
+					pending[s.ID]--
+					if pending[s.ID] == 0 {
+						tryStart(s)
+					}
+				})
+			}
+		})
+	}
+
+	for i := range tasks {
+		t := &tasks[i]
+		if pending[t.ID] == 0 {
+			tryStart(t)
+		}
+	}
+	makespan := eng.Run()
+	if execErr != nil {
+		return nil, execErr
+	}
+	if len(finish) != len(tasks) {
+		return nil, fmt.Errorf("sim: deadlock: only %d of %d tasks completed (dependency cycle?)",
+			len(finish), len(tasks))
+	}
+	return &WorkflowResult{
+		Schedule: rec.Schedule(), Makespan: makespan,
+		Start: start, Finish: finish,
+	}, nil
+}

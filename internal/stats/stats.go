@@ -1,0 +1,225 @@
+// Package stats derives textual reports from schedules — the sanity checks
+// the paper says a visualization enables ("checking the number of requested
+// and assigned processors for a multiprocessor job", spotting idle holes,
+// quantifying idle-time reductions) in machine-checkable form. It
+// complements the charts: cmd/jedstat prints these reports for any Jedule
+// file, and the comparison report quantifies the difference between two
+// schedules of the same workload (CPA vs MCPA, before vs after
+// backfilling).
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// TypeRow summarizes one task type.
+type TypeRow struct {
+	Type     string
+	Tasks    int
+	Area     float64 // task-time x hosts
+	MinDur   float64
+	MaxDur   float64
+	MeanDur  float64
+	MaxHosts int
+}
+
+// ByType aggregates tasks per type, sorted by descending area. Composite
+// tasks are excluded (they duplicate their members' time).
+func ByType(s *core.Schedule) []TypeRow {
+	acc := map[string]*TypeRow{}
+	for i := range s.Tasks {
+		t := &s.Tasks[i]
+		if t.Type == core.CompositeType {
+			continue
+		}
+		r, ok := acc[t.Type]
+		if !ok {
+			r = &TypeRow{Type: t.Type, MinDur: t.Duration()}
+			acc[t.Type] = r
+		}
+		d := t.Duration()
+		hosts := t.TotalHosts()
+		r.Tasks++
+		r.Area += d * float64(hosts)
+		if d < r.MinDur {
+			r.MinDur = d
+		}
+		if d > r.MaxDur {
+			r.MaxDur = d
+		}
+		r.MeanDur += d
+		if hosts > r.MaxHosts {
+			r.MaxHosts = hosts
+		}
+	}
+	out := make([]TypeRow, 0, len(acc))
+	for _, r := range acc {
+		if r.Tasks > 0 {
+			r.MeanDur /= float64(r.Tasks)
+		}
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Area != out[j].Area {
+			return out[i].Area > out[j].Area
+		}
+		return out[i].Type < out[j].Type
+	})
+	return out
+}
+
+// HostLoad is the busy time of one host.
+type HostLoad struct {
+	Cluster, Host int
+	Busy          float64
+	Fraction      float64 // of the global makespan
+}
+
+// HostLoads returns per-host busy times, ordered by cluster then host.
+func HostLoads(s *core.Schedule) []HostLoad {
+	span := s.Extent().Span()
+	var out []HostLoad
+	for _, c := range s.Clusters {
+		for h := 0; h < c.Hosts; h++ {
+			busy := s.HostBusyTime(c.ID, h)
+			l := HostLoad{Cluster: c.ID, Host: h, Busy: busy}
+			if span > 0 {
+				l.Fraction = busy / span
+			}
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Imbalance returns (max-min)/max over host busy times; 0 means perfectly
+// balanced, values near 1 mean some hosts idle while others work — the
+// MCPA hole of Figure 4 in one number.
+func Imbalance(s *core.Schedule) float64 {
+	loads := HostLoads(s)
+	if len(loads) == 0 {
+		return 0
+	}
+	lo, hi := loads[0].Busy, loads[0].Busy
+	for _, l := range loads[1:] {
+		if l.Busy < lo {
+			lo = l.Busy
+		}
+		if l.Busy > hi {
+			hi = l.Busy
+		}
+	}
+	if hi == 0 {
+		return 0
+	}
+	return (hi - lo) / hi
+}
+
+// Sparkline renders the busy-host profile as a one-line unicode sparkline
+// with n samples, giving a terminal-level "bird's eye view".
+func Sparkline(s *core.Schedule, n int) string {
+	prof := s.Filter(func(t *core.Task) bool { return t.Type != core.CompositeType }).
+		UtilizationProfile(n)
+	if len(prof) == 0 {
+		return ""
+	}
+	max := 0
+	for _, v := range prof {
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		return strings.Repeat(" ", len(prof))
+	}
+	levels := []rune(" ▁▂▃▄▅▆▇█")
+	var b strings.Builder
+	for _, v := range prof {
+		idx := v * (len(levels) - 1) / max
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}
+
+// WriteProfileCSV emits "time,busy_hosts" samples for external plotting.
+func WriteProfileCSV(w io.Writer, s *core.Schedule, n int) error {
+	ext := s.Extent()
+	prof := s.Filter(func(t *core.Task) bool { return t.Type != core.CompositeType }).
+		UtilizationProfile(n)
+	if _, err := fmt.Fprintln(w, "time,busy_hosts"); err != nil {
+		return err
+	}
+	for i, v := range prof {
+		t := ext.Min
+		if n > 0 {
+			t += ext.Span() * float64(i) / float64(n)
+		}
+		if _, err := fmt.Fprintf(w, "%g,%d\n", t, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Report writes a human-readable summary of the schedule.
+func Report(w io.Writer, s *core.Schedule) error {
+	st := s.ComputeStats()
+	fmt.Fprintf(w, "schedule: %s\n", s)
+	fmt.Fprintf(w, "makespan     %.6g\n", st.Makespan)
+	fmt.Fprintf(w, "utilization  %.1f%%\n", 100*st.Utilization)
+	fmt.Fprintf(w, "busy/idle    %.6g / %.6g host-time\n", st.BusyArea, st.IdleArea)
+	fmt.Fprintf(w, "imbalance    %.3f\n", Imbalance(s))
+	if len(s.Meta) > 0 {
+		fmt.Fprintf(w, "meta        ")
+		for _, m := range s.Meta {
+			fmt.Fprintf(w, " %s=%s", m.Name, m.Value)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "\ntype                 tasks        area     mean dur   max hosts")
+	for _, r := range ByType(s) {
+		fmt.Fprintf(w, "%-20s %5d %11.4g %12.4g %11d\n",
+			r.Type, r.Tasks, r.Area, r.MeanDur, r.MaxHosts)
+	}
+	fmt.Fprintf(w, "\nprofile |%s|\n", Sparkline(s, 60))
+	return nil
+}
+
+// Comparison quantifies the difference between two schedules of the same
+// workload (for example before/after backfilling, or CPA vs MCPA).
+type Comparison struct {
+	MakespanA, MakespanB float64
+	Speedup              float64 // MakespanA / MakespanB (>1: B faster)
+	UtilizationA         float64
+	UtilizationB         float64
+	IdleReduction        float64 // IdleA - IdleB
+}
+
+// Compare computes a Comparison of a versus b.
+func Compare(a, b *core.Schedule) Comparison {
+	sa, sb := a.ComputeStats(), b.ComputeStats()
+	c := Comparison{
+		MakespanA: sa.Makespan, MakespanB: sb.Makespan,
+		UtilizationA: sa.Utilization, UtilizationB: sb.Utilization,
+		IdleReduction: sa.IdleArea - sb.IdleArea,
+	}
+	if sb.Makespan > 0 {
+		c.Speedup = sa.Makespan / sb.Makespan
+	}
+	return c
+}
+
+// WriteComparison prints the comparison with the given labels.
+func WriteComparison(w io.Writer, labelA, labelB string, c Comparison) error {
+	_, err := fmt.Fprintf(w,
+		"%-12s makespan %.6g utilization %.1f%%\n%-12s makespan %.6g utilization %.1f%%\nspeedup %.3fx, idle reduction %.6g host-time\n",
+		labelA, c.MakespanA, 100*c.UtilizationA,
+		labelB, c.MakespanB, 100*c.UtilizationB,
+		c.Speedup, c.IdleReduction)
+	return err
+}

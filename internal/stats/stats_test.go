@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func sample() *core.Schedule {
+	s := core.NewSingleCluster("c", 4)
+	s.Add("a", "computation", 0, 10, 0, 2) // area 20
+	s.Add("b", "computation", 0, 4, 2, 1)  // area 4
+	s.Add("x", "transfer", 4, 6, 2, 2)     // area 4
+	s.SetMeta("algorithm", "demo")
+	return s
+}
+
+func TestByType(t *testing.T) {
+	rows := ByType(sample())
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Sorted by descending area: computation (24) before transfer (4).
+	if rows[0].Type != "computation" || rows[1].Type != "transfer" {
+		t.Fatalf("order = %s, %s", rows[0].Type, rows[1].Type)
+	}
+	c := rows[0]
+	if c.Tasks != 2 || math.Abs(c.Area-24) > 1e-9 || c.MaxHosts != 2 {
+		t.Fatalf("computation row = %+v", c)
+	}
+	if math.Abs(c.MeanDur-7) > 1e-9 || c.MinDur != 4 || c.MaxDur != 10 {
+		t.Fatalf("durations = %+v", c)
+	}
+	// Composites excluded.
+	rows2 := ByType(sample().WithComposites())
+	if len(rows2) != 2 {
+		t.Fatalf("composites leaked into ByType: %+v", rows2)
+	}
+}
+
+func TestHostLoadsAndImbalance(t *testing.T) {
+	s := sample()
+	loads := HostLoads(s)
+	if len(loads) != 4 {
+		t.Fatalf("loads = %d", len(loads))
+	}
+	// Host 0: task a [0,10]; host 2: b [0,4] + x [4,6]; host 3: x [4,6].
+	if loads[0].Busy != 10 || loads[2].Busy != 6 || loads[3].Busy != 2 {
+		t.Fatalf("loads = %+v", loads)
+	}
+	if loads[0].Fraction != 1.0 || loads[3].Fraction != 0.2 {
+		t.Fatalf("fractions = %+v", loads)
+	}
+	// Host 3 nearly idle vs fully busy host 0: imbalance (10-2)/10.
+	if got := Imbalance(s); math.Abs(got-0.8) > 1e-9 {
+		t.Fatalf("imbalance = %g, want 0.8", got)
+	}
+	// Perfectly balanced schedule.
+	b := core.NewSingleCluster("c", 2)
+	b.Add("a", "x", 0, 5, 0, 2)
+	if got := Imbalance(b); got != 0 {
+		t.Fatalf("balanced imbalance = %g", got)
+	}
+	// Empty schedule.
+	if Imbalance(&core.Schedule{}) != 0 {
+		t.Fatal("empty imbalance")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	line := Sparkline(sample(), 20)
+	if len([]rune(line)) != 21 {
+		t.Fatalf("sparkline length = %d", len([]rune(line)))
+	}
+	if !strings.ContainsRune(line, '█') {
+		t.Fatalf("no full block in %q", line)
+	}
+	// All-idle schedule renders blanks.
+	empty := core.NewSingleCluster("c", 2)
+	empty.Add("z", "x", 0, 0, 0, 1) // zero-duration
+	if got := Sparkline(empty, 5); got != "" && strings.Trim(got, " ") != "" {
+		t.Fatalf("idle sparkline = %q", got)
+	}
+}
+
+func TestWriteProfileCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProfileCSV(&buf, sample(), 10); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "time,busy_hosts" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 12 {
+		t.Fatalf("lines = %d, want header + 11 samples", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "0,") {
+		t.Fatalf("first sample = %q", lines[1])
+	}
+}
+
+func TestReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Report(&buf, sample()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"makespan", "utilization", "imbalance", "algorithm=demo",
+		"computation", "transfer", "profile |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := sample()
+	b := core.NewSingleCluster("c", 4)
+	b.Add("a", "computation", 0, 5, 0, 4) // faster, fully packed
+	c := Compare(a, b)
+	if c.MakespanA != 10 || c.MakespanB != 5 {
+		t.Fatalf("makespans = %+v", c)
+	}
+	if c.Speedup != 2 {
+		t.Fatalf("speedup = %g", c.Speedup)
+	}
+	if c.IdleReduction <= 0 {
+		t.Fatalf("idle reduction = %g", c.IdleReduction)
+	}
+	var buf bytes.Buffer
+	if err := WriteComparison(&buf, "before", "after", c); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "speedup 2.000x") {
+		t.Fatalf("comparison output:\n%s", buf.String())
+	}
+	// Degenerate: zero makespan B.
+	z := Compare(a, &core.Schedule{})
+	if z.Speedup != 0 {
+		t.Fatal("zero-makespan speedup should be 0")
+	}
+}

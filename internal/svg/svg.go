@@ -1,0 +1,133 @@
+// Package svg writes SVG 1.1 documents through the same canvas interface as
+// the raster and pdf backends, giving the command-line mode a third vector
+// output format beyond those the paper lists.
+package svg
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"image/color"
+	"io"
+	"os"
+)
+
+// Canvas accumulates SVG elements.
+type Canvas struct {
+	w, h float64
+	body bytes.Buffer
+}
+
+// New creates an SVG canvas of the given pixel size with a white background.
+func New(width, height float64) *Canvas {
+	if width < 1 {
+		width = 1
+	}
+	if height < 1 {
+		height = 1
+	}
+	c := &Canvas{w: width, h: height}
+	c.FillRect(0, 0, width, height, color.RGBA{255, 255, 255, 255})
+	return c
+}
+
+// Size returns the canvas dimensions.
+func (c *Canvas) Size() (w, h float64) { return c.w, c.h }
+
+func hexColor(col color.RGBA) string {
+	return fmt.Sprintf("#%02x%02x%02x", col.R, col.G, col.B)
+}
+
+// FillRect fills an axis-aligned rectangle.
+func (c *Canvas) FillRect(x, y, w, h float64, col color.RGBA) {
+	if w <= 0 || h <= 0 {
+		return
+	}
+	fmt.Fprintf(&c.body, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s"/>`+"\n",
+		x, y, w, h, hexColor(col))
+}
+
+// StrokeRect outlines an axis-aligned rectangle.
+func (c *Canvas) StrokeRect(x, y, w, h float64, col color.RGBA, lw float64) {
+	if w <= 0 || h <= 0 || lw <= 0 {
+		return
+	}
+	fmt.Fprintf(&c.body, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="none" stroke="%s" stroke-width="%.2f"/>`+"\n",
+		x, y, w, h, hexColor(col), lw)
+}
+
+// Line draws a straight segment.
+func (c *Canvas) Line(x1, y1, x2, y2 float64, col color.RGBA, lw float64) {
+	if lw <= 0 {
+		lw = 1
+	}
+	fmt.Fprintf(&c.body, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="%s" stroke-width="%.2f"/>`+"\n",
+		x1, y1, x2, y2, hexColor(col), lw)
+}
+
+// TextWidth estimates text width with the same average-width model as the
+// pdf backend, keeping layout decisions backend-independent.
+func (c *Canvas) TextWidth(s string, size float64) float64 {
+	n := 0
+	for range s {
+		n++
+	}
+	return float64(n) * size * 0.52
+}
+
+// TextHeight returns the nominal glyph height.
+func (c *Canvas) TextHeight(size float64) float64 { return size }
+
+// Text draws s with its top-left corner at (x, y).
+func (c *Canvas) Text(x, y float64, s string, size float64, col color.RGBA) {
+	if s == "" {
+		return
+	}
+	var esc bytes.Buffer
+	xml.EscapeText(&esc, []byte(s))
+	fmt.Fprintf(&c.body,
+		`<text x="%.2f" y="%.2f" font-family="Helvetica,sans-serif" font-size="%.2f" fill="%s">%s</text>`+"\n",
+		x, y+0.8*size, size, hexColor(col), esc.String())
+}
+
+// VerticalText draws s rotated 90 degrees counter-clockwise, (x, y) being
+// the top-left of the rotated block.
+func (c *Canvas) VerticalText(x, y float64, s string, size float64, col color.RGBA) {
+	if s == "" {
+		return
+	}
+	var esc bytes.Buffer
+	xml.EscapeText(&esc, []byte(s))
+	bx, by := x+0.8*size, y+c.TextWidth(s, size)
+	fmt.Fprintf(&c.body,
+		`<text x="%.2f" y="%.2f" transform="rotate(-90 %.2f %.2f)" font-family="Helvetica,sans-serif" font-size="%.2f" fill="%s">%s</text>`+"\n",
+		bx, by, bx, by, size, hexColor(col), esc.String())
+}
+
+// Encode writes the complete SVG document.
+func (c *Canvas) Encode(w io.Writer) error {
+	if _, err := fmt.Fprintf(w,
+		`<?xml version="1.0" encoding="UTF-8"?>`+"\n"+
+			`<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		c.w, c.h, c.w, c.h); err != nil {
+		return err
+	}
+	if _, err := w.Write(c.body.Bytes()); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "</svg>\n")
+	return err
+}
+
+// WriteFile encodes the document to a file.
+func (c *Canvas) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

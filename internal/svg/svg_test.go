@@ -1,0 +1,113 @@
+package svg
+
+import (
+	"bytes"
+	"encoding/xml"
+	"image/color"
+	"strings"
+	"testing"
+)
+
+var black = color.RGBA{0, 0, 0, 255}
+
+func encode(t *testing.T, c *Canvas) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := c.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestDocumentWellFormedXML(t *testing.T) {
+	c := New(300, 200)
+	c.FillRect(1, 2, 3, 4, color.RGBA{1, 2, 3, 255})
+	c.StrokeRect(1, 2, 3, 4, black, 1)
+	c.Line(0, 0, 10, 10, black, 1)
+	c.Text(5, 5, "hello <&> world", 10, black)
+	c.VerticalText(5, 5, "up", 10, black)
+	doc := encode(t, c)
+	dec := xml.NewDecoder(strings.NewReader(doc))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG is not well-formed XML: %v\n%s", err, doc)
+		}
+	}
+	if !strings.Contains(doc, `width="300" height="200"`) {
+		t.Error("dimensions missing")
+	}
+}
+
+func TestShapes(t *testing.T) {
+	c := New(100, 100)
+	c.FillRect(10, 20, 30, 40, color.RGBA{255, 98, 0, 255})
+	c.StrokeRect(1, 1, 5, 5, black, 2)
+	c.Line(0, 0, 9, 9, black, 1.5)
+	doc := encode(t, c)
+	for _, want := range []string{
+		`<rect x="10.00" y="20.00" width="30.00" height="40.00" fill="#ff6200"/>`,
+		`stroke-width="2.00"`,
+		`<line x1="0.00" y1="0.00" x2="9.00" y2="9.00"`,
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("missing %q in:\n%s", want, doc)
+		}
+	}
+}
+
+func TestTextEscaped(t *testing.T) {
+	c := New(100, 100)
+	c.Text(0, 0, "a<b>&c", 10, black)
+	doc := encode(t, c)
+	if !strings.Contains(doc, "a&lt;b&gt;&amp;c") {
+		t.Fatalf("text not escaped:\n%s", doc)
+	}
+}
+
+func TestVerticalTextRotation(t *testing.T) {
+	c := New(100, 100)
+	c.VerticalText(10, 10, "up", 10, black)
+	if !strings.Contains(encode(t, c), `transform="rotate(-90`) {
+		t.Fatal("rotation missing")
+	}
+}
+
+func TestDegenerateNoops(t *testing.T) {
+	c := New(50, 50)
+	before := c.body.Len()
+	c.FillRect(0, 0, -1, 5, black)
+	c.StrokeRect(0, 0, 5, 5, black, 0)
+	c.Text(0, 0, "", 10, black)
+	c.VerticalText(0, 0, "", 10, black)
+	if c.body.Len() != before {
+		t.Fatal("degenerate ops emitted elements")
+	}
+}
+
+func TestMetricsAndSize(t *testing.T) {
+	c := New(0, -3)
+	if w, h := c.Size(); w != 1 || h != 1 {
+		t.Fatalf("clamped size = %g x %g", w, h)
+	}
+	if w := c.TextWidth("abc", 10); w < 15.5 || w > 15.7 {
+		t.Errorf("TextWidth = %g", w)
+	}
+	if c.TextHeight(11) != 11 {
+		t.Error("TextHeight")
+	}
+}
+
+func TestWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	c := New(10, 10)
+	if err := c.WriteFile(dir + "/x.svg"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteFile("/nonexistent-dir-xyz/x.svg"); err == nil {
+		t.Error("unwritable path must error")
+	}
+}

@@ -1,0 +1,151 @@
+package taskpool
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// PivotModel selects how the simulated quicksort splits its input.
+type PivotModel int
+
+const (
+	// RandomPivot models sorting random data with a random pivot choice:
+	// split fractions are drawn from the run's seeded generator, including
+	// occasionally terrible ones (the paper's "accidental bad choice of
+	// the pivot element").
+	RandomPivot PivotModel = iota
+	// MiddleInverse models the specially crafted input of Figure 12:
+	// inversely sorted numbers with the middle element as pivot, so every
+	// partition splits exactly in half but must swap every pair of
+	// elements, making the first task extremely expensive.
+	MiddleInverse
+)
+
+func (m PivotModel) String() string {
+	switch m {
+	case RandomPivot:
+		return "random"
+	case MiddleInverse:
+		return "middle-inverse"
+	default:
+		return "pivot(?)"
+	}
+}
+
+// QuicksortConfig describes a simulated parallel quicksort instance.
+type QuicksortConfig struct {
+	N         int64 // elements to sort
+	Threshold int64 // below this, sort sequentially (leaf task)
+	Pivot     PivotModel
+	Seed      int64 // randomness for RandomPivot splits
+	// PartitionCost is the per-element partition scan cost in seconds.
+	PartitionCost float64
+	// SwapFactor multiplies the partition cost when the input forces a
+	// swap of every pair (MiddleInverse); 1 otherwise.
+	SwapFactor float64
+	// LeafFactor scales the sequential-sort leaf cost (c·n·log2 n).
+	LeafFactor float64
+	// MemBoundAbove marks partition tasks over this many elements as
+	// memory-bound (subject to the NUMA model).
+	MemBoundAbove int64
+}
+
+// Figure11Config reproduces the workload of the paper's Figure 11:
+// quicksort of 10,000,000 random integers on 32 processors.
+func Figure11Config() QuicksortConfig {
+	return QuicksortConfig{
+		N: 10_000_000, Threshold: 20_000, Pivot: RandomPivot, Seed: 42,
+		PartitionCost: 1.2e-9, SwapFactor: 1, LeafFactor: 0.35e-9,
+		MemBoundAbove: 1_000_000,
+	}
+}
+
+// Figure12Config reproduces the workload of the paper's Figure 12:
+// quicksort of 200,000,000 inversely sorted integers with middle pivots.
+func Figure12Config() QuicksortConfig {
+	return QuicksortConfig{
+		N: 200_000_000, Threshold: 400_000, Pivot: MiddleInverse, Seed: 1,
+		PartitionCost: 1.2e-9, SwapFactor: 2.5, LeafFactor: 0.35e-9,
+		MemBoundAbove: 2_000_000,
+	}
+}
+
+// QuicksortItems builds the initial task (the whole array). Child tasks are
+// created on execution, exactly like the recursive calls of the real code.
+func QuicksortItems(cfg QuicksortConfig) ([]Item, error) {
+	if cfg.N < 1 || cfg.Threshold < 1 {
+		return nil, fmt.Errorf("taskpool: quicksort needs N >= 1 and Threshold >= 1")
+	}
+	if cfg.PartitionCost <= 0 || cfg.LeafFactor <= 0 {
+		return nil, fmt.Errorf("taskpool: quicksort needs positive cost factors")
+	}
+	if cfg.SwapFactor < 1 {
+		cfg.SwapFactor = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return []Item{sortTask(cfg, rng, "qs", cfg.N)}, nil
+}
+
+// sortTask builds the task for one (sub-)array of n elements.
+func sortTask(cfg QuicksortConfig, rng *rand.Rand, id string, n int64) Item {
+	if n <= cfg.Threshold {
+		// Leaf: sequential sort, c·n·log2(n).
+		cost := cfg.LeafFactor * float64(n) * math.Log2(float64(n)+1)
+		return Item{ID: id, Cost: cost, MemBound: false}
+	}
+	// Partition: one scan over the array, swapping as needed.
+	cost := cfg.PartitionCost * float64(n)
+	if cfg.Pivot == MiddleInverse {
+		cost *= cfg.SwapFactor
+	}
+	var left, right int64
+	switch cfg.Pivot {
+	case MiddleInverse:
+		left, right = n/2, n-n/2
+	default:
+		// Random pivot quality: mostly balanced, sometimes terrible.
+		f := 0.5
+		switch r := rng.Float64(); {
+		case r < 0.15:
+			f = 0.02 + rng.Float64()*0.08 // bad pivot
+		case r < 0.5:
+			f = 0.2 + rng.Float64()*0.2
+		default:
+			f = 0.4 + rng.Float64()*0.2
+		}
+		left = int64(float64(n) * f)
+		if left < 1 {
+			left = 1
+		}
+		if left >= n {
+			left = n - 1
+		}
+		right = n - left
+	}
+	return Item{
+		ID: id, Cost: cost, MemBound: n >= cfg.MemBoundAbove,
+		Spawn: func() []Item {
+			return []Item{
+				sortTask(cfg, rng, id+"l", left),
+				sortTask(cfg, rng, id+"r", right),
+			}
+		},
+	}
+}
+
+// RunQuicksort simulates the quicksort on the task pool.
+func RunQuicksort(pool Config, qs QuicksortConfig) (*Result, error) {
+	items, err := QuicksortItems(qs)
+	if err != nil {
+		return nil, err
+	}
+	res, err := Run(pool, items)
+	if err != nil {
+		return nil, err
+	}
+	res.Schedule.SetMeta("workload", "quicksort")
+	res.Schedule.SetMeta("n", fmt.Sprintf("%d", qs.N))
+	res.Schedule.SetMeta("pivot", qs.Pivot.String())
+	return res, nil
+}

@@ -1,0 +1,175 @@
+package taskpool
+
+import (
+	"testing"
+)
+
+func TestQuicksortItemsErrors(t *testing.T) {
+	bad := []QuicksortConfig{
+		{N: 0, Threshold: 1, PartitionCost: 1, LeafFactor: 1},
+		{N: 10, Threshold: 0, PartitionCost: 1, LeafFactor: 1},
+		{N: 10, Threshold: 1, PartitionCost: 0, LeafFactor: 1},
+		{N: 10, Threshold: 1, PartitionCost: 1, LeafFactor: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := QuicksortItems(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestPivotModelString(t *testing.T) {
+	if RandomPivot.String() != "random" || MiddleInverse.String() != "middle-inverse" {
+		t.Fatal("pivot strings")
+	}
+	if PivotModel(9).String() != "pivot(?)" {
+		t.Fatal("unknown pivot")
+	}
+}
+
+func TestQuicksortTaskTreeComplete(t *testing.T) {
+	// Small instance: the executed leaf sizes must sum to N.
+	cfg := QuicksortConfig{
+		N: 100_000, Threshold: 10_000, Pivot: MiddleInverse,
+		PartitionCost: 1e-9, SwapFactor: 2, LeafFactor: 1e-9,
+	}
+	res, err := RunQuicksort(Config{Workers: 4}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed < 3 {
+		t.Fatalf("executed = %d", res.Executed)
+	}
+	// Perfect halving: 1+2+4+8 internal partitions plus 16 leaves = 31.
+	if res.Executed != 31 {
+		t.Fatalf("executed = %d, want 31 for perfect halving", res.Executed)
+	}
+}
+
+// TestFigure11 reproduces the paper's Figure 11 observations for quicksort
+// on 10M random integers with 32 processors: a serial warm-up while the
+// initial partitions run, full parallelism later, and intermittent
+// low-utilization windows.
+func TestFigure11(t *testing.T) {
+	res, err := RunQuicksort(DefaultConfig(), Figure11Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	prof := res.Profile(400)
+	// Serial prefix: the very beginning has one busy processor.
+	if prof[0] != 1 {
+		t.Fatalf("start busy = %d, want 1", prof[0])
+	}
+	// Full parallelism is reached at some point.
+	max := 0
+	for _, b := range prof {
+		if b > max {
+			max = b
+		}
+	}
+	if max < 28 {
+		t.Fatalf("peak parallelism = %d, want near 32", max)
+	}
+	// "There are still some periods with low utilization with only 2-4
+	// processors actually running": at least one low window after start.
+	if res.LowUtilizationWindows(5, 400) < 2 {
+		t.Fatalf("low-utilization windows = %d, want >= 2", res.LowUtilizationWindows(5, 400))
+	}
+	// The paper notes >200,000 tasks in some experiments; this instance
+	// stays smaller but must still be substantial.
+	if res.Executed < 100 {
+		t.Fatalf("tasks executed = %d", res.Executed)
+	}
+}
+
+// TestFigure12 reproduces the paper's Figure 12: inversely sorted input
+// with middle pivots. Only one processor is busy for roughly half the
+// run, and the NUMA model later opens another low-utilization hole even
+// though all splits are perfectly equal.
+func TestFigure12(t *testing.T) {
+	res, err := RunQuicksort(DefaultConfig(), Figure12Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneBusy := res.BusyFractionWithOneWorker(600)
+	if oneBusy < 0.3 || oneBusy > 0.65 {
+		t.Fatalf("one-processor fraction = %g, want ~0.5 ('almost half the total execution time')", oneBusy)
+	}
+	// A later hole: some sampled instant in the second half of the run
+	// has fewer than half the workers busy.
+	prof := res.Profile(600)
+	hole := false
+	for i := len(prof) * 3 / 5; i < len(prof); i++ {
+		if prof[i] > 0 && prof[i] < 16 {
+			hole = true
+			break
+		}
+	}
+	if !hole {
+		t.Fatal("no late low-utilization hole despite NUMA imbalance")
+	}
+	// The first task dominates: it must be the longest by far.
+	root := res.Schedule.Task("qs")
+	if root == nil {
+		t.Fatal("root task missing")
+	}
+	if root.Duration() < 0.25*res.Makespan {
+		t.Fatalf("root spans %g of %g, want a large fraction", root.Duration(), res.Makespan)
+	}
+}
+
+func TestFigure12SlowerThanFigure11PerElement(t *testing.T) {
+	// The inversely sorted input takes much longer than random input of
+	// the same size would ("it takes much longer than for the random
+	// input case"): check the root tasks' per-element cost.
+	r11, err := RunQuicksort(DefaultConfig(), Figure11Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r12, err := RunQuicksort(DefaultConfig(), Figure12Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	per11 := r11.Schedule.Task("qs").Duration() / float64(Figure11Config().N)
+	per12 := r12.Schedule.Task("qs").Duration() / float64(Figure12Config().N)
+	if per12 <= per11 {
+		t.Fatalf("per-element root cost: fig12 %g <= fig11 %g", per12, per11)
+	}
+}
+
+func TestQuicksortDeterministic(t *testing.T) {
+	a, err := RunQuicksort(DefaultConfig(), Figure11Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunQuicksort(DefaultConfig(), Figure11Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.Executed != b.Executed {
+		t.Fatal("simulation not deterministic")
+	}
+}
+
+func TestManyTasksCapability(t *testing.T) {
+	// "Jedule can handle big data sets ... more than 200,000 individual
+	// tasks": a deep-threshold run produces a large trace without issue.
+	if testing.Short() {
+		t.Skip("large trace")
+	}
+	cfg := Figure11Config()
+	cfg.Threshold = 2_000 // many more leaves
+	res, err := RunQuicksort(DefaultConfig(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed < 5_000 {
+		t.Fatalf("executed = %d, want thousands", res.Executed)
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,359 @@
+// Package taskpool implements the paper's fourth case study (section VI): a
+// task-pool runtime for irregular computations whose per-thread execution
+// and waiting times are logged for offline analysis in Jedule.
+//
+// The execution scheme is the one of the paper's Figure 10: a master
+// creates initial tasks; then every worker loops { get(); execute() —
+// possibly creating new tasks; free(); } until the pool is empty and no
+// task is running. The "waiting time covers the time for get() and free()
+// calls while the task size covers the time for execution()".
+//
+// The original study ran on an SGI Altix 4700 (32 dual-core Itanium2
+// processors). Here the machine is simulated: workers advance on a
+// discrete-event clock, and a NUMA memory model reproduces the two effects
+// the paper points at — bandwidth saturation when many memory-bound tasks
+// run concurrently, and equal-sized tasks taking different times because of
+// remote memory placement.
+package taskpool
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Item is one task of the pool. Spawn, if non-nil, is called on completion
+// and returns the child tasks (the recursive calls of the computation).
+type Item struct {
+	ID string
+	// Cost is the pure compute time in seconds, before NUMA effects.
+	Cost float64
+	// MemBound marks tasks limited by memory bandwidth (large working
+	// sets); only these feel contention and placement penalties.
+	MemBound bool
+	// Spawn produces the child tasks created by executing this item.
+	Spawn func() []Item
+}
+
+// PoolKind selects the pool organization.
+type PoolKind int
+
+const (
+	// Central is one shared LIFO pool ("central data structures").
+	Central PoolKind = iota
+	// Stealing gives each worker a private LIFO deque; idle workers steal
+	// the oldest task from the fullest deque ("distributed data
+	// structures ... hidden behind the task pool interface").
+	Stealing
+)
+
+func (k PoolKind) String() string {
+	switch k {
+	case Central:
+		return "central"
+	case Stealing:
+		return "stealing"
+	default:
+		return "pool(?)"
+	}
+}
+
+// Config parameterizes the simulated run.
+type Config struct {
+	Workers int
+	Pool    PoolKind
+	// GetOverhead and FreeOverhead model the pool access costs that make
+	// up the waiting time ("a low overhead of the task pool is an
+	// important requirement").
+	GetOverhead, FreeOverhead float64
+	// MemChannels is the number of concurrent memory-bound tasks the
+	// machine sustains at full speed; beyond it, memory-bound tasks slow
+	// down proportionally. 0 disables contention.
+	MemChannels int
+	// RemotePenalty is the slowdown factor (>= 0) applied to the fraction
+	// RemoteFraction of memory-bound tasks whose data happens to live on
+	// a remote NUMA node; the affected tasks are chosen deterministically
+	// by task ID hash.
+	RemotePenalty  float64
+	RemoteFraction float64
+	// MinWaitRecorded suppresses waiting intervals shorter than this from
+	// the trace (they would be sub-pixel).
+	MinWaitRecorded float64
+}
+
+// DefaultConfig mirrors the case-study machine: 32 workers, a central pool
+// with small access overheads, and the Altix-like NUMA model.
+func DefaultConfig() Config {
+	return Config{
+		Workers: 32, Pool: Central,
+		GetOverhead: 20e-6, FreeOverhead: 10e-6,
+		MemChannels: 8, RemotePenalty: 0.8, RemoteFraction: 0.25,
+		MinWaitRecorded: 1e-3,
+	}
+}
+
+// Result is the outcome of a simulated run.
+type Result struct {
+	Schedule *core.Schedule
+	Makespan float64
+	Executed int     // tasks executed
+	BusyTime float64 // total execution time across workers
+	WaitTime float64 // total recorded waiting time
+}
+
+// Run simulates the task pool executing the initial items.
+func Run(cfg Config, initial []Item) (*Result, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("taskpool: need at least one worker")
+	}
+	if cfg.MemChannels < 0 || cfg.RemotePenalty < 0 || cfg.RemoteFraction < 0 || cfg.RemoteFraction > 1 {
+		return nil, fmt.Errorf("taskpool: invalid NUMA parameters")
+	}
+	r := &runtime{
+		cfg:    cfg,
+		eng:    sim.NewEngine(),
+		sched:  core.NewSingleCluster("altix", cfg.Workers),
+		deques: make([][]Item, cfg.Workers),
+		idleAt: make([]float64, cfg.Workers),
+		isIdle: make([]bool, cfg.Workers),
+	}
+	r.sched.SetMeta("pool", cfg.Pool.String())
+	r.sched.SetMeta("workers", fmt.Sprintf("%d", cfg.Workers))
+	for w := 0; w < cfg.Workers; w++ {
+		r.isIdle[w] = true
+	}
+	// The master thread creates the initial tasks (Figure 10).
+	for _, it := range initial {
+		r.push(0, it)
+	}
+	r.dispatch()
+	r.eng.Run()
+	// Close out trailing waits: workers idle at the end waited from their
+	// idle time to the makespan.
+	for w := 0; w < cfg.Workers; w++ {
+		if r.isIdle[w] && r.makespan-r.idleAt[w] >= cfg.MinWaitRecorded {
+			r.recordWait(w, r.idleAt[w], r.makespan)
+		}
+	}
+	res := &Result{
+		Schedule: r.sched, Makespan: r.makespan,
+		Executed: r.executed, BusyTime: r.busyTime, WaitTime: r.waitTime,
+	}
+	res.Schedule.SortTasks()
+	if err := res.Schedule.Validate(); err != nil {
+		return nil, fmt.Errorf("taskpool: internal trace invalid: %w", err)
+	}
+	return res, nil
+}
+
+type runtime struct {
+	cfg   Config
+	eng   *sim.Engine
+	sched *core.Schedule
+
+	deques  [][]Item // deque 0 doubles as the central pool
+	idleAt  []float64
+	isIdle  []bool
+	running int // tasks currently executing
+	memBusy int // memory-bound tasks currently executing
+
+	executed int
+	busyTime float64
+	waitTime float64
+	makespan float64
+	waitSeq  int
+}
+
+// push adds an item to the pool near the given worker.
+func (r *runtime) push(worker int, it Item) {
+	if r.cfg.Pool == Central {
+		r.deques[0] = append(r.deques[0], it)
+		return
+	}
+	r.deques[worker] = append(r.deques[worker], it)
+}
+
+// pop removes the next item for the worker, or false.
+func (r *runtime) pop(worker int) (Item, bool) {
+	if r.cfg.Pool == Central {
+		q := r.deques[0]
+		if len(q) == 0 {
+			return Item{}, false
+		}
+		it := q[len(q)-1] // LIFO
+		r.deques[0] = q[:len(q)-1]
+		return it, true
+	}
+	// Own deque first, LIFO.
+	if q := r.deques[worker]; len(q) > 0 {
+		it := q[len(q)-1]
+		r.deques[worker] = q[:len(q)-1]
+		return it, true
+	}
+	// Steal the oldest task from the fullest deque.
+	victim, best := -1, 0
+	for w := range r.deques {
+		if w != worker && len(r.deques[w]) > best {
+			victim, best = w, len(r.deques[w])
+		}
+	}
+	if victim < 0 {
+		return Item{}, false
+	}
+	it := r.deques[victim][0]
+	r.deques[victim] = r.deques[victim][1:]
+	return it, true
+}
+
+// poolEmpty reports whether any deque has work.
+func (r *runtime) poolEmpty() bool {
+	for _, q := range r.deques {
+		if len(q) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// dispatch hands queued work to idle workers at the current time.
+func (r *runtime) dispatch() {
+	for w := 0; w < r.cfg.Workers; w++ {
+		if !r.isIdle[w] {
+			continue
+		}
+		it, ok := r.pop(w)
+		if !ok {
+			continue
+		}
+		r.start(w, it)
+	}
+}
+
+// remote reports whether the item pays the NUMA placement penalty,
+// deterministically from its ID.
+func (r *runtime) remote(id string) bool {
+	if r.cfg.RemotePenalty == 0 || r.cfg.RemoteFraction == 0 {
+		return false
+	}
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return float64(h.Sum32()%1000)/1000 < r.cfg.RemoteFraction
+}
+
+// start begins executing an item on an idle worker at the current time.
+func (r *runtime) start(w int, it Item) {
+	now := r.eng.Now()
+	if wait := now - r.idleAt[w]; wait >= r.cfg.MinWaitRecorded {
+		r.recordWait(w, r.idleAt[w], now)
+	}
+	r.isIdle[w] = false
+	r.running++
+	if it.MemBound {
+		r.memBusy++
+	}
+	dur := it.Cost
+	if it.MemBound {
+		if r.cfg.MemChannels > 0 && r.memBusy > r.cfg.MemChannels {
+			dur *= float64(r.memBusy) / float64(r.cfg.MemChannels)
+		}
+		if r.remote(it.ID) {
+			dur *= 1 + r.cfg.RemotePenalty
+		}
+	}
+	execStart := now + r.cfg.GetOverhead
+	execEnd := execStart + dur
+	r.eng.At(execEnd, func() { r.finish(w, it, execStart) })
+}
+
+// finish completes an item: record it, spawn children, pick up more work.
+func (r *runtime) finish(w int, it Item, execStart float64) {
+	now := r.eng.Now()
+	r.sched.Add(it.ID, "computation", execStart, now, w, 1)
+	r.executed++
+	r.busyTime += now - execStart
+	r.running--
+	if it.MemBound {
+		r.memBusy--
+	}
+	if now > r.makespan {
+		r.makespan = now
+	}
+	if it.Spawn != nil {
+		for _, child := range it.Spawn() {
+			r.push(w, child)
+		}
+	}
+	done := now + r.cfg.FreeOverhead
+	r.eng.At(done, func() {
+		r.isIdle[w] = true
+		r.idleAt[w] = r.eng.Now()
+		r.dispatch()
+	})
+}
+
+func (r *runtime) recordWait(w int, from, to float64) {
+	r.waitSeq++
+	r.sched.Add(fmt.Sprintf("w%d.wait%d", w, r.waitSeq), "waiting", from, to, w, 1)
+	r.waitTime += to - from
+}
+
+// Utilization returns the busy fraction of the run: busy time over
+// workers x makespan.
+func (res *Result) Utilization() float64 {
+	if res.Makespan <= 0 {
+		return 0
+	}
+	return res.BusyTime / (float64(res.Schedule.TotalHosts()) * res.Makespan)
+}
+
+// Computations returns the trace restricted to execution intervals,
+// excluding the explicit "waiting" tasks (which must not count as busy).
+func (res *Result) Computations() *core.Schedule {
+	return res.Schedule.Filter(func(t *core.Task) bool { return t.Type == "computation" })
+}
+
+// Profile samples how many workers are executing a task at n+1 evenly
+// spaced instants.
+func (res *Result) Profile(n int) []int {
+	return res.Computations().UtilizationProfile(n)
+}
+
+// BusyFractionWithOneWorker returns the fraction of the makespan during
+// which exactly one worker executes a task — the quantity behind the
+// paper's Figure 12 observation ("only one processor is busy in almost half
+// the total execution time"). It samples the run at n points.
+func (res *Result) BusyFractionWithOneWorker(n int) float64 {
+	prof := res.Profile(n)
+	if len(prof) == 0 {
+		return 0
+	}
+	hits := 0
+	for _, busy := range prof {
+		if busy == 1 {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(prof))
+}
+
+// LowUtilizationWindows counts maximal sampled windows in which fewer than
+// k workers are busy (but at least one), mirroring the paper's "periods
+// with low utilization with only 2-4 processors actually running".
+func (res *Result) LowUtilizationWindows(k, samples int) int {
+	prof := res.Profile(samples)
+	windows := 0
+	in := false
+	for _, busy := range prof {
+		low := busy > 0 && busy < k
+		if low && !in {
+			windows++
+		}
+		in = low
+	}
+	return windows
+}
+
+var _ = math.Inf // reserved for future cost models

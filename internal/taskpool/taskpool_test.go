@@ -1,0 +1,282 @@
+package taskpool
+
+import (
+	"strings"
+	"testing"
+)
+
+func flatItems(n int, cost float64) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{ID: "t" + itoa(i), Cost: cost}
+	}
+	return items
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}
+
+func TestPoolKindString(t *testing.T) {
+	if Central.String() != "central" || Stealing.String() != "stealing" {
+		t.Fatal("pool strings")
+	}
+	if PoolKind(7).String() != "pool(?)" {
+		t.Fatal("unknown pool string")
+	}
+}
+
+func TestRunFlatTasks(t *testing.T) {
+	cfg := Config{Workers: 4, GetOverhead: 0, FreeOverhead: 0}
+	res, err := Run(cfg, flatItems(8, 1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != 8 {
+		t.Fatalf("executed = %d", res.Executed)
+	}
+	// 8 unit tasks on 4 workers: two waves, makespan 2.
+	if res.Makespan < 1.99 || res.Makespan > 2.01 {
+		t.Fatalf("makespan = %g, want ~2", res.Makespan)
+	}
+	if res.Utilization() < 0.99 {
+		t.Fatalf("utilization = %g, want ~1", res.Utilization())
+	}
+	if err := res.Schedule.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverheadsBecomeWaitingTime(t *testing.T) {
+	cfg := Config{Workers: 2, GetOverhead: 0.1, FreeOverhead: 0.05, MinWaitRecorded: 0.01}
+	res, err := Run(cfg, flatItems(4, 1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each task takes 1.0 of compute; overheads stretch the makespan.
+	if res.Makespan <= 2.0 {
+		t.Fatalf("makespan %g should exceed pure compute 2.0", res.Makespan)
+	}
+	// Execution intervals exclude the get overhead: no task interval may
+	// start at its worker's previous end (gap >= free+get).
+	if res.BusyTime < 3.99 || res.BusyTime > 4.01 {
+		t.Fatalf("busy time = %g, want 4", res.BusyTime)
+	}
+}
+
+func TestSpawnedChildren(t *testing.T) {
+	// A root task spawning 3 children, each spawning 2 leaves: 1+3+6.
+	leaf := func(id string) Item { return Item{ID: id, Cost: 0.5} }
+	child := func(id string) Item {
+		return Item{ID: id, Cost: 1, Spawn: func() []Item {
+			return []Item{leaf(id + ".a"), leaf(id + ".b")}
+		}}
+	}
+	root := Item{ID: "root", Cost: 1, Spawn: func() []Item {
+		return []Item{child("c1"), child("c2"), child("c3")}
+	}}
+	res, err := Run(Config{Workers: 4}, []Item{root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Executed != 10 {
+		t.Fatalf("executed = %d, want 10", res.Executed)
+	}
+	// Children cannot start before the root ends.
+	rootTask := res.Schedule.Task("root")
+	for _, id := range []string{"c1", "c2", "c3"} {
+		c := res.Schedule.Task(id)
+		if c == nil || c.Start < rootTask.End {
+			t.Fatalf("child %s starts before root ends", id)
+		}
+	}
+}
+
+func TestWaitingRecorded(t *testing.T) {
+	// 1 long task then nothing: 3 of 4 workers wait the whole run.
+	res, err := Run(Config{Workers: 4, MinWaitRecorded: 0.01}, []Item{{ID: "solo", Cost: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waits := 0
+	for i := range res.Schedule.Tasks {
+		if res.Schedule.Tasks[i].Type == "waiting" {
+			waits++
+		}
+	}
+	if waits < 3 {
+		t.Fatalf("recorded %d waiting intervals, want >= 3", waits)
+	}
+	if res.WaitTime < 5.9 {
+		t.Fatalf("wait time = %g, want ~6 (3 workers x 2s)", res.WaitTime)
+	}
+}
+
+func TestCentralVsStealingBothComplete(t *testing.T) {
+	mk := func() []Item {
+		var items []Item
+		for i := 0; i < 40; i++ {
+			items = append(items, Item{ID: "t" + itoa(i), Cost: 0.1 * float64(1+i%5)})
+		}
+		return items
+	}
+	for _, kind := range []PoolKind{Central, Stealing} {
+		res, err := Run(Config{Workers: 8, Pool: kind}, mk())
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if res.Executed != 40 {
+			t.Fatalf("%v executed %d", kind, res.Executed)
+		}
+		if res.Schedule.MetaValue("pool") != kind.String() {
+			t.Fatalf("%v meta missing", kind)
+		}
+	}
+}
+
+func TestStealingBalancesLoad(t *testing.T) {
+	// All work spawns from one root: stealing must still use many workers.
+	deep := func(id string, depth int) Item {
+		it := Item{ID: id, Cost: 0.2}
+		if depth > 0 {
+			d := depth - 1
+			it.Spawn = func() []Item {
+				return []Item{
+					deepHelper(id+"l", d), deepHelper(id+"r", d),
+				}
+			}
+		}
+		return it
+	}
+	res, err := Run(Config{Workers: 8, Pool: Stealing}, []Item{deep("r", 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	busyWorkers := 0
+	for w := 0; w < 8; w++ {
+		if res.Schedule.HostBusyTime(0, w) > 0 {
+			busyWorkers++
+		}
+	}
+	if busyWorkers < 4 {
+		t.Fatalf("stealing used only %d workers", busyWorkers)
+	}
+}
+
+func deepHelper(id string, depth int) Item {
+	it := Item{ID: id, Cost: 0.2}
+	if depth > 0 {
+		d := depth - 1
+		it.Spawn = func() []Item {
+			return []Item{deepHelper(id+"l", d), deepHelper(id+"r", d)}
+		}
+	}
+	return it
+}
+
+func TestNUMAContentionSlowsMemBound(t *testing.T) {
+	// 8 concurrent memory-bound tasks on 8 workers with 2 channels: each
+	// runs 4x slower than alone.
+	items := make([]Item, 8)
+	for i := range items {
+		items[i] = Item{ID: "m" + itoa(i), Cost: 1, MemBound: true}
+	}
+	contended, err := Run(Config{Workers: 8, MemChannels: 2}, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, err := Run(Config{Workers: 8, MemChannels: 0}, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contended.Makespan < 2*free.Makespan {
+		t.Fatalf("contention had too little effect: %g vs %g", contended.Makespan, free.Makespan)
+	}
+	// Compute-bound tasks are unaffected.
+	cb := make([]Item, 8)
+	for i := range cb {
+		cb[i] = Item{ID: "c" + itoa(i), Cost: 1}
+	}
+	cbRes, err := Run(Config{Workers: 8, MemChannels: 2}, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cbRes.Makespan > 1.01 {
+		t.Fatalf("compute-bound tasks were throttled: %g", cbRes.Makespan)
+	}
+}
+
+func TestRemotePenaltyDeterministic(t *testing.T) {
+	cfg := Config{Workers: 1, RemotePenalty: 1.0, RemoteFraction: 0.5}
+	a, err := Run(cfg, []Item{{ID: "x", Cost: 1, MemBound: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, []Item{{ID: "x", Cost: 1, MemBound: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan {
+		t.Fatal("remote penalty not deterministic")
+	}
+	// With fraction 1, every mem-bound task pays the penalty.
+	all, err := Run(Config{Workers: 1, RemotePenalty: 1.0, RemoteFraction: 1},
+		[]Item{{ID: "x", Cost: 1, MemBound: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Makespan < 1.99 {
+		t.Fatalf("penalized makespan = %g, want ~2", all.Makespan)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(Config{Workers: 0}, nil); err == nil {
+		t.Error("zero workers accepted")
+	}
+	if _, err := Run(Config{Workers: 1, RemoteFraction: 2}, nil); err == nil {
+		t.Error("bad fraction accepted")
+	}
+	if _, err := Run(Config{Workers: 1, MemChannels: -1}, nil); err == nil {
+		t.Error("negative channels accepted")
+	}
+}
+
+func TestResultMetrics(t *testing.T) {
+	res, err := Run(Config{Workers: 2, MinWaitRecorded: 0.001}, []Item{
+		{ID: "a", Cost: 2},
+		{ID: "b", Cost: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := res.BusyFractionWithOneWorker(100); f < 0.4 || f > 0.6 {
+		t.Fatalf("one-busy fraction = %g, want ~0.5", f)
+	}
+	if w := res.LowUtilizationWindows(2, 100); w != 1 {
+		t.Fatalf("low windows = %d, want 1", w)
+	}
+	empty := &Result{Schedule: res.Schedule}
+	if empty.Utilization() != 0 {
+		t.Fatal("zero-makespan utilization")
+	}
+}
+
+func TestTraceTypes(t *testing.T) {
+	res, err := Run(Config{Workers: 2, MinWaitRecorded: 0.001}, []Item{{ID: "only", Cost: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := strings.Join(res.Schedule.TaskTypes(), ",")
+	if !strings.Contains(types, "computation") || !strings.Contains(types, "waiting") {
+		t.Fatalf("types = %s", types)
+	}
+}

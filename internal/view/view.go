@@ -1,0 +1,374 @@
+// Package view implements the semantics of Jedule's interactive mode
+// (paper section II-D.1) without a GUI toolkit: a Viewport holds the
+// current zoom window, cluster selection, and view mode, and translates the
+// user gestures the paper lists — mouse-wheel zoom at the cursor, drag
+// panning, rubber-band zoom onto a selected region, clicking a task for its
+// meta information, cluster selection, fast reread of the schedule file, and
+// snapshot export.
+//
+// The Swing window of the original tool was a thin shell around exactly
+// these operations; here they are exercised by unit tests and by the HTTP
+// viewer in server.go.
+package view
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/colormap"
+	"repro/internal/core"
+	"repro/internal/jedxml"
+	"repro/internal/raster"
+	"repro/internal/render"
+)
+
+// minSpanFraction bounds how deep the zoom can go, relative to the full
+// schedule extent.
+const minSpanFraction = 1e-6
+
+// Viewport is the interactive view state over one schedule.
+type Viewport struct {
+	mu sync.Mutex
+
+	sched *core.Schedule
+	path  string // source file for Reread; empty when constructed in memory
+
+	Width, Height int
+	Mode          core.ViewMode
+	Map           *colormap.Map
+	Labels        bool
+	Composites    bool
+
+	window   *core.Extent // nil = full extent
+	clusters []int        // nil = all
+}
+
+// New creates a viewport over an in-memory schedule.
+func New(s *core.Schedule, width, height int) *Viewport {
+	return &Viewport{
+		sched: s, Width: width, Height: height,
+		Mode: core.AlignedView, Map: colormap.Default(), Labels: true,
+	}
+}
+
+// Open creates a viewport reading the schedule from a Jedule XML file; the
+// path is retained for Reread.
+func Open(path string, width, height int) (*Viewport, error) {
+	s, err := jedxml.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	v := New(s, width, height)
+	v.path = path
+	return v, nil
+}
+
+// Schedule returns the schedule currently shown.
+func (v *Viewport) Schedule() *core.Schedule {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.sched
+}
+
+// Window returns the visible time range.
+func (v *Viewport) Window() core.Extent {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.windowLocked()
+}
+
+func (v *Viewport) windowLocked() core.Extent {
+	if v.window != nil {
+		return *v.window
+	}
+	return v.sched.Extent()
+}
+
+// options builds the render options for the current state.
+func (v *Viewport) options() render.Options {
+	return render.Options{
+		Mode: v.Mode, Map: v.Map, Clusters: v.clusters,
+		Window: v.window, Labels: v.Labels, Composites: v.Composites,
+	}
+}
+
+// Layout computes the current panel layout (for hit testing and gestures).
+func (v *Viewport) Layout() *render.Layout {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return render.ComputeLayout(v.renderSchedule(), float64(v.Width), float64(v.Height), v.options())
+}
+
+func (v *Viewport) renderSchedule() *core.Schedule {
+	if v.Composites {
+		return v.sched.WithComposites()
+	}
+	return v.sched
+}
+
+// Render draws the current view onto a fresh raster canvas.
+func (v *Viewport) Render() *raster.Canvas {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c := raster.New(v.Width, v.Height)
+	opts := v.options()
+	opts.Composites = false // renderSchedule already applied them
+	render.Render(c, v.renderSchedule(), opts)
+	return c
+}
+
+// timeAt converts a screen x coordinate to a time value using the first
+// visible panel (all panels share the window in the interactive view).
+func (v *Viewport) timeAt(x float64) (float64, bool) {
+	l := render.ComputeLayout(v.sched, float64(v.Width), float64(v.Height), v.options())
+	if len(l.Panels) == 0 {
+		return 0, false
+	}
+	return l.Panels[0].Transform.XToWorld(x), true
+}
+
+// setWindow clamps and stores a new window.
+func (v *Viewport) setWindow(lo, hi float64) {
+	full := v.sched.Extent()
+	minSpan := full.Span() * minSpanFraction
+	if minSpan <= 0 {
+		minSpan = 1e-12
+	}
+	if hi-lo < minSpan {
+		mid := (lo + hi) / 2
+		lo, hi = mid-minSpan/2, mid+minSpan/2
+	}
+	span := hi - lo
+	if span >= full.Span() {
+		v.window = nil
+		return
+	}
+	if lo < full.Min {
+		lo, hi = full.Min, full.Min+span
+	}
+	if hi > full.Max {
+		lo, hi = full.Max-span, full.Max
+	}
+	v.window = &core.Extent{Min: lo, Max: hi}
+}
+
+// ZoomAt scales the time window by factor (>1 zooms in) keeping the instant
+// under the screen x coordinate fixed — the paper's mouse-wheel zoom.
+func (v *Viewport) ZoomAt(factor, x float64) {
+	if factor <= 0 {
+		return
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	t, ok := v.timeAt(x)
+	if !ok {
+		return
+	}
+	w := v.windowLocked()
+	t = math.Max(w.Min, math.Min(w.Max, t))
+	v.setWindow(t-(t-w.Min)/factor, t+(w.Max-t)/factor)
+}
+
+// Zoom scales about the window center (keyboard zoom).
+func (v *Viewport) Zoom(factor float64) {
+	if factor <= 0 {
+		return
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	w := v.windowLocked()
+	mid := (w.Min + w.Max) / 2
+	v.setWindow(mid-w.Span()/(2*factor), mid+w.Span()/(2*factor))
+}
+
+// Pan shifts the window by a fraction of its span (positive = later times),
+// the paper's drag gesture.
+func (v *Viewport) Pan(fraction float64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	w := v.windowLocked()
+	d := w.Span() * fraction
+	full := v.sched.Extent()
+	if w.Min+d < full.Min {
+		d = full.Min - w.Min
+	}
+	if w.Max+d > full.Max {
+		d = full.Max - w.Max
+	}
+	if v.window == nil && d == 0 {
+		return
+	}
+	v.setWindow(w.Min+d, w.Max+d)
+}
+
+// RubberBand zooms onto the time range between two screen x coordinates
+// (the paper's "zoom in by selecting a rectangular part").
+func (v *Viewport) RubberBand(x0, x1 float64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if x1 < x0 {
+		x0, x1 = x1, x0
+	}
+	t0, ok0 := v.timeAt(x0)
+	t1, ok1 := v.timeAt(x1)
+	if !ok0 || !ok1 || t1 <= t0 {
+		return
+	}
+	v.setWindow(t0, t1)
+}
+
+// SetGrayscale switches between the color and grayscale variants of the
+// current map — the journal-figure use case, applied live.
+func (v *Viewport) SetGrayscale(on bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	base := v.Map
+	if base == nil {
+		base = colormap.Default()
+	}
+	if on {
+		v.Map = base.Grayscale()
+		return
+	}
+	// Grayscale() derives "<name>-gray"; recover a colored default.
+	v.Map = colormap.Default()
+}
+
+// Recolor assigns a new background color to one task type on the fly
+// (paper section IX: "Color maps can also be changed on the fly, thus, the
+// user can highlight different events when investigating a schedule").
+func (v *Viewport) Recolor(taskType string, c colormap.Colors) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.Map == nil {
+		v.Map = colormap.Default()
+	}
+	m := v.Map.Clone()
+	m.SetType(taskType, c)
+	v.Map = m
+}
+
+// Reset restores the full extent.
+func (v *Viewport) Reset() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.window = nil
+}
+
+// SelectClusters restricts the view to the given cluster IDs (nil = all).
+func (v *Viewport) SelectClusters(ids []int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if ids == nil {
+		v.clusters = nil
+		return
+	}
+	v.clusters = append([]int(nil), ids...)
+}
+
+// SelectedClusters returns the current cluster filter (nil = all).
+func (v *Viewport) SelectedClusters() []int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.clusters == nil {
+		return nil
+	}
+	return append([]int(nil), v.clusters...)
+}
+
+// TaskInfo is the meta information shown when a task is clicked.
+type TaskInfo struct {
+	ID, Type   string
+	Start, End float64
+	Resources  map[int][]int // cluster id -> host list
+	Properties []core.Property
+}
+
+// String formats the info like the original tool's popup.
+func (ti TaskInfo) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "task %s (%s)\nstart: %g\nfinish: %g\n", ti.ID, ti.Type, ti.Start, ti.End)
+	clusters := make([]int, 0, len(ti.Resources))
+	for c := range ti.Resources {
+		clusters = append(clusters, c)
+	}
+	sort.Ints(clusters)
+	for _, c := range clusters {
+		fmt.Fprintf(&b, "cluster %d hosts: %v\n", c, ti.Resources[c])
+	}
+	for _, p := range ti.Properties {
+		fmt.Fprintf(&b, "%s: %s\n", p.Name, p.Value)
+	}
+	return b.String()
+}
+
+// TaskAt resolves the task under a screen point — the paper's
+// click-for-details gesture. ok is false over the background.
+func (v *Viewport) TaskAt(x, y float64) (TaskInfo, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	s := v.renderSchedule()
+	l := render.ComputeLayout(s, float64(v.Width), float64(v.Height), v.options())
+	idx, ok := l.HitTest(s, x, y)
+	if !ok {
+		return TaskInfo{}, false
+	}
+	t := &s.Tasks[idx]
+	info := TaskInfo{
+		ID: t.ID, Type: t.Type, Start: t.Start, End: t.End,
+		Resources:  map[int][]int{},
+		Properties: t.Properties,
+	}
+	for _, a := range t.Allocations {
+		info.Resources[a.Cluster] = a.HostList()
+	}
+	return info, true
+}
+
+// Reread reloads the schedule from its source file (the paper's fast-reread
+// keystroke, used while iterating on a scheduling algorithm). The current
+// zoom and selection are preserved when still valid.
+func (v *Viewport) Reread() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.path == "" {
+		return fmt.Errorf("view: viewport has no backing file")
+	}
+	s, err := jedxml.ReadFile(v.path)
+	if err != nil {
+		return err
+	}
+	v.sched = s
+	if v.window != nil {
+		// Keep the part of the zoom window that still exists; drop it
+		// entirely when it no longer overlaps the new schedule.
+		clipped := v.window.Intersect(s.Extent())
+		if !clipped.Valid() || clipped.Span() == 0 {
+			v.window = nil
+		} else {
+			v.setWindow(clipped.Min, clipped.Max)
+		}
+	}
+	var kept []int
+	for _, id := range v.clusters {
+		if _, ok := s.Cluster(id); ok {
+			kept = append(kept, id)
+		}
+	}
+	v.clusters = kept
+	return nil
+}
+
+// Snapshot exports the current view to a file in any supported format (the
+// paper's export/snapshot feature).
+func (v *Viewport) Snapshot(path string) error {
+	v.mu.Lock()
+	opts := v.options()
+	s := v.sched
+	w, h := v.Width, v.Height
+	v.mu.Unlock()
+	return render.ToFile(path, s, w, h, opts)
+}

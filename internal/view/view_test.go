@@ -1,0 +1,294 @@
+package view
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/colormap"
+	"repro/internal/core"
+	"repro/internal/jedxml"
+)
+
+func demoSchedule() *core.Schedule {
+	s := core.New(
+		core.Cluster{ID: 0, Name: "alpha", Hosts: 8},
+		core.Cluster{ID: 1, Name: "beta", Hosts: 4},
+	)
+	s.Add("1", "computation", 0, 100, 0, 8)
+	s.Add("2", "computation", 20, 60, 0, 4)
+	s.AddTask(core.Task{ID: "3", Type: "transfer", Start: 100, End: 120,
+		Allocations: []core.Allocation{{Cluster: 1, Hosts: []core.HostRange{{Start: 0, N: 4}}}}})
+	return s
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6*(1+math.Abs(b)) }
+
+func TestWindowDefaults(t *testing.T) {
+	v := New(demoSchedule(), 800, 600)
+	if w := v.Window(); w != (core.Extent{Min: 0, Max: 120}) {
+		t.Fatalf("default window = %v", w)
+	}
+}
+
+func TestZoomAndReset(t *testing.T) {
+	v := New(demoSchedule(), 800, 600)
+	v.Zoom(2)
+	w := v.Window()
+	if !approx(w.Span(), 60) {
+		t.Fatalf("zoomed span = %g, want 60", w.Span())
+	}
+	if !approx((w.Min+w.Max)/2, 60) {
+		t.Fatalf("zoom did not keep center: %v", w)
+	}
+	v.Reset()
+	if w := v.Window(); w.Span() != 120 {
+		t.Fatalf("reset window = %v", w)
+	}
+	// Zooming out past the full extent clamps to it.
+	v.Zoom(0.1)
+	if w := v.Window(); w.Span() != 120 {
+		t.Fatalf("over-zoom-out window = %v", w)
+	}
+	// Invalid factor is ignored.
+	v.Zoom(-1)
+	if w := v.Window(); w.Span() != 120 {
+		t.Fatal("negative factor changed the window")
+	}
+}
+
+func TestZoomAtKeepsCursorTime(t *testing.T) {
+	v := New(demoSchedule(), 800, 600)
+	l := v.Layout()
+	p := l.Panels[0]
+	cursor := p.Transform.XToScreen(30) // time 30 under the cursor
+	v.ZoomAt(2, cursor)
+	// After zooming, time 30 must still be at the same screen position.
+	l2 := v.Layout()
+	back := l2.Panels[0].Transform.XToWorld(cursor)
+	if !approx(back, 30) {
+		t.Fatalf("cursor time drifted: %g, want 30 (window %v)", back, v.Window())
+	}
+}
+
+func TestZoomMinimumSpan(t *testing.T) {
+	v := New(demoSchedule(), 800, 600)
+	for i := 0; i < 100; i++ {
+		v.Zoom(10)
+	}
+	if span := v.Window().Span(); span <= 0 {
+		t.Fatalf("span collapsed to %g", span)
+	}
+}
+
+func TestPanClamped(t *testing.T) {
+	v := New(demoSchedule(), 800, 600)
+	v.Zoom(4) // span 30, centered at 60: [45, 75]
+	v.Pan(0.5)
+	w := v.Window()
+	if !approx(w.Min, 60) || !approx(w.Max, 90) {
+		t.Fatalf("pan window = %v, want [60,90]", w)
+	}
+	// Pan far right: clamps at the extent end.
+	for i := 0; i < 20; i++ {
+		v.Pan(0.5)
+	}
+	w = v.Window()
+	if !approx(w.Max, 120) {
+		t.Fatalf("right-clamped window = %v", w)
+	}
+	// Pan far left: clamps at the start.
+	for i := 0; i < 40; i++ {
+		v.Pan(-0.5)
+	}
+	w = v.Window()
+	if !approx(w.Min, 0) {
+		t.Fatalf("left-clamped window = %v", w)
+	}
+	// Panning a full view is a no-op.
+	v.Reset()
+	v.Pan(0.25)
+	if v.Window().Span() != 120 {
+		t.Fatal("pan of full view changed the window")
+	}
+}
+
+func TestRubberBand(t *testing.T) {
+	v := New(demoSchedule(), 800, 600)
+	l := v.Layout()
+	p := l.Panels[0]
+	x0 := p.Transform.XToScreen(20)
+	x1 := p.Transform.XToScreen(60)
+	v.RubberBand(x1, x0) // reversed arguments are normalized
+	w := v.Window()
+	if !approx(w.Min, 20) || !approx(w.Max, 60) {
+		t.Fatalf("rubber-band window = %v, want [20,60]", w)
+	}
+}
+
+func TestTaskAtClick(t *testing.T) {
+	v := New(demoSchedule(), 800, 600)
+	l := v.Layout()
+	p := l.Panels[0]
+	x := p.Transform.XToScreen(40)
+	y := p.Transform.YToScreen(1.5) // host 1 of cluster 0: tasks 1 and 2
+	info, ok := v.TaskAt(x, y)
+	if !ok {
+		t.Fatal("click hit nothing")
+	}
+	if info.ID != "1" && info.ID != "2" {
+		t.Fatalf("clicked task = %q", info.ID)
+	}
+	if len(info.Resources[0]) == 0 {
+		t.Fatal("info lacks resource list")
+	}
+	str := info.String()
+	for _, want := range []string{"task " + info.ID, "start:", "finish:", "cluster 0 hosts:"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("info %q missing %q", str, want)
+		}
+	}
+	if _, ok := v.TaskAt(1, 1); ok {
+		t.Error("background click hit a task")
+	}
+}
+
+func TestTaskAtPrefersComposite(t *testing.T) {
+	s := core.NewSingleCluster("c", 2)
+	s.Add("a", "computation", 0, 10, 0, 2)
+	s.Add("b", "transfer", 4, 6, 0, 2)
+	v := New(s, 400, 300)
+	v.Composites = true
+	l := v.Layout()
+	p := l.Panels[0]
+	x := p.Transform.XToScreen(5)
+	y := p.Transform.YToScreen(0.5)
+	info, ok := v.TaskAt(x, y)
+	if !ok || info.Type != core.CompositeType {
+		t.Fatalf("click = %+v, %v; want composite on top", info, ok)
+	}
+}
+
+func TestClusterSelection(t *testing.T) {
+	v := New(demoSchedule(), 800, 600)
+	v.SelectClusters([]int{1})
+	l := v.Layout()
+	if len(l.Panels) != 1 || l.Panels[0].Cluster.ID != 1 {
+		t.Fatalf("panels = %+v", l.Panels)
+	}
+	if got := v.SelectedClusters(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("SelectedClusters = %v", got)
+	}
+	v.SelectClusters(nil)
+	if len(v.Layout().Panels) != 2 {
+		t.Fatal("deselect failed")
+	}
+}
+
+func TestOpenAndReread(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/s.jed"
+	s := demoSchedule()
+	if err := jedxml.WriteFile(path, s); err != nil {
+		t.Fatal(err)
+	}
+	v, err := Open(path, 640, 480)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Schedule().Tasks) != 3 {
+		t.Fatal("open lost tasks")
+	}
+	v.Zoom(2)
+	v.SelectClusters([]int{0, 1})
+
+	// The algorithm developer rewrites the file; reread picks it up.
+	s2 := core.NewSingleCluster("gamma", 4)
+	s2.Add("new", "computation", 0, 50, 0, 4)
+	if err := jedxml.WriteFile(path, s2); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Reread(); err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Schedule().Tasks) != 1 || v.Schedule().Tasks[0].ID != "new" {
+		t.Fatal("reread did not reload")
+	}
+	// Cluster 1 vanished; selection keeps only cluster 0.
+	if got := v.SelectedClusters(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("selection after reread = %v", got)
+	}
+	// Window [30,60] still overlaps [0,50]: kept.
+	if v.Window().Span() >= 50 {
+		t.Fatalf("window lost: %v", v.Window())
+	}
+}
+
+func TestRereadStaleWindowAndErrors(t *testing.T) {
+	v := New(demoSchedule(), 100, 100)
+	if err := v.Reread(); err == nil {
+		t.Fatal("Reread without a file must error")
+	}
+	dir := t.TempDir()
+	path := dir + "/s.jed"
+	if err := jedxml.WriteFile(path, demoSchedule()); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := Open(path, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zoom to the far end, then shrink the schedule so the zoom is stale.
+	v2.RubberBand(90, 99)
+	s2 := core.NewSingleCluster("c", 2)
+	s2.Add("t", "computation", 0, 1, 0, 2) // extent [0,1]
+	if err := jedxml.WriteFile(path, s2); err != nil {
+		t.Fatal(err)
+	}
+	if err := v2.Reread(); err != nil {
+		t.Fatal(err)
+	}
+	if v2.Window() != (core.Extent{Min: 0, Max: 1}) {
+		t.Fatalf("stale window not dropped: %v", v2.Window())
+	}
+}
+
+func TestRenderAndSnapshot(t *testing.T) {
+	v := New(demoSchedule(), 320, 240)
+	c := v.Render()
+	if w, h := c.Size(); w != 320 || h != 240 {
+		t.Fatalf("canvas = %g x %g", w, h)
+	}
+	dir := t.TempDir()
+	for _, name := range []string{"snap.png", "snap.pdf", "snap.svg"} {
+		if err := v.Snapshot(dir + "/" + name); err != nil {
+			t.Errorf("Snapshot(%s): %v", name, err)
+		}
+	}
+}
+
+func TestSetGrayscaleAndRecolor(t *testing.T) {
+	v := New(demoSchedule(), 100, 100)
+	v.SetGrayscale(true)
+	c := v.Map.Lookup("computation").BG
+	if c.R != c.G || c.G != c.B {
+		t.Fatal("SetGrayscale(true) not gray")
+	}
+	v.SetGrayscale(false)
+	c = v.Map.Lookup("computation").BG
+	if c.R == c.G && c.G == c.B {
+		t.Fatal("SetGrayscale(false) did not restore")
+	}
+	// Recolor derives a fresh map; the default map is untouched.
+	v.Recolor("transfer", colormap.Colors{FG: colormap.RGB(1, 1, 1), BG: colormap.RGB(9, 9, 9)})
+	if v.Map.Lookup("transfer").BG != colormap.RGB(9, 9, 9) {
+		t.Fatal("recolor missing")
+	}
+	if colormap.Default().Lookup("transfer").BG == colormap.RGB(9, 9, 9) {
+		t.Fatal("recolor mutated the shared default map")
+	}
+	// Nil-map viewports work too.
+	v2 := &Viewport{sched: demoSchedule(), Width: 10, Height: 10}
+	v2.SetGrayscale(true)
+	v2.Recolor("x", colormap.Colors{})
+}

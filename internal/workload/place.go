@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Placement assigns a job to concrete nodes at a concrete start time.
+type Placement struct {
+	Job   Job
+	Start int64
+	Nodes []int
+}
+
+// Place simulates an FCFS node allocator over `nodes` total nodes, with the
+// first `reserved` nodes excluded from batch scheduling (the Thunder
+// cluster "reserved 20 nodes as login and debug nodes, which can be seen in
+// the graphic as jobs get only executed by nodes with a number greater
+// than 20").
+//
+// Jobs are processed in start-time order. Each receives its Procs nodes
+// from the free set at its recorded start time, preferring a contiguous
+// run and falling back to scattered nodes; if not enough nodes are free
+// (the trace's wait time understates contention for our simplified
+// machine), the job is delayed until enough free up.
+func Place(jobs []Job, nodes, reserved int) ([]Placement, error) {
+	if nodes < 1 || reserved < 0 || reserved >= nodes {
+		return nil, fmt.Errorf("workload: bad node configuration %d/%d", reserved, nodes)
+	}
+	usable := nodes - reserved
+	order := append([]Job(nil), jobs...)
+	sort.SliceStable(order, func(a, b int) bool {
+		if order[a].Start() != order[b].Start() {
+			return order[a].Start() < order[b].Start()
+		}
+		return order[a].ID < order[b].ID
+	})
+	free := make([]int64, nodes) // time each node becomes free
+	var out []Placement
+	for _, j := range order {
+		if j.Procs < 1 {
+			return nil, fmt.Errorf("workload: job %d has %d processors", j.ID, j.Procs)
+		}
+		if j.Procs > usable {
+			return nil, fmt.Errorf("workload: job %d needs %d nodes, only %d usable", j.ID, j.Procs, usable)
+		}
+		start := j.Start()
+		// Delay until enough nodes are free: the start is the j.Procs-th
+		// smallest free time among usable nodes, if later.
+		frees := append([]int64(nil), free[reserved:]...)
+		sort.Slice(frees, func(a, b int) bool { return frees[a] < frees[b] })
+		if t := frees[j.Procs-1]; t > start {
+			start = t
+		}
+		chosen := chooseNodes(free, reserved, j.Procs, start)
+		if len(chosen) != j.Procs {
+			return nil, fmt.Errorf("workload: internal: job %d got %d of %d nodes", j.ID, len(chosen), j.Procs)
+		}
+		for _, n := range chosen {
+			free[n] = start + j.Run
+		}
+		out = append(out, Placement{Job: j, Start: start, Nodes: chosen})
+	}
+	return out, nil
+}
+
+// chooseNodes picks procs nodes free at the start time, preferring the
+// longest contiguous runs (compact allocations look like the archive's).
+func chooseNodes(free []int64, reserved, procs int, start int64) []int {
+	var avail []int
+	for n := reserved; n < len(free); n++ {
+		if free[n] <= start {
+			avail = append(avail, n)
+		}
+	}
+	if len(avail) < procs {
+		return nil
+	}
+	// Find a contiguous run of exactly-or-more procs if one exists.
+	runStart, runLen := 0, 1
+	bestStart, bestLen := 0, 1
+	for i := 1; i <= len(avail); i++ {
+		if i < len(avail) && avail[i] == avail[i-1]+1 {
+			runLen++
+			continue
+		}
+		if runLen > bestLen {
+			bestStart, bestLen = runStart, runLen
+		}
+		runStart, runLen = i, 1
+	}
+	if bestLen >= procs {
+		return append([]int(nil), avail[bestStart:bestStart+procs]...)
+	}
+	// Scattered: lowest-numbered free nodes.
+	return append([]int(nil), avail[:procs]...)
+}
+
+// ToSchedule converts placements into a Jedule schedule over one cluster of
+// `nodes` hosts. Jobs of highlightUser get the task type "highlight" so a
+// color map can single them out (the paper's yellow user 6447); all others
+// are "job". Task properties carry the user and processor count for the
+// interactive mode.
+func ToSchedule(placements []Placement, nodes int, highlightUser int) *core.Schedule {
+	s := core.NewSingleCluster("thunder", nodes)
+	s.SetMeta("jobs", fmt.Sprintf("%d", len(placements)))
+	for _, p := range placements {
+		typ := "job"
+		if p.Job.User == highlightUser {
+			typ = "highlight"
+		}
+		s.AddTask(core.Task{
+			ID:    fmt.Sprintf("j%d", p.Job.ID),
+			Type:  typ,
+			Start: float64(p.Start),
+			End:   float64(p.Start + p.Job.Run),
+			Allocations: []core.Allocation{
+				{Cluster: 0, Hosts: core.RangesFromHosts(p.Nodes)},
+			},
+			Properties: []core.Property{
+				{Name: "user", Value: fmt.Sprintf("%d", p.Job.User)},
+				{Name: "procs", Value: fmt.Sprintf("%d", p.Job.Procs)},
+			},
+		})
+	}
+	s.SortTasks()
+	return s
+}

@@ -1,0 +1,163 @@
+// Package workload implements the paper's last case study (section VII):
+// bird's-eye visualization of parallel production workloads. It provides a
+// parser and writer for the Standard Workload Format (SWF) used by the
+// Parallel Workloads Archive, an FCFS placement simulator that assigns jobs
+// to concrete nodes (SWF traces record how many processors a job used, not
+// which ones), a deterministic synthetic generator reproducing the shape of
+// the LLNL Thunder day shown in Figure 13, and the conversion to a Jedule
+// schedule with per-user highlighting.
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Job is one SWF record. Times are in seconds; -1 encodes "unknown" for
+// most fields, as in the archive.
+type Job struct {
+	ID         int
+	Submit     int64 // seconds since trace start
+	Wait       int64 // queueing delay
+	Run        int64 // execution duration
+	Procs      int   // allocated processors
+	AvgCPU     float64
+	Memory     int64
+	ReqProcs   int
+	ReqTime    int64
+	ReqMemory  int64
+	Status     int
+	User       int
+	Group      int
+	Executable int
+	Queue      int
+	Partition  int
+	Preceding  int
+	ThinkTime  int64
+}
+
+// Start returns the execution start time (submit + wait).
+func (j Job) Start() int64 { return j.Submit + j.Wait }
+
+// End returns the completion time.
+func (j Job) End() int64 { return j.Start() + j.Run }
+
+// Header carries the commented key/value metadata of an SWF file.
+type Header []struct{ Key, Value string }
+
+// Get returns the first header value for key, or "".
+func (h Header) Get(key string) string {
+	for _, kv := range h {
+		if kv.Key == key {
+			return kv.Value
+		}
+	}
+	return ""
+}
+
+// ReadSWF parses an SWF stream: ';'-prefixed header comments followed by
+// whitespace-separated 18-field job records. Records with fewer fields are
+// rejected; blank lines are skipped.
+func ReadSWF(r io.Reader) ([]Job, Header, error) {
+	var jobs []Job
+	var hdr Header
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ";") {
+			body := strings.TrimSpace(strings.TrimPrefix(line, ";"))
+			if k, v, ok := strings.Cut(body, ":"); ok {
+				hdr = append(hdr, struct{ Key, Value string }{
+					strings.TrimSpace(k), strings.TrimSpace(v)})
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 18 {
+			return nil, nil, fmt.Errorf("workload: line %d: %d fields, want 18", lineNo, len(fields))
+		}
+		var vals [18]int64
+		for i := 0; i < 18; i++ {
+			// Field 6 (avg cpu) may be fractional; parse as float and
+			// keep the rest integral.
+			if i == 5 {
+				f, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, nil, fmt.Errorf("workload: line %d field %d: %v", lineNo, i+1, err)
+				}
+				vals[i] = int64(f * 1000) // stored in Job.AvgCPU below
+				continue
+			}
+			v, err := strconv.ParseInt(fields[i], 10, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("workload: line %d field %d: %v", lineNo, i+1, err)
+			}
+			vals[i] = v
+		}
+		avg, _ := strconv.ParseFloat(fields[5], 64)
+		jobs = append(jobs, Job{
+			ID: int(vals[0]), Submit: vals[1], Wait: vals[2], Run: vals[3],
+			Procs: int(vals[4]), AvgCPU: avg, Memory: vals[6],
+			ReqProcs: int(vals[7]), ReqTime: vals[8], ReqMemory: vals[9],
+			Status: int(vals[10]), User: int(vals[11]), Group: int(vals[12]),
+			Executable: int(vals[13]), Queue: int(vals[14]), Partition: int(vals[15]),
+			Preceding: int(vals[16]), ThinkTime: vals[17],
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("workload: %w", err)
+	}
+	return jobs, hdr, nil
+}
+
+// WriteSWF emits jobs in SWF format with the given header comments.
+func WriteSWF(w io.Writer, jobs []Job, hdr Header) error {
+	bw := bufio.NewWriter(w)
+	for _, kv := range hdr {
+		if _, err := fmt.Fprintf(bw, "; %s: %s\n", kv.Key, kv.Value); err != nil {
+			return err
+		}
+	}
+	for _, j := range jobs {
+		if _, err := fmt.Fprintf(bw, "%d %d %d %d %d %g %d %d %d %d %d %d %d %d %d %d %d %d\n",
+			j.ID, j.Submit, j.Wait, j.Run, j.Procs, j.AvgCPU, j.Memory,
+			j.ReqProcs, j.ReqTime, j.ReqMemory, j.Status, j.User, j.Group,
+			j.Executable, j.Queue, j.Partition, j.Preceding, j.ThinkTime); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSWFFile parses an SWF file from disk (for example a real archive
+// trace such as LLNL-Thunder-2007-0 when available).
+func ReadSWFFile(path string) ([]Job, Header, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return ReadSWF(f)
+}
+
+// FilterWindow keeps jobs whose execution finished inside [from, to) — the
+// "all jobs that finished on 02/02" selection of the case study.
+func FilterWindow(jobs []Job, from, to int64) []Job {
+	var out []Job
+	for _, j := range jobs {
+		if end := j.End(); end >= from && end < to {
+			out = append(out, j)
+		}
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// ThunderConfig parameterizes the synthetic day generator.
+type ThunderConfig struct {
+	Jobs          int   // jobs finishing on the day (paper: 834)
+	Nodes         int   // cluster size (paper: 1024)
+	Reserved      int   // login/debug nodes excluded (paper: 20)
+	DaySeconds    int64 // length of the observed window
+	Users         int   // distinct users
+	HighlightUser int   // a user id guaranteed to appear (paper: 6447)
+	Seed          int64
+}
+
+// Figure13Config reproduces the parameters of the paper's Figure 13: the
+// LLNL Thunder cluster (1024 nodes, 20 reserved) on one day of 2007 with
+// 834 finished jobs and user 6447 highlighted.
+func Figure13Config() ThunderConfig {
+	return ThunderConfig{
+		Jobs: 834, Nodes: 1024, Reserved: 20,
+		DaySeconds: 86_400, Users: 40, HighlightUser: 6447, Seed: 20070202,
+	}
+}
+
+// Thunder generates a deterministic synthetic workload mimicking the LLNL
+// Thunder day: job sizes follow the archive's power-of-two habit, runtimes
+// are log-uniform from minutes to hours, arrivals spread over the day, and
+// user ids follow a skewed (Zipf-like) popularity so a handful of users
+// dominate — including the highlighted one. The real
+// LLNL-Thunder-2007-0.swf trace is not redistributable; when present it
+// can be loaded with ReadSWFFile and fed to the same Place/ToSchedule
+// pipeline.
+func Thunder(cfg ThunderConfig) []Job {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	users := make([]int, cfg.Users)
+	for i := range users {
+		users[i] = 6000 + rng.Intn(999)
+	}
+	// The highlighted user is a mid-rank user: visible but a minority.
+	users[min(5, cfg.Users-1)] = cfg.HighlightUser
+	pickUser := func() int {
+		// Zipf-ish: user k with weight 1/(k+1).
+		var total float64
+		for k := range users {
+			total += 1 / float64(k+1)
+		}
+		r := rng.Float64() * total
+		for k := range users {
+			r -= 1 / float64(k+1)
+			if r <= 0 {
+				return users[k]
+			}
+		}
+		return users[len(users)-1]
+	}
+	sizes := []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+	sizeWeights := []float64{0.18, 0.17, 0.16, 0.14, 0.12, 0.10, 0.07, 0.04, 0.02}
+	pickSize := func() int {
+		r := rng.Float64()
+		for i, w := range sizeWeights {
+			if r -= w; r <= 0 {
+				return sizes[i]
+			}
+		}
+		return sizes[len(sizes)-1]
+	}
+	jobs := make([]Job, cfg.Jobs)
+	for i := range jobs {
+		// Log-uniform runtime between 2 minutes and 10 hours.
+		logLo, logHi := math.Log(120), math.Log(36_000)
+		run := int64(math.Exp(logLo + rng.Float64()*(logHi-logLo)))
+		// Finish inside the day: end uniform over the day, start earlier
+		// (possibly before the window, as in the real selection of "jobs
+		// that finished on 02/02").
+		end := int64(rng.Float64() * float64(cfg.DaySeconds))
+		submit := end - run
+		jobs[i] = Job{
+			ID: i + 1, Submit: submit, Wait: 0, Run: run,
+			Procs: pickSize(), AvgCPU: -1, Memory: -1,
+			ReqProcs: -1, ReqTime: -1, ReqMemory: -1,
+			Status: 1, User: pickUser(), Group: -1,
+			Executable: -1, Queue: 1, Partition: 1, Preceding: -1, ThinkTime: -1,
+		}
+	}
+	return jobs
+}
+
+// ThunderDay runs the full Figure 13 pipeline: generate, place on the
+// cluster, and convert to a schedule with the user highlighted.
+func ThunderDay(cfg ThunderConfig) (*Placed, error) {
+	jobs := Thunder(cfg)
+	placements, err := Place(jobs, cfg.Nodes, cfg.Reserved)
+	if err != nil {
+		return nil, err
+	}
+	s := ToSchedule(placements, cfg.Nodes, cfg.HighlightUser)
+	s.SetMeta("cluster", "LLNL-Thunder (synthetic)")
+	return &Placed{Jobs: jobs, Placements: placements, Schedule: s}, nil
+}
+
+// Placed bundles the outcome of a placement pipeline.
+type Placed struct {
+	Jobs       []Job
+	Placements []Placement
+	Schedule   *core.Schedule
+}

@@ -1,0 +1,296 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const sampleSWF = `; Computer: LLNL Thunder
+; MaxNodes: 1024
+; Note: synthetic sample
+
+1 0 10 3600 8 -1 -1 8 7200 -1 1 6447 1 -1 1 1 -1 -1
+2 100 0 1800 4 2.5 -1 4 3600 -1 1 6001 1 -1 1 1 -1 -1
+3 200 50 600 16 -1 -1 16 900 -1 0 6002 2 -1 2 1 -1 -1
+`
+
+func TestReadSWF(t *testing.T) {
+	jobs, hdr, err := ReadSWF(strings.NewReader(sampleSWF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 3 {
+		t.Fatalf("jobs = %d", len(jobs))
+	}
+	if hdr.Get("Computer") != "LLNL Thunder" || hdr.Get("MaxNodes") != "1024" {
+		t.Fatalf("header = %+v", hdr)
+	}
+	if hdr.Get("Missing") != "" {
+		t.Fatal("missing header key should be empty")
+	}
+	j := jobs[0]
+	if j.ID != 1 || j.Wait != 10 || j.Run != 3600 || j.Procs != 8 || j.User != 6447 {
+		t.Fatalf("job 1 = %+v", j)
+	}
+	if j.Start() != 10 || j.End() != 3610 {
+		t.Fatalf("start/end = %d/%d", j.Start(), j.End())
+	}
+	if jobs[1].AvgCPU != 2.5 {
+		t.Fatalf("fractional avg cpu lost: %g", jobs[1].AvgCPU)
+	}
+}
+
+func TestReadSWFErrors(t *testing.T) {
+	if _, _, err := ReadSWF(strings.NewReader("1 2 3\n")); err == nil {
+		t.Error("short record accepted")
+	}
+	if _, _, err := ReadSWF(strings.NewReader(strings.Repeat("x ", 18) + "\n")); err == nil {
+		t.Error("non-numeric record accepted")
+	}
+}
+
+func TestSWFRoundTrip(t *testing.T) {
+	jobs, hdr, err := ReadSWF(strings.NewReader(sampleSWF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSWF(&buf, jobs, hdr); err != nil {
+		t.Fatal(err)
+	}
+	back, hdr2, err := ReadSWF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, jobs) {
+		t.Fatalf("jobs round-trip:\n got %+v\nwant %+v", back, jobs)
+	}
+	if !reflect.DeepEqual(hdr2, hdr) {
+		t.Fatalf("header round-trip: %+v vs %+v", hdr2, hdr)
+	}
+}
+
+func TestFilterWindow(t *testing.T) {
+	jobs, _, _ := ReadSWF(strings.NewReader(sampleSWF))
+	// Ends: 3610, 1900, 850.
+	got := FilterWindow(jobs, 1000, 2000)
+	if len(got) != 1 || got[0].ID != 2 {
+		t.Fatalf("window = %+v", got)
+	}
+	if len(FilterWindow(jobs, 0, 10_000)) != 3 {
+		t.Fatal("full window wrong")
+	}
+	if len(FilterWindow(jobs, 5000, 6000)) != 0 {
+		t.Fatal("empty window wrong")
+	}
+}
+
+func TestPlaceBasics(t *testing.T) {
+	jobs := []Job{
+		{ID: 1, Submit: 0, Run: 100, Procs: 4, User: 1},
+		{ID: 2, Submit: 0, Run: 100, Procs: 4, User: 2},
+		{ID: 3, Submit: 50, Run: 100, Procs: 2, User: 3},
+	}
+	pl, err := Place(jobs, 12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl) != 3 {
+		t.Fatal("placements lost")
+	}
+	used := map[int]bool{}
+	for _, p := range pl {
+		if len(p.Nodes) != p.Job.Procs {
+			t.Fatalf("job %d got %d nodes", p.Job.ID, len(p.Nodes))
+		}
+		for _, n := range p.Nodes {
+			if n < 2 {
+				t.Fatalf("job %d placed on reserved node %d", p.Job.ID, n)
+			}
+			if n >= 12 {
+				t.Fatalf("node %d out of range", n)
+			}
+			used[n] = true
+		}
+	}
+	// Jobs 1 and 2 run concurrently on disjoint nodes.
+	n1 := map[int]bool{}
+	for _, n := range pl[0].Nodes {
+		n1[n] = true
+	}
+	for _, n := range pl[1].Nodes {
+		if n1[n] {
+			t.Fatal("concurrent jobs share a node")
+		}
+	}
+}
+
+func TestPlaceDelaysWhenFull(t *testing.T) {
+	jobs := []Job{
+		{ID: 1, Submit: 0, Run: 100, Procs: 3, User: 1},
+		{ID: 2, Submit: 0, Run: 50, Procs: 3, User: 2}, // must wait: only 4 usable
+	}
+	pl, err := Place(jobs, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl[1].Start < 100 {
+		t.Fatalf("job 2 started at %d despite full cluster", pl[1].Start)
+	}
+}
+
+func TestPlaceErrors(t *testing.T) {
+	if _, err := Place(nil, 0, 0); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := Place(nil, 10, 10); err == nil {
+		t.Error("all-reserved accepted")
+	}
+	if _, err := Place([]Job{{ID: 1, Procs: 0, Run: 1}}, 10, 0); err == nil {
+		t.Error("zero-proc job accepted")
+	}
+	if _, err := Place([]Job{{ID: 1, Procs: 100, Run: 1}}, 10, 0); err == nil {
+		t.Error("oversized job accepted")
+	}
+}
+
+func TestChooseNodesPrefersContiguous(t *testing.T) {
+	free := make([]int64, 10)
+	free[3] = 100 // node 3 busy
+	got := chooseNodes(free, 0, 4, 0)
+	// Contiguous run 4-9 is preferred over scattered {0,1,2,4}.
+	want := []int{4, 5, 6, 7}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("chose %v, want %v", got, want)
+	}
+	// When no contiguous run fits, lowest free nodes win.
+	free2 := make([]int64, 6)
+	free2[1], free2[4] = 100, 100
+	got2 := chooseNodes(free2, 0, 3, 0)
+	if !reflect.DeepEqual(got2, []int{0, 2, 3}) {
+		t.Fatalf("scattered choice = %v", got2)
+	}
+	if chooseNodes(free2, 0, 6, 0) != nil {
+		t.Fatal("impossible request should return nil")
+	}
+}
+
+func TestToScheduleHighlight(t *testing.T) {
+	pl := []Placement{
+		{Job: Job{ID: 1, Run: 100, User: 6447, Procs: 2}, Start: 0, Nodes: []int{20, 21}},
+		{Job: Job{ID: 2, Run: 50, User: 6001, Procs: 1}, Start: 10, Nodes: []int{30}},
+	}
+	s := ToSchedule(pl, 64, 6447)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Task("j1").Type != "highlight" || s.Task("j2").Type != "job" {
+		t.Fatal("highlight typing wrong")
+	}
+	if s.Task("j1").Property("user") != "6447" {
+		t.Fatal("user property lost")
+	}
+	if s.MetaValue("jobs") != "2" {
+		t.Fatal("job count meta wrong")
+	}
+}
+
+// TestFigure13 reproduces the paper's Figure 13 properties: 834 jobs on
+// the 1024-node Thunder day, nothing on the 20 reserved login/debug nodes,
+// and the highlighted user's jobs present.
+func TestFigure13(t *testing.T) {
+	res, err := ThunderDay(Figure13Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Schedule
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Tasks) != 834 {
+		t.Fatalf("jobs = %d, want 834", len(s.Tasks))
+	}
+	// "jobs get only executed by nodes with a number greater than 20"
+	for i := range s.Tasks {
+		for _, h := range s.Tasks[i].Allocations[0].HostList() {
+			if h < 20 {
+				t.Fatalf("job %s on reserved node %d", s.Tasks[i].ID, h)
+			}
+		}
+	}
+	// The highlighted user exists and is visually separable by type.
+	highlighted := 0
+	for i := range s.Tasks {
+		if s.Tasks[i].Type == "highlight" {
+			highlighted++
+			if s.Tasks[i].Property("user") != "6447" {
+				t.Fatal("highlight type on wrong user")
+			}
+		}
+	}
+	if highlighted == 0 {
+		t.Fatal("no highlighted jobs for user 6447")
+	}
+	if highlighted > 400 {
+		t.Fatalf("highlighted jobs = %d, should be a minority", highlighted)
+	}
+	// A busy production day: substantial utilization across the cluster.
+	st := s.ComputeStats()
+	if st.Utilization < 0.1 {
+		t.Fatalf("utilization %.3f implausibly low for a production day", st.Utilization)
+	}
+	// Node usage reaches high node numbers (the full cluster is used).
+	maxNode := 0
+	for i := range s.Tasks {
+		for _, h := range s.Tasks[i].Allocations[0].HostList() {
+			if h > maxNode {
+				maxNode = h
+			}
+		}
+	}
+	if maxNode < 900 {
+		t.Fatalf("max node used = %d, want near 1023", maxNode)
+	}
+}
+
+func TestThunderDeterministic(t *testing.T) {
+	a := Thunder(Figure13Config())
+	b := Thunder(Figure13Config())
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("generator not deterministic")
+	}
+}
+
+func TestSWFPipelineFromGenerated(t *testing.T) {
+	// The generated day round-trips through SWF and replays identically.
+	cfg := Figure13Config()
+	cfg.Jobs = 50
+	jobs := Thunder(cfg)
+	var buf bytes.Buffer
+	if err := WriteSWF(&buf, jobs, Header{{Key: "Computer", Value: "synthetic"}}); err != nil {
+		t.Fatal(err)
+	}
+	back, hdr, err := ReadSWF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Get("Computer") != "synthetic" {
+		t.Fatal("header lost")
+	}
+	if !reflect.DeepEqual(back, jobs) {
+		t.Fatal("SWF round-trip of generated jobs failed")
+	}
+	p1, err := Place(jobs, cfg.Nodes, cfg.Reserved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Place(back, cfg.Nodes, cfg.Reserved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatal("placement differs after round-trip")
+	}
+}
