@@ -24,6 +24,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/raster"
 	"repro/internal/render"
+	"repro/internal/sched"
 	"repro/internal/sched/cpa"
 	"repro/internal/sched/cra"
 	"repro/internal/sched/heft"
@@ -391,6 +392,71 @@ func BenchmarkCampaign(b *testing.B) {
 		}
 		if res.Total == 0 {
 			b.Fatal("no runs")
+		}
+	}
+}
+
+// A cross-family campaign: every cell compares CPA variants against HEFT
+// through the scheduler registry.
+func BenchmarkCampaignCrossAlgo(b *testing.B) {
+	cfg := campaign.Config{
+		Shapes:       []dag.Shape{dag.ShapeRandom, dag.ShapeForkJoin},
+		DAGSizes:     []int{20, 40},
+		ClusterSizes: []int{32},
+		Algos:        []string{"cpa", "mcpa2", "heft"},
+		Replicates:   2,
+		Seed:         1,
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := campaign.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Total == 0 {
+			b.Fatal("no runs")
+		}
+	}
+}
+
+// Every registered scheduler on the same DAG through the unified interface.
+func BenchmarkRegistrySchedulers(b *testing.B) {
+	g := dag.Generate(dag.ShapeRandom, dag.DefaultGenOptions(60), rand.New(rand.NewSource(3)))
+	p := platform.Homogeneous(32, 1e9)
+	for _, name := range sched.List() {
+		s, err := sched.Lookup(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := s.Schedule(g, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Makespan <= 0 {
+					b.Fatal("no makespan")
+				}
+			}
+		})
+	}
+}
+
+// The shared host timeline under heavy gap insertion (the list-scheduling
+// hot path shared by HEFT and the CPA mapping phase).
+func BenchmarkTimelineGapInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	type req struct{ ready, dur float64 }
+	reqs := make([]req, 5000)
+	for i := range reqs {
+		reqs[i] = req{ready: rng.Float64() * 1000, dur: 0.1 + rng.Float64()}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tl := sched.NewTimeline(1)
+		for _, r := range reqs {
+			start := tl.EarliestGap(0, r.ready, r.dur)
+			tl.Reserve(0, start, start+r.dur)
 		}
 	}
 }

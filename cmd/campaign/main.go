@@ -1,14 +1,15 @@
 // Command campaign reruns the paper's case-study-III experiment campaign:
-// thousands of CPA-vs-MCPA comparisons over DAG shapes, DAG sizes, and
+// thousands of scheduler comparisons over DAG shapes, DAG sizes, and
 // cluster sizes, printed as a per-cell table plus the corner cases worth
 // opening in the viewer — the workflow that surfaced Figure 4.
 //
 // Usage:
 //
-//	campaign [-replicates 8] [-threshold 1.2] [-export dir]
+//	campaign [-algos cpa,mcpa] [-replicates 8] [-threshold 1.2] [-export dir]
 //
-// With -export, the worst corner case of each qualifying cell is rerun and
-// written as a pair of Jedule XML files (CPA and MCPA schedules) ready for
+// Any registered scheduler may join the comparison (campaign -list prints
+// the names). With -export, the worst corner case of each qualifying cell
+// is rerun and written as one Jedule XML file per algorithm, ready for
 // jeduleview or jedbook.
 package main
 
@@ -24,19 +25,28 @@ import (
 	"repro/internal/dag"
 	"repro/internal/jedxml"
 	"repro/internal/platform"
-	"repro/internal/sched/cpa"
+	"repro/internal/sched"
+	_ "repro/internal/sched/all"
+	"repro/internal/sim"
 )
 
 func main() {
 	var (
+		algos      = flag.String("algos", "cpa,mcpa", "comma-separated scheduler names to compare")
+		list       = flag.Bool("list", false, "print the registered scheduler names and exit")
 		replicates = flag.Int("replicates", 8, "runs per factorial cell")
 		seed       = flag.Int64("seed", 1, "campaign seed")
 		workers    = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
-		threshold  = flag.Float64("threshold", 1.2, "corner-case ratio threshold")
+		threshold  = flag.Float64("threshold", 1.2, "corner-case spread threshold")
 		export     = flag.String("export", "", "directory for corner-case schedule exports")
 	)
 	flag.Parse()
+	if *list {
+		fmt.Println(strings.Join(sched.List(), "\n"))
+		return
+	}
 	cfg := campaign.DefaultConfig()
+	cfg.Algos = splitList(*algos)
 	cfg.Replicates = *replicates
 	cfg.Seed = *seed
 	cfg.Workers = *workers
@@ -49,9 +59,9 @@ func main() {
 		fail(err)
 	}
 	corners := res.CornerCases(*threshold)
-	fmt.Printf("\n%d corner cases with MCPA/CPA ratio >= %.2f:\n", len(corners), *threshold)
+	fmt.Printf("\n%d corner cases with makespan spread >= %.2f:\n", len(corners), *threshold)
 	for _, c := range corners {
-		fmt.Printf("  %-20s worst ratio %.3f\n", c.Key(), c.MaxRatio)
+		fmt.Printf("  %-20s worst spread %.3f\n", c.Key(), c.MaxSpread)
 	}
 	if *export == "" || len(corners) == 0 {
 		return
@@ -66,23 +76,38 @@ func main() {
 	}
 }
 
-// exportCell reruns replicate 0 of the cell and writes both schedules.
+// splitList parses a comma-separated flag value.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// exportCell reruns replicate 0 of the cell and writes one simulated
+// schedule per compared algorithm.
 func exportCell(cfg campaign.Config, c campaign.Cell, dir string) error {
-	seed := cfg.Seed*1_000_003 + int64(c.DAGSize)*7919 + int64(c.Cluster)*104_729 +
-		int64(c.Shape)*15_485_863
+	seed := campaign.ReplicateSeed(cfg.Seed, c.Shape, c.DAGSize, c.Cluster, 0)
 	g := dag.Generate(c.Shape, dag.DefaultGenOptions(c.DAGSize), rand.New(rand.NewSource(seed)))
 	p := platform.Homogeneous(c.Cluster, 1e9)
 	base := strings.ReplaceAll(c.Key(), "/", "_")
-	for _, v := range []cpa.Variant{cpa.CPA, cpa.MCPA} {
-		res, err := cpa.Schedule(g, p, v)
+	for _, name := range cfg.Algos {
+		s, err := sched.Lookup(name)
 		if err != nil {
 			return err
 		}
-		wr, err := cpa.Execute(res, p)
+		res, err := s.Schedule(g, p)
 		if err != nil {
 			return err
 		}
-		path := filepath.Join(dir, fmt.Sprintf("%s_%s.jed", base, v))
+		wr, err := res.Execute(sim.ExecOptions{})
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, fmt.Sprintf("%s_%s.jed", base, name))
 		if err := jedxml.WriteFile(path, wr.Schedule); err != nil {
 			return err
 		}
@@ -92,6 +117,6 @@ func exportCell(cfg campaign.Config, c campaign.Cell, dir string) error {
 }
 
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, "campaign:", err)
+	fmt.Fprintln(os.Stderr, err)
 	os.Exit(1)
 }

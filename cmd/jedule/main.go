@@ -7,21 +7,31 @@
 // Usage:
 //
 //	jedule -in schedule.jed -out schedule.png [flags]
+//	jedule -sched heft -shape random -nodes 40 -procs 16 -out heft.png
+//	jedule -list-schedulers
 //
-// The output format follows the -out file extension.
+// The output format follows the -out file extension. Instead of reading a
+// schedule file, -sched picks any registered scheduling algorithm by name,
+// runs it on a generated DAG, simulates the plan, and renders the trace.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"strconv"
 	"strings"
 
 	"repro/internal/colormap"
 	"repro/internal/core"
+	"repro/internal/dag"
 	"repro/internal/jedxml"
+	"repro/internal/platform"
 	"repro/internal/render"
+	"repro/internal/sched"
+	_ "repro/internal/sched/all"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -48,25 +58,49 @@ func run(args []string) error {
 		title      = fs.String("title", "", "chart title")
 		meta       = fs.Bool("meta", false, "append schedule meta info to the title")
 		stats      = fs.Bool("stats", false, "print schedule statistics to stdout")
+		listScheds = fs.Bool("list-schedulers", false, "print the registered scheduler names and exit")
+		schedName  = fs.String("sched", "", "run the named scheduler on a generated DAG instead of reading -in")
+		shape      = fs.String("shape", "random", "DAG shape for -sched: serial, wide, long, random, forkjoin")
+		nodes      = fs.Int("nodes", 30, "DAG node count for -sched")
+		procs      = fs.Int("procs", 16, "cluster size for -sched")
+		dagSeed    = fs.Int64("dagseed", 1, "DAG generator seed for -sched")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *in == "" || *out == "" {
+	if *listScheds {
+		fmt.Println(strings.Join(sched.List(), "\n"))
+		return nil
+	}
+	var schedule *core.Schedule
+	switch {
+	case *schedName != "":
+		if *out == "" {
+			fs.Usage()
+			return fmt.Errorf("-out is required with -sched")
+		}
+		var err error
+		schedule, err = scheduleByName(*schedName, *shape, *nodes, *procs, *dagSeed)
+		if err != nil {
+			return err
+		}
+	case *in == "" || *out == "":
 		fs.Usage()
 		return fmt.Errorf("-in and -out are required")
-	}
-	f, err := os.Open(*in)
-	if err != nil {
-		return err
-	}
-	sched, err := jedxml.ReadFormat(*format, f)
-	f.Close()
-	if err != nil {
-		return err
+	default:
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		schedule, err = jedxml.ReadFormat(*format, f)
+		f.Close()
+		if err != nil {
+			return err
+		}
 	}
 	cmap := colormap.Default()
 	if *cmapPath != "" {
+		var err error
 		cmap, err = colormap.ReadFile(*cmapPath)
 		if err != nil {
 			return err
@@ -92,13 +126,37 @@ func run(args []string) error {
 		}
 	}
 	if *stats {
-		st := sched.ComputeStats()
+		st := schedule.ComputeStats()
 		fmt.Printf("tasks=%d hosts=%d makespan=%g utilization=%.3f idle=%g\n",
 			st.TaskCount, st.Hosts, st.Makespan, st.Utilization, st.IdleArea)
 	}
-	if err := render.ToFile(*out, sched, *width, *height, opt); err != nil {
+	if err := render.ToFile(*out, schedule, *width, *height, opt); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s\n", *out)
 	return nil
+}
+
+// scheduleByName generates a DAG, runs the registered scheduler on a
+// homogeneous cluster, and returns the simulated trace.
+func scheduleByName(name, shapeName string, nodes, procs int, seed int64) (*core.Schedule, error) {
+	s, err := sched.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	shape, err := dag.ParseShape(shapeName)
+	if err != nil {
+		return nil, err
+	}
+	g := dag.Generate(shape, dag.DefaultGenOptions(nodes), rand.New(rand.NewSource(seed)))
+	p := platform.Homogeneous(procs, 1e9)
+	res, err := s.Schedule(g, p)
+	if err != nil {
+		return nil, err
+	}
+	wr, err := res.Execute(sim.ExecOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return wr.Schedule, nil
 }

@@ -50,6 +50,44 @@ func TestRunFlags(t *testing.T) {
 	}
 }
 
+func TestRunListSchedulers(t *testing.T) {
+	// -list-schedulers needs neither -in nor -out.
+	if err := run([]string{"-list-schedulers"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSchedulerByName(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"heft", "mcpa2"} {
+		out := dir + "/" + name + ".png"
+		args := []string{
+			"-sched", name, "-shape", "forkjoin", "-nodes", "20",
+			"-procs", "8", "-out", out, "-width", "300", "-height", "200",
+		}
+		if err := run(args); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		fi, err := os.Stat(out)
+		if err != nil || fi.Size() == 0 {
+			t.Fatalf("%s: empty or missing output", name)
+		}
+	}
+}
+
+func TestRunSchedulerErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-sched", "no-such-algo", "-out", dir + "/x.png"}); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+	if err := run([]string{"-sched", "heft", "-shape", "nope", "-out", dir + "/x.png"}); err == nil {
+		t.Error("unknown shape accepted")
+	}
+	if err := run([]string{"-sched", "heft"}); err == nil {
+		t.Error("missing -out accepted")
+	}
+}
+
 func TestRunCustomColorMap(t *testing.T) {
 	dir := t.TempDir()
 	in := writeSchedule(t, dir)

@@ -5,11 +5,13 @@
 // scheduling performance of CPA and MCPA. Browsing those results is how
 // the authors isolated the Figure 4 corner case.
 //
-// A campaign is a full factorial over DAG shape x DAG size x cluster size
-// with several random replicates per cell. Cells run concurrently on a
-// bounded worker pool; results are deterministic for a given seed
-// regardless of the worker count, because every replicate derives its own
-// seeded generator.
+// A campaign is a full factorial over DAG shape x DAG size x cluster size x
+// scheduling algorithm, with several random replicates per cell. Algorithms
+// are selected by registry name (see repro/internal/sched), so any
+// registered scheduler — CPA variants, HEFT, the CRA strategies, or future
+// additions — can join the comparison. Cells run concurrently on a bounded
+// worker pool; results are deterministic for a given seed regardless of the
+// worker count, because every replicate derives its own seeded generator.
 package campaign
 
 import (
@@ -19,11 +21,14 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/dag"
 	"repro/internal/platform"
-	"repro/internal/sched/cpa"
+	"repro/internal/sched"
+	_ "repro/internal/sched/all" // make every built-in algorithm selectable
+	"repro/internal/sim"
 )
 
 // Config spans the factorial.
@@ -31,15 +36,18 @@ type Config struct {
 	Shapes       []dag.Shape
 	DAGSizes     []int
 	ClusterSizes []int
-	Replicates   int
-	Seed         int64
+	// Algos lists the scheduler registry names compared in every cell. At
+	// least two are required — a campaign is a comparison.
+	Algos      []string
+	Replicates int
+	Seed       int64
 	// Workers bounds the concurrency; 0 means GOMAXPROCS.
 	Workers int
 }
 
 // DefaultConfig mirrors the paper's campaign dimensions at a size that
 // completes in seconds: five shapes, three DAG sizes, clusters from 32
-// processors up.
+// processors up, comparing CPA against MCPA as in case study III.
 func DefaultConfig() Config {
 	return Config{
 		Shapes: []dag.Shape{
@@ -48,6 +56,7 @@ func DefaultConfig() Config {
 		},
 		DAGSizes:     []int{20, 40, 80},
 		ClusterSizes: []int{32, 64, 128},
+		Algos:        []string{"cpa", "mcpa"},
 		Replicates:   8,
 		Seed:         1,
 	}
@@ -55,19 +64,23 @@ func DefaultConfig() Config {
 
 // Cell aggregates one factorial cell.
 type Cell struct {
-	Shape    dag.Shape
-	DAGSize  int
-	Cluster  int
-	Runs     int
-	WinsCPA  int // CPA strictly better makespan
-	WinsMCPA int
-	Ties     int
-	// MeanRatio is the geometric mean of makespan(MCPA)/makespan(CPA);
-	// above 1 means CPA wins on average.
-	MeanRatio float64
-	// MaxRatio is the worst corner case for MCPA in the cell — large
+	Shape   dag.Shape
+	DAGSize int
+	Cluster int
+	// Algos echoes the compared algorithm names, index-aligned with Wins.
+	Algos []string
+	Runs  int
+	// Wins counts, per algorithm, the replicates it won with a strictly
+	// smaller simulated makespan than every other algorithm.
+	Wins []int
+	// Ties counts replicates without a strict winner.
+	Ties int
+	// MeanSpread is the geometric mean over replicates of
+	// worst/best makespan; 1 means the algorithms always agree.
+	MeanSpread float64
+	// MaxSpread is the largest worst/best ratio seen in the cell — large
 	// values are Figure 4 material.
-	MaxRatio float64
+	MaxSpread float64
 }
 
 // Key identifies the cell.
@@ -75,20 +88,52 @@ func (c Cell) Key() string {
 	return fmt.Sprintf("%s/%d/%d", c.Shape, c.DAGSize, c.Cluster)
 }
 
+// WinsOf returns the win count of the named algorithm (0 if absent).
+func (c Cell) WinsOf(algo string) int {
+	for i, a := range c.Algos {
+		if a == algo {
+			return c.Wins[i]
+		}
+	}
+	return 0
+}
+
 // Result is a completed campaign.
 type Result struct {
+	Algos []string
 	Cells []Cell
 	Total int
 }
 
-// Run executes the campaign. The error is non-nil only for configuration
-// mistakes; individual scheduling runs cannot fail on valid inputs.
+// ReplicateSeed derives the generator seed for one replicate of one cell.
+// Exported so commands can regenerate the exact DAG behind a corner case.
+func ReplicateSeed(campaignSeed int64, shape dag.Shape, dagSize, clusterSize, replicate int) int64 {
+	return campaignSeed*1_000_003 + int64(dagSize)*7919 + int64(clusterSize)*104_729 +
+		int64(shape)*15_485_863 + int64(replicate)
+}
+
+// Run executes the campaign. The error is non-nil for configuration
+// mistakes (including unknown algorithm names) or scheduler failures.
 func Run(cfg Config) (*Result, error) {
 	if len(cfg.Shapes) == 0 || len(cfg.DAGSizes) == 0 || len(cfg.ClusterSizes) == 0 {
 		return nil, fmt.Errorf("campaign: empty factorial dimension")
 	}
 	if cfg.Replicates < 1 {
 		return nil, fmt.Errorf("campaign: need at least one replicate")
+	}
+	if len(cfg.Algos) < 2 {
+		return nil, fmt.Errorf("campaign: need at least two algorithms to compare, got %v", cfg.Algos)
+	}
+	seen := map[string]bool{}
+	for _, a := range cfg.Algos {
+		if seen[a] {
+			return nil, fmt.Errorf("campaign: algorithm %q listed twice", a)
+		}
+		seen[a] = true
+	}
+	schedulers, err := sched.LookupAll(cfg.Algos)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
 	}
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -118,7 +163,7 @@ func Run(cfg Config) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for j := range jobCh {
-				cells[j.idx], errs[j.idx] = runCell(cfg, j.shape, j.dagSize, j.clusterSize)
+				cells[j.idx], errs[j.idx] = runCell(cfg, schedulers, j.shape, j.dagSize, j.clusterSize)
 			}
 		}()
 	}
@@ -128,7 +173,7 @@ func Run(cfg Config) (*Result, error) {
 	close(jobCh)
 	wg.Wait()
 
-	res := &Result{Cells: cells}
+	res := &Result{Algos: append([]string(nil), cfg.Algos...), Cells: cells}
 	for i := range errs {
 		if errs[i] != nil {
 			return nil, errs[i]
@@ -141,80 +186,131 @@ func Run(cfg Config) (*Result, error) {
 // runCell executes the replicates of one factorial cell. Each replicate
 // gets its own generator seeded from (campaign seed, cell key, replicate),
 // so results do not depend on scheduling order.
-func runCell(cfg Config, shape dag.Shape, dagSize, clusterSize int) (Cell, error) {
-	cell := Cell{Shape: shape, DAGSize: dagSize, Cluster: clusterSize, MeanRatio: 1}
+func runCell(cfg Config, schedulers []sched.Scheduler, shape dag.Shape, dagSize, clusterSize int) (Cell, error) {
+	cell := Cell{
+		Shape: shape, DAGSize: dagSize, Cluster: clusterSize,
+		Algos:      append([]string(nil), cfg.Algos...),
+		Wins:       make([]int, len(cfg.Algos)),
+		MeanSpread: 1,
+	}
 	p := platform.Homogeneous(clusterSize, 1e9)
 	logSum := 0.0
 	for r := 0; r < cfg.Replicates; r++ {
-		seed := cfg.Seed*1_000_003 + int64(dagSize)*7919 + int64(clusterSize)*104_729 +
-			int64(shape)*15_485_863 + int64(r)
+		seed := ReplicateSeed(cfg.Seed, shape, dagSize, clusterSize, r)
 		g := dag.Generate(shape, dag.DefaultGenOptions(dagSize), rand.New(rand.NewSource(seed)))
-		resCPA, err := cpa.Schedule(g, p, cpa.CPA)
-		if err != nil {
-			return cell, fmt.Errorf("campaign %s: %w", cell.Key(), err)
-		}
-		resMCPA, err := cpa.Schedule(g, p, cpa.MCPA)
-		if err != nil {
-			return cell, fmt.Errorf("campaign %s: %w", cell.Key(), err)
+		makespans := make([]float64, len(schedulers))
+		for i, s := range schedulers {
+			res, err := s.Schedule(g, p)
+			if err != nil {
+				return cell, fmt.Errorf("campaign %s/%s: %w", cell.Key(), s.Name(), err)
+			}
+			// Compare simulated makespans, not each algorithm's own
+			// prediction: the planning cost models differ across families
+			// (CPA excludes redistribution, HEFT charges mean communication),
+			// so the event kernel is the common measuring stick — exactly
+			// the paper's SimGrid-then-Jedule workflow.
+			wr, err := res.Execute(sim.ExecOptions{})
+			if err != nil {
+				return cell, fmt.Errorf("campaign %s/%s: %w", cell.Key(), s.Name(), err)
+			}
+			makespans[i] = wr.Makespan
 		}
 		cell.Runs++
-		ratio := resMCPA.Makespan / resCPA.Makespan
-		logSum += math.Log(ratio)
-		if ratio > cell.MaxRatio {
-			cell.MaxRatio = ratio
+		best, worst := makespans[0], makespans[0]
+		bestIdx := 0
+		for i, m := range makespans[1:] {
+			if m < best {
+				best, bestIdx = m, i+1
+			}
+			if m > worst {
+				worst = m
+			}
 		}
-		switch {
-		case ratio > 1+1e-9:
-			cell.WinsCPA++
-		case ratio < 1-1e-9:
-			cell.WinsMCPA++
-		default:
+		strict := true
+		for i, m := range makespans {
+			if i != bestIdx && m <= best*(1+1e-9) {
+				strict = false
+				break
+			}
+		}
+		if strict {
+			cell.Wins[bestIdx]++
+		} else {
 			cell.Ties++
 		}
+		spread := 1.0
+		if best > 0 {
+			spread = worst / best
+		}
+		logSum += math.Log(spread)
+		if spread > cell.MaxSpread {
+			cell.MaxSpread = spread
+		}
 	}
-	cell.MeanRatio = math.Exp(logSum / float64(cell.Runs))
+	cell.MeanSpread = math.Exp(logSum / float64(cell.Runs))
 	return cell, nil
 }
 
-// CornerCases returns the cells whose worst MCPA/CPA ratio is at least the
-// threshold, sorted by descending ratio — the candidates a developer would
+// CornerCases returns the cells whose worst makespan spread is at least the
+// threshold, sorted by descending spread — the candidates a developer would
 // open in Jedule, exactly how the paper found Figure 4.
 func (r *Result) CornerCases(threshold float64) []Cell {
 	var out []Cell
 	for _, c := range r.Cells {
-		if c.MaxRatio >= threshold {
+		if c.MaxSpread >= threshold {
 			out = append(out, c)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].MaxRatio > out[j].MaxRatio })
+	sort.Slice(out, func(i, j int) bool { return out[i].MaxSpread > out[j].MaxSpread })
 	return out
 }
 
-// Summary aggregates wins across all cells.
-func (r *Result) Summary() (winsCPA, winsMCPA, ties int) {
+// Summary aggregates wins per algorithm (index-aligned with r.Algos) and
+// ties across all cells.
+func (r *Result) Summary() (wins []int, ties int) {
+	wins = make([]int, len(r.Algos))
 	for _, c := range r.Cells {
-		winsCPA += c.WinsCPA
-		winsMCPA += c.WinsMCPA
+		for i, w := range c.Wins {
+			wins[i] += w
+		}
 		ties += c.Ties
 	}
-	return
+	return wins, ties
 }
 
-// WriteTable prints the per-cell results.
+// WriteTable prints the per-cell results with one win column per algorithm,
+// sized to fit the longest algorithm name.
 func (r *Result) WriteTable(w io.Writer) error {
-	if _, err := fmt.Fprintln(w,
-		"shape     nodes  procs  runs  cpa-wins  mcpa-wins  ties  mean-ratio  max-ratio"); err != nil {
+	winWidth := len("-wins") + 4
+	for _, a := range r.Algos {
+		if n := len(a) + len("-wins"); n > winWidth {
+			winWidth = n
+		}
+	}
+	header := "shape     nodes  procs  runs"
+	for _, a := range r.Algos {
+		header += fmt.Sprintf("  %*s", winWidth, a+"-wins")
+	}
+	header += "  ties  mean-spread  max-spread"
+	if _, err := fmt.Fprintln(w, header); err != nil {
 		return err
 	}
 	for _, c := range r.Cells {
-		if _, err := fmt.Fprintf(w, "%-9s %5d %6d %5d %9d %10d %5d %11.3f %10.3f\n",
-			c.Shape, c.DAGSize, c.Cluster, c.Runs,
-			c.WinsCPA, c.WinsMCPA, c.Ties, c.MeanRatio, c.MaxRatio); err != nil {
+		row := fmt.Sprintf("%-9s %5d %6d %5d", c.Shape, c.DAGSize, c.Cluster, c.Runs)
+		for _, wins := range c.Wins {
+			row += fmt.Sprintf("  %*d", winWidth, wins)
+		}
+		row += fmt.Sprintf(" %5d %12.3f %11.3f", c.Ties, c.MeanSpread, c.MaxSpread)
+		if _, err := fmt.Fprintln(w, row); err != nil {
 			return err
 		}
 	}
-	a, b, t := r.Summary()
-	_, err := fmt.Fprintf(w, "total %d runs: cpa wins %d, mcpa wins %d, ties %d\n",
-		r.Total, a, b, t)
+	wins, ties := r.Summary()
+	parts := make([]string, len(r.Algos))
+	for i, a := range r.Algos {
+		parts[i] = fmt.Sprintf("%s wins %d", a, wins[i])
+	}
+	_, err := fmt.Fprintf(w, "total %d runs: %s, ties %d\n",
+		r.Total, strings.Join(parts, ", "), ties)
 	return err
 }

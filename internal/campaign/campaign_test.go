@@ -14,6 +14,7 @@ func smallConfig() Config {
 		Shapes:       []dag.Shape{dag.ShapeSerial, dag.ShapeWide, dag.ShapeRandom},
 		DAGSizes:     []int{15, 30},
 		ClusterSizes: []int{32, 64},
+		Algos:        []string{"cpa", "mcpa"},
 		Replicates:   3,
 		Seed:         7,
 	}
@@ -34,13 +35,17 @@ func TestRunShape(t *testing.T) {
 		if c.Runs != 3 {
 			t.Fatalf("cell %s runs = %d", c.Key(), c.Runs)
 		}
-		if c.WinsCPA+c.WinsMCPA+c.Ties != c.Runs {
-			t.Fatalf("cell %s wins do not sum", c.Key())
+		sum := c.Ties
+		for _, w := range c.Wins {
+			sum += w
 		}
-		if c.MeanRatio <= 0 || c.MaxRatio <= 0 {
-			t.Fatalf("cell %s ratios invalid: %+v", c.Key(), c)
+		if sum != c.Runs {
+			t.Fatalf("cell %s wins do not sum: %+v", c.Key(), c)
 		}
-		if c.MaxRatio < c.MeanRatio-1e-9 {
+		if c.MeanSpread < 1-1e-9 || c.MaxSpread < 1-1e-9 {
+			t.Fatalf("cell %s spreads below 1: %+v", c.Key(), c)
+		}
+		if c.MaxSpread < c.MeanSpread-1e-9 {
 			t.Fatalf("cell %s max < mean", c.Key())
 		}
 	}
@@ -63,12 +68,52 @@ func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// TestCrossAlgorithmDeterminism runs a campaign spanning two scheduler
+// families (CPA variants and HEFT) and checks that the same seed produces
+// identical winners regardless of the worker count.
+func TestCrossAlgorithmDeterminism(t *testing.T) {
+	cfg := Config{
+		Shapes:       []dag.Shape{dag.ShapeRandom, dag.ShapeForkJoin},
+		DAGSizes:     []int{15},
+		ClusterSizes: []int{16},
+		Algos:        []string{"cpa", "mcpa2", "heft"},
+		Replicates:   3,
+		Seed:         13,
+		Workers:      1,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 7
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("cross-algorithm campaign depends on worker count")
+	}
+	for _, c := range a.Cells {
+		if len(c.Wins) != 3 {
+			t.Fatalf("cell %s has %d win counters", c.Key(), len(c.Wins))
+		}
+		sum := c.Ties
+		for _, w := range c.Wins {
+			sum += w
+		}
+		if sum != c.Runs {
+			t.Fatalf("cell %s wins do not sum", c.Key())
+		}
+	}
+}
+
 func TestSerialDAGsNeverFavorMCPAcaps(t *testing.T) {
 	// On pure chains both algorithms see the same critical path; MCPA's
 	// level cap never binds (one task per level), so every run ties.
 	cfg := Config{
 		Shapes: []dag.Shape{dag.ShapeSerial}, DAGSizes: []int{20},
-		ClusterSizes: []int{32}, Replicates: 5, Seed: 3,
+		ClusterSizes: []int{32}, Algos: []string{"cpa", "mcpa"},
+		Replicates: 5, Seed: 3,
 	}
 	res, err := Run(cfg)
 	if err != nil {
@@ -77,6 +122,9 @@ func TestSerialDAGsNeverFavorMCPAcaps(t *testing.T) {
 	c := res.Cells[0]
 	if c.Ties != c.Runs {
 		t.Fatalf("serial cell should tie every run: %+v", c)
+	}
+	if c.MaxSpread > 1+1e-9 {
+		t.Fatalf("serial cell should have no spread: %+v", c)
 	}
 }
 
@@ -90,13 +138,20 @@ func TestCornerCases(t *testing.T) {
 		t.Fatalf("corner cases = %d", len(all))
 	}
 	for i := 1; i < len(all); i++ {
-		if all[i].MaxRatio > all[i-1].MaxRatio {
+		if all[i].MaxSpread > all[i-1].MaxSpread {
 			t.Fatal("corner cases unsorted")
 		}
 	}
 	none := res.CornerCases(1e9)
 	if len(none) != 0 {
 		t.Fatal("impossible threshold matched")
+	}
+}
+
+func TestWinsOf(t *testing.T) {
+	c := Cell{Algos: []string{"cpa", "heft"}, Wins: []int{3, 1}}
+	if c.WinsOf("heft") != 1 || c.WinsOf("cpa") != 3 || c.WinsOf("nope") != 0 {
+		t.Fatalf("WinsOf broken: %+v", c)
 	}
 }
 
@@ -110,13 +165,13 @@ func TestWriteTable(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{"shape", "cpa-wins", "serial", "total 36 runs"} {
+	for _, want := range []string{"shape", "cpa-wins", "mcpa-wins", "serial", "total 36 runs"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("table missing %q:\n%s", want, out)
 		}
 	}
 	if got := strings.Count(out, "\n"); got != 14 { // header + 12 cells + total
-		t.Errorf("table lines = %d, want 14", got)
+		t.Errorf("table lines = %d, want 14:\n%s", got, out)
 	}
 }
 
@@ -130,6 +185,21 @@ func TestRunErrors(t *testing.T) {
 	bad.Replicates = 0
 	if _, err := Run(bad); err == nil {
 		t.Error("zero replicates accepted")
+	}
+	bad = smallConfig()
+	bad.Algos = []string{"cpa"}
+	if _, err := Run(bad); err == nil {
+		t.Error("single-algorithm campaign accepted")
+	}
+	bad = smallConfig()
+	bad.Algos = []string{"cpa", "cpa"}
+	if _, err := Run(bad); err == nil {
+		t.Error("duplicate algorithm accepted")
+	}
+	bad = smallConfig()
+	bad.Algos = []string{"cpa", "not-a-scheduler"}
+	if _, err := Run(bad); err == nil {
+		t.Error("unknown algorithm accepted")
 	}
 }
 

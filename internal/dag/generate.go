@@ -3,6 +3,7 @@ package dag
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 )
 
 // Shape selects one of the DAG families of the paper's m-task evaluation
@@ -37,6 +38,25 @@ func (s Shape) String() string {
 	default:
 		return "shape(?)"
 	}
+}
+
+// Shapes returns all generator shapes in declaration order.
+func Shapes() []Shape {
+	return []Shape{ShapeSerial, ShapeWide, ShapeLong, ShapeRandom, ShapeForkJoin}
+}
+
+// ParseShape resolves a shape name as printed by Shape.String.
+func ParseShape(name string) (Shape, error) {
+	for _, s := range Shapes() {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	names := make([]string, 0, len(Shapes()))
+	for _, s := range Shapes() {
+		names = append(names, s.String())
+	}
+	return 0, fmt.Errorf("dag: unknown shape %q (known: %s)", name, strings.Join(names, ", "))
 }
 
 // GenOptions parameterizes Generate.

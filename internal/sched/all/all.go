@@ -1,0 +1,12 @@
+// Package all registers every built-in scheduling algorithm with the sched
+// registry. Import it for side effects wherever schedulers are selected by
+// name:
+//
+//	import _ "repro/internal/sched/all"
+package all
+
+import (
+	_ "repro/internal/sched/cpa"  // registers cpa, mcpa, mcpa2
+	_ "repro/internal/sched/cra"  // registers cra_work, cra_width, cra_equal
+	_ "repro/internal/sched/heft" // registers heft
+)

@@ -28,8 +28,28 @@ import (
 
 	"repro/internal/dag"
 	"repro/internal/platform"
+	"repro/internal/sched"
 	"repro/internal/sim"
 )
+
+func init() {
+	for _, v := range []Variant{CPA, MCPA, MCPA2} {
+		sched.Register(variantScheduler{v})
+	}
+}
+
+// variantScheduler adapts one Variant to the sched.Scheduler interface.
+type variantScheduler struct{ v Variant }
+
+func (s variantScheduler) Name() string { return s.v.String() }
+
+func (s variantScheduler) Schedule(g *dag.Graph, p *platform.Platform) (*sched.Result, error) {
+	res, err := Schedule(g, p, s.v)
+	if err != nil {
+		return nil, err
+	}
+	return res.Unified(), nil
+}
 
 // Variant selects the allocation strategy.
 type Variant int
@@ -63,9 +83,18 @@ type Result struct {
 	Chosen   Variant // for MCPA2: which variant won; otherwise == Variant
 	Alloc    []int   // processors per node ID
 	TCP, TA  float64 // lower bounds after allocation
-	Planned  []sim.PlannedTask
 	Makespan float64 // predicted by the mapping phase
+
+	unified *sched.Result
 }
+
+// Unified returns the result in the common scheduler format: per-node
+// assignment with planned start/finish times, ready for campaign and
+// registry use.
+func (r *Result) Unified() *sched.Result { return r.unified }
+
+// Planned converts the mapping into simulator tasks.
+func (r *Result) Planned() []sim.PlannedTask { return r.unified.Planned() }
 
 // Schedule runs the selected variant for the graph on a homogeneous
 // cluster described by the platform's first cluster.
@@ -85,13 +114,16 @@ func Schedule(g *dag.Graph, p *platform.Platform, variant Variant) (*Result, err
 		if err != nil {
 			return nil, err
 		}
-		planned, makespan, err := mapTasks(g, p, alloc)
+		unified, err := mapTasks(g, p, alloc, variant.String())
 		if err != nil {
 			return nil, err
 		}
+		unified.SetMeta("tcp", fmt.Sprintf("%.3f", tcp))
+		unified.SetMeta("ta", fmt.Sprintf("%.3f", ta))
 		return &Result{
 			Variant: variant, Chosen: variant, Alloc: alloc,
-			TCP: tcp, TA: ta, Planned: planned, Makespan: makespan,
+			TCP: tcp, TA: ta,
+			Makespan: unified.Makespan, unified: unified,
 		}, nil
 	case MCPA2:
 		a, err := Schedule(g, p, CPA)
@@ -108,6 +140,13 @@ func Schedule(g *dag.Graph, p *platform.Platform, variant Variant) (*Result, err
 		}
 		out := *best
 		out.Variant = MCPA2
+		u := *best.unified
+		u.Algorithm = MCPA2.String()
+		u.Meta = map[string]string{"chosen": best.Chosen.String()}
+		for k, v := range best.unified.Meta {
+			u.Meta[k] = v
+		}
+		out.unified = &u
 		return &out, nil
 	default:
 		return nil, fmt.Errorf("cpa: unknown variant %d", variant)
@@ -182,29 +221,20 @@ func allocate(g *dag.Graph, p *platform.Platform, levelCap bool) (alloc []int, t
 }
 
 // mapTasks is the mapping phase: bottom-level list scheduling with
-// earliest-available host selection.
-func mapTasks(g *dag.Graph, p *platform.Platform, alloc []int) ([]sim.PlannedTask, float64, error) {
+// earliest-available host selection, built on the shared sched toolkit
+// (bottom levels + host timeline).
+func mapTasks(g *dag.Graph, p *platform.Platform, alloc []int, algorithm string) (*sched.Result, error) {
 	speed := p.Hosts()[0].Speed
 	// Bottom levels with allocated times (communication excluded).
-	blevel := make([]float64, g.Len())
-	order, err := g.TopoOrder()
+	blevel, err := sched.BottomLevels(g, func(nd *dag.Node) float64 {
+		return nd.Time(alloc[nd.ID], speed)
+	})
 	if err != nil {
-		return nil, 0, err
-	}
-	for i := len(order) - 1; i >= 0; i-- {
-		nd := order[i]
-		var maxSucc float64
-		for _, e := range nd.Succs() {
-			if blevel[e.To.ID] > maxSucc {
-				maxSucc = blevel[e.To.ID]
-			}
-		}
-		blevel[nd.ID] = nd.Time(alloc[nd.ID], speed) + maxSucc
+		return nil, err
 	}
 
-	hostFree := make([]float64, p.NumHosts())
-	finish := make([]float64, g.Len())
-	firstHost := make([]int, g.Len())
+	tl := sched.NewTimeline(p.NumHosts())
+	res := sched.NewResult(algorithm, g, p)
 	pendingPreds := make([]int, g.Len())
 	readyAt := make([]float64, g.Len())
 	for _, nd := range g.Nodes() {
@@ -216,58 +246,40 @@ func mapTasks(g *dag.Graph, p *platform.Platform, alloc []int) ([]sim.PlannedTas
 			ready = append(ready, nd)
 		}
 	}
-	planned := make([]sim.PlannedTask, 0, g.Len())
-	var makespan float64
 	scheduled := 0
 	for scheduled < g.Len() {
 		if len(ready) == 0 {
-			return nil, 0, fmt.Errorf("cpa: mapping deadlock (cycle?)")
+			return nil, fmt.Errorf("cpa: mapping deadlock (cycle?)")
 		}
 		// Highest bottom level first.
 		sort.SliceStable(ready, func(i, j int) bool { return blevel[ready[i].ID] > blevel[ready[j].ID] })
 		nd := ready[0]
 		ready = ready[1:]
 
-		need := alloc[nd.ID]
-		hosts := pickEarliestHosts(hostFree, need)
+		// Moldable tasks hold all their hosts for the whole duration, so the
+		// tail free time is the binding constraint (no reusable gaps open up
+		// behind a task the way they do for HEFT's sequential tasks).
+		hosts := tl.EarliestHosts(alloc[nd.ID])
 		start := readyAt[nd.ID]
 		for _, h := range hosts {
-			if hostFree[h] > start {
-				start = hostFree[h]
+			if f := tl.FreeAt(h); f > start {
+				start = f
 			}
 		}
-		dur := nd.Time(need, speed)
-		end := start + dur
-		for _, h := range hosts {
-			hostFree[h] = end
+		end := start + nd.Time(len(hosts), speed)
+		tl.ReserveAll(hosts, start, end)
+		res.Assignments[nd.ID] = sched.Assignment{Hosts: hosts, Start: start, Finish: end}
+		if end > res.Makespan {
+			res.Makespan = end
 		}
-		finish[nd.ID] = end
-		firstHost[nd.ID] = hosts[0]
-		if end > makespan {
-			makespan = end
-		}
-		pt := sim.PlannedTask{
-			ID: nd.Name, Type: "computation", Hosts: hosts, Duration: dur,
-		}
-		for _, e := range nd.Preds() {
-			pt.Deps = append(pt.Deps, sim.Dep{From: e.From.Name, Bytes: e.Bytes})
-		}
-		planned = append(planned, pt)
 		scheduled++
 		for _, e := range nd.Succs() {
-			// Data availability: predecessor finish + redistribution.
-			ct, err := p.CommTime(firstHost[nd.ID], firstHost[nd.ID], e.Bytes)
-			if err != nil {
-				return nil, 0, err
-			}
-			// Redistribution target host unknown until the successor is
-			// mapped; approximate with an intra-cluster transfer when the
-			// successor will use different hosts. The simulator computes
-			// the exact value during execution.
-			_ = ct
-			arrive := finish[nd.ID]
-			if arrive > readyAt[e.To.ID] {
-				readyAt[e.To.ID] = arrive
+			// Data availability: the redistribution target is unknown until
+			// the successor is mapped, so the mapping phase counts only the
+			// predecessor's finish; the simulator charges the exact
+			// transfer during execution.
+			if end > readyAt[e.To.ID] {
+				readyAt[e.To.ID] = end
 			}
 			pendingPreds[e.To.ID]--
 			if pendingPreds[e.To.ID] == 0 {
@@ -275,35 +287,13 @@ func mapTasks(g *dag.Graph, p *platform.Platform, alloc []int) ([]sim.PlannedTas
 			}
 		}
 	}
-	return planned, makespan, nil
-}
-
-// pickEarliestHosts returns the indices of the `need` hosts with the
-// smallest free times, preferring contiguous low indices on ties so the
-// Gantt chart shows compact allocations.
-func pickEarliestHosts(hostFree []float64, need int) []int {
-	if need > len(hostFree) {
-		need = len(hostFree)
-	}
-	idx := make([]int, len(hostFree))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.SliceStable(idx, func(a, b int) bool {
-		if hostFree[idx[a]] != hostFree[idx[b]] {
-			return hostFree[idx[a]] < hostFree[idx[b]]
-		}
-		return idx[a] < idx[b]
-	})
-	out := append([]int(nil), idx[:need]...)
-	sort.Ints(out)
-	return out
+	return res, nil
 }
 
 // Execute runs the planned schedule on the simulator (the SimGrid
 // substitute) and returns the trace with algorithm meta data attached.
 func Execute(res *Result, p *platform.Platform) (*sim.WorkflowResult, error) {
-	wr, err := sim.Execute(p, res.Planned, sim.ExecOptions{})
+	wr, err := sim.Execute(p, res.Planned(), sim.ExecOptions{})
 	if err != nil {
 		return nil, err
 	}

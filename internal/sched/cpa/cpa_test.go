@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dag"
 	"repro/internal/platform"
+	"repro/internal/sched"
 	"repro/internal/sim"
 )
 
@@ -230,13 +231,18 @@ func TestLowerBound(t *testing.T) {
 }
 
 func TestPickEarliestHosts(t *testing.T) {
-	free := []float64{5, 1, 3, 1}
-	got := pickEarliestHosts(free, 2)
+	// Host selection now goes through the shared timeline's tail times.
+	tl := sched.NewTimeline(4)
+	tl.Reserve(0, 0, 5)
+	tl.Reserve(1, 0, 1)
+	tl.Reserve(2, 0, 3)
+	tl.Reserve(3, 0, 1)
+	got := tl.EarliestHosts(2)
 	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
 		t.Fatalf("picked %v, want [1 3]", got)
 	}
 	// Overask clamps to all hosts.
-	if got := pickEarliestHosts(free, 10); len(got) != 4 {
+	if got := tl.EarliestHosts(10); len(got) != 4 {
 		t.Fatal("overask not clamped")
 	}
 }

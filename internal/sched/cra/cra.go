@@ -25,9 +25,59 @@ import (
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/platform"
+	"repro/internal/sched"
 	"repro/internal/sched/cpa"
 	"repro/internal/sim"
 )
+
+// DefaultMu is the µ blend used when a CRA strategy is invoked through the
+// scheduler registry (the paper's middle-of-the-road setting).
+const DefaultMu = 0.5
+
+func init() {
+	for _, s := range []Strategy{Work, Width, Equal} {
+		sched.Register(strategyScheduler{s})
+	}
+}
+
+// strategyScheduler adapts one CRA strategy to the single-graph
+// sched.Scheduler interface by treating the graph as a batch of one
+// application: the share computation degenerates to the whole cluster and
+// the backfilled CPA schedule inside it is returned.
+type strategyScheduler struct{ strat Strategy }
+
+func (s strategyScheduler) Name() string { return s.strat.String() }
+
+func (s strategyScheduler) Schedule(g *dag.Graph, p *platform.Platform) (*sched.Result, error) {
+	res, err := schedule([]*dag.Graph{g}, p, s.strat, DefaultMu, false)
+	if err != nil {
+		return nil, err
+	}
+	placed, err := Backfill(res.Placed, p.NumHosts())
+	if err != nil {
+		return nil, err
+	}
+	out := sched.NewResult(s.strat.String(), g, p)
+	byID := make(map[string]*PlacedTask, len(placed))
+	for i := range placed {
+		byID[placed[i].ID] = &placed[i]
+	}
+	for _, nd := range g.Nodes() {
+		t, ok := byID[fmt.Sprintf("a0:%s", nd.Name)]
+		if !ok {
+			return nil, fmt.Errorf("cra: task %q missing from placed schedule", nd.Name)
+		}
+		out.Assignments[nd.ID] = sched.Assignment{
+			Hosts: append([]int(nil), t.Hosts...),
+			Start: t.Start, Finish: t.End,
+		}
+		if t.End > out.Makespan {
+			out.Makespan = t.End
+		}
+	}
+	out.SetMeta("mu", fmt.Sprintf("%g", DefaultMu))
+	return out, nil
+}
 
 // Strategy selects the share characteristic X_i.
 type Strategy int
@@ -172,6 +222,14 @@ func Shares(graphs []*dag.Graph, strategy Strategy, mu float64, P int) ([]int, e
 // disjoint host ranges, virtual execution, and metrics. The platform must
 // be one homogeneous cluster.
 func Schedule(graphs []*dag.Graph, p *platform.Platform, strategy Strategy, mu float64) (*Result, error) {
+	return schedule(graphs, p, strategy, mu, true)
+}
+
+// schedule implements Schedule; withStretch controls whether the dedicated
+// whole-cluster run behind the per-application stretch metric is performed
+// (the registry adapter skips it — it would double the scheduling work for
+// a number nobody reads).
+func schedule(graphs []*dag.Graph, p *platform.Platform, strategy Strategy, mu float64, withStretch bool) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("cra: %w", err)
 	}
@@ -192,29 +250,33 @@ func Schedule(graphs []*dag.Graph, p *platform.Platform, strategy Strategy, mu f
 		if err != nil {
 			return nil, fmt.Errorf("cra: app %d: %w", i, err)
 		}
-		wr, err := sim.Execute(sub, cres.Planned, sim.ExecOptions{})
+		planned := cres.Planned()
+		wr, err := sim.Execute(sub, planned, sim.ExecOptions{})
 		if err != nil {
 			return nil, fmt.Errorf("cra: app %d: %w", i, err)
 		}
-		// Dedicated run for the stretch metric.
-		dres, err := cpa.Schedule(g, p, cpa.MCPA2)
-		if err != nil {
-			return nil, fmt.Errorf("cra: app %d dedicated: %w", i, err)
-		}
-		dwr, err := sim.Execute(p, dres.Planned, sim.ExecOptions{})
-		if err != nil {
-			return nil, fmt.Errorf("cra: app %d dedicated: %w", i, err)
-		}
 		app := AppResult{
 			Share: shares[i], FirstHost: offset,
-			Makespan: wr.Makespan, Dedicated: dwr.Makespan,
+			Makespan: wr.Makespan,
 		}
-		if app.Dedicated > 0 {
-			app.Stretch = app.Makespan / app.Dedicated
+		if withStretch {
+			// Dedicated run for the stretch metric.
+			dres, err := cpa.Schedule(g, p, cpa.MCPA2)
+			if err != nil {
+				return nil, fmt.Errorf("cra: app %d dedicated: %w", i, err)
+			}
+			dwr, err := sim.Execute(p, dres.Planned(), sim.ExecOptions{})
+			if err != nil {
+				return nil, fmt.Errorf("cra: app %d dedicated: %w", i, err)
+			}
+			app.Dedicated = dwr.Makespan
+			if app.Dedicated > 0 {
+				app.Stretch = app.Makespan / app.Dedicated
+			}
 		}
 		res.Apps = append(res.Apps, app)
 		// Remap the planned tasks into the shared cluster.
-		for _, pt := range cres.Planned {
+		for _, pt := range planned {
 			hosts := make([]int, len(pt.Hosts))
 			for k, h := range pt.Hosts {
 				hosts[k] = h + offset
@@ -253,7 +315,7 @@ func Backfill(placed []PlacedTask, hosts int) ([]PlacedTask, error) {
 	}
 	sort.SliceStable(order, func(a, b int) bool { return out[order[a]].Start < out[order[b]].Start })
 	finish := map[string]float64{}
-	hostFree := make([]float64, hosts)
+	tl := sched.NewTimeline(hosts)
 	for _, idx := range order {
 		t := &out[idx]
 		start := 0.0
@@ -270,8 +332,8 @@ func Backfill(placed []PlacedTask, hosts int) ([]PlacedTask, error) {
 			if h < 0 || h >= hosts {
 				return nil, fmt.Errorf("cra: backfill: task %q uses host %d outside cluster", t.ID, h)
 			}
-			if hostFree[h] > start {
-				start = hostFree[h]
+			if f := tl.FreeAt(h); f > start {
+				start = f
 			}
 		}
 		if start > t.Start+1e-9 {
@@ -281,9 +343,7 @@ func Backfill(placed []PlacedTask, hosts int) ([]PlacedTask, error) {
 		t.Start = start
 		t.End = start + dur
 		finish[t.ID] = t.End
-		for _, h := range t.Hosts {
-			hostFree[h] = t.End
-		}
+		tl.ReserveAll(t.Hosts, t.Start, t.End)
 	}
 	return out, nil
 }

@@ -20,8 +20,19 @@ import (
 	"repro/internal/core"
 	"repro/internal/dag"
 	"repro/internal/platform"
+	"repro/internal/sched"
 	"repro/internal/sim"
 )
+
+func init() {
+	sched.Register(sched.Func{Algo: "heft", Run: func(g *dag.Graph, p *platform.Platform) (*sched.Result, error) {
+		res, err := Schedule(g, p)
+		if err != nil {
+			return nil, err
+		}
+		return res.Unified(), nil
+	}})
+}
 
 // Result is a complete HEFT schedule.
 type Result struct {
@@ -42,7 +53,9 @@ type Result struct {
 type slot struct{ start, end float64 }
 
 // Schedule runs HEFT for the graph on the platform. Tasks are treated as
-// single-processor (sequential) tasks, per the case study.
+// single-processor (sequential) tasks, per the case study. Ranks and host
+// reservations come from the shared sched toolkit: upward ranks with mean
+// execution/communication costs, and a gap-inserting host timeline.
 func Schedule(g *dag.Graph, p *platform.Platform) (*Result, error) {
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("heft: %w", err)
@@ -53,34 +66,24 @@ func Schedule(g *dag.Graph, p *platform.Platform) (*Result, error) {
 	n := g.Len()
 	res := &Result{
 		Assign: make([]int, n), Start: make([]float64, n),
-		Finish: make([]float64, n), Rank: make([]float64, n),
-		graph: g, plat: p,
+		Finish: make([]float64, n),
+		graph:  g, plat: p,
 	}
 	meanSpeed := p.MeanSpeed()
 
-	// Upward ranks over a reverse topological order.
-	order, err := g.TopoOrder()
+	rank, err := sched.UpwardRanks(g,
+		func(nd *dag.Node) float64 { return nd.Work / meanSpeed },
+		func(e *dag.Edge) float64 { return p.MeanCommTime(e.Bytes) })
 	if err != nil {
 		return nil, err
 	}
-	for i := n - 1; i >= 0; i-- {
-		nd := order[i]
-		avgExec := nd.Work / meanSpeed
-		var best float64
-		for _, e := range nd.Succs() {
-			c := p.MeanCommTime(e.Bytes) + res.Rank[e.To.ID]
-			if c > best {
-				best = c
-			}
-		}
-		res.Rank[nd.ID] = avgExec + best
-	}
+	res.Rank = rank
 
 	// Priority list: decreasing upward rank (stable on ties by ID).
 	prio := append([]*dag.Node(nil), g.Nodes()...)
 	sort.SliceStable(prio, func(i, j int) bool { return res.Rank[prio[i].ID] > res.Rank[prio[j].ID] })
 
-	slots := make([][]slot, p.NumHosts())
+	tl := sched.NewTimeline(p.NumHosts())
 	for _, nd := range prio {
 		bestHost, bestStart := -1, 0.0
 		bestEFT := 0.0
@@ -97,7 +100,7 @@ func Schedule(g *dag.Graph, p *platform.Platform) (*Result, error) {
 				}
 			}
 			dur := nd.Work / h.Speed
-			start := earliestSlot(slots[h.Global], ready, dur)
+			start := tl.EarliestGap(h.Global, ready, dur)
 			eft := start + dur
 			if bestHost < 0 || eft < bestEFT {
 				bestHost, bestStart, bestEFT = h.Global, start, eft
@@ -106,7 +109,7 @@ func Schedule(g *dag.Graph, p *platform.Platform) (*Result, error) {
 		res.Assign[nd.ID] = bestHost
 		res.Start[nd.ID] = bestStart
 		res.Finish[nd.ID] = bestEFT
-		insertSlot(&slots[bestHost], slot{bestStart, bestEFT})
+		tl.Reserve(bestHost, bestStart, bestEFT)
 		if bestEFT > res.Makespan {
 			res.Makespan = bestEFT
 		}
@@ -114,27 +117,17 @@ func Schedule(g *dag.Graph, p *platform.Platform) (*Result, error) {
 	return res, nil
 }
 
-// earliestSlot finds the earliest start >= ready such that [start,
-// start+dur) fits between the reserved slots (the HEFT insertion policy).
-func earliestSlot(reserved []slot, ready, dur float64) float64 {
-	start := ready
-	for _, s := range reserved {
-		if start+dur <= s.start {
-			return start // fits in the gap before this slot
-		}
-		if s.end > start {
-			start = s.end
+// Unified returns the schedule in the common scheduler format.
+func (r *Result) Unified() *sched.Result {
+	out := sched.NewResult("heft", r.graph, r.plat)
+	out.Makespan = r.Makespan
+	for _, nd := range r.graph.Nodes() {
+		out.Assignments[nd.ID] = sched.Assignment{
+			Hosts: []int{r.Assign[nd.ID]},
+			Start: r.Start[nd.ID], Finish: r.Finish[nd.ID],
 		}
 	}
-	return start
-}
-
-// insertSlot keeps the host's reservation list sorted by start time.
-func insertSlot(list *[]slot, s slot) {
-	i := sort.Search(len(*list), func(i int) bool { return (*list)[i].start >= s.start })
-	*list = append(*list, slot{})
-	copy((*list)[i+1:], (*list)[i:])
-	(*list)[i] = s
+	return out
 }
 
 // TraceOptions controls Trace.

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dag"
 	"repro/internal/platform"
+	"repro/internal/sched"
 	"repro/internal/sim"
 )
 
@@ -160,33 +161,27 @@ func TestTrace(t *testing.T) {
 }
 
 func TestEarliestSlotInsertion(t *testing.T) {
-	// Gap fitting: reserved [0,5] and [10,20]; a 3-unit task ready at 1
-	// fits at 5.
-	reserved := []slot{{0, 5}, {10, 20}}
-	if got := earliestSlot(reserved, 1, 3); got != 5 {
+	// HEFT's insertion policy now lives in the shared timeline; check the
+	// same gap-fitting cases through it. Reserved [0,5] and [10,20]; a
+	// 3-unit task ready at 1 fits at 5.
+	tl := sched.NewTimeline(1)
+	tl.Reserve(0, 0, 5)
+	tl.Reserve(0, 10, 20)
+	if got := tl.EarliestGap(0, 1, 3); got != 5 {
 		t.Fatalf("slot = %g, want 5", got)
 	}
 	// A 6-unit task cannot fit the gap: goes after 20.
-	if got := earliestSlot(reserved, 1, 6); got != 20 {
+	if got := tl.EarliestGap(0, 1, 6); got != 20 {
 		t.Fatalf("slot = %g, want 20", got)
 	}
 	// Ready after all reservations.
-	if got := earliestSlot(reserved, 25, 1); got != 25 {
+	if got := tl.EarliestGap(0, 25, 1); got != 25 {
 		t.Fatalf("slot = %g, want 25", got)
 	}
 	// Empty host.
-	if got := earliestSlot(nil, 7, 1); got != 7 {
+	empty := sched.NewTimeline(1)
+	if got := empty.EarliestGap(0, 7, 1); got != 7 {
 		t.Fatalf("slot = %g, want 7", got)
-	}
-	// insertSlot keeps order.
-	var list []slot
-	insertSlot(&list, slot{10, 12})
-	insertSlot(&list, slot{0, 5})
-	insertSlot(&list, slot{6, 9})
-	for i := 1; i < len(list); i++ {
-		if list[i].start < list[i-1].start {
-			t.Fatal("slots unsorted")
-		}
 	}
 }
 

@@ -1,0 +1,37 @@
+package sched
+
+import "repro/internal/dag"
+
+// BottomLevels returns, per node ID, the length of the longest path from the
+// node to any exit node, counting node execution times under timeOf and
+// ignoring communication — CPA/MCPA's b-level priority.
+func BottomLevels(g *dag.Graph, timeOf func(*dag.Node) float64) ([]float64, error) {
+	return UpwardRanks(g, timeOf, nil)
+}
+
+// UpwardRanks returns, per node ID, the HEFT upward rank: the node's
+// execution cost under execOf plus the maximum over its successors of the
+// edge cost under commOf plus the successor's rank. A nil commOf means
+// communication is free, which degenerates to the bottom level.
+func UpwardRanks(g *dag.Graph, execOf func(*dag.Node) float64, commOf func(*dag.Edge) float64) ([]float64, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	rank := make([]float64, g.Len())
+	for i := len(order) - 1; i >= 0; i-- {
+		nd := order[i]
+		var best float64
+		for _, e := range nd.Succs() {
+			c := rank[e.To.ID]
+			if commOf != nil {
+				c += commOf(e)
+			}
+			if c > best {
+				best = c
+			}
+		}
+		rank[nd.ID] = execOf(nd) + best
+	}
+	return rank, nil
+}

@@ -1,0 +1,170 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// Assignment is one node's placement in a unified schedule: the global hosts
+// it occupies and its planned start and finish times.
+type Assignment struct {
+	Hosts  []int
+	Start  float64
+	Finish float64
+}
+
+// Result is the unified outcome every Scheduler produces: one Assignment per
+// graph node (indexed by node ID), the planned makespan, and algorithm meta
+// data. It converts to the simulator's task list and to a Jedule
+// core.Schedule, so campaigns, figures, and commands can treat algorithms
+// interchangeably.
+type Result struct {
+	Algorithm   string
+	Graph       *dag.Graph
+	Platform    *platform.Platform
+	Assignments []Assignment
+	Makespan    float64
+	// Meta carries algorithm-specific key/value pairs (e.g. CPA's T_CP and
+	// T_A bounds) that end up as schedule-level properties in traces.
+	Meta map[string]string
+}
+
+// NewResult allocates a result shell for the graph and platform.
+func NewResult(algorithm string, g *dag.Graph, p *platform.Platform) *Result {
+	return &Result{
+		Algorithm:   algorithm,
+		Graph:       g,
+		Platform:    p,
+		Assignments: make([]Assignment, g.Len()),
+		Meta:        map[string]string{},
+	}
+}
+
+// SetMeta records one algorithm-specific property.
+func (r *Result) SetMeta(name, value string) {
+	if r.Meta == nil {
+		r.Meta = map[string]string{}
+	}
+	r.Meta[name] = value
+}
+
+// Planned converts the result into simulator tasks for independent
+// validation by the discrete-event kernel. Tasks are emitted in planned
+// start order (ties by node ID): the simulator resolves same-instant host
+// contention FIFO in list order, so the replay follows the plan's own
+// dispatch order rather than graph construction order.
+func (r *Result) Planned() []sim.PlannedTask {
+	nodes := append([]*dag.Node(nil), r.Graph.Nodes()...)
+	sort.SliceStable(nodes, func(i, j int) bool {
+		return r.Assignments[nodes[i].ID].Start < r.Assignments[nodes[j].ID].Start
+	})
+	out := make([]sim.PlannedTask, 0, len(nodes))
+	for _, nd := range nodes {
+		a := r.Assignments[nd.ID]
+		pt := sim.PlannedTask{
+			ID: nd.Name, Type: nd.Type,
+			Hosts:    append([]int(nil), a.Hosts...),
+			Duration: a.Finish - a.Start,
+		}
+		for _, e := range nd.Preds() {
+			pt.Deps = append(pt.Deps, sim.Dep{From: e.From.Name, Bytes: e.Bytes})
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+// Execute replays the plan on the simulator and returns the trace with the
+// algorithm meta data attached.
+func (r *Result) Execute(opt sim.ExecOptions) (*sim.WorkflowResult, error) {
+	wr, err := sim.Execute(r.Platform, r.Planned(), opt)
+	if err != nil {
+		return nil, err
+	}
+	wr.Schedule.SetMeta("algorithm", r.Algorithm)
+	for _, k := range r.metaKeys() {
+		wr.Schedule.SetMeta(k, r.Meta[k])
+	}
+	return wr, nil
+}
+
+// Trace renders the planned times (not a simulation) as a Jedule schedule,
+// mapping hosts back to the platform's cluster structure.
+func (r *Result) Trace() (*core.Schedule, error) {
+	rec := sim.NewRecorder(r.Platform)
+	rec.SetMeta("algorithm", r.Algorithm)
+	rec.SetMeta("makespan", fmt.Sprintf("%.3f", r.Makespan))
+	for _, k := range r.metaKeys() {
+		rec.SetMeta(k, r.Meta[k])
+	}
+	for _, nd := range r.Graph.Nodes() {
+		a := r.Assignments[nd.ID]
+		if err := rec.Record(nd.Name, nd.Type, a.Start, a.Finish, a.Hosts); err != nil {
+			return nil, err
+		}
+	}
+	return rec.Schedule(), nil
+}
+
+// metaKeys returns the meta keys in deterministic order.
+func (r *Result) metaKeys() []string {
+	keys := make([]string, 0, len(r.Meta))
+	for k := range r.Meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Validate checks the plan's internal consistency: every node placed on
+// valid hosts, precedence respected (a task never starts before a
+// predecessor finishes — communication delays, being non-negative, can only
+// push starts later), and no host double-booked.
+func (r *Result) Validate() error {
+	if len(r.Assignments) != r.Graph.Len() {
+		return fmt.Errorf("sched: %s: %d assignments for %d nodes",
+			r.Algorithm, len(r.Assignments), r.Graph.Len())
+	}
+	type slot struct {
+		start, end float64
+		id         string
+	}
+	byHost := map[int][]slot{}
+	for _, nd := range r.Graph.Nodes() {
+		a := r.Assignments[nd.ID]
+		if len(a.Hosts) == 0 {
+			return fmt.Errorf("sched: %s: node %q has no hosts", r.Algorithm, nd.Name)
+		}
+		if a.Finish < a.Start {
+			return fmt.Errorf("sched: %s: node %q finishes before it starts", r.Algorithm, nd.Name)
+		}
+		for _, h := range a.Hosts {
+			if _, err := r.Platform.Host(h); err != nil {
+				return fmt.Errorf("sched: %s: node %q: %w", r.Algorithm, nd.Name, err)
+			}
+			byHost[h] = append(byHost[h], slot{a.Start, a.Finish, nd.Name})
+		}
+	}
+	for _, e := range r.Graph.Edges() {
+		if r.Assignments[e.To.ID].Start < r.Assignments[e.From.ID].Finish-1e-9 {
+			return fmt.Errorf("sched: %s: %s starts at %g before %s finishes at %g",
+				r.Algorithm, e.To.Name, r.Assignments[e.To.ID].Start,
+				e.From.Name, r.Assignments[e.From.ID].Finish)
+		}
+	}
+	for h, list := range byHost {
+		sort.Slice(list, func(i, j int) bool { return list[i].start < list[j].start })
+		for i := 1; i < len(list); i++ {
+			if list[i].start < list[i-1].end-1e-9 {
+				return fmt.Errorf("sched: %s: host %d double-booked at %g (%s vs %s)",
+					r.Algorithm, h, list[i].start, list[i-1].id, list[i].id)
+			}
+		}
+	}
+	return nil
+}

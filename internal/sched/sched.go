@@ -1,0 +1,104 @@
+// Package sched defines the common scheduler abstraction shared by the
+// algorithm packages beneath it (cpa, cra, heft): a Scheduler interface
+// producing a unified Result, a name-based registry through which campaigns,
+// commands, and benchmarks select algorithms, and the scheduling toolkit the
+// algorithms share — rank/bottom-level computation over task graphs and a
+// per-host timeline with sorted-interval gap insertion.
+//
+// Algorithm packages register themselves from their init functions; importing
+// repro/internal/sched/all (usually with a blank import) pulls in every
+// built-in algorithm and makes sched.List() complete.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/dag"
+	"repro/internal/platform"
+)
+
+// Scheduler is the common interface every scheduling algorithm implements:
+// plan the execution of one task graph on one platform.
+type Scheduler interface {
+	// Name returns the registry name (e.g. "cpa", "heft").
+	Name() string
+	// Schedule plans the graph on the platform and returns a unified result.
+	Schedule(g *dag.Graph, p *platform.Platform) (*Result, error)
+}
+
+// Func adapts a plain function plus a name into a Scheduler.
+type Func struct {
+	Algo string
+	Run  func(g *dag.Graph, p *platform.Platform) (*Result, error)
+}
+
+// Name implements Scheduler.
+func (f Func) Name() string { return f.Algo }
+
+// Schedule implements Scheduler.
+func (f Func) Schedule(g *dag.Graph, p *platform.Platform) (*Result, error) {
+	return f.Run(g, p)
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Scheduler{}
+)
+
+// Register adds a scheduler under its Name. It panics on an empty name or a
+// duplicate registration — both are programming errors in an algorithm
+// package's init.
+func Register(s Scheduler) {
+	name := s.Name()
+	if name == "" {
+		panic("sched: Register with empty name")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("sched: duplicate registration of %q", name))
+	}
+	registry[name] = s
+}
+
+// Lookup returns the scheduler registered under name.
+func Lookup(name string) (Scheduler, error) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	s, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("sched: unknown scheduler %q (registered: %v)", name, listLocked())
+	}
+	return s, nil
+}
+
+// LookupAll resolves a list of names, failing on the first unknown one.
+func LookupAll(names []string) ([]Scheduler, error) {
+	out := make([]Scheduler, len(names))
+	for i, n := range names {
+		s, err := Lookup(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// List returns the registered scheduler names, sorted.
+func List() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	return listLocked()
+}
+
+func listLocked() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

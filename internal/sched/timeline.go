@@ -1,0 +1,131 @@
+package sched
+
+import "sort"
+
+// Interval is a reserved [Start, End) span on one host.
+type Interval struct{ Start, End float64 }
+
+// Timeline tracks per-host reservations for list scheduling. Each host keeps
+// a sorted list of disjoint intervals (touching reservations are coalesced),
+// so gap queries binary-search to the relevant region instead of rescanning
+// the whole reservation history, and tail queries are O(1). It replaces the
+// ad-hoc hostFree arrays and slot lists the algorithm packages used to
+// maintain individually.
+type Timeline struct {
+	slots [][]Interval
+	tail  []float64 // end of the last reservation per host
+}
+
+// NewTimeline creates an empty timeline over the given host count.
+func NewTimeline(hosts int) *Timeline {
+	return &Timeline{
+		slots: make([][]Interval, hosts),
+		tail:  make([]float64, hosts),
+	}
+}
+
+// Hosts returns the host count.
+func (t *Timeline) Hosts() int { return len(t.slots) }
+
+// FreeAt returns the instant from which the host is free forever — the end
+// of its last reservation (tail semantics, as used by CPA's mapping phase
+// and CRA's backfilling).
+func (t *Timeline) FreeAt(host int) float64 { return t.tail[host] }
+
+// EarliestGap returns the earliest start >= ready such that [start,
+// start+dur) fits between the host's reservations — the HEFT insertion
+// policy. Intervals ending at or before ready are skipped by binary search.
+func (t *Timeline) EarliestGap(host int, ready, dur float64) float64 {
+	list := t.slots[host]
+	i := sort.Search(len(list), func(i int) bool { return list[i].End > ready })
+	start := ready
+	for ; i < len(list); i++ {
+		if start+dur <= list[i].Start {
+			return start // fits in the gap before this interval
+		}
+		if list[i].End > start {
+			start = list[i].End
+		}
+	}
+	return start
+}
+
+// Reserve marks [start, end) busy on the host, keeping the interval list
+// sorted and coalescing touching or overlapping neighbors.
+func (t *Timeline) Reserve(host int, start, end float64) {
+	if end <= start {
+		return
+	}
+	list := t.slots[host]
+	i := sort.Search(len(list), func(i int) bool { return list[i].Start >= start })
+	// Merge with the predecessor when it touches or overlaps.
+	if i > 0 && list[i-1].End >= start {
+		i--
+		start = list[i].Start
+		if list[i].End > end {
+			end = list[i].End
+		}
+	} else {
+		list = append(list, Interval{})
+		copy(list[i+1:], list[i:])
+		list[i] = Interval{}
+	}
+	// Swallow successors covered by or touching [start, end).
+	j := i + 1
+	for j < len(list) && list[j].Start <= end {
+		if list[j].End > end {
+			end = list[j].End
+		}
+		j++
+	}
+	list[i] = Interval{Start: start, End: end}
+	list = append(list[:i+1], list[j:]...)
+	t.slots[host] = list
+	if end > t.tail[host] {
+		t.tail[host] = end
+	}
+}
+
+// ReserveAll reserves [start, end) on every listed host.
+func (t *Timeline) ReserveAll(hosts []int, start, end float64) {
+	for _, h := range hosts {
+		t.Reserve(h, start, end)
+	}
+}
+
+// EarliestHosts returns the indices of the `need` hosts with the smallest
+// tail free times, preferring low indices on ties so Gantt charts show
+// compact allocations; the result is sorted ascending. need is clamped to
+// the host count.
+func (t *Timeline) EarliestHosts(need int) []int {
+	if need > len(t.tail) {
+		need = len(t.tail)
+	}
+	idx := make([]int, len(t.tail))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		if t.tail[idx[a]] != t.tail[idx[b]] {
+			return t.tail[idx[a]] < t.tail[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	out := append([]int(nil), idx[:need]...)
+	sort.Ints(out)
+	return out
+}
+
+// Reserved returns the host's reservation list (read-only view).
+func (t *Timeline) Reserved(host int) []Interval { return t.slots[host] }
+
+// Makespan returns the latest reservation end across all hosts.
+func (t *Timeline) Makespan() float64 {
+	var m float64
+	for _, e := range t.tail {
+		if e > m {
+			m = e
+		}
+	}
+	return m
+}
