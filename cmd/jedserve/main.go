@@ -1,0 +1,57 @@
+// Command jedserve serves a directory of schedule files as pre-registered
+// sessions of the multi-session REST API: every *.jed, *.xml, and *.csv
+// file directly inside -dir becomes one session, named after the file. New
+// sessions can still be created over HTTP, by uploading documents or by
+// running any registered scheduler server-side.
+//
+// Usage:
+//
+//	jedserve -dir schedules/ [-addr :8080]
+//
+// Endpoints (see the README's "HTTP API" section for the full table):
+//
+//	GET    /                          HTML session index
+//	GET    /api/v1/sessions           list sessions
+//	POST   /api/v1/sessions           create (XML/CSV upload or JSON generate)
+//	GET    /api/v1/sessions/{id}/render?format=png|svg|pdf&window=&clusters=...
+//	GET    /api/v1/sessions/{id}/stats|tasks|meta|export
+//	DELETE /api/v1/sessions/{id}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/api"
+	_ "repro/internal/sched/all"
+)
+
+func main() {
+	var (
+		dir  = flag.String("dir", "", "directory of schedule files to pre-register (required)")
+		addr = flag.String("addr", ":8080", "HTTP listen address")
+	)
+	flag.Parse()
+	if *dir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*dir, *addr); err != nil {
+		fmt.Fprintln(os.Stderr, "jedserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir, addr string) error {
+	store := api.NewStore()
+	sessions, err := api.RegisterDir(store, dir)
+	if err != nil {
+		return err
+	}
+	for _, sess := range sessions {
+		fmt.Printf("jedserve: session %s <- %s\n", sess.ID, sess.Name)
+	}
+	fmt.Printf("jedserve: serving %d sessions on %s (API at /api/v1/)\n", len(sessions), addr)
+	return api.NewServer(store).ListenAndServe(addr)
+}

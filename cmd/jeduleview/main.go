@@ -2,14 +2,22 @@
 // schedule file over HTTP with the gestures of the original Swing viewer —
 // zoom at the cursor, panning, rubber-band zoom, click-for-task-details,
 // cluster selection, fast reread of the file, and export to PNG/PDF/SVG.
+// The versioned REST API is mounted at /api/v1/ alongside the viewer, with
+// the served file registered as session "default".
 //
 // Usage:
 //
 //	jeduleview -in schedule.jed [-addr :8080] [-width 1200] [-height 800]
+//	jeduleview -serve-many [-in schedule.jed] [more.jed other.csv ...]
 //
 // Then open http://localhost:8080/ in a browser. While a scheduling
 // algorithm is being developed, rerun the simulation and hit "reread" to
 // see the new schedule immediately.
+//
+// With -serve-many the process serves the multi-session REST API instead of
+// the single-schedule viewer: every file named by -in or as a positional
+// argument becomes a pre-registered session, and further sessions can be
+// created over HTTP (upload or server-side scheduling).
 package main
 
 import (
@@ -17,29 +25,51 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/api"
+	_ "repro/internal/sched/all"
 	"repro/internal/view"
 )
 
 func main() {
 	var (
-		in     = flag.String("in", "", "Jedule XML schedule file (required)")
-		addr   = flag.String("addr", ":8080", "HTTP listen address")
-		width  = flag.Int("width", 1200, "view width in pixels")
-		height = flag.Int("height", 800, "view height in pixels")
+		in        = flag.String("in", "", "Jedule XML schedule file (required unless -serve-many)")
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		width     = flag.Int("width", 1200, "view width in pixels")
+		height    = flag.Int("height", 800, "view height in pixels")
+		serveMany = flag.Bool("serve-many", false, "serve the multi-session REST API instead of the single-file viewer")
 	)
 	flag.Parse()
-	if *in == "" {
+	if err := run(*in, *addr, *width, *height, *serveMany, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "jeduleview:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, addr string, width, height int, serveMany bool, extra []string) error {
+	if serveMany {
+		store := api.NewStore()
+		files := extra
+		if in != "" {
+			files = append([]string{in}, extra...)
+		}
+		for _, path := range files {
+			sess, err := api.RegisterFile(store, path)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("jeduleview: session %s <- %s\n", sess.ID, path)
+		}
+		fmt.Printf("jeduleview: serving %d sessions on %s (API at /api/v1/)\n", store.Len(), addr)
+		return api.NewServer(store).ListenAndServe(addr)
+	}
+	if in == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	vp, err := view.Open(*in, *width, *height)
+	vp, err := view.Open(in, width, height)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "jeduleview:", err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Printf("jeduleview: serving %s on %s\n", *in, *addr)
-	if err := view.NewServer(vp).ListenAndServe(*addr); err != nil {
-		fmt.Fprintln(os.Stderr, "jeduleview:", err)
-		os.Exit(1)
-	}
+	fmt.Printf("jeduleview: serving %s on %s\n", in, addr)
+	return view.NewServer(vp).ListenAndServe(addr)
 }

@@ -1,0 +1,186 @@
+package api
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// DAGSpec describes a task graph to generate server-side. Zero values fall
+// back to the defaults of the command-line mode (random shape, 30 nodes,
+// seed 1, the benchmark work range).
+type DAGSpec struct {
+	Shape string `json:"shape,omitempty"` // serial, wide, long, random, forkjoin
+	Nodes int    `json:"nodes,omitempty"`
+	Seed  int64  `json:"seed,omitempty"`
+	// Optional cost-model overrides; zero keeps dag.DefaultGenOptions.
+	WorkMin        float64 `json:"work_min,omitempty"`
+	WorkMax        float64 `json:"work_max,omitempty"`
+	SerialFraction float64 `json:"serial_fraction,omitempty"`
+	EdgeBytes      float64 `json:"edge_bytes,omitempty"`
+}
+
+// Build generates the graph.
+func (d *DAGSpec) Build() (*dag.Graph, error) {
+	shapeName := d.Shape
+	if shapeName == "" {
+		shapeName = "random"
+	}
+	shape, err := dag.ParseShape(shapeName)
+	if err != nil {
+		return nil, err
+	}
+	nodes := d.Nodes
+	if nodes <= 0 {
+		nodes = 30
+	}
+	seed := d.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	opt := dag.DefaultGenOptions(nodes)
+	if d.WorkMin > 0 {
+		opt.WorkMin = d.WorkMin
+	}
+	if d.WorkMax > 0 {
+		opt.WorkMax = d.WorkMax
+	}
+	if d.SerialFraction > 0 {
+		opt.SerialFraction = d.SerialFraction
+	}
+	if d.EdgeBytes > 0 {
+		opt.EdgeBytes = d.EdgeBytes
+	}
+	return dag.Generate(shape, opt, rand.New(rand.NewSource(seed))), nil
+}
+
+// ClusterSpec is one cluster of a described platform.
+type ClusterSpec struct {
+	Name          string  `json:"name,omitempty"`
+	Hosts         int     `json:"hosts"`
+	Speed         float64 `json:"speed,omitempty"`          // flop/s, default 1e9
+	LinkLatency   float64 `json:"link_latency,omitempty"`   // s, default 5e-5
+	LinkBandwidth float64 `json:"link_bandwidth,omitempty"` // bytes/s, default 1.25e9
+}
+
+// PlatformSpec describes the execution platform. Either the homogeneous
+// shortcut (hosts, speed) or an explicit cluster list; an empty spec means
+// a 16-host 1 Gflop/s cluster.
+type PlatformSpec struct {
+	Hosts             int           `json:"hosts,omitempty"`
+	Speed             float64       `json:"speed,omitempty"`
+	Clusters          []ClusterSpec `json:"clusters,omitempty"`
+	BackboneLatency   float64       `json:"backbone_latency,omitempty"`
+	BackboneBandwidth float64       `json:"backbone_bandwidth,omitempty"`
+}
+
+// Build constructs the platform.
+func (p *PlatformSpec) Build() (*platform.Platform, error) {
+	lat, bw := p.BackboneLatency, p.BackboneBandwidth
+	if lat <= 0 {
+		lat = 1e-4
+	}
+	if bw <= 0 {
+		bw = 1.25e9
+	}
+	if len(p.Clusters) == 0 {
+		hosts := p.Hosts
+		if hosts <= 0 {
+			hosts = 16
+		}
+		speed := p.Speed
+		if speed <= 0 {
+			speed = 1e9
+		}
+		plat := platform.New(lat, bw)
+		plat.AddCluster("cluster", hosts, speed, 5e-5, 1.25e9)
+		return plat, nil
+	}
+	if p.Hosts != 0 || p.Speed != 0 {
+		return nil, fmt.Errorf("api: platform spec mixes the homogeneous shortcut (hosts, speed) with an explicit cluster list")
+	}
+	plat := platform.New(lat, bw)
+	for i, c := range p.Clusters {
+		if c.Hosts <= 0 {
+			return nil, fmt.Errorf("api: cluster %d needs hosts > 0", i)
+		}
+		speed := c.Speed
+		if speed <= 0 {
+			speed = 1e9
+		}
+		linkLat := c.LinkLatency
+		if linkLat <= 0 {
+			linkLat = 5e-5
+		}
+		linkBW := c.LinkBandwidth
+		if linkBW <= 0 {
+			linkBW = 1.25e9
+		}
+		name := c.Name
+		if name == "" {
+			name = fmt.Sprintf("cluster%d", i)
+		}
+		plat.AddCluster(name, c.Hosts, speed, linkLat, linkBW)
+	}
+	return plat, nil
+}
+
+// CreateRequest is the JSON body of POST /api/v1/sessions for server-side
+// schedule generation: pick any registered scheduler by name, run it on a
+// generated DAG and a described platform, and store the resulting schedule
+// as a session — no file on disk involved.
+type CreateRequest struct {
+	Name string `json:"name,omitempty"`
+	Algo string `json:"algo"`
+	// DAG and Platform may be omitted entirely for defaults.
+	DAG      *DAGSpec      `json:"dag,omitempty"`
+	Platform *PlatformSpec `json:"platform,omitempty"`
+	// Simulate replays the plan on the discrete-event simulator and stores
+	// the simulated trace; false stores the scheduler's planned times.
+	Simulate bool `json:"simulate,omitempty"`
+}
+
+// Build runs the request through the scheduler registry and returns the
+// resulting schedule.
+func (r *CreateRequest) Build() (*core.Schedule, error) {
+	if r.Algo == "" {
+		return nil, fmt.Errorf("api: create request needs an algo (registered: %v)", sched.List())
+	}
+	algo, err := sched.Lookup(r.Algo)
+	if err != nil {
+		return nil, err
+	}
+	dagSpec := r.DAG
+	if dagSpec == nil {
+		dagSpec = &DAGSpec{}
+	}
+	g, err := dagSpec.Build()
+	if err != nil {
+		return nil, err
+	}
+	platSpec := r.Platform
+	if platSpec == nil {
+		platSpec = &PlatformSpec{}
+	}
+	p, err := platSpec.Build()
+	if err != nil {
+		return nil, err
+	}
+	res, err := algo.Schedule(g, p)
+	if err != nil {
+		return nil, err
+	}
+	if r.Simulate {
+		wr, err := res.Execute(sim.ExecOptions{})
+		if err != nil {
+			return nil, err
+		}
+		return wr.Schedule, nil
+	}
+	return res.Trace()
+}

@@ -1,0 +1,104 @@
+package api
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/jedxml"
+)
+
+// scheduleExts maps file extensions to parser registry names.
+var scheduleExts = map[string]string{
+	".jed": "jedule",
+	".xml": "jedule",
+	".csv": "csv",
+}
+
+// ReadScheduleFile loads a schedule file, picking the parser from the file
+// extension (.jed/.xml are Jedule XML, .csv the CSV format).
+func ReadScheduleFile(path string) (*core.Schedule, error) {
+	format, ok := scheduleExts[strings.ToLower(filepath.Ext(path))]
+	if !ok {
+		return nil, fmt.Errorf("api: unknown schedule extension %q (want .jed, .xml, .csv)",
+			filepath.Ext(path))
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := jedxml.ReadFormat(format, f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// RegisterFile loads a schedule file and registers it as a pre-registered
+// session whose ID derives from the file name (collisions get a numeric
+// suffix).
+func RegisterFile(st *Store, path string) (*Session, error) {
+	s, err := ReadScheduleFile(path)
+	if err != nil {
+		return nil, err
+	}
+	base := sessionID(path)
+	id := base
+	for n := 2; ; n++ {
+		sess, err := st.Put(id, filepath.Base(path), "file", s)
+		if err == nil {
+			return sess, nil
+		}
+		id = fmt.Sprintf("%s-%d", base, n)
+	}
+}
+
+// RegisterDir registers every schedule file (*.jed, *.xml, *.csv) directly
+// inside dir as a session, in name order.
+func RegisterDir(st *Store, dir string) ([]*Session, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if _, ok := scheduleExts[strings.ToLower(filepath.Ext(e.Name()))]; ok {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var out []*Session
+	for _, name := range names {
+		sess, err := RegisterFile(st, filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sess)
+	}
+	return out, nil
+}
+
+// sessionID derives a URL-safe session ID from a file path: the base name
+// without extension, unsupported characters replaced by '-'.
+func sessionID(path string) string {
+	base := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	id := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		}
+		return '-'
+	}, base)
+	if id == "" {
+		return "schedule"
+	}
+	return id
+}

@@ -1,0 +1,131 @@
+package api
+
+import (
+	"fmt"
+	"math"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"repro/internal/colormap"
+	"repro/internal/core"
+	"repro/internal/render"
+)
+
+// Size bounds for stateless renders; a query can not ask the server for an
+// arbitrarily large raster.
+const (
+	minDim             = 16
+	maxDim             = 8192
+	defaultW, defaultH = 1000, 600
+)
+
+// viewParams is the fully-negotiated, per-request view state: everything
+// the old mutable Viewport held, derived from query parameters instead.
+type viewParams struct {
+	Width, Height int
+	Opts          render.Options
+}
+
+// parseViewParams derives render options from a request's query parameters.
+// Unknown values are errors (reported as 400 by the handlers); absent
+// values take the command-line mode's defaults.
+func parseViewParams(q url.Values) (*viewParams, error) {
+	vp := &viewParams{Width: defaultW, Height: defaultH}
+	vp.Opts.Labels = true
+
+	var err error
+	if vp.Width, err = intParam(q, "width", defaultW); err != nil {
+		return nil, err
+	}
+	if vp.Height, err = intParam(q, "height", defaultH); err != nil {
+		return nil, err
+	}
+	for _, d := range []struct {
+		name string
+		v    int
+	}{{"width", vp.Width}, {"height", vp.Height}} {
+		if d.v < minDim || d.v > maxDim {
+			return nil, fmt.Errorf("%s %d out of range [%d, %d]", d.name, d.v, minDim, maxDim)
+		}
+	}
+
+	switch mode := q.Get("mode"); mode {
+	case "", "aligned":
+		vp.Opts.Mode = core.AlignedView
+	case "scaled":
+		vp.Opts.Mode = core.ScaledView
+	default:
+		return nil, fmt.Errorf("bad mode %q (want aligned or scaled)", mode)
+	}
+
+	if win := q.Get("window"); win != "" {
+		parts := strings.Split(win, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad window %q (want min,max)", win)
+		}
+		lo, err0 := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		hi, err1 := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err0 != nil || err1 != nil || !(lo < hi) ||
+			math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+			return nil, fmt.Errorf("bad window %q (want finite min,max with min < max)", win)
+		}
+		vp.Opts.Window = &core.Extent{Min: lo, Max: hi}
+	}
+
+	if raw := q.Get("clusters"); raw != "" {
+		for _, part := range strings.Split(raw, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return nil, fmt.Errorf("bad clusters value %q", part)
+			}
+			vp.Opts.Clusters = append(vp.Opts.Clusters, id)
+		}
+	}
+
+	var gray bool
+	for _, b := range []struct {
+		name string
+		dst  *bool
+	}{
+		{"labels", &vp.Opts.Labels},
+		{"composites", &vp.Opts.Composites},
+		{"legend", &vp.Opts.Legend},
+		{"meta", &vp.Opts.ShowMeta},
+		{"gray", &gray},
+	} {
+		if err := boolParam(q, b.name, b.dst); err != nil {
+			return nil, err
+		}
+	}
+	if gray {
+		vp.Opts.Map = colormap.Default().Grayscale()
+	}
+	vp.Opts.Title = q.Get("title")
+	return vp, nil
+}
+
+func intParam(q url.Values, name string, def int) (int, error) {
+	raw := q.Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", name, raw)
+	}
+	return v, nil
+}
+
+func boolParam(q url.Values, name string, dst *bool) error {
+	raw := q.Get(name)
+	if raw == "" {
+		return nil
+	}
+	v, err := strconv.ParseBool(raw)
+	if err != nil {
+		return fmt.Errorf("bad %s %q (want a boolean)", name, raw)
+	}
+	*dst = v
+	return nil
+}

@@ -1,0 +1,439 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"html"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/jedxml"
+	"repro/internal/render"
+	"repro/internal/sched"
+)
+
+// maxUploadBytes bounds the size of an uploaded schedule document.
+const maxUploadBytes = 64 << 20
+
+// Server serves the versioned REST API over a session store.
+type Server struct {
+	store *Store
+}
+
+// NewServer wraps a store.
+func NewServer(store *Store) *Server { return &Server{store: store} }
+
+// Store returns the underlying session store.
+func (s *Server) Store() *Store { return s.store }
+
+// Handler returns the API routes. The legacy viewer mounts this under
+// /api/v1/ next to its own pages; jedserve serves it directly, in which
+// case / is a minimal HTML session index.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", s.index)
+	mux.HandleFunc("GET /api/v1/schedulers", s.schedulers)
+	mux.HandleFunc("POST /api/v1/sessions", s.createSession)
+	mux.HandleFunc("GET /api/v1/sessions", s.listSessions)
+	mux.HandleFunc("GET /api/v1/sessions/{id}", s.getSession)
+	mux.HandleFunc("DELETE /api/v1/sessions/{id}", s.deleteSession)
+	mux.HandleFunc("GET /api/v1/sessions/{id}/render", s.render)
+	mux.HandleFunc("GET /api/v1/sessions/{id}/export", s.export)
+	mux.HandleFunc("GET /api/v1/sessions/{id}/stats", s.stats)
+	mux.HandleFunc("GET /api/v1/sessions/{id}/tasks", s.tasks)
+	mux.HandleFunc("GET /api/v1/sessions/{id}/meta", s.meta)
+	return mux
+}
+
+// ListenAndServe runs the API server on addr.
+func (s *Server) ListenAndServe(addr string) error {
+	return http.ListenAndServe(addr, s.Handler())
+}
+
+// JSON envelope helpers -----------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // headers already sent
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// sessionInfo is the JSON description of one session.
+type sessionInfo struct {
+	ID       string  `json:"id"`
+	Name     string  `json:"name,omitempty"`
+	Source   string  `json:"source"`
+	Clusters int     `json:"clusters"`
+	Hosts    int     `json:"hosts"`
+	Tasks    int     `json:"tasks"`
+	Makespan float64 `json:"makespan"`
+}
+
+func infoOf(sess *Session) sessionInfo {
+	sched := sess.Schedule()
+	return sessionInfo{
+		ID:       sess.ID,
+		Name:     sess.Name,
+		Source:   sess.Source,
+		Clusters: len(sched.Clusters),
+		Hosts:    sched.TotalHosts(),
+		Tasks:    len(sched.Tasks),
+		Makespan: sched.Extent().Span(),
+	}
+}
+
+func (s *Server) session(w http.ResponseWriter, r *http.Request) (*Session, bool) {
+	id := r.PathValue("id")
+	sess, ok := s.store.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no session %q", id)
+		return nil, false
+	}
+	return sess, true
+}
+
+// Session collection --------------------------------------------------------
+
+func (s *Server) schedulers(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"schedulers": sched.List()})
+}
+
+func (s *Server) listSessions(w http.ResponseWriter, _ *http.Request) {
+	sessions := s.store.List()
+	infos := make([]sessionInfo, len(sessions))
+	for i, sess := range sessions {
+		infos[i] = infoOf(sess)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": infos})
+}
+
+// createSession accepts three body kinds, chosen by Content-Type (a
+// ?format= query parameter overrides): application/json runs a registered
+// scheduler server-side (CreateRequest), text/csv and everything else go
+// through the pluggable parser registry as "csv" and "jedule" documents.
+func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, maxUploadBytes)
+	defer body.Close()
+
+	kind := r.URL.Query().Get("format")
+	if kind == "" {
+		ct := r.Header.Get("Content-Type")
+		switch {
+		case strings.HasPrefix(ct, "application/json"):
+			kind = "generate"
+		case strings.HasPrefix(ct, "text/csv"):
+			kind = "csv"
+		default:
+			kind = "jedule"
+		}
+	}
+
+	name := r.URL.Query().Get("name")
+	var (
+		schedule *core.Schedule
+		source   string
+		err      error
+	)
+	switch kind {
+	case "generate", "json":
+		var req CreateRequest
+		dec := json.NewDecoder(body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad create request: %v", err)
+			return
+		}
+		schedule, err = req.Build()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if name == "" {
+			name = req.Name
+		}
+		if name == "" {
+			name = req.Algo
+		}
+		source = "generated"
+	default:
+		schedule, err = jedxml.ReadFormat(kind, body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		source = "upload"
+	}
+
+	sess := s.store.Add(name, source, schedule)
+	w.Header().Set("Location", "/api/v1/sessions/"+sess.ID)
+	writeJSON(w, http.StatusCreated, infoOf(sess))
+}
+
+func (s *Server) getSession(w http.ResponseWriter, r *http.Request) {
+	if sess, ok := s.session(w, r); ok {
+		writeJSON(w, http.StatusOK, infoOf(sess))
+	}
+}
+
+func (s *Server) deleteSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.store.Delete(id) {
+		writeError(w, http.StatusNotFound, "no session %q", id)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// Stateless read surface ----------------------------------------------------
+
+// render streams the session's schedule as an image; every aspect of the
+// view (format, size, window, clusters, mode, grayscale, ...) comes from
+// query parameters, so concurrent readers never interfere.
+func (s *Server) render(w http.ResponseWriter, r *http.Request) {
+	s.encodeImage(w, r, false)
+}
+
+// export is render with an attachment disposition, plus the document
+// formats "jedule" (XML) for a lossless round trip of the session.
+func (s *Server) export(w http.ResponseWriter, r *http.Request) {
+	format := imageFormat(r)
+	if format == "jedule" || format == "xml" {
+		sess, ok := s.session(w, r)
+		if !ok {
+			return
+		}
+		var buf bytes.Buffer
+		if err := jedxml.Write(&buf, sess.Schedule()); err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+		w.Header().Set("Content-Disposition", attachment(sess.ID, "jed"))
+		buf.WriteTo(w) //nolint:errcheck
+		return
+	}
+	s.encodeImage(w, r, true)
+}
+
+func imageFormat(r *http.Request) string {
+	if f := r.URL.Query().Get("format"); f != "" {
+		return f
+	}
+	return "png"
+}
+
+func attachment(id, ext string) string {
+	return fmt.Sprintf(`attachment; filename="%s.%s"`, id, ext)
+}
+
+// encodeImage is the one options-driven branch behind render and export:
+// negotiate view parameters once, then only the encoder differs by format.
+func (s *Server) encodeImage(w http.ResponseWriter, r *http.Request, download bool) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	format := imageFormat(r)
+	ct, ok := render.ContentType(format)
+	if !ok {
+		valid := render.EncodeFormats()
+		if download {
+			valid = append(valid, "jedule") // export also streams the XML document
+		}
+		writeError(w, http.StatusBadRequest, "unknown format %q (want %s)",
+			format, strings.Join(valid, ", "))
+		return
+	}
+	vp, err := parseViewParams(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var buf bytes.Buffer
+	if err := render.Encode(&buf, format, sess.Schedule(), vp.Width, vp.Height, vp.Opts); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", ct)
+	if download {
+		w.Header().Set("Content-Disposition", attachment(sess.ID, format))
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	buf.WriteTo(w) //nolint:errcheck
+}
+
+// statsJSON mirrors core.Stats for the wire.
+type statsJSON struct {
+	Extent      [2]float64         `json:"extent"`
+	Makespan    float64            `json:"makespan"`
+	Hosts       int                `json:"hosts"`
+	BusyArea    float64            `json:"busy_area"`
+	IdleArea    float64            `json:"idle_area"`
+	Utilization float64            `json:"utilization"`
+	TaskCount   int                `json:"task_count"`
+	TypeArea    map[string]float64 `json:"type_area"`
+}
+
+func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	schedule := sess.Schedule()
+	var st core.Stats
+	if raw := r.URL.Query().Get("cluster"); raw != "" {
+		id, err := strconv.Atoi(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad cluster %q", raw)
+			return
+		}
+		if _, ok := schedule.Cluster(id); !ok {
+			writeError(w, http.StatusNotFound, "no cluster %d", id)
+			return
+		}
+		st = schedule.ClusterStats(id)
+	} else {
+		st = schedule.ComputeStats()
+	}
+	writeJSON(w, http.StatusOK, statsJSON{
+		Extent:      [2]float64{st.Extent.Min, st.Extent.Max},
+		Makespan:    st.Makespan,
+		Hosts:       st.Hosts,
+		BusyArea:    st.BusyArea,
+		IdleArea:    st.IdleArea,
+		Utilization: st.Utilization,
+		TaskCount:   st.TaskCount,
+		TypeArea:    st.TypeArea,
+	})
+}
+
+// taskJSON is the machine-readable task record; it carries the same fields
+// as the interactive mode's click popup.
+type taskJSON struct {
+	ID          string            `json:"id"`
+	Type        string            `json:"type"`
+	Start       float64           `json:"start"`
+	End         float64           `json:"end"`
+	Duration    float64           `json:"duration"`
+	Allocations map[string][]int  `json:"allocations"` // cluster id -> host list
+	Properties  map[string]string `json:"properties,omitempty"`
+}
+
+func taskToJSON(t *core.Task) taskJSON {
+	tj := taskJSON{
+		ID: t.ID, Type: t.Type, Start: t.Start, End: t.End,
+		Duration:    t.Duration(),
+		Allocations: map[string][]int{},
+	}
+	for _, a := range t.Allocations {
+		tj.Allocations[strconv.Itoa(a.Cluster)] = a.HostList()
+	}
+	if len(t.Properties) > 0 {
+		tj.Properties = map[string]string{}
+		for _, p := range t.Properties {
+			tj.Properties[p.Name] = p.Value
+		}
+	}
+	return tj
+}
+
+// tasks lists the session's tasks; with ?x=&y= it instead hit-tests the
+// rendered view at that pixel (the REST form of the click-for-details
+// gesture) and returns the task there, or null over the background.
+func (s *Server) tasks(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	schedule := sess.Schedule()
+	q := r.URL.Query()
+	if q.Get("x") != "" || q.Get("y") != "" {
+		x, err0 := strconv.ParseFloat(q.Get("x"), 64)
+		y, err1 := strconv.ParseFloat(q.Get("y"), 64)
+		if err0 != nil || err1 != nil {
+			writeError(w, http.StatusBadRequest, "bad x/y")
+			return
+		}
+		vp, err := parseViewParams(q)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if vp.Opts.Composites {
+			schedule = schedule.WithComposites()
+		}
+		l := render.ComputeLayout(schedule, float64(vp.Width), float64(vp.Height), vp.Opts)
+		idx, hit := l.HitTest(schedule, x, y)
+		if !hit {
+			writeJSON(w, http.StatusOK, map[string]any{"task": nil})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"task": taskToJSON(&schedule.Tasks[idx])})
+		return
+	}
+	out := make([]taskJSON, len(schedule.Tasks))
+	for i := range schedule.Tasks {
+		out[i] = taskToJSON(&schedule.Tasks[i])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	writeJSON(w, http.StatusOK, map[string]any{"tasks": out})
+}
+
+// meta returns the schedule-level meta properties and the cluster table.
+func (s *Server) meta(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	schedule := sess.Schedule()
+	metaMap := map[string]string{}
+	for _, p := range schedule.Meta {
+		metaMap[p.Name] = p.Value
+	}
+	type clusterJSON struct {
+		ID    int    `json:"id"`
+		Name  string `json:"name"`
+		Hosts int    `json:"hosts"`
+	}
+	clusters := make([]clusterJSON, len(schedule.Clusters))
+	for i, c := range schedule.Clusters {
+		clusters[i] = clusterJSON{ID: c.ID, Name: c.DisplayName(), Hosts: c.Hosts}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"meta": metaMap, "clusters": clusters})
+}
+
+// index is the minimal HTML landing page of a standalone API server
+// (jedserve, jeduleview -serve-many): one row per session with links into
+// the REST surface.
+func (s *Server) index(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, "<!DOCTYPE html>\n<html><head><title>jedule sessions</title></head><body>\n")
+	fmt.Fprint(w, "<h1>jedule sessions</h1>\n<p>API at <code>/api/v1/sessions</code></p>\n<ul>\n")
+	for _, sess := range s.store.List() {
+		in := infoOf(sess)
+		label := in.ID
+		if in.Name != "" && in.Name != in.ID {
+			label += " — " + in.Name
+		}
+		base := "/api/v1/sessions/" + in.ID
+		fmt.Fprintf(w,
+			`<li>%s (%d tasks, %d hosts, makespan %g): <a href="%s/render">png</a> <a href="%s/render?format=svg">svg</a> <a href="%s/stats">stats</a> <a href="%s/export?format=jedule">jedule</a></li>`+"\n",
+			html.EscapeString(label), in.Tasks, in.Hosts, in.Makespan, base, base, base, base)
+	}
+	fmt.Fprint(w, "</ul>\n</body></html>\n")
+}

@@ -1,0 +1,130 @@
+// Package api is the versioned REST surface of the tool: a concurrent-safe
+// session store, where each session owns one schedule, and a stateless
+// read surface (render, export, stats, tasks, meta) mounted at /api/v1/.
+//
+// Sessions are created by uploading a schedule document (Jedule XML or CSV)
+// or generated server-side by running any scheduler registered with
+// internal/sched on a described DAG and platform — the first point where
+// the viewer and the scheduling pipeline meet. All view parameters (window,
+// cluster selection, mode, grayscale, size, format) travel as query
+// parameters of each request, so any number of clients can read the same
+// session concurrently without interfering.
+package api
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Session is one schedule held by the server. The schedule pointer is
+// swapped atomically under the session lock (Replace supports the legacy
+// viewer's reread), and the core.Schedule itself is treated as read-only by
+// every API handler, so concurrent renders need no further coordination.
+type Session struct {
+	ID     string
+	Name   string
+	Source string // "upload", "generated", "file", "viewer"
+
+	mu    sync.RWMutex
+	sched *core.Schedule
+}
+
+// Schedule returns the session's current schedule.
+func (s *Session) Schedule() *core.Schedule {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sched
+}
+
+// Replace swaps in a new schedule (the viewer's fast-reread path).
+func (s *Session) Replace(sched *core.Schedule) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sched = sched
+}
+
+// Store is the concurrent-safe session registry behind the REST API.
+type Store struct {
+	mu       sync.RWMutex
+	seq      int
+	sessions map[string]*Session
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{sessions: map[string]*Session{}}
+}
+
+// Add registers a schedule under a fresh generated ID ("s1", "s2", ...).
+func (st *Store) Add(name, source string, sched *core.Schedule) *Session {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for {
+		st.seq++
+		id := fmt.Sprintf("s%d", st.seq)
+		if _, taken := st.sessions[id]; taken {
+			continue // an explicit Put used the ID; keep counting
+		}
+		return st.putLocked(id, name, source, sched)
+	}
+}
+
+// Put registers a schedule under an explicit ID (pre-registered sessions:
+// the legacy viewer's "default", jedserve's per-file sessions). It fails on
+// an empty or already-taken ID.
+func (st *Store) Put(id, name, source string, sched *core.Schedule) (*Session, error) {
+	if id == "" {
+		return nil, fmt.Errorf("api: empty session id")
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, taken := st.sessions[id]; taken {
+		return nil, fmt.Errorf("api: session %q already exists", id)
+	}
+	return st.putLocked(id, name, source, sched), nil
+}
+
+func (st *Store) putLocked(id, name, source string, sched *core.Schedule) *Session {
+	s := &Session{ID: id, Name: name, Source: source, sched: sched}
+	st.sessions[id] = s
+	return s
+}
+
+// Get returns the session with the given ID.
+func (st *Store) Get(id string) (*Session, bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	s, ok := st.sessions[id]
+	return s, ok
+}
+
+// Delete removes a session, reporting whether it existed.
+func (st *Store) Delete(id string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	_, ok := st.sessions[id]
+	delete(st.sessions, id)
+	return ok
+}
+
+// List returns all sessions sorted by ID.
+func (st *Store) List() []*Session {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]*Session, 0, len(st.sessions))
+	for _, s := range st.sessions {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len returns the number of sessions.
+func (st *Store) Len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.sessions)
+}

@@ -1,0 +1,102 @@
+package api
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func demoSchedule() *core.Schedule {
+	s := core.New(
+		core.Cluster{ID: 0, Name: "alpha", Hosts: 8},
+		core.Cluster{ID: 1, Name: "beta", Hosts: 4},
+	)
+	s.Add("t1", "computation", 0, 60, 0, 4)
+	s.Add("t2", "computation", 20, 80, 4, 4)
+	s.AddTask(core.Task{
+		ID: "t3", Type: "transfer", Start: 60, End: 120,
+		Allocations: []core.Allocation{
+			{Cluster: 0, Hosts: []core.HostRange{{Start: 0, N: 2}}},
+			{Cluster: 1, Hosts: []core.HostRange{{Start: 0, N: 2}}},
+		},
+	})
+	s.SetMeta("algorithm", "demo")
+	return s
+}
+
+func TestStoreLifecycle(t *testing.T) {
+	st := NewStore()
+	a := st.Add("first", "upload", demoSchedule())
+	if a.ID != "s1" {
+		t.Fatalf("generated id = %q", a.ID)
+	}
+	b, err := st.Put("named", "second", "file", demoSchedule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Put("named", "dup", "file", demoSchedule()); err == nil {
+		t.Fatal("duplicate Put should fail")
+	}
+	if _, err := st.Put("", "x", "file", demoSchedule()); err == nil {
+		t.Fatal("empty id should fail")
+	}
+	got, ok := st.Get("named")
+	if !ok || got != b {
+		t.Fatal("Get(named) failed")
+	}
+	list := st.List()
+	if len(list) != 2 || list[0].ID != "named" || list[1].ID != "s1" {
+		t.Fatalf("List = %v", []string{list[0].ID, list[1].ID})
+	}
+	if !st.Delete("s1") || st.Delete("s1") {
+		t.Fatal("Delete semantics broken")
+	}
+	if st.Len() != 1 {
+		t.Fatalf("Len = %d", st.Len())
+	}
+}
+
+// TestStoreGeneratedIDSkipsTaken pins the Add/Put interaction: explicit IDs
+// in the generated namespace must not be handed out twice.
+func TestStoreGeneratedIDSkipsTaken(t *testing.T) {
+	st := NewStore()
+	if _, err := st.Put("s1", "taken", "file", demoSchedule()); err != nil {
+		t.Fatal(err)
+	}
+	got := st.Add("auto", "upload", demoSchedule())
+	if got.ID != "s2" {
+		t.Fatalf("Add skipped to %q, want s2", got.ID)
+	}
+}
+
+// TestStoreConcurrent hammers the store from many goroutines; run with
+// -race this is the store's concurrency contract.
+func TestStoreConcurrent(t *testing.T) {
+	st := NewStore()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				sess := st.Add(fmt.Sprintf("w%d-%d", i, j), "upload", demoSchedule())
+				if _, ok := st.Get(sess.ID); !ok {
+					t.Error("session vanished")
+					return
+				}
+				st.List()
+				sess.Replace(demoSchedule())
+				_ = sess.Schedule().Extent()
+				if j%2 == 0 {
+					st.Delete(sess.ID)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if st.Len() != 16*25 {
+		t.Fatalf("Len = %d, want %d", st.Len(), 16*25)
+	}
+}

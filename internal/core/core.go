@@ -196,6 +196,16 @@ type Cluster struct {
 	Hosts int // number of hosts; hosts are indexed 0 .. Hosts-1
 }
 
+// DisplayName returns the cluster name, falling back to "cluster<ID>" for
+// unnamed clusters. It is the single naming rule shared by the renderer's
+// panel headers and the HTTP viewers.
+func (c Cluster) DisplayName() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return fmt.Sprintf("cluster%d", c.ID)
+}
+
 // Schedule is a complete Jedule document: clusters, tasks, and meta data.
 type Schedule struct {
 	Clusters []Cluster

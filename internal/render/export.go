@@ -2,6 +2,7 @@ package render
 
 import (
 	"fmt"
+	"io"
 	"path/filepath"
 	"strings"
 
@@ -40,3 +41,46 @@ func ToFile(path string, s *core.Schedule, width, height int, opt Options) error
 
 // Formats lists the supported output file extensions.
 func Formats() []string { return []string{".png", ".jpg", ".jpeg", ".pdf", ".svg"} }
+
+// EncodeFormats lists the formats Encode can stream (HTTP responses, pipes).
+func EncodeFormats() []string { return []string{"png", "svg", "pdf"} }
+
+// ContentType returns the MIME type of a streamable format name.
+func ContentType(format string) (string, bool) {
+	switch format {
+	case "png":
+		return "image/png", true
+	case "svg":
+		return "image/svg+xml", true
+	case "pdf":
+		return "application/pdf", true
+	}
+	return "", false
+}
+
+// Encode renders the schedule in the named format ("png", "svg", "pdf") to
+// w. It is the single options-driven path behind every HTTP render and
+// export endpoint: all formats negotiate the same Options, so a window or
+// cluster selection applied to a PNG applies identically to a PDF.
+func Encode(w io.Writer, format string, s *core.Schedule, width, height int, opt Options) error {
+	if err := s.Validate(); err != nil {
+		return fmt.Errorf("render: %w", err)
+	}
+	switch format {
+	case "png":
+		c := raster.New(width, height)
+		Render(c, s, opt)
+		return c.EncodePNG(w)
+	case "svg":
+		c := svg.New(float64(width), float64(height))
+		Render(c, s, opt)
+		return c.Encode(w)
+	case "pdf":
+		c := pdf.New(float64(width), float64(height))
+		Render(c, s, opt)
+		return c.Encode(w)
+	default:
+		return fmt.Errorf("render: unsupported stream format %q (want %s)",
+			format, strings.Join(EncodeFormats(), ", "))
+	}
+}

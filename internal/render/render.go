@@ -263,11 +263,7 @@ func Render(c Canvas, s *core.Schedule, opt Options) *Layout {
 
 func drawPanel(c Canvas, s *core.Schedule, p *Panel, cmap *colormap.Map, opt Options) {
 	// Panel header: cluster name and id.
-	name := p.Cluster.Name
-	if name == "" {
-		name = fmt.Sprintf("cluster %d", p.Cluster.ID)
-	}
-	header := fmt.Sprintf("%s (%d hosts)", name, p.Cluster.Hosts)
+	header := fmt.Sprintf("%s (%d hosts)", p.Cluster.DisplayName(), p.Cluster.Hosts)
 	c.Text(p.Plot.X, p.Plot.Y-panelHeader+2, elide(c, header, fontAxes, p.Plot.W), fontAxes, colAxis)
 
 	// Plot background and horizontal host grid.

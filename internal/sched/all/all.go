@@ -6,7 +6,8 @@
 package all
 
 import (
-	_ "repro/internal/sched/cpa"  // registers cpa, mcpa, mcpa2
-	_ "repro/internal/sched/cra"  // registers cra_work, cra_width, cra_equal
-	_ "repro/internal/sched/heft" // registers heft
+	_ "repro/internal/sched/cpa"    // registers cpa, mcpa, mcpa2
+	_ "repro/internal/sched/cra"    // registers cra_work, cra_width, cra_equal
+	_ "repro/internal/sched/heft"   // registers heft
+	_ "repro/internal/sched/random" // registers the random baseline
 )

@@ -1,0 +1,81 @@
+// Package random implements the uniform-random baseline scheduler: every
+// task is a sequential task placed on one host drawn uniformly at random.
+// It exists as a sanity floor for campaigns and for sessions created over
+// the REST API — any algorithm that cannot beat a random host pick is not
+// doing useful work.
+//
+// The baseline is deterministic for a fixed seed: a fresh rng is created
+// per Schedule call, so repeated runs over the same graph produce the same
+// plan regardless of what ran before.
+package random
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"repro/internal/dag"
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+func init() {
+	sched.Register(New(1))
+}
+
+// Baseline is the random scheduler with a fixed seed.
+type Baseline struct {
+	seed int64
+}
+
+// New returns a random baseline scheduler seeded deterministically.
+func New(seed int64) *Baseline { return &Baseline{seed: seed} }
+
+// Name implements sched.Scheduler.
+func (b *Baseline) Name() string { return "random" }
+
+// Schedule walks the graph in topological order and places each task on a
+// uniformly chosen host, starting it no earlier than its data-ready time
+// (predecessor finish plus communication over the platform's route model)
+// in the earliest gap of that host's timeline.
+func (b *Baseline) Schedule(g *dag.Graph, p *platform.Platform) (*sched.Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("random: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("random: %w", err)
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, fmt.Errorf("random: %w", err)
+	}
+	rng := rand.New(rand.NewSource(b.seed))
+	hosts := p.Hosts()
+	res := sched.NewResult(b.Name(), g, p)
+	res.SetMeta("seed", strconv.FormatInt(b.seed, 10))
+	tl := sched.NewTimeline(p.NumHosts())
+	for _, nd := range order {
+		h := hosts[rng.Intn(len(hosts))]
+		ready := 0.0
+		for _, e := range nd.Preds() {
+			pred := res.Assignments[e.From.ID]
+			ct, err := p.CommTime(pred.Hosts[0], h.Global, e.Bytes)
+			if err != nil {
+				return nil, fmt.Errorf("random: %w", err)
+			}
+			if t := pred.Finish + ct; t > ready {
+				ready = t
+			}
+		}
+		dur := nd.Work / h.Speed
+		start := tl.EarliestGap(h.Global, ready, dur)
+		tl.Reserve(h.Global, start, start+dur)
+		res.Assignments[nd.ID] = sched.Assignment{
+			Hosts: []int{h.Global}, Start: start, Finish: start + dur,
+		}
+		if start+dur > res.Makespan {
+			res.Makespan = start + dur
+		}
+	}
+	return res, nil
+}

@@ -1,23 +1,32 @@
 package view
 
 import (
+	"bytes"
 	"fmt"
 	"html"
-
 	"net/http"
-	"repro/internal/colormap"
 	"strconv"
 	"strings"
 
+	"repro/internal/api"
+	"repro/internal/colormap"
 	"repro/internal/core"
-	"repro/internal/pdf"
 	"repro/internal/render"
-	"repro/internal/svg"
 )
 
+// DefaultSessionID is the API session the legacy viewer's schedule is
+// registered under.
+const DefaultSessionID = "default"
+
 // Server exposes a Viewport over HTTP, standing in for the Swing window of
-// the original tool. The page at / shows the schedule; every interactive
-// gesture maps to an endpoint:
+// the original tool. It is a thin client of the versioned REST API: the
+// viewport's schedule is registered as the session "default" of an
+// internal/api session store, the full API is mounted at /api/v1/, and the
+// legacy read routes are kept as deprecated aliases of the stateless API
+// endpoints. Only the gesture routes still mutate the shared viewport.
+//
+// The page at / shows the schedule; every interactive gesture maps to an
+// endpoint:
 //
 //	GET /view.png          current view as PNG
 //	GET /op?op=zoomin      keyboard zoom in (also zoomout, reset)
@@ -32,15 +41,35 @@ import (
 //	GET /clusters?ids=0,1  cluster selection (empty ids = all)
 //	GET /reread            reload the schedule file
 //	GET /export?format=pdf download the current view (pdf, svg, png)
+//
+// Deprecated aliases, redirecting into the API (same query parameters):
+//
+//	GET /stats   -> /api/v1/sessions/default/stats
+//	GET /tasks   -> /api/v1/sessions/default/tasks
+//	GET /meta    -> /api/v1/sessions/default/meta
 type Server struct {
 	vp   *Viewport
 	gray bool
+	api  *api.Server
+	sess *api.Session
 }
 
-// NewServer wraps a viewport.
-func NewServer(vp *Viewport) *Server { return &Server{vp: vp} }
+// NewServer wraps a viewport, registering its schedule as the "default"
+// session of a fresh API store.
+func NewServer(vp *Viewport) *Server {
+	store := api.NewStore()
+	sess, err := store.Put(DefaultSessionID, "viewer", "viewer", vp.Schedule())
+	if err != nil {
+		panic(err) // unreachable: the store is empty
+	}
+	return &Server{vp: vp, api: api.NewServer(store), sess: sess}
+}
 
-// Handler returns the HTTP routes.
+// API returns the embedded REST server (its store holds the "default"
+// session plus any sessions created over HTTP).
+func (s *Server) API() *api.Server { return s.api }
+
+// Handler returns the HTTP routes: the legacy viewer plus the mounted API.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.index)
@@ -53,7 +82,24 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/recolor", s.recolor)
 	mux.HandleFunc("/reread", s.reread)
 	mux.HandleFunc("/export", s.export)
+	for _, alias := range []string{"stats", "tasks", "meta"} {
+		mux.HandleFunc("/"+alias, s.apiAlias(alias))
+	}
+	mux.Handle("/api/v1/", s.api.Handler())
 	return mux
+}
+
+// apiAlias serves a legacy read path by redirecting to the equivalent
+// stateless endpoint on the default session, preserving the query string.
+func (s *Server) apiAlias(endpoint string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		target := "/api/v1/sessions/" + DefaultSessionID + "/" + endpoint
+		if r.URL.RawQuery != "" {
+			target += "?" + r.URL.RawQuery
+		}
+		w.Header().Set("Deprecation", "true")
+		http.Redirect(w, r, target, http.StatusTemporaryRedirect)
+	}
 }
 
 // ListenAndServe runs the viewer on addr.
@@ -71,7 +117,7 @@ func (s *Server) index(w http.ResponseWriter, r *http.Request) {
 	var clusterLinks strings.Builder
 	for _, c := range sched.Clusters {
 		fmt.Fprintf(&clusterLinks, `<a href="/clusters?ids=%d">%s(%d)</a> `,
-			c.ID, html.EscapeString(clusterName(c)), c.Hosts)
+			c.ID, html.EscapeString(c.DisplayName()), c.Hosts)
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	fmt.Fprintf(w, indexPage,
@@ -94,6 +140,8 @@ const indexPage = `<!DOCTYPE html>
 <a href="/export?format=pdf">pdf</a>
 <a href="/export?format=svg">svg</a>
 <a href="/export?format=png">png</a>
+<a href="/stats">stats</a>
+<a href="/api/v1/sessions">api</a>
 | window [%g, %g]
 | clusters: <a href="/clusters?ids=">all</a> %s
 </p>
@@ -102,13 +150,6 @@ const indexPage = `<!DOCTYPE html>
 <pre id="info">click a task for details</pre>
 </body></html>
 `
-
-func clusterName(c core.Cluster) string {
-	if c.Name != "" {
-		return c.Name
-	}
-	return fmt.Sprintf("cluster%d", c.ID)
-}
 
 func (s *Server) viewPNG(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "image/png")
@@ -239,40 +280,42 @@ func (s *Server) reread(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	// Keep the API session pointing at the freshly loaded schedule.
+	s.sess.Replace(s.vp.Schedule())
 	http.Redirect(w, r, "/", http.StatusSeeOther)
 }
 
+// export downloads the current view. All formats run through the one
+// options-driven render.Encode path, so PNG honors the same window,
+// cluster selection, and color map as PDF and SVG, and every format gets
+// the same attachment disposition.
 func (s *Server) export(w http.ResponseWriter, r *http.Request) {
 	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "png"
+	}
+	ct, ok := render.ContentType(format)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown format %q (want %s)",
+			format, strings.Join(render.EncodeFormats(), ", ")), http.StatusBadRequest)
+		return
+	}
 	sched := s.vp.Schedule()
 	opts := render.Options{
 		Mode: s.vp.Mode, Map: s.vp.Map, Clusters: s.vp.SelectedClusters(),
 		Labels: s.vp.Labels, Composites: s.vp.Composites,
 	}
 	win := s.vp.Window()
-	full := sched.Extent()
-	if win != full {
+	if full := sched.Extent(); win != full {
 		opts.Window = &win
 	}
-	switch format {
-	case "png":
-		s.viewPNG(w, r)
-	case "pdf":
-		c := pdf.New(float64(s.vp.Width), float64(s.vp.Height))
-		render.Render(c, sched, opts)
-		w.Header().Set("Content-Type", "application/pdf")
-		w.Header().Set("Content-Disposition", `attachment; filename="schedule.pdf"`)
-		if err := c.Encode(w); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	case "svg":
-		c := svg.New(float64(s.vp.Width), float64(s.vp.Height))
-		render.Render(c, sched, opts)
-		w.Header().Set("Content-Type", "image/svg+xml")
-		if err := c.Encode(w); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	default:
-		http.Error(w, "unknown format (want png, pdf, svg)", http.StatusBadRequest)
+	var buf bytes.Buffer
+	if err := render.Encode(&buf, format, sched, s.vp.Width, s.vp.Height, opts); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
 	}
+	w.Header().Set("Content-Type", ct)
+	w.Header().Set("Content-Disposition", fmt.Sprintf(`attachment; filename="schedule.%s"`, format))
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	buf.WriteTo(w) //nolint:errcheck
 }

@@ -248,3 +248,110 @@ func TestRecolorEndpoint(t *testing.T) {
 		t.Fatal("bad fg should 400")
 	}
 }
+
+// TestAPIMounted checks the viewer is a thin client of the REST API: the
+// schedule is reachable as session "default" under /api/v1/.
+func TestAPIMounted(t *testing.T) {
+	ts, _ := newTestServer(t)
+	code, body, hdr := get(t, ts.URL+"/api/v1/sessions/default/stats")
+	if code != 200 || !strings.Contains(hdr.Get("Content-Type"), "json") {
+		t.Fatalf("api stats = %d %q", code, hdr.Get("Content-Type"))
+	}
+	if !strings.Contains(body, `"makespan": 120`) {
+		t.Fatalf("stats body = %s", body)
+	}
+	code, body, _ = get(t, ts.URL+"/api/v1/sessions")
+	if code != 200 || !strings.Contains(body, `"default"`) {
+		t.Fatalf("session list = %d %s", code, body)
+	}
+}
+
+// TestLegacyAliasRedirects checks the deprecated read routes redirect into
+// the API, preserving the query string, and still work when followed.
+func TestLegacyAliasRedirects(t *testing.T) {
+	ts, _ := newTestServer(t)
+	noFollow := &http.Client{
+		CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse },
+	}
+	for path, wantLoc := range map[string]string{
+		"/stats":           "/api/v1/sessions/default/stats",
+		"/stats?cluster=1": "/api/v1/sessions/default/stats?cluster=1",
+		"/tasks":           "/api/v1/sessions/default/tasks",
+		"/meta":            "/api/v1/sessions/default/meta",
+	} {
+		resp, err := noFollow.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTemporaryRedirect {
+			t.Fatalf("%s = %d, want 307", path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Location"); got != wantLoc {
+			t.Fatalf("%s Location = %q, want %q", path, got, wantLoc)
+		}
+		if resp.Header.Get("Deprecation") != "true" {
+			t.Errorf("%s missing Deprecation header", path)
+		}
+	}
+	// Followed, the alias serves the API's JSON.
+	code, body, _ := get(t, ts.URL+"/tasks")
+	if code != 200 || !strings.Contains(body, `"tasks"`) {
+		t.Fatalf("followed alias = %d %s", code, body)
+	}
+}
+
+// TestExportUnified checks the satellite fix: every format goes through the
+// same options-driven branch, so all three honor the current window and all
+// three set an attachment disposition.
+func TestExportUnified(t *testing.T) {
+	ts, vp := newTestServer(t)
+	vp.SelectClusters([]int{0})
+	get(t, ts.URL+"/zoom?x0=100&x1=300") // leave a narrowed window behind
+	for _, format := range []string{"png", "svg", "pdf"} {
+		code, _, hdr := get(t, ts.URL+"/export?format="+format)
+		if code != 200 {
+			t.Fatalf("%s export = %d", format, code)
+		}
+		want := `attachment; filename="schedule.` + format + `"`
+		if got := hdr.Get("Content-Disposition"); got != want {
+			t.Errorf("%s disposition = %q, want %q", format, got, want)
+		}
+	}
+	// The PNG path honors the cluster selection like the vector paths: the
+	// export of cluster 0 only must differ from the full export.
+	vp.Reset()
+	_, onlyCluster0, _ := get(t, ts.URL+"/export?format=svg")
+	vp.SelectClusters(nil)
+	_, full, _ := get(t, ts.URL+"/export?format=svg")
+	if strings.Contains(onlyCluster0, "beta") || !strings.Contains(full, "beta") {
+		t.Fatal("cluster selection not honored by export")
+	}
+}
+
+// TestRereadUpdatesAPISession checks reread swaps the schedule under the
+// "default" API session too.
+func TestRereadUpdatesAPISession(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/s.jed"
+	if err := jedxml.WriteFile(path, demoSchedule()); err != nil {
+		t.Fatal(err)
+	}
+	vp, err := Open(path, 200, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(vp).Handler())
+	defer ts.Close()
+
+	grown := demoSchedule()
+	grown.Add("extra", "computation", 120, 200, 0, 2)
+	if err := jedxml.WriteFile(path, grown); err != nil {
+		t.Fatal(err)
+	}
+	get(t, ts.URL+"/reread")
+	code, body, _ := get(t, ts.URL+"/api/v1/sessions/default/stats")
+	if code != 200 || !strings.Contains(body, `"makespan": 200`) {
+		t.Fatalf("stats after reread = %d %s", code, body)
+	}
+}
