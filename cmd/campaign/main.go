@@ -6,16 +6,28 @@
 // Usage:
 //
 //	campaign [-algos cpa,mcpa] [-replicates 8] [-threshold 1.2] [-export dir]
+//	         [-shard k/n] [-out results.jsonl] [-resume]
+//	campaign -merge a.jsonl,b.jsonl
 //
 // Any registered scheduler may join the comparison (campaign -list prints
 // the names). With -export, the worst corner case of each qualifying cell
 // is rerun and written as one Jedule XML file per algorithm, ready for
 // jeduleview or jedbook.
+//
+// -shard k/n runs only the k-th of n partitions of the cell enumeration, so
+// several processes (or CI jobs) can split the factorial; -out streams every
+// completed cell as a JSONL checkpoint record, -resume skips the cells
+// already persisted in -out, and -merge combines shard or checkpoint files
+// into the full campaign summary — byte-identical to a single-process run
+// of the same seed.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -39,30 +51,48 @@ func main() {
 		workers    = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		threshold  = flag.Float64("threshold", 1.2, "corner-case spread threshold")
 		export     = flag.String("export", "", "directory for corner-case schedule exports")
+		shardFlag  = flag.String("shard", "", "run only partition k/n of the cell enumeration (e.g. 1/2)")
+		out        = flag.String("out", "", "stream completed cells to this JSONL checkpoint file")
+		resume     = flag.Bool("resume", false, "skip the cells already persisted in -out and append")
+		merge      = flag.String("merge", "", "merge comma-separated JSONL checkpoint files and print the summary (no cells are run)")
 	)
 	flag.Parse()
 	if *list {
 		fmt.Println(strings.Join(sched.List(), "\n"))
 		return
 	}
+	if *merge != "" {
+		res, cells, err := mergeFiles(splitList(*merge))
+		if err != nil {
+			fail(err)
+		}
+		if err := res.Complete(cells); err != nil {
+			fail(fmt.Errorf("merge incomplete: %w", err))
+		}
+		printSummary(res, *threshold)
+		return
+	}
+
 	cfg := campaign.DefaultConfig()
 	cfg.Algos = splitList(*algos)
 	cfg.Replicates = *replicates
 	cfg.Seed = *seed
 	cfg.Workers = *workers
-
-	res, err := campaign.Run(cfg)
+	shard, err := campaign.ParseShard(*shardFlag)
 	if err != nil {
 		fail(err)
 	}
-	if err := res.WriteTable(os.Stdout); err != nil {
+
+	res, err := runCheckpointed(cfg, campaign.RunOptions{Shard: shard}, *out, *resume)
+	if err != nil {
 		fail(err)
 	}
-	corners := res.CornerCases(*threshold)
-	fmt.Printf("\n%d corner cases with makespan spread >= %.2f:\n", len(corners), *threshold)
-	for _, c := range corners {
-		fmt.Printf("  %-20s worst spread %.3f\n", c.Key(), c.MaxSpread)
+	printSummary(res, *threshold)
+	if !shard.IsZero() {
+		fmt.Printf("(shard %s of the factorial; merge the full set with -merge)\n", shard)
 	}
+
+	corners := res.CornerCases(*threshold)
 	if *export == "" || len(corners) == 0 {
 		return
 	}
@@ -73,6 +103,131 @@ func main() {
 		if err := exportCell(cfg, c, *export); err != nil {
 			fail(err)
 		}
+	}
+}
+
+// runCheckpointed executes the campaign, streaming cells to the JSONL file
+// when -out is set and folding in the cells of an existing checkpoint when
+// -resume is set. The returned result covers the checkpointed cells plus
+// everything run now.
+func runCheckpointed(cfg campaign.Config, opt campaign.RunOptions, out string, resume bool) (*campaign.Result, error) {
+	if out == "" {
+		if resume {
+			return nil, fmt.Errorf("-resume requires -out")
+		}
+		return campaign.RunContext(context.Background(), cfg, opt)
+	}
+
+	var prior *campaign.Result
+	var f *os.File
+	var cw *campaign.CheckpointWriter
+	if resume {
+		cp, err := loadFile(out)
+		switch {
+		case errors.Is(err, fs.ErrNotExist):
+			// Nothing to resume: fall through to a fresh checkpoint.
+		case err != nil:
+			return nil, err
+		default:
+			if err := cp.Header.Matches(cfg); err != nil {
+				return nil, fmt.Errorf("%s: %w (rerun without -resume to start over)", out, err)
+			}
+			opt.Skip = cp.Keys()
+			prior = cp.Result()
+			fmt.Printf("resuming %s: %d cells already done\n", out, len(cp.Cells))
+			f, err = os.OpenFile(out, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return nil, err
+			}
+			// Cut a torn final record before appending, or the first new
+			// record would be concatenated onto it and lost with it.
+			if err := f.Truncate(cp.ValidSize); err != nil {
+				f.Close()
+				return nil, err
+			}
+			cw = campaign.ResumeCheckpointWriter(f)
+		}
+	}
+	if f == nil {
+		var err error
+		f, err = os.Create(out)
+		if err != nil {
+			return nil, err
+		}
+		cw, err = campaign.NewCheckpointWriter(f, cfg)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	defer f.Close()
+
+	opt.OnCell = cw.WriteCell
+	res, err := campaign.RunContext(context.Background(), cfg, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		return nil, err
+	}
+	if prior != nil {
+		return campaign.Merge(prior, res)
+	}
+	return res, nil
+}
+
+// mergeFiles loads and merges checkpoint files, verifying they describe the
+// same campaign; it returns the merged result and the factorial size the
+// header promises.
+func mergeFiles(paths []string) (*campaign.Result, int, error) {
+	if len(paths) == 0 {
+		return nil, 0, fmt.Errorf("-merge needs at least one file")
+	}
+	var parts []*campaign.Result
+	var first *campaign.Checkpoint
+	for _, path := range paths {
+		cp, err := loadFile(path)
+		if err != nil {
+			return nil, 0, err
+		}
+		if first == nil {
+			first = cp
+		} else if err := cp.Header.Equal(first.Header); err != nil {
+			return nil, 0, fmt.Errorf("%s: %w", path, err)
+		}
+		parts = append(parts, cp.Result())
+	}
+	res, err := campaign.Merge(parts...)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, first.Header.Cells, nil
+}
+
+func loadFile(path string) (*campaign.Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cp, err := campaign.LoadCheckpoint(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return cp, nil
+}
+
+// printSummary writes the per-cell table and the corner-case list — the
+// output that must be byte-identical between a single-process run and a
+// merged shard set.
+func printSummary(res *campaign.Result, threshold float64) {
+	if err := res.WriteTable(os.Stdout); err != nil {
+		fail(err)
+	}
+	corners := res.CornerCases(threshold)
+	fmt.Printf("\n%d corner cases with makespan spread >= %.2f:\n", len(corners), threshold)
+	for _, c := range corners {
+		fmt.Printf("  %-20s worst spread %.3f\n", c.Key(), c.MaxSpread)
 	}
 }
 

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	jedserve -dir schedules/ [-addr :8080]
+//	jedserve -dir schedules/ [-addr :8080] [-max-sessions 0]
 //
 // Endpoints (see the README's "HTTP API" section for the full table):
 //
@@ -16,6 +16,12 @@
 //	GET    /api/v1/sessions/{id}/render?format=png|svg|pdf&window=&clusters=...
 //	GET    /api/v1/sessions/{id}/stats|tasks|meta|export
 //	DELETE /api/v1/sessions/{id}
+//	POST   /api/v1/jobs               launch an async campaign job
+//	GET    /api/v1/jobs/{id}          poll; DELETE cancels; /result once done
+//
+// -max-sessions caps the store: when new uploads would exceed the cap, the
+// least recently used session is evicted, so a long-lived server survives
+// unbounded client traffic.
 package main
 
 import (
@@ -29,29 +35,36 @@ import (
 
 func main() {
 	var (
-		dir  = flag.String("dir", "", "directory of schedule files to pre-register (required)")
-		addr = flag.String("addr", ":8080", "HTTP listen address")
+		dir         = flag.String("dir", "", "directory of schedule files to pre-register (required)")
+		addr        = flag.String("addr", ":8080", "HTTP listen address")
+		maxSessions = flag.Int("max-sessions", 0, "evict least recently used sessions beyond this count (0 = unlimited)")
 	)
 	flag.Parse()
 	if *dir == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*dir, *addr); err != nil {
+	if err := run(*dir, *addr, *maxSessions); err != nil {
 		fmt.Fprintln(os.Stderr, "jedserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dir, addr string) error {
+func run(dir, addr string, maxSessions int) error {
 	store := api.NewStore()
 	sessions, err := api.RegisterDir(store, dir)
 	if err != nil {
 		return err
 	}
-	for _, sess := range sessions {
+	store.SetMaxSessions(maxSessions)
+	if maxSessions > 0 && len(sessions) > maxSessions {
+		fmt.Fprintf(os.Stderr, "jedserve: warning: %d schedule files but -max-sessions %d; the %d least recently registered were evicted\n",
+			len(sessions), maxSessions, len(sessions)-maxSessions)
+	}
+	// Print what actually survived the cap, not what was registered.
+	for _, sess := range store.List() {
 		fmt.Printf("jedserve: session %s <- %s\n", sess.ID, sess.Name)
 	}
-	fmt.Printf("jedserve: serving %d sessions on %s (API at /api/v1/)\n", len(sessions), addr)
+	fmt.Printf("jedserve: serving %d sessions on %s (API at /api/v1/)\n", store.Len(), addr)
 	return api.NewServer(store).ListenAndServe(addr)
 }

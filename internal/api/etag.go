@@ -1,0 +1,50 @@
+package api
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+)
+
+// Stateless reads (/render, /export) are pure functions of the session's
+// schedule and the query parameters, so (session ID, revision, content
+// fingerprint, canonicalized query) hashes into a strong ETag: a client
+// re-rendering the same view revalidates with If-None-Match and gets a
+// body-less 304 instead of a full rasterization. The content fingerprint
+// keeps validators honest across server restarts, where file-backed
+// sessions reappear under the same ID with a reset revision counter.
+
+// etagFor computes the ETag of a stateless read. url.Values.Encode sorts by
+// key, so equivalent URLs that only differ in parameter order share an
+// ETag.
+func etagFor(sess *Session, q url.Values) string {
+	h := fnv.New64a()
+	io.WriteString(h, sess.ID)                                              //nolint:errcheck // hash writes cannot fail
+	fmt.Fprintf(h, "\x00%d\x00%x\x00", sess.Revision(), sess.Fingerprint()) //nolint:errcheck
+	io.WriteString(h, q.Encode())                                           //nolint:errcheck
+	return fmt.Sprintf(`"%016x"`, h.Sum64())
+}
+
+// handleConditional sets the caching headers and reports whether the
+// request was answered with 304 Not Modified. "no-cache" is deliberate: the
+// client may store the response but must revalidate — a session's schedule
+// can be replaced at any time, which the revision in the ETag detects.
+func handleConditional(w http.ResponseWriter, r *http.Request, sess *Session) bool {
+	etag := etagFor(sess, r.URL.Query())
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", "private, no-cache")
+	if match := r.Header.Get("If-None-Match"); match != "" {
+		for _, candidate := range strings.Split(match, ",") {
+			candidate = strings.TrimSpace(candidate)
+			candidate = strings.TrimPrefix(candidate, "W/")
+			if candidate == etag || candidate == "*" {
+				w.WriteHeader(http.StatusNotModified)
+				return true
+			}
+		}
+	}
+	return false
+}

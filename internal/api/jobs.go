@@ -1,0 +1,223 @@
+package api
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/jobs"
+)
+
+// Job surface: long-running campaigns run asynchronously on the server's
+// job engine instead of blocking an HTTP handler. POST launches, GET polls,
+// DELETE cancels, and /result serves the aggregated summary once done —
+// optionally merged with the results of other (shard) jobs.
+
+// jobInfo is the JSON description of one job.
+type jobInfo struct {
+	ID       string      `json:"id"`
+	Kind     string      `json:"kind"`
+	State    string      `json:"state"`
+	Progress jobProgress `json:"progress"`
+	Error    string      `json:"error,omitempty"`
+	Created  time.Time   `json:"created"`
+	Started  *time.Time  `json:"started,omitempty"`
+	Finished *time.Time  `json:"finished,omitempty"`
+}
+
+type jobProgress struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+func infoOfJob(j *jobs.Job) jobInfo {
+	st := j.Status()
+	info := jobInfo{
+		ID: st.ID, Kind: st.Kind, State: string(st.State),
+		Progress: jobProgress{Done: st.Done, Total: st.Total},
+		Error:    st.Err,
+		Created:  st.Created,
+	}
+	if !st.Started.IsZero() {
+		info.Started = &st.Started
+	}
+	if !st.Finished.IsZero() {
+		info.Finished = &st.Finished
+	}
+	return info
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*jobs.Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return nil, false
+	}
+	return j, true
+}
+
+// createJob launches a campaign from a JSON spec and answers 202 with the
+// job's initial state; the Location header points at the poll URL.
+func (s *Server) createJob(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, maxUploadBytes)
+	defer body.Close()
+	var spec jobs.CampaignSpec
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		return
+	}
+	j, err := jobs.SubmitCampaign(s.jobs, spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Location", "/api/v1/jobs/"+j.ID())
+	writeJSON(w, http.StatusAccepted, infoOfJob(j))
+}
+
+func (s *Server) listJobs(w http.ResponseWriter, _ *http.Request) {
+	list := s.jobs.List()
+	infos := make([]jobInfo, len(list))
+	for i, j := range list {
+		infos[i] = infoOfJob(j)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": infos})
+}
+
+func (s *Server) getJob(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, infoOfJob(j))
+	}
+}
+
+// cancelJob requests cancellation; cancelling a terminal job is a no-op.
+// The response reports the state after the request took effect.
+func (s *Server) cancelJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusOK, infoOfJob(j))
+}
+
+// campaignResultJSON is the aggregated campaign summary served once a job
+// is done: per-algorithm win totals, the per-cell table (as data and as the
+// rendered text table), and the corner cases over the threshold.
+type campaignResultJSON struct {
+	Algos []string        `json:"algos"`
+	Total int             `json:"total"`
+	Wins  map[string]int  `json:"wins"`
+	Ties  int             `json:"ties"`
+	Cells []campaign.Cell `json:"cells"`
+	// Merged lists the job IDs aggregated into this summary (the job
+	// itself plus any ?merge= shard jobs).
+	Merged      []string         `json:"merged"`
+	CornerCases []cornerCaseJSON `json:"corner_cases"`
+	Threshold   float64          `json:"threshold"`
+	Table       string           `json:"table"`
+}
+
+type cornerCaseJSON struct {
+	Cell      string  `json:"cell"`
+	MaxSpread float64 `json:"max_spread"`
+}
+
+// jobResult serves the summary of a Done campaign job. ?merge=j2,j3 folds
+// in the results of other completed campaign jobs — the REST way to stitch
+// a shard set back together. ?threshold= tunes the corner-case cut (default
+// 1.2, the campaign command's default).
+func (s *Server) jobResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	st := j.Status()
+	switch st.State {
+	case jobs.Done:
+	case jobs.Failed:
+		writeError(w, http.StatusInternalServerError, "job %s failed: %s", st.ID, st.Err)
+		return
+	default:
+		writeError(w, http.StatusConflict, "job %s is %s", st.ID, st.State)
+		return
+	}
+	out0, err := jobs.CampaignResult(j)
+	if err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+
+	parts := []*campaign.Result{out0.Result}
+	merged := []string{st.ID}
+	if raw := r.URL.Query().Get("merge"); raw != "" {
+		for _, id := range strings.Split(raw, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			other, ok := s.jobs.Get(id)
+			if !ok {
+				writeError(w, http.StatusNotFound, "no job %q", id)
+				return
+			}
+			otherOut, err := jobs.CampaignResult(other)
+			if err != nil {
+				writeError(w, http.StatusConflict, "merge: %v", err)
+				return
+			}
+			// Shards of one campaign share the identity header; refusing a
+			// mismatch keeps seeds/configs from being stitched together.
+			if err := otherOut.Header.Equal(out0.Header); err != nil {
+				writeError(w, http.StatusConflict, "merge %s: %v", id, err)
+				return
+			}
+			parts = append(parts, otherOut.Result)
+			merged = append(merged, id)
+		}
+	}
+	full, err := campaign.Merge(parts...)
+	if err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+
+	threshold := 1.2
+	if raw := r.URL.Query().Get("threshold"); raw != "" {
+		threshold, err = strconv.ParseFloat(raw, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad threshold %q", raw)
+			return
+		}
+	}
+
+	wins, ties := full.Summary()
+	out := campaignResultJSON{
+		Algos:     full.Algos,
+		Total:     full.Total,
+		Wins:      map[string]int{},
+		Ties:      ties,
+		Cells:     full.Cells,
+		Merged:    merged,
+		Threshold: threshold,
+	}
+	for i, a := range full.Algos {
+		out.Wins[a] = wins[i]
+	}
+	for _, c := range full.CornerCases(threshold) {
+		out.CornerCases = append(out.CornerCases, cornerCaseJSON{Cell: c.Key(), MaxSpread: c.MaxSpread})
+	}
+	var table strings.Builder
+	if err := full.WriteTable(&table); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	out.Table = table.String()
+	writeJSON(w, http.StatusOK, out)
+}

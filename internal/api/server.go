@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/jedxml"
+	"repro/internal/jobs"
 	"repro/internal/render"
 	"repro/internal/sched"
 )
@@ -19,16 +20,29 @@ import (
 // maxUploadBytes bounds the size of an uploaded schedule document.
 const maxUploadBytes = 64 << 20
 
-// Server serves the versioned REST API over a session store.
+// Server serves the versioned REST API over a session store, plus the
+// asynchronous job surface for long-running campaigns.
 type Server struct {
 	store *Store
+	jobs  *jobs.Engine
 }
 
-// NewServer wraps a store.
-func NewServer(store *Store) *Server { return &Server{store: store} }
+// NewServer wraps a store and starts a job engine. Two job slots, not one
+// per core: each campaign job already parallelizes across GOMAXPROCS
+// internally, so a wider pool would oversubscribe the CPU quadratically.
+// Terminal jobs are retained up to a cap so past results stay fetchable
+// without growing without bound.
+func NewServer(store *Store) *Server {
+	engine := jobs.NewEngine(2)
+	engine.SetRetention(256)
+	return &Server{store: store, jobs: engine}
+}
 
 // Store returns the underlying session store.
 func (s *Server) Store() *Store { return s.store }
+
+// Jobs returns the job engine (exposed for tests and graceful shutdown).
+func (s *Server) Jobs() *jobs.Engine { return s.jobs }
 
 // Handler returns the API routes. The legacy viewer mounts this under
 // /api/v1/ next to its own pages; jedserve serves it directly, in which
@@ -46,6 +60,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/sessions/{id}/stats", s.stats)
 	mux.HandleFunc("GET /api/v1/sessions/{id}/tasks", s.tasks)
 	mux.HandleFunc("GET /api/v1/sessions/{id}/meta", s.meta)
+	mux.HandleFunc("POST /api/v1/jobs", s.createJob)
+	mux.HandleFunc("GET /api/v1/jobs", s.listJobs)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.getJob)
+	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.cancelJob)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.jobResult)
 	return mux
 }
 
@@ -212,6 +231,9 @@ func (s *Server) export(w http.ResponseWriter, r *http.Request) {
 		if !ok {
 			return
 		}
+		if handleConditional(w, r, sess) {
+			return
+		}
 		var buf bytes.Buffer
 		if err := jedxml.Write(&buf, sess.Schedule()); err != nil {
 			writeError(w, http.StatusInternalServerError, "%v", err)
@@ -257,6 +279,9 @@ func (s *Server) encodeImage(w http.ResponseWriter, r *http.Request, download bo
 	vp, err := parseViewParams(r.URL.Query())
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if handleConditional(w, r, sess) {
 		return
 	}
 	var buf bytes.Buffer

@@ -20,10 +20,19 @@ import (
 
 func newTestAPI(t *testing.T) (*httptest.Server, *Store) {
 	t.Helper()
-	store := NewStore()
-	ts := httptest.NewServer(NewServer(store).Handler())
+	ts, srv := newTestServer(t)
+	return ts, srv.Store()
+}
+
+// newTestServer exposes the Server itself for tests that reach into the
+// job engine.
+func newTestServer(t *testing.T) (*httptest.Server, *Server) {
+	t.Helper()
+	srv := NewServer(NewStore())
+	t.Cleanup(srv.Jobs().Close)
+	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
-	return ts, store
+	return ts, srv
 }
 
 func xmlBody(t *testing.T, s *core.Schedule) *bytes.Buffer {
@@ -438,6 +447,97 @@ func TestSchedulersEndpoint(t *testing.T) {
 		if !strings.Contains(joined, want) {
 			t.Errorf("schedulers missing %q: %v", want, names)
 		}
+	}
+}
+
+// TestRenderETag pins the caching contract of the stateless reads: a
+// strong ETag derived from session, revision, and canonicalized query, a
+// body-less 304 on If-None-Match, and invalidation when the schedule is
+// replaced.
+func TestRenderETag(t *testing.T) {
+	ts, store := newTestAPI(t)
+	id := createUpload(t, ts, "demo")
+	url := ts.URL + "/api/v1/sessions/" + id + "/render?width=200&height=150&gray=1"
+
+	get := func(u, ifNoneMatch string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest("GET", u, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ifNoneMatch != "" {
+			req.Header.Set("If-None-Match", ifNoneMatch)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	resp := get(url, "")
+	etag := resp.Header.Get("ETag")
+	if resp.StatusCode != 200 || etag == "" {
+		t.Fatalf("initial render = %d, etag %q", resp.StatusCode, etag)
+	}
+	if cc := resp.Header.Get("Cache-Control"); !strings.Contains(cc, "no-cache") {
+		t.Fatalf("Cache-Control = %q", cc)
+	}
+
+	// Revalidation: 304, no body.
+	resp = get(url, etag)
+	if resp.StatusCode != 304 {
+		t.Fatalf("revalidation = %d", resp.StatusCode)
+	}
+	if body, _ := io.ReadAll(resp.Body); len(body) != 0 {
+		t.Fatalf("304 carried %d body bytes", len(body))
+	}
+
+	// Weak-form and list-form validators still match; * matches anything.
+	for _, inm := range []string{"W/" + etag, `"zzz", ` + etag, "*"} {
+		if resp = get(url, inm); resp.StatusCode != 304 {
+			t.Fatalf("If-None-Match %q = %d, want 304", inm, resp.StatusCode)
+		}
+	}
+
+	// Parameter order does not change the ETag; parameter values do.
+	reordered := get(ts.URL+"/api/v1/sessions/"+id+"/render?height=150&gray=1&width=200", etag)
+	if reordered.StatusCode != 304 {
+		t.Fatalf("reordered query = %d, want 304", reordered.StatusCode)
+	}
+	other := get(ts.URL+"/api/v1/sessions/"+id+"/render?width=210&height=150&gray=1", etag)
+	if other.StatusCode != 200 || other.Header.Get("ETag") == etag {
+		t.Fatalf("different params: %d, etag %q", other.StatusCode, other.Header.Get("ETag"))
+	}
+
+	// Replacing the schedule bumps the revision and invalidates.
+	sess, _ := store.Get(id)
+	sess.Replace(demoSchedule())
+	resp = get(url, etag)
+	if resp.StatusCode != 200 || resp.Header.Get("ETag") == etag {
+		t.Fatalf("after replace: %d, etag %q", resp.StatusCode, resp.Header.Get("ETag"))
+	}
+
+	// Export carries ETags too, including the jedule document form.
+	for _, u := range []string{
+		ts.URL + "/api/v1/sessions/" + id + "/export?format=png",
+		ts.URL + "/api/v1/sessions/" + id + "/export?format=jedule",
+	} {
+		resp = get(u, "")
+		et := resp.Header.Get("ETag")
+		if resp.StatusCode != 200 || et == "" {
+			t.Fatalf("%s = %d, etag %q", u, resp.StatusCode, et)
+		}
+		if resp = get(u, et); resp.StatusCode != 304 {
+			t.Fatalf("%s revalidation = %d", u, resp.StatusCode)
+		}
+	}
+
+	// Bad parameters stay 400 even with a matching validator.
+	bad := get(ts.URL+"/api/v1/sessions/"+id+"/render?width=99999", "*")
+	if bad.StatusCode != 400 {
+		t.Fatalf("bad params with If-None-Match = %d, want 400", bad.StatusCode)
 	}
 }
 

@@ -13,8 +13,10 @@ package api
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 )
@@ -30,6 +32,26 @@ type Session struct {
 
 	mu    sync.RWMutex
 	sched *core.Schedule
+	rev   int64  // bumped by Replace; part of the ETag of stateless reads
+	fp    uint64 // content fingerprint of the schedule, computed on swap
+
+	lastUse atomic.Int64 // store clock tick of the last Get (LRU eviction)
+}
+
+// fingerprintOf hashes the schedule's observable content. It anchors the
+// ETag of stateless reads: a revision counter alone would repeat across
+// server restarts even if the underlying file changed, serving stale 304s.
+func fingerprintOf(s *core.Schedule) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%d", len(s.Clusters), s.TotalHosts(), len(s.Tasks))
+	for _, p := range s.Meta {
+		fmt.Fprintf(h, "|m:%s=%s", p.Name, p.Value)
+	}
+	for i := range s.Tasks {
+		t := &s.Tasks[i]
+		fmt.Fprintf(h, "|%s/%s/%g/%g/%d", t.ID, t.Type, t.Start, t.End, len(t.Allocations))
+	}
+	return h.Sum64()
 }
 
 // Schedule returns the session's current schedule.
@@ -39,23 +61,76 @@ func (s *Session) Schedule() *core.Schedule {
 	return s.sched
 }
 
-// Replace swaps in a new schedule (the viewer's fast-reread path).
+// Replace swaps in a new schedule (the viewer's fast-reread path) and bumps
+// the revision, invalidating cached renders of the old schedule.
 func (s *Session) Replace(sched *core.Schedule) {
+	fp := fingerprintOf(sched)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.sched = sched
+	s.fp = fp
+	s.rev++
+}
+
+// Revision counts how often the session's schedule was replaced.
+func (s *Session) Revision() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rev
+}
+
+// Fingerprint returns the content hash of the current schedule.
+func (s *Session) Fingerprint() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.fp
 }
 
 // Store is the concurrent-safe session registry behind the REST API.
 type Store struct {
 	mu       sync.RWMutex
 	seq      int
+	max      int
 	sessions map[string]*Session
+	clock    atomic.Int64
 }
 
-// NewStore returns an empty store.
+// NewStore returns an empty store without a session cap.
 func NewStore() *Store {
 	return &Store{sessions: map[string]*Session{}}
+}
+
+// SetMaxSessions caps the store at n sessions (0 removes the cap). When an
+// Add or Put would exceed the cap, the least recently used session is
+// evicted — the API-hardening guard that keeps a long-lived server from
+// accumulating uploads without bound. A lowered cap evicts immediately.
+func (st *Store) SetMaxSessions(n int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.max = n
+	st.evictLocked()
+}
+
+// touch marks the session as recently used.
+func (st *Store) touch(s *Session) {
+	s.lastUse.Store(st.clock.Add(1))
+}
+
+// evictLocked removes least-recently-used sessions until the cap holds.
+func (st *Store) evictLocked() {
+	if st.max <= 0 {
+		return
+	}
+	for len(st.sessions) > st.max {
+		var victim *Session
+		for _, s := range st.sessions {
+			if victim == nil || s.lastUse.Load() < victim.lastUse.Load() ||
+				(s.lastUse.Load() == victim.lastUse.Load() && s.ID < victim.ID) {
+				victim = s
+			}
+		}
+		delete(st.sessions, victim.ID)
+	}
 }
 
 // Add registers a schedule under a fresh generated ID ("s1", "s2", ...).
@@ -88,16 +163,21 @@ func (st *Store) Put(id, name, source string, sched *core.Schedule) (*Session, e
 }
 
 func (st *Store) putLocked(id, name, source string, sched *core.Schedule) *Session {
-	s := &Session{ID: id, Name: name, Source: source, sched: sched}
+	s := &Session{ID: id, Name: name, Source: source, sched: sched, fp: fingerprintOf(sched)}
+	st.touch(s)
 	st.sessions[id] = s
+	st.evictLocked()
 	return s
 }
 
-// Get returns the session with the given ID.
+// Get returns the session with the given ID, marking it recently used.
 func (st *Store) Get(id string) (*Session, bool) {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	s, ok := st.sessions[id]
+	if ok {
+		st.touch(s)
+	}
 	return s, ok
 }
 

@@ -71,6 +71,117 @@ func TestStoreGeneratedIDSkipsTaken(t *testing.T) {
 	}
 }
 
+// TestStoreLRUEviction pins the MaxSessions cap: adding past the cap
+// evicts the least recently used session, where Get counts as use.
+func TestStoreLRUEviction(t *testing.T) {
+	st := NewStore()
+	st.SetMaxSessions(3)
+	var ids []string
+	for i := 0; i < 3; i++ {
+		ids = append(ids, st.Add(fmt.Sprintf("n%d", i), "upload", demoSchedule()).ID)
+	}
+	// Touch s1 and s3; s2 becomes the LRU victim.
+	st.Get(ids[0])
+	st.Get(ids[2])
+	d := st.Add("n3", "upload", demoSchedule())
+	if st.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", st.Len())
+	}
+	if _, ok := st.Get(ids[1]); ok {
+		t.Fatalf("LRU session %s survived", ids[1])
+	}
+	for _, id := range []string{ids[0], ids[2], d.ID} {
+		if _, ok := st.Get(id); !ok {
+			t.Fatalf("session %s evicted wrongly", id)
+		}
+	}
+
+	// Lowering the cap evicts immediately, keeping the most recent uses.
+	st.Get(d.ID)
+	st.SetMaxSessions(1)
+	if st.Len() != 1 {
+		t.Fatalf("Len after cap drop = %d", st.Len())
+	}
+	if _, ok := st.Get(d.ID); !ok {
+		t.Fatal("most recently used session evicted")
+	}
+
+	// Cap 0 removes the limit again.
+	st.SetMaxSessions(0)
+	for i := 0; i < 5; i++ {
+		st.Add(fmt.Sprintf("x%d", i), "upload", demoSchedule())
+	}
+	if st.Len() != 6 {
+		t.Fatalf("uncapped Len = %d", st.Len())
+	}
+}
+
+// TestStoreEvictionUnderConcurrency hammers a capped store; with -race
+// this pins that touch/evict bookkeeping is data-race free.
+func TestStoreEvictionUnderConcurrency(t *testing.T) {
+	st := NewStore()
+	st.SetMaxSessions(8)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				sess := st.Add(fmt.Sprintf("w%d-%d", i, j), "upload", demoSchedule())
+				st.Get(sess.ID)
+				st.List()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if st.Len() != 8 {
+		t.Fatalf("Len = %d, want cap 8", st.Len())
+	}
+}
+
+func TestSessionRevision(t *testing.T) {
+	st := NewStore()
+	sess := st.Add("demo", "upload", demoSchedule())
+	if sess.Revision() != 0 {
+		t.Fatalf("fresh revision = %d", sess.Revision())
+	}
+	sess.Replace(demoSchedule())
+	sess.Replace(demoSchedule())
+	if sess.Revision() != 2 {
+		t.Fatalf("revision = %d, want 2", sess.Revision())
+	}
+}
+
+// TestFingerprintSurvivesRestart pins the restart scenario the revision
+// counter alone cannot cover: the "same" session re-created under the same
+// ID (rev 0 again) but with changed content must produce a different ETag,
+// while identical content keeps validators stable.
+func TestFingerprintSurvivesRestart(t *testing.T) {
+	put := func(s *core.Schedule) *Session {
+		st := NewStore()
+		sess, err := st.Put("file-a", "a.jed", "file", s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sess
+	}
+	a := put(demoSchedule())
+	b := put(demoSchedule())
+	if etagFor(a, nil) != etagFor(b, nil) {
+		t.Fatal("identical content produced different ETags across restarts")
+	}
+	changed := demoSchedule()
+	changed.Add("t4", "computation", 120, 130, 0, 2)
+	c := put(changed)
+	if etagFor(a, nil) == etagFor(c, nil) {
+		t.Fatal("changed content kept the old ETag across a restart (stale 304)")
+	}
+	// Replace detects content changes too, independent of the revision.
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("fingerprint blind to an added task")
+	}
+}
+
 // TestStoreConcurrent hammers the store from many goroutines; run with
 // -race this is the store's concurrency contract.
 func TestStoreConcurrent(t *testing.T) {

@@ -15,6 +15,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -62,25 +63,30 @@ func DefaultConfig() Config {
 	}
 }
 
-// Cell aggregates one factorial cell.
+// Cell aggregates one factorial cell. The JSON tags define the wire format
+// of the JSONL checkpoint records, so shards and resumed runs interchange
+// cells losslessly (float64 round-trips exactly through encoding/json).
 type Cell struct {
-	Shape   dag.Shape
-	DAGSize int
-	Cluster int
+	// Index is the cell's position in the deterministic enumeration order
+	// of Cells(cfg) — the merge key across shards and checkpoints.
+	Index   int       `json:"index"`
+	Shape   dag.Shape `json:"shape"`
+	DAGSize int       `json:"dag_size"`
+	Cluster int       `json:"cluster"`
 	// Algos echoes the compared algorithm names, index-aligned with Wins.
-	Algos []string
-	Runs  int
+	Algos []string `json:"algos"`
+	Runs  int      `json:"runs"`
 	// Wins counts, per algorithm, the replicates it won with a strictly
 	// smaller simulated makespan than every other algorithm.
-	Wins []int
+	Wins []int `json:"wins"`
 	// Ties counts replicates without a strict winner.
-	Ties int
+	Ties int `json:"ties"`
 	// MeanSpread is the geometric mean over replicates of
 	// worst/best makespan; 1 means the algorithms always agree.
-	MeanSpread float64
+	MeanSpread float64 `json:"mean_spread"`
 	// MaxSpread is the largest worst/best ratio seen in the cell — large
 	// values are Figure 4 material.
-	MaxSpread float64
+	MaxSpread float64 `json:"max_spread"`
 }
 
 // Key identifies the cell.
@@ -112,24 +118,63 @@ func ReplicateSeed(campaignSeed int64, shape dag.Shape, dagSize, clusterSize, re
 		int64(shape)*15_485_863 + int64(replicate)
 }
 
-// Run executes the campaign. The error is non-nil for configuration
-// mistakes (including unknown algorithm names) or scheduler failures.
-func Run(cfg Config) (*Result, error) {
+// Validate checks the configuration, including that every algorithm name
+// resolves in the scheduler registry.
+func (cfg Config) Validate() error {
 	if len(cfg.Shapes) == 0 || len(cfg.DAGSizes) == 0 || len(cfg.ClusterSizes) == 0 {
-		return nil, fmt.Errorf("campaign: empty factorial dimension")
+		return fmt.Errorf("campaign: empty factorial dimension")
 	}
 	if cfg.Replicates < 1 {
-		return nil, fmt.Errorf("campaign: need at least one replicate")
+		return fmt.Errorf("campaign: need at least one replicate")
 	}
 	if len(cfg.Algos) < 2 {
-		return nil, fmt.Errorf("campaign: need at least two algorithms to compare, got %v", cfg.Algos)
+		return fmt.Errorf("campaign: need at least two algorithms to compare, got %v", cfg.Algos)
 	}
 	seen := map[string]bool{}
 	for _, a := range cfg.Algos {
 		if seen[a] {
-			return nil, fmt.Errorf("campaign: algorithm %q listed twice", a)
+			return fmt.Errorf("campaign: algorithm %q listed twice", a)
 		}
 		seen[a] = true
+	}
+	if _, err := sched.LookupAll(cfg.Algos); err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	return nil
+}
+
+// RunOptions selects the execution strategy of RunContext; the zero value
+// runs every cell synchronously, like Run.
+type RunOptions struct {
+	// Shard restricts the run to the cells this k/n partition owns.
+	Shard Shard
+	// Skip names cell keys (CellSpec.Key) that are already persisted in a
+	// checkpoint; they are neither recomputed nor part of the result.
+	Skip map[string]bool
+	// OnCell is called once per completed cell, serialized on a single
+	// goroutine, in completion order (not enumeration order) — the
+	// checkpoint streaming hook. A non-nil error aborts the run.
+	OnCell func(Cell) error
+}
+
+// Run executes the full campaign synchronously. The error is non-nil for
+// configuration mistakes (including unknown algorithm names) or scheduler
+// failures.
+func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg, RunOptions{})
+}
+
+// RunContext executes the campaign cells selected by opt on a bounded
+// worker pool, stopping early (with the context's error) when ctx is
+// cancelled. The result holds the completed cells in enumeration order; for
+// sharded or resumed runs that is a partial result, to be combined with the
+// other shards or the checkpoint via Merge.
+func RunContext(ctx context.Context, cfg Config, opt RunOptions) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opt.Shard.Validate(); err != nil {
+		return nil, err
 	}
 	schedulers, err := sched.LookupAll(cfg.Algos)
 	if err != nil {
@@ -140,54 +185,95 @@ func Run(cfg Config) (*Result, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	type cellJob struct {
-		idx                  int
-		shape                dag.Shape
-		dagSize, clusterSize int
-	}
-	var jobs []cellJob
-	for _, sh := range cfg.Shapes {
-		for _, ds := range cfg.DAGSizes {
-			for _, cs := range cfg.ClusterSizes {
-				jobs = append(jobs, cellJob{len(jobs), sh, ds, cs})
-			}
+	var todo []CellSpec
+	for _, spec := range Cells(cfg) {
+		if opt.Shard.Includes(spec.Index) && !opt.Skip[spec.Key()] {
+			todo = append(todo, spec)
 		}
 	}
-	cells := make([]Cell, len(jobs))
-	errs := make([]error, len(jobs))
 
-	jobCh := make(chan cellJob)
+	type outcome struct {
+		pos  int
+		cell Cell
+		err  error
+	}
+	jobCh := make(chan int)
+	outCh := make(chan outcome)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range jobCh {
-				cells[j.idx], errs[j.idx] = runCell(cfg, schedulers, j.shape, j.dagSize, j.clusterSize)
+			for pos := range jobCh {
+				if err := ctx.Err(); err != nil {
+					outCh <- outcome{pos: pos, err: err}
+					continue
+				}
+				c, err := runCell(cfg, schedulers, todo[pos])
+				outCh <- outcome{pos: pos, cell: c, err: err}
 			}
 		}()
 	}
-	for _, j := range jobs {
-		jobCh <- j
+	go func() {
+		// Feed every position: cancelled workers drain the queue cheaply,
+		// so the collector always receives exactly len(todo) outcomes.
+		for pos := range todo {
+			jobCh <- pos
+		}
+		close(jobCh)
+	}()
+
+	cells := make([]Cell, len(todo))
+	var firstErr error
+	for range todo {
+		o := <-outCh
+		if firstErr != nil {
+			continue
+		}
+		if o.err != nil {
+			firstErr = o.err
+			continue
+		}
+		cells[o.pos] = o.cell
+		if opt.OnCell != nil {
+			if err := opt.OnCell(o.cell); err != nil {
+				firstErr = fmt.Errorf("campaign: checkpoint: %w", err)
+			}
+		}
 	}
-	close(jobCh)
 	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
 
 	res := &Result{Algos: append([]string(nil), cfg.Algos...), Cells: cells}
-	for i := range errs {
-		if errs[i] != nil {
-			return nil, errs[i]
-		}
+	for i := range cells {
 		res.Total += cells[i].Runs
 	}
 	return res, nil
 }
 
+// RunCell executes the replicates of one factorial cell — the unit of work
+// behind every execution strategy. Results depend only on (cfg, spec), never
+// on which shard, worker, or process runs the cell.
+func RunCell(cfg Config, spec CellSpec) (Cell, error) {
+	if err := cfg.Validate(); err != nil {
+		return Cell{}, err
+	}
+	schedulers, err := sched.LookupAll(cfg.Algos)
+	if err != nil {
+		return Cell{}, fmt.Errorf("campaign: %w", err)
+	}
+	return runCell(cfg, schedulers, spec)
+}
+
 // runCell executes the replicates of one factorial cell. Each replicate
 // gets its own generator seeded from (campaign seed, cell key, replicate),
 // so results do not depend on scheduling order.
-func runCell(cfg Config, schedulers []sched.Scheduler, shape dag.Shape, dagSize, clusterSize int) (Cell, error) {
+func runCell(cfg Config, schedulers []sched.Scheduler, spec CellSpec) (Cell, error) {
+	shape, dagSize, clusterSize := spec.Shape, spec.DAGSize, spec.Cluster
 	cell := Cell{
+		Index: spec.Index,
 		Shape: shape, DAGSize: dagSize, Cluster: clusterSize,
 		Algos:      append([]string(nil), cfg.Algos...),
 		Wins:       make([]int, len(cfg.Algos)),
@@ -249,6 +335,52 @@ func runCell(cfg Config, schedulers []sched.Scheduler, shape dag.Shape, dagSize,
 	}
 	cell.MeanSpread = math.Exp(logSum / float64(cell.Runs))
 	return cell, nil
+}
+
+// Merge combines partial results — shard outputs, resumed checkpoints —
+// into one result with cells in enumeration order. All parts must compare
+// the same algorithm list, and no cell index may appear twice. Merging the
+// complete shard set of a seed reproduces the unsharded Run result
+// bit-for-bit.
+func Merge(parts ...*Result) (*Result, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("campaign: nothing to merge")
+	}
+	out := &Result{Algos: append([]string(nil), parts[0].Algos...)}
+	for _, p := range parts {
+		if len(p.Algos) != len(out.Algos) {
+			return nil, fmt.Errorf("campaign: merge of different algorithm lists %v vs %v", out.Algos, p.Algos)
+		}
+		for i := range p.Algos {
+			if p.Algos[i] != out.Algos[i] {
+				return nil, fmt.Errorf("campaign: merge of different algorithm lists %v vs %v", out.Algos, p.Algos)
+			}
+		}
+		out.Cells = append(out.Cells, p.Cells...)
+	}
+	sort.SliceStable(out.Cells, func(i, j int) bool { return out.Cells[i].Index < out.Cells[j].Index })
+	for i, c := range out.Cells {
+		if i > 0 && c.Index == out.Cells[i-1].Index {
+			return nil, fmt.Errorf("campaign: merge saw cell %d (%s) twice", c.Index, c.Key())
+		}
+		out.Total += c.Runs
+	}
+	return out, nil
+}
+
+// Complete checks that the result covers exactly the n cells of its
+// factorial, with no gaps — the guard a merge of a shard set runs before
+// claiming to equal the single-process campaign.
+func (r *Result) Complete(n int) error {
+	if len(r.Cells) != n {
+		return fmt.Errorf("campaign: %d of %d cells present", len(r.Cells), n)
+	}
+	for i, c := range r.Cells {
+		if c.Index != i {
+			return fmt.Errorf("campaign: cell index %d where %d expected (missing shard?)", c.Index, i)
+		}
+	}
+	return nil
 }
 
 // CornerCases returns the cells whose worst makespan spread is at least the

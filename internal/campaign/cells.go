@@ -1,0 +1,101 @@
+package campaign
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/dag"
+)
+
+// CellSpec identifies one factorial cell before it runs: the cell
+// coordinates plus its deterministic index in enumeration order. The index
+// is what sharding and checkpoint merging key on — it is stable for a given
+// Config regardless of worker count, shard assignment, or resume history.
+type CellSpec struct {
+	Index   int
+	Shape   dag.Shape
+	DAGSize int
+	Cluster int
+}
+
+// Key identifies the cell, matching Cell.Key of the completed result.
+func (s CellSpec) Key() string {
+	return fmt.Sprintf("%s/%d/%d", s.Shape, s.DAGSize, s.Cluster)
+}
+
+// Cells enumerates the factorial deterministically: shapes outermost, then
+// DAG sizes, then cluster sizes — the order Run has always used. Every
+// execution strategy (synchronous, sharded, resumed, async job) works from
+// this one enumeration, so their merged results are interchangeable.
+func Cells(cfg Config) []CellSpec {
+	out := make([]CellSpec, 0, len(cfg.Shapes)*len(cfg.DAGSizes)*len(cfg.ClusterSizes))
+	for _, sh := range cfg.Shapes {
+		for _, ds := range cfg.DAGSizes {
+			for _, cs := range cfg.ClusterSizes {
+				out = append(out, CellSpec{Index: len(out), Shape: sh, DAGSize: ds, Cluster: cs})
+			}
+		}
+	}
+	return out
+}
+
+// Shard is a 1-based k-of-n partition of the cell enumeration: shard k/n
+// owns the cells whose index ≡ k-1 (mod n). Round-robin assignment keeps
+// the per-shard work balanced even though cell costs grow with DAG and
+// cluster size. The zero Shard owns every cell.
+type Shard struct {
+	K, N int
+}
+
+// ParseShard parses the "k/n" flag syntax; the empty string is the zero
+// (run-everything) shard.
+func ParseShard(s string) (Shard, error) {
+	if s == "" {
+		return Shard{}, nil
+	}
+	ks, ns, ok := strings.Cut(s, "/")
+	if !ok {
+		return Shard{}, fmt.Errorf("campaign: bad shard %q (want k/n, e.g. 1/4)", s)
+	}
+	k, err0 := strconv.Atoi(ks)
+	n, err1 := strconv.Atoi(ns)
+	if err0 != nil || err1 != nil {
+		return Shard{}, fmt.Errorf("campaign: bad shard %q (want k/n, e.g. 1/4)", s)
+	}
+	sh := Shard{K: k, N: n}
+	if err := sh.Validate(); err != nil {
+		return Shard{}, err
+	}
+	return sh, nil
+}
+
+// IsZero reports whether the shard is the run-everything default.
+func (s Shard) IsZero() bool { return s.K == 0 && s.N == 0 }
+
+// Validate checks the partition bounds.
+func (s Shard) Validate() error {
+	if s.IsZero() {
+		return nil
+	}
+	if s.N < 1 || s.K < 1 || s.K > s.N {
+		return fmt.Errorf("campaign: bad shard %d/%d (want 1 <= k <= n)", s.K, s.N)
+	}
+	return nil
+}
+
+// Includes reports whether the shard owns the cell with the given index.
+func (s Shard) Includes(index int) bool {
+	if s.IsZero() || s.N == 1 {
+		return true
+	}
+	return index%s.N == s.K-1
+}
+
+// String renders the flag syntax ("" for the zero shard).
+func (s Shard) String() string {
+	if s.IsZero() {
+		return ""
+	}
+	return fmt.Sprintf("%d/%d", s.K, s.N)
+}

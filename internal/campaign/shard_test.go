@@ -1,0 +1,236 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/dag"
+)
+
+func TestCellsEnumeration(t *testing.T) {
+	cfg := smallConfig()
+	specs := Cells(cfg)
+	if len(specs) != 3*2*2 {
+		t.Fatalf("cells = %d, want 12", len(specs))
+	}
+	for i, s := range specs {
+		if s.Index != i {
+			t.Fatalf("spec %d has index %d", i, s.Index)
+		}
+	}
+	// Matches Run's cell order exactly.
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range res.Cells {
+		if c.Index != i || c.Key() != specs[i].Key() {
+			t.Fatalf("cell %d: %s (index %d) != spec %s", i, c.Key(), c.Index, specs[i].Key())
+		}
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	for raw, want := range map[string]Shard{
+		"":    {},
+		"1/4": {K: 1, N: 4},
+		"4/4": {K: 4, N: 4},
+		"1/1": {K: 1, N: 1},
+	} {
+		got, err := ParseShard(raw)
+		if err != nil || got != want {
+			t.Errorf("ParseShard(%q) = %v, %v", raw, got, err)
+		}
+	}
+	for _, raw := range []string{"0/4", "5/4", "-1/2", "1", "a/b", "1/2/3", "1/0"} {
+		if _, err := ParseShard(raw); err == nil {
+			t.Errorf("ParseShard(%q) accepted", raw)
+		}
+	}
+}
+
+func TestShardPartition(t *testing.T) {
+	// Every index belongs to exactly one of the n shards.
+	for _, n := range []int{1, 2, 3, 5} {
+		for idx := 0; idx < 20; idx++ {
+			owners := 0
+			for k := 1; k <= n; k++ {
+				if (Shard{K: k, N: n}).Includes(idx) {
+					owners++
+				}
+			}
+			if owners != 1 {
+				t.Fatalf("index %d owned by %d of %d shards", idx, owners, n)
+			}
+		}
+	}
+	if !(Shard{}).Includes(7) {
+		t.Fatal("zero shard must include everything")
+	}
+}
+
+// TestShardMergeEqualsUnsharded is the acceptance criterion: running the
+// k/n shards separately and merging equals the unsharded run bit for bit.
+func TestShardMergeEqualsUnsharded(t *testing.T) {
+	cfg := smallConfig()
+	full, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{2, 3} {
+		var parts []*Result
+		for k := 1; k <= n; k++ {
+			part, err := RunContext(context.Background(), cfg, RunOptions{Shard: Shard{K: k, N: n}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parts = append(parts, part)
+		}
+		merged, err := Merge(parts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(merged, full) {
+			t.Fatalf("%d-shard merge differs from unsharded run", n)
+		}
+		if err := merged.Complete(len(full.Cells)); err != nil {
+			t.Fatal(err)
+		}
+		// And the rendered tables match byte for byte.
+		var a, b bytes.Buffer
+		if err := full.WriteTable(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := merged.WriteTable(&b); err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Fatalf("%d-shard table differs:\n%s\nvs\n%s", n, a.String(), b.String())
+		}
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	cfg := smallConfig()
+	half, err := RunContext(context.Background(), cfg, RunOptions{Shard: Shard{K: 1, N: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Merge(); err == nil {
+		t.Error("empty merge accepted")
+	}
+	if _, err := Merge(half, half); err == nil {
+		t.Error("duplicate cells accepted")
+	}
+	other := &Result{Algos: []string{"cpa", "heft"}}
+	if _, err := Merge(half, other); err == nil {
+		t.Error("mismatched algorithm lists accepted")
+	}
+	if err := half.Complete(12); err == nil {
+		t.Error("half shard claimed completeness")
+	}
+}
+
+func TestRunOptionsSkipAndOnCell(t *testing.T) {
+	cfg := smallConfig()
+	full, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skip := map[string]bool{full.Cells[0].Key(): true, full.Cells[5].Key(): true}
+	var streamed []Cell
+	rest, err := RunContext(context.Background(), cfg, RunOptions{
+		Skip:   skip,
+		OnCell: func(c Cell) error { streamed = append(streamed, c); return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest.Cells) != len(full.Cells)-2 {
+		t.Fatalf("skip left %d cells", len(rest.Cells))
+	}
+	if len(streamed) != len(rest.Cells) {
+		t.Fatalf("OnCell saw %d cells, result has %d", len(streamed), len(rest.Cells))
+	}
+	for _, c := range rest.Cells {
+		if skip[c.Key()] {
+			t.Fatalf("skipped cell %s was run", c.Key())
+		}
+	}
+	// Merging the skipped cells back reproduces the full result.
+	merged, err := Merge(rest, &Result{
+		Algos: full.Algos,
+		Cells: []Cell{full.Cells[0], full.Cells[5]},
+		Total: full.Cells[0].Runs + full.Cells[5].Runs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(merged, full) {
+		t.Fatal("skip + merge differs from full run")
+	}
+}
+
+// TestRunContextCancel cancels a campaign mid-flight and checks it returns
+// promptly with the context error instead of finishing the factorial.
+func TestRunContextCancel(t *testing.T) {
+	cfg := Config{
+		Shapes:       []dag.Shape{dag.ShapeRandom, dag.ShapeWide, dag.ShapeLong},
+		DAGSizes:     []int{40, 80},
+		ClusterSizes: []int{64, 128},
+		Algos:        []string{"cpa", "mcpa"},
+		Replicates:   6,
+		Seed:         5,
+		Workers:      2,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	_, err := RunContext(ctx, cfg, RunOptions{
+		OnCell: func(Cell) error {
+			ran++
+			if ran == 2 {
+				cancel()
+			}
+			return nil
+		},
+	})
+	if err == nil {
+		t.Fatal("cancelled campaign succeeded")
+	}
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran >= len(Cells(cfg)) {
+		t.Fatalf("all %d cells ran despite cancellation", ran)
+	}
+	cancel()
+}
+
+func TestOnCellErrorAborts(t *testing.T) {
+	cfg := smallConfig()
+	_, err := RunContext(context.Background(), cfg, RunOptions{
+		OnCell: func(Cell) error { return context.DeadlineExceeded },
+	})
+	if err == nil || !strings.Contains(err.Error(), "checkpoint") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunCellMatchesRun(t *testing.T) {
+	cfg := smallConfig()
+	full, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Cells(cfg)[3]
+	cell, err := RunCell(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cell, full.Cells[3]) {
+		t.Fatalf("RunCell = %+v, Run cell = %+v", cell, full.Cells[3])
+	}
+}

@@ -1,0 +1,122 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/campaign"
+	"repro/internal/dag"
+)
+
+// KindCampaign labels campaign jobs.
+const KindCampaign = "campaign"
+
+// CampaignSpec is the JSON body of POST /api/v1/jobs: the campaign factorial
+// with every dimension optional — absent fields keep the paper-sized
+// defaults of campaign.DefaultConfig. Shard ("k/n") restricts the job to
+// one partition of the cell enumeration, so several processes (or several
+// jobs) can split a campaign and merge their results.
+type CampaignSpec struct {
+	Algos        []string `json:"algos,omitempty"`
+	Shapes       []string `json:"shapes,omitempty"`
+	DAGSizes     []int    `json:"dag_sizes,omitempty"`
+	ClusterSizes []int    `json:"cluster_sizes,omitempty"`
+	Replicates   int      `json:"replicates,omitempty"`
+	Seed         int64    `json:"seed,omitempty"`
+	Workers      int      `json:"workers,omitempty"`
+	Shard        string   `json:"shard,omitempty"`
+}
+
+// Resolve validates the spec into a runnable config and shard.
+func (s CampaignSpec) Resolve() (campaign.Config, campaign.Shard, error) {
+	cfg := campaign.DefaultConfig()
+	if len(s.Algos) > 0 {
+		cfg.Algos = s.Algos
+	}
+	if len(s.Shapes) > 0 {
+		cfg.Shapes = nil
+		for _, name := range s.Shapes {
+			shape, err := dag.ParseShape(name)
+			if err != nil {
+				return campaign.Config{}, campaign.Shard{}, err
+			}
+			cfg.Shapes = append(cfg.Shapes, shape)
+		}
+	}
+	if len(s.DAGSizes) > 0 {
+		cfg.DAGSizes = s.DAGSizes
+	}
+	if len(s.ClusterSizes) > 0 {
+		cfg.ClusterSizes = s.ClusterSizes
+	}
+	if s.Replicates > 0 {
+		cfg.Replicates = s.Replicates
+	}
+	if s.Seed != 0 {
+		cfg.Seed = s.Seed
+	}
+	cfg.Workers = s.Workers
+	if err := cfg.Validate(); err != nil {
+		return campaign.Config{}, campaign.Shard{}, err
+	}
+	shard, err := campaign.ParseShard(s.Shard)
+	if err != nil {
+		return campaign.Config{}, campaign.Shard{}, err
+	}
+	return cfg, shard, nil
+}
+
+// CampaignOutcome is a completed campaign job's payload: the (possibly
+// partial, if sharded) result plus the campaign identity header, so result
+// consumers can refuse to merge jobs from different campaigns.
+type CampaignOutcome struct {
+	Header campaign.Header
+	Result *campaign.Result
+}
+
+// SubmitCampaign validates the spec and queues it on the engine. The job's
+// progress counts completed cells out of the shard's share of the
+// factorial; its result is a *CampaignOutcome covering the shard (the full
+// campaign for the zero shard).
+func SubmitCampaign(e *Engine, spec CampaignSpec) (*Job, error) {
+	cfg, shard, err := spec.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, cell := range campaign.Cells(cfg) {
+		if shard.Includes(cell.Index) {
+			total++
+		}
+	}
+	return e.Submit(KindCampaign, total, func(ctx context.Context, j *Job) (any, error) {
+		res, err := campaign.RunContext(ctx, cfg, campaign.RunOptions{
+			Shard: shard,
+			OnCell: func(campaign.Cell) error {
+				j.Advance(1)
+				return nil
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &CampaignOutcome{Header: campaign.NewHeader(cfg), Result: res}, nil
+	}), nil
+}
+
+// CampaignResult extracts the campaign outcome of a Done campaign job.
+func CampaignResult(j *Job) (*CampaignOutcome, error) {
+	st := j.Status()
+	if st.Kind != KindCampaign {
+		return nil, fmt.Errorf("jobs: %s is a %s job, not a campaign", st.ID, st.Kind)
+	}
+	if st.State != Done {
+		return nil, fmt.Errorf("jobs: %s is %s", st.ID, st.State)
+	}
+	v, _ := j.Result()
+	out, ok := v.(*CampaignOutcome)
+	if !ok {
+		return nil, fmt.Errorf("jobs: %s carries no campaign result", st.ID)
+	}
+	return out, nil
+}

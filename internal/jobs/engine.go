@@ -1,0 +1,330 @@
+// Package jobs is the asynchronous job engine behind long-running work on
+// the REST surface: a bounded worker pool executing submitted functions,
+// with job states (pending → running → done/failed/cancelled), monotonic
+// progress counters, and context-based cancellation. HTTP handlers submit
+// work and return immediately; clients poll the job until it reaches a
+// terminal state and then fetch the result.
+//
+// The engine is generic — a job is any func(ctx, *Job) (any, error) — and
+// campaign.go provides the campaign-specific driver that the /api/v1/jobs
+// endpoints speak.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// State is a job's lifecycle phase.
+type State string
+
+// The job lifecycle: Pending → Running → one of the terminal states.
+// Cancellation can also strike a job while it is still queued.
+const (
+	Pending   State = "pending"
+	Running   State = "running"
+	Done      State = "done"
+	Failed    State = "failed"
+	Cancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == Done || s == Failed || s == Cancelled
+}
+
+// Fn is the work a job runs. It must honor ctx — returning promptly with
+// ctx.Err() (or an error wrapping it) once cancelled — and may report
+// progress through the job's SetTotal/Advance.
+type Fn func(ctx context.Context, j *Job) (any, error)
+
+// Status is a point-in-time snapshot of a job, safe to hold after the job
+// moved on.
+type Status struct {
+	ID    string
+	Kind  string
+	State State
+	// Done and Total are the progress counters ("cells completed" for
+	// campaigns); Total 0 means the job has no known extent.
+	Done, Total int
+	// Err is the failure or cancellation cause, empty otherwise.
+	Err                        string
+	Created, Started, Finished time.Time
+}
+
+// Job is one unit of asynchronous work tracked by an Engine.
+type Job struct {
+	id     string
+	kind   string
+	fn     Fn
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu                         sync.Mutex
+	state                      State
+	done, total                int
+	err                        error
+	result                     any
+	created, started, finished time.Time
+	finishedCh                 chan struct{}
+}
+
+// ID returns the engine-assigned identifier ("j1", "j2", ...).
+func (j *Job) ID() string { return j.id }
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID: j.id, Kind: j.kind, State: j.state,
+		Done: j.done, Total: j.total,
+		Created: j.created, Started: j.started, Finished: j.finished,
+	}
+	if j.err != nil {
+		st.Err = j.err.Error()
+	}
+	return st
+}
+
+// Result returns the job's return value; ok is false until the job is Done.
+func (j *Job) Result() (any, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.state == Done
+}
+
+// SetTotal sets the progress extent.
+func (j *Job) SetTotal(total int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.total = total
+}
+
+// Advance increments the progress counter by n.
+func (j *Job) Advance(n int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.done += n
+}
+
+// Cancel requests cancellation: a queued job is cancelled immediately, a
+// running one has its context cancelled and finishes as Cancelled when its
+// Fn returns. Terminal jobs are unaffected. Cancel is idempotent.
+func (j *Job) Cancel() {
+	j.cancel()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == Pending {
+		j.state = Cancelled
+		j.err = context.Canceled
+		j.finished = time.Now()
+		close(j.finishedCh)
+	}
+}
+
+// Wait blocks until the job reaches a terminal state or ctx expires; the
+// error is ctx's in the latter case, nil otherwise.
+func (j *Job) Wait(ctx context.Context) error {
+	select {
+	case <-j.finishedCh:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// run executes the job on a worker goroutine.
+func (j *Job) run() {
+	j.mu.Lock()
+	if j.state != Pending { // cancelled while queued; finishedCh already closed
+		j.mu.Unlock()
+		return
+	}
+	j.state = Running
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	result, err := j.fn(j.ctx, j)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case err == nil:
+		j.state, j.result = Done, result
+	case errors.Is(err, context.Canceled) || j.ctx.Err() != nil:
+		j.state, j.err = Cancelled, err
+	default:
+		j.state, j.err = Failed, err
+	}
+	j.finished = time.Now()
+	close(j.finishedCh)
+}
+
+// Engine runs submitted jobs on a fixed pool of worker goroutines. The
+// submission queue is unbounded — Submit never blocks, so an HTTP handler
+// can always accept a job and answer 202.
+type Engine struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	seq    int
+	retain int
+	jobs   map[string]*Job
+	order  []*Job
+	queue  []*Job
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewEngine starts an engine with the given worker count (0 means
+// GOMAXPROCS).
+func NewEngine(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{jobs: map[string]*Job{}}
+	e.cond = sync.NewCond(&e.mu)
+	e.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// Submit queues a job. total is the progress extent if known up front (0
+// otherwise); kind labels the job family ("campaign"). Submission after
+// Close returns an already-failed job rather than panicking, so shutdown
+// races stay harmless.
+func (e *Engine) Submit(kind string, total int, fn Fn) *Job {
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{
+		kind: kind, fn: fn, ctx: ctx, cancel: cancel,
+		state: Pending, total: total,
+		created:    time.Now(),
+		finishedCh: make(chan struct{}),
+	}
+	e.mu.Lock()
+	e.seq++
+	j.id = fmt.Sprintf("j%d", e.seq)
+	e.jobs[j.id] = j
+	e.order = append(e.order, j)
+	if e.closed {
+		e.mu.Unlock()
+		j.mu.Lock()
+		j.state = Failed
+		j.err = fmt.Errorf("jobs: engine closed")
+		j.finished = time.Now()
+		close(j.finishedCh)
+		j.mu.Unlock()
+		return j
+	}
+	e.queue = append(e.queue, j)
+	e.pruneLocked()
+	e.cond.Signal()
+	e.mu.Unlock()
+	return j
+}
+
+// SetRetention caps how many terminal (done/failed/cancelled) jobs the
+// engine keeps around for result fetches; 0 means unlimited. Beyond the
+// cap the oldest terminal jobs are dropped on the next Submit — results
+// must be fetched while the job is still retained, which bounds the memory
+// a long-lived server pins for past campaigns.
+func (e *Engine) SetRetention(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.retain = n
+	e.pruneLocked()
+}
+
+// pruneLocked drops the oldest terminal jobs beyond the retention cap.
+func (e *Engine) pruneLocked() {
+	if e.retain <= 0 {
+		return
+	}
+	terminal := 0
+	for _, j := range e.order {
+		if j.Status().State.Terminal() {
+			terminal++
+		}
+	}
+	if terminal <= e.retain {
+		return
+	}
+	kept := e.order[:0]
+	for _, j := range e.order {
+		if terminal > e.retain && j.Status().State.Terminal() {
+			terminal--
+			delete(e.jobs, j.id)
+			continue
+		}
+		kept = append(kept, j)
+	}
+	e.order = kept
+}
+
+// Get returns the job with the given ID.
+func (e *Engine) Get(id string) (*Job, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	return j, ok
+}
+
+// List returns every job in submission order.
+func (e *Engine) List() []*Job {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]*Job(nil), e.order...)
+}
+
+// Cancel cancels the job with the given ID, reporting whether it exists.
+func (e *Engine) Cancel(id string) (*Job, bool) {
+	j, ok := e.Get(id)
+	if !ok {
+		return nil, false
+	}
+	j.Cancel()
+	return j, true
+}
+
+// Close cancels every job, stops the workers, and waits for them to drain.
+// Jobs still queued finish as Cancelled.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	jobs := append([]*Job(nil), e.order...)
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	for _, j := range jobs {
+		j.Cancel()
+	}
+	e.wg.Wait()
+}
+
+// worker pops and runs queued jobs until the engine closes.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		e.mu.Lock()
+		for len(e.queue) == 0 && !e.closed {
+			e.cond.Wait()
+		}
+		if len(e.queue) == 0 && e.closed {
+			e.mu.Unlock()
+			return
+		}
+		j := e.queue[0]
+		e.queue = e.queue[1:]
+		e.mu.Unlock()
+		j.run()
+	}
+}

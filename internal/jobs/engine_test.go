@@ -1,0 +1,236 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestEngine(t *testing.T, workers int) *Engine {
+	t.Helper()
+	e := NewEngine(workers)
+	t.Cleanup(e.Close)
+	return e
+}
+
+func waitState(t *testing.T, j *Job, want State) Status {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := j.Wait(ctx); err != nil {
+		t.Fatalf("job %s did not finish: %v", j.ID(), err)
+	}
+	st := j.Status()
+	if st.State != want {
+		t.Fatalf("job %s state = %s, want %s (err %q)", j.ID(), st.State, want, st.Err)
+	}
+	return st
+}
+
+func TestJobLifecycle(t *testing.T) {
+	e := newTestEngine(t, 2)
+	j := e.Submit("demo", 3, func(_ context.Context, j *Job) (any, error) {
+		for i := 0; i < 3; i++ {
+			j.Advance(1)
+		}
+		return "payload", nil
+	})
+	if j.ID() != "j1" {
+		t.Fatalf("id = %q", j.ID())
+	}
+	st := waitState(t, j, Done)
+	if st.Done != 3 || st.Total != 3 {
+		t.Fatalf("progress = %d/%d", st.Done, st.Total)
+	}
+	if st.Created.IsZero() || st.Started.IsZero() || st.Finished.IsZero() {
+		t.Fatalf("timestamps missing: %+v", st)
+	}
+	v, ok := j.Result()
+	if !ok || v != "payload" {
+		t.Fatalf("result = %v, %v", v, ok)
+	}
+}
+
+func TestJobFailure(t *testing.T) {
+	e := newTestEngine(t, 1)
+	j := e.Submit("demo", 0, func(context.Context, *Job) (any, error) {
+		return nil, fmt.Errorf("boom")
+	})
+	st := waitState(t, j, Failed)
+	if st.Err != "boom" {
+		t.Fatalf("err = %q", st.Err)
+	}
+	if _, ok := j.Result(); ok {
+		t.Fatal("failed job has a result")
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	e := newTestEngine(t, 1)
+	started := make(chan struct{})
+	j := e.Submit("demo", 0, func(ctx context.Context, _ *Job) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	<-started
+	j.Cancel()
+	waitState(t, j, Cancelled)
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	e := newTestEngine(t, 1)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	blocker := e.Submit("demo", 0, func(context.Context, *Job) (any, error) {
+		close(started)
+		<-block
+		return nil, nil
+	})
+	<-started
+	queued := e.Submit("demo", 0, func(context.Context, *Job) (any, error) {
+		t.Error("cancelled queued job ran")
+		return nil, nil
+	})
+	queued.Cancel()
+	waitState(t, queued, Cancelled)
+	close(block)
+	waitState(t, blocker, Done)
+}
+
+func TestCancelIdempotent(t *testing.T) {
+	e := newTestEngine(t, 1)
+	j := e.Submit("demo", 0, func(ctx context.Context, _ *Job) (any, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			j.Cancel()
+		}()
+	}
+	wg.Wait()
+	waitState(t, j, Cancelled)
+}
+
+func TestEngineGetListCancel(t *testing.T) {
+	e := newTestEngine(t, 2)
+	var jobs []*Job
+	for i := 0; i < 3; i++ {
+		jobs = append(jobs, e.Submit("demo", 0, func(context.Context, *Job) (any, error) {
+			return nil, nil
+		}))
+	}
+	for _, j := range jobs {
+		waitState(t, j, Done)
+		got, ok := e.Get(j.ID())
+		if !ok || got != j {
+			t.Fatalf("Get(%s) = %v, %v", j.ID(), got, ok)
+		}
+	}
+	list := e.List()
+	if len(list) != 3 || list[0].ID() != "j1" || list[2].ID() != "j3" {
+		t.Fatalf("list = %v", list)
+	}
+	if _, ok := e.Get("j99"); ok {
+		t.Fatal("Get of unknown id succeeded")
+	}
+	if _, ok := e.Cancel("j99"); ok {
+		t.Fatal("Cancel of unknown id succeeded")
+	}
+	if _, ok := e.Cancel("j1"); !ok { // terminal: no-op, still found
+		t.Fatal("Cancel of done job not found")
+	}
+	if st := jobs[0].Status(); st.State != Done {
+		t.Fatalf("cancel after done changed state to %s", st.State)
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	e := NewEngine(1)
+	e.Close()
+	j := e.Submit("demo", 0, func(context.Context, *Job) (any, error) {
+		t.Error("job ran after close")
+		return nil, nil
+	})
+	st := waitState(t, j, Failed)
+	if st.Err == "" {
+		t.Fatal("no error on submit after close")
+	}
+	e.Close() // idempotent
+}
+
+// TestRetention pins the terminal-job cap: beyond it, the oldest finished
+// jobs are dropped while live jobs always survive.
+func TestRetention(t *testing.T) {
+	e := newTestEngine(t, 1)
+	e.SetRetention(2)
+	var finished []*Job
+	for i := 0; i < 4; i++ {
+		j := e.Submit("demo", 0, func(context.Context, *Job) (any, error) { return nil, nil })
+		waitState(t, j, Done)
+		finished = append(finished, j)
+	}
+	// A live (running) job must never be pruned, no matter its age.
+	block := make(chan struct{})
+	started := make(chan struct{})
+	live := e.Submit("demo", 0, func(context.Context, *Job) (any, error) {
+		close(started)
+		<-block
+		return nil, nil
+	})
+	<-started
+	e.Submit("demo", 0, func(context.Context, *Job) (any, error) { return nil, nil })
+
+	if _, ok := e.Get(finished[0].ID()); ok {
+		t.Fatal("oldest terminal job survived the retention cap")
+	}
+	if _, ok := e.Get(live.ID()); !ok {
+		t.Fatal("running job was pruned")
+	}
+	if got := len(e.List()); got > 4 { // 2 retained terminal + live + queued
+		t.Fatalf("list length %d exceeds retention expectations", got)
+	}
+	close(block)
+	waitState(t, live, Done)
+
+	// Lowering the cap prunes immediately.
+	e.SetRetention(1)
+	if got := len(e.List()); got > 2 {
+		t.Fatalf("after cap drop, %d jobs retained", got)
+	}
+}
+
+// TestWorkerPoolBound pins that at most `workers` jobs run concurrently.
+func TestWorkerPoolBound(t *testing.T) {
+	e := newTestEngine(t, 2)
+	var mu sync.Mutex
+	running, peak := 0, 0
+	var jobs []*Job
+	for i := 0; i < 8; i++ {
+		jobs = append(jobs, e.Submit("demo", 0, func(context.Context, *Job) (any, error) {
+			mu.Lock()
+			running++
+			if running > peak {
+				peak = running
+			}
+			mu.Unlock()
+			time.Sleep(5 * time.Millisecond)
+			mu.Lock()
+			running--
+			mu.Unlock()
+			return nil, nil
+		}))
+	}
+	for _, j := range jobs {
+		waitState(t, j, Done)
+	}
+	if peak > 2 {
+		t.Fatalf("peak concurrency %d with 2 workers", peak)
+	}
+}

@@ -9,5 +9,6 @@ import (
 	_ "repro/internal/sched/cpa"    // registers cpa, mcpa, mcpa2
 	_ "repro/internal/sched/cra"    // registers cra_work, cra_width, cra_equal
 	_ "repro/internal/sched/heft"   // registers heft
+	_ "repro/internal/sched/minmin" // registers minmin, maxmin
 	_ "repro/internal/sched/random" // registers the random baseline
 )

@@ -1,0 +1,124 @@
+// Package minmin implements the classic min-min and max-min list
+// scheduling heuristics over task DAGs. Both repeatedly compute, for every
+// ready task (all predecessors placed), the best achievable Earliest Finish
+// Time across all hosts — min-min then schedules the task that can finish
+// soonest (greedy short-first), while max-min schedules the task whose best
+// finish is latest (long tasks first, so stragglers don't dominate the
+// tail). Data-ready times follow the platform's route model and placement
+// uses the shared gap-inserting timeline, exactly like the HEFT
+// implementation, which makes the three heuristics directly comparable in
+// campaigns.
+package minmin
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+func init() {
+	sched.Register(sched.Func{Algo: "minmin", Run: run("minmin", false)})
+	sched.Register(sched.Func{Algo: "maxmin", Run: run("maxmin", true)})
+}
+
+// placement is one candidate (task, host) decision.
+type placement struct {
+	host          int
+	start, finish float64
+}
+
+// run builds the scheduler body shared by both heuristics; max selects
+// max-min's largest-best-EFT rule.
+func run(name string, max bool) func(g *dag.Graph, p *platform.Platform) (*sched.Result, error) {
+	return func(g *dag.Graph, p *platform.Platform) (*sched.Result, error) {
+		if err := g.Validate(); err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		n := g.Len()
+		res := sched.NewResult(name, g, p)
+		tl := sched.NewTimeline(p.NumHosts())
+		missing := make([]int, n) // unplaced predecessor count per node
+		var ready []*dag.Node
+		for _, nd := range g.Nodes() {
+			missing[nd.ID] = len(nd.Preds())
+			if missing[nd.ID] == 0 {
+				ready = append(ready, nd)
+			}
+		}
+
+		// best computes the node's earliest-finishing placement.
+		best := func(nd *dag.Node) (placement, error) {
+			pick := placement{host: -1}
+			for _, h := range p.Hosts() {
+				ready := 0.0
+				for _, e := range nd.Preds() {
+					pred := res.Assignments[e.From.ID]
+					ct, err := p.CommTime(pred.Hosts[0], h.Global, e.Bytes)
+					if err != nil {
+						return pick, fmt.Errorf("%s: %w", name, err)
+					}
+					if t := pred.Finish + ct; t > ready {
+						ready = t
+					}
+				}
+				dur := nd.Work / h.Speed
+				start := tl.EarliestGap(h.Global, ready, dur)
+				if pick.host < 0 || start+dur < pick.finish {
+					pick = placement{host: h.Global, start: start, finish: start + dur}
+				}
+			}
+			return pick, nil
+		}
+
+		for scheduled := 0; scheduled < n; scheduled++ {
+			if len(ready) == 0 {
+				return nil, fmt.Errorf("%s: no ready task with %d nodes unplaced", name, n-scheduled)
+			}
+			// Phase 1: best EFT per ready task. Phase 2: pick per the
+			// heuristic, ties broken by node ID for determinism.
+			var chosen *dag.Node
+			var chosenAt int
+			var chosenPick placement
+			for i, nd := range ready {
+				pick, err := best(nd)
+				if err != nil {
+					return nil, err
+				}
+				better := chosen == nil
+				if !better {
+					switch {
+					case max && pick.finish != chosenPick.finish:
+						better = pick.finish > chosenPick.finish
+					case !max && pick.finish != chosenPick.finish:
+						better = pick.finish < chosenPick.finish
+					default:
+						better = nd.ID < chosen.ID
+					}
+				}
+				if better {
+					chosen, chosenAt, chosenPick = nd, i, pick
+				}
+			}
+			tl.Reserve(chosenPick.host, chosenPick.start, chosenPick.finish)
+			res.Assignments[chosen.ID] = sched.Assignment{
+				Hosts: []int{chosenPick.host}, Start: chosenPick.start, Finish: chosenPick.finish,
+			}
+			if chosenPick.finish > res.Makespan {
+				res.Makespan = chosenPick.finish
+			}
+			ready = append(ready[:chosenAt], ready[chosenAt+1:]...)
+			for _, e := range chosen.Succs() {
+				missing[e.To.ID]--
+				if missing[e.To.ID] == 0 {
+					ready = append(ready, e.To)
+				}
+			}
+		}
+		return res, nil
+	}
+}

@@ -1,0 +1,108 @@
+package minmin
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+func lookup(t *testing.T, name string) sched.Scheduler {
+	t.Helper()
+	s, err := sched.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRegistered(t *testing.T) {
+	for _, name := range []string{"minmin", "maxmin"} {
+		if s := lookup(t, name); s.Name() != name {
+			t.Fatalf("Name() = %q, want %q", s.Name(), name)
+		}
+	}
+}
+
+func TestValidSchedules(t *testing.T) {
+	p := platform.Homogeneous(8, 1e9)
+	for _, name := range []string{"minmin", "maxmin"} {
+		s := lookup(t, name)
+		for _, shape := range []dag.Shape{dag.ShapeSerial, dag.ShapeWide, dag.ShapeRandom, dag.ShapeForkJoin} {
+			g := dag.Generate(shape, dag.DefaultGenOptions(25), rand.New(rand.NewSource(3)))
+			res, err := s.Schedule(g, p)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, shape, err)
+			}
+			if err := res.Validate(); err != nil {
+				t.Fatalf("%s/%s: invalid plan: %v", name, shape, err)
+			}
+			if res.Makespan <= 0 {
+				t.Fatalf("%s/%s: makespan %g", name, shape, res.Makespan)
+			}
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	p := platform.Homogeneous(6, 1e9)
+	g := dag.Generate(dag.ShapeRandom, dag.DefaultGenOptions(30), rand.New(rand.NewSource(9)))
+	for _, name := range []string{"minmin", "maxmin"} {
+		s := lookup(t, name)
+		a, err := s.Schedule(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := s.Schedule(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a.Assignments, b.Assignments) {
+			t.Fatalf("%s is nondeterministic", name)
+		}
+	}
+}
+
+// TestHeuristicsDiffer pins that the two selection rules actually produce
+// different plans on a graph with heterogeneous task sizes.
+func TestHeuristicsDiffer(t *testing.T) {
+	p := platform.Homogeneous(4, 1e9)
+	opt := dag.DefaultGenOptions(40)
+	opt.WorkMin, opt.WorkMax = 1e9, 50e9 // widen the task-size spread
+	g := dag.Generate(dag.ShapeWide, opt, rand.New(rand.NewSource(4)))
+	a, err := lookup(t, "minmin").Schedule(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := lookup(t, "maxmin").Schedule(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Assignments, b.Assignments) {
+		t.Fatal("minmin and maxmin chose identical plans")
+	}
+}
+
+// TestSerialChainMatchesWork pins correctness on the degenerate chain: one
+// task runs at a time, so the makespan is the summed work over the speed.
+func TestSerialChainMatchesWork(t *testing.T) {
+	p := platform.Homogeneous(4, 1e9)
+	g := dag.Generate(dag.ShapeSerial, dag.DefaultGenOptions(12), rand.New(rand.NewSource(2)))
+	want := 0.0
+	for _, nd := range g.Nodes() {
+		want += nd.Work / 1e9
+	}
+	for _, name := range []string{"minmin", "maxmin"} {
+		res, err := lookup(t, name).Schedule(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Communication can only delay starts beyond pure compute time.
+		if res.Makespan < want-1e-6 {
+			t.Fatalf("%s: makespan %g below serial work %g", name, res.Makespan, want)
+		}
+	}
+}
