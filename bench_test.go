@@ -223,6 +223,46 @@ func BenchmarkRenderSVG(b *testing.B) {
 	}
 }
 
+// --- Parallel rasterization (per-panel/per-band sharding) ----------------
+
+// parallelBenchSchedule is the acceptance workload of the parallel render
+// pipeline: 4 clusters, 200k tasks ("some experiments ... created more than
+// 200,000 individual tasks"), randomly placed — a multi-megapixel Gantt
+// export dominated by per-task rasterization.
+func parallelBenchSchedule() *core.Schedule {
+	clusters := make([]core.Cluster, 4)
+	for i := range clusters {
+		clusters[i] = core.Cluster{ID: i, Name: string(rune('a' + i)), Hosts: 64}
+	}
+	s := core.New(clusters...)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200_000; i++ {
+		start := rng.Float64() * 1e4
+		s.AddTask(core.Task{
+			ID: taskID(i), Type: []string{"computation", "transfer"}[i%2],
+			Start: start, End: start + 0.5 + rng.Float64()*5,
+			Allocations: []core.Allocation{{
+				Cluster: i % 4,
+				Hosts:   []core.HostRange{{Start: rng.Intn(63), N: 1 + rng.Intn(2)}},
+			}},
+		})
+	}
+	return s
+}
+
+func benchRenderWorkers(b *testing.B, workers int) {
+	s := parallelBenchSchedule()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := raster.New(1600, 1000)
+		render.Render(c, s, render.Options{Workers: workers})
+	}
+}
+
+func BenchmarkRenderSerial(b *testing.B)   { benchRenderWorkers(b, 1) }
+func BenchmarkRenderParallel(b *testing.B) { benchRenderWorkers(b, 4) }
+
 // --- Ablations called out in DESIGN.md ------------------------------------
 
 // Composite construction: sweep vs naive reference on a dense schedule.

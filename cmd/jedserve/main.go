@@ -21,13 +21,17 @@
 //
 // -max-sessions caps the store: when new uploads would exceed the cap, the
 // least recently used session is evicted, so a long-lived server survives
-// unbounded client traffic.
+// unbounded client traffic. -session-ttl expires sessions idle past the
+// given duration. -render-workers bounds the goroutines each rasterization
+// may use, and -render-cache-mb sizes the cache of encoded render bodies
+// (concurrent identical renders always collapse into one rasterization).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/api"
 	_ "repro/internal/sched/all"
@@ -35,28 +39,32 @@ import (
 
 func main() {
 	var (
-		dir         = flag.String("dir", "", "directory of schedule files to pre-register (required)")
-		addr        = flag.String("addr", ":8080", "HTTP listen address")
-		maxSessions = flag.Int("max-sessions", 0, "evict least recently used sessions beyond this count (0 = unlimited)")
+		dir           = flag.String("dir", "", "directory of schedule files to pre-register (required)")
+		addr          = flag.String("addr", ":8080", "HTTP listen address")
+		maxSessions   = flag.Int("max-sessions", 0, "evict least recently used sessions beyond this count (0 = unlimited)")
+		sessionTTL    = flag.Duration("session-ttl", 0, "expire sessions idle this long, e.g. 30m (0 = never)")
+		renderWorkers = flag.Int("render-workers", 0, "goroutines per rasterization (0 = GOMAXPROCS, 1 = serial)")
+		renderCacheMB = flag.Int("render-cache-mb", 64, "render-result cache size in MiB (0 = no body caching)")
 	)
 	flag.Parse()
 	if *dir == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*dir, *addr, *maxSessions); err != nil {
+	if err := run(*dir, *addr, *maxSessions, *sessionTTL, *renderWorkers, *renderCacheMB); err != nil {
 		fmt.Fprintln(os.Stderr, "jedserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dir, addr string, maxSessions int) error {
+func run(dir, addr string, maxSessions int, sessionTTL time.Duration, renderWorkers, renderCacheMB int) error {
 	store := api.NewStore()
 	sessions, err := api.RegisterDir(store, dir)
 	if err != nil {
 		return err
 	}
 	store.SetMaxSessions(maxSessions)
+	store.SetTTL(sessionTTL)
 	if maxSessions > 0 && len(sessions) > maxSessions {
 		fmt.Fprintf(os.Stderr, "jedserve: warning: %d schedule files but -max-sessions %d; the %d least recently registered were evicted\n",
 			len(sessions), maxSessions, len(sessions)-maxSessions)
@@ -65,6 +73,9 @@ func run(dir, addr string, maxSessions int) error {
 	for _, sess := range store.List() {
 		fmt.Printf("jedserve: session %s <- %s\n", sess.ID, sess.Name)
 	}
+	srv := api.NewServer(store)
+	srv.SetRenderWorkers(renderWorkers)
+	srv.SetRenderCacheBytes(int64(renderCacheMB) << 20)
 	fmt.Printf("jedserve: serving %d sessions on %s (API at /api/v1/)\n", store.Len(), addr)
-	return api.NewServer(store).ListenAndServe(addr)
+	return srv.ListenAndServe(addr)
 }

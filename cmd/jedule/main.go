@@ -54,10 +54,12 @@ func run(args []string) error {
 		aligned    = fs.Bool("aligned", true, "align cluster time axes on the global extent")
 		labels     = fs.Bool("labels", true, "draw task id labels when they fit")
 		composites = fs.Bool("composites", false, "overlay composite tasks for overlapping intervals")
+		legend     = fs.Bool("legend", false, "draw a task-type color legend along the bottom edge")
 		clusters   = fs.String("clusters", "", "comma-separated cluster ids to render (default: all)")
 		title      = fs.String("title", "", "chart title")
 		meta       = fs.Bool("meta", false, "append schedule meta info to the title")
 		stats      = fs.Bool("stats", false, "print schedule statistics to stdout")
+		workers    = fs.Int("render-workers", 0, "goroutines for the rasterization (0 = GOMAXPROCS, 1 = serial; output is identical)")
 		listScheds = fs.Bool("list-schedulers", false, "print the registered scheduler names and exit")
 		schedName  = fs.String("sched", "", "run the named scheduler on a generated DAG instead of reading -in")
 		shape      = fs.String("shape", "random", "DAG shape for -sched: serial, wide, long, random, forkjoin")
@@ -111,7 +113,7 @@ func run(args []string) error {
 	}
 	opt := render.Options{
 		Map: cmap, Labels: *labels, Composites: *composites,
-		Title: *title, ShowMeta: *meta,
+		Title: *title, ShowMeta: *meta, Workers: *workers, Legend: *legend,
 	}
 	if !*aligned {
 		opt.Mode = core.ScaledView

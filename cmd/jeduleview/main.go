@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/api"
 	_ "repro/internal/sched/all"
@@ -32,20 +33,23 @@ import (
 
 func main() {
 	var (
-		in        = flag.String("in", "", "Jedule XML schedule file (required unless -serve-many)")
-		addr      = flag.String("addr", ":8080", "HTTP listen address")
-		width     = flag.Int("width", 1200, "view width in pixels")
-		height    = flag.Int("height", 800, "view height in pixels")
-		serveMany = flag.Bool("serve-many", false, "serve the multi-session REST API instead of the single-file viewer")
+		in            = flag.String("in", "", "Jedule XML schedule file (required unless -serve-many)")
+		addr          = flag.String("addr", ":8080", "HTTP listen address")
+		width         = flag.Int("width", 1200, "view width in pixels")
+		height        = flag.Int("height", 800, "view height in pixels")
+		serveMany     = flag.Bool("serve-many", false, "serve the multi-session REST API instead of the single-file viewer")
+		sessionTTL    = flag.Duration("session-ttl", 0, "with -serve-many: expire sessions idle this long (0 = never)")
+		renderWorkers = flag.Int("render-workers", 0, "goroutines per rasterization (0 = GOMAXPROCS, 1 = serial)")
+		renderCacheMB = flag.Int("render-cache-mb", 64, "with -serve-many: render-result cache size in MiB (0 = off)")
 	)
 	flag.Parse()
-	if err := run(*in, *addr, *width, *height, *serveMany, flag.Args()); err != nil {
+	if err := run(*in, *addr, *width, *height, *serveMany, *sessionTTL, *renderWorkers, *renderCacheMB, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "jeduleview:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, addr string, width, height int, serveMany bool, extra []string) error {
+func run(in, addr string, width, height int, serveMany bool, sessionTTL time.Duration, renderWorkers, renderCacheMB int, extra []string) error {
 	if serveMany {
 		store := api.NewStore()
 		files := extra
@@ -59,8 +63,12 @@ func run(in, addr string, width, height int, serveMany bool, extra []string) err
 			}
 			fmt.Printf("jeduleview: session %s <- %s\n", sess.ID, path)
 		}
+		store.SetTTL(sessionTTL)
+		srv := api.NewServer(store)
+		srv.SetRenderWorkers(renderWorkers)
+		srv.SetRenderCacheBytes(int64(renderCacheMB) << 20)
 		fmt.Printf("jeduleview: serving %d sessions on %s (API at /api/v1/)\n", store.Len(), addr)
-		return api.NewServer(store).ListenAndServe(addr)
+		return srv.ListenAndServe(addr)
 	}
 	if in == "" {
 		flag.Usage()
@@ -70,6 +78,7 @@ func run(in, addr string, width, height int, serveMany bool, extra []string) err
 	if err != nil {
 		return err
 	}
+	vp.Workers = renderWorkers
 	fmt.Printf("jeduleview: serving %s on %s\n", in, addr)
 	return view.NewServer(vp).ListenAndServe(addr)
 }

@@ -31,9 +31,9 @@ func etagFor(sess *Session, q url.Values) string {
 // handleConditional sets the caching headers and reports whether the
 // request was answered with 304 Not Modified. "no-cache" is deliberate: the
 // client may store the response but must revalidate — a session's schedule
-// can be replaced at any time, which the revision in the ETag detects.
-func handleConditional(w http.ResponseWriter, r *http.Request, sess *Session) bool {
-	etag := etagFor(sess, r.URL.Query())
+// can be replaced at any time, which the revision in the ETag detects. The
+// etag is computed once by the caller: it doubles as the render-cache key.
+func handleConditional(w http.ResponseWriter, r *http.Request, etag string) bool {
 	w.Header().Set("ETag", etag)
 	w.Header().Set("Cache-Control", "private, no-cache")
 	if match := r.Header.Get("If-None-Match"); match != "" {

@@ -1,0 +1,201 @@
+package api
+
+import (
+	"container/list"
+	"sync"
+)
+
+// renderCache memoizes the encoded bodies of stateless renders so an ETag
+// miss can still be answered without rasterizing. The key is the strong
+// ETag the conditional-request path already computes — session ID, schedule
+// revision, content fingerprint, and canonicalized query — so a cached body
+// can never outlive the view it encodes; entries are additionally dropped
+// eagerly whenever their session is replaced, deleted, evicted, or expired.
+//
+// Concurrent identical requests are deduplicated singleflight-style: the
+// first caller renders, later callers block on the flight and share the
+// body, so a thundering herd of one hot view costs one rasterization.
+//
+// Memory is bounded by bytes, not entries: insertion evicts least recently
+// used bodies until the total body size fits maxBytes. SetMaxBytes(0) turns
+// the body store off but keeps the flight deduplication.
+type renderCache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	size     int64
+	ll       *list.List               // front = most recently used
+	entries  map[string]*list.Element // key -> element holding *renderEntry
+	inflight map[string]*renderFlight
+	// epochs guards flights against invalidate-during-render: a session's
+	// epoch is bumped by InvalidateSession while it has flights in the air,
+	// and a completing flight only stores its body if the epoch it started
+	// under still holds. Entries are pruned with the session's last flight.
+	epochs map[string]uint64
+
+	hits      int64 // served from the store or a shared flight
+	misses    int64 // caused an actual render
+	evictions int64
+}
+
+type renderEntry struct {
+	key         string
+	sessionID   string
+	contentType string
+	body        []byte
+}
+
+type renderFlight struct {
+	done        chan struct{}
+	sessionID   string
+	epoch       uint64 // session epoch when the flight launched
+	body        []byte
+	contentType string
+	err         error
+}
+
+// renderCacheStats is a snapshot of the cache counters for /api/v1/meta.
+type renderCacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	MaxBytes  int64 `json:"max_bytes"`
+}
+
+func newRenderCache(maxBytes int64) *renderCache {
+	return &renderCache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		entries:  map[string]*list.Element{},
+		inflight: map[string]*renderFlight{},
+		epochs:   map[string]uint64{},
+	}
+}
+
+// SetMaxBytes rebounds the body store, evicting immediately if it shrank.
+func (rc *renderCache) SetMaxBytes(n int64) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.maxBytes = n
+	rc.evictLocked()
+}
+
+// Render returns the body and content type for key, running fn at most once
+// across all concurrent callers with the same key. hit reports whether the
+// body came from the cache or a shared in-progress render.
+func (rc *renderCache) Render(key, sessionID string, fn func() (body []byte, contentType string, err error)) (body []byte, contentType string, hit bool, err error) {
+	rc.mu.Lock()
+	if el, ok := rc.entries[key]; ok {
+		rc.ll.MoveToFront(el)
+		e := el.Value.(*renderEntry)
+		rc.hits++
+		rc.mu.Unlock()
+		return e.body, e.contentType, true, nil
+	}
+	if fl, ok := rc.inflight[key]; ok {
+		rc.mu.Unlock()
+		<-fl.done
+		if fl.err == nil {
+			rc.mu.Lock()
+			rc.hits++
+			rc.mu.Unlock()
+			return fl.body, fl.contentType, true, nil
+		}
+		return fl.body, fl.contentType, false, fl.err
+	}
+	fl := &renderFlight{done: make(chan struct{}), sessionID: sessionID, epoch: rc.epochs[sessionID]}
+	rc.inflight[key] = fl
+	rc.misses++
+	rc.mu.Unlock()
+
+	fl.body, fl.contentType, fl.err = fn()
+
+	rc.mu.Lock()
+	delete(rc.inflight, key)
+	// Only store the body if the session was not invalidated while the
+	// flight was in the air: its key embeds a revision no future request
+	// computes anymore, so the entry would be pure dead weight.
+	if fl.err == nil && rc.epochs[sessionID] == fl.epoch {
+		rc.insertLocked(key, sessionID, fl.contentType, fl.body)
+	}
+	rc.pruneEpochLocked(sessionID)
+	rc.mu.Unlock()
+	close(fl.done)
+	return fl.body, fl.contentType, false, fl.err
+}
+
+// pruneEpochLocked drops the session's epoch marker once it has no flights
+// left, so the map stays bounded by concurrent renders, not session history.
+func (rc *renderCache) pruneEpochLocked(sessionID string) {
+	for _, fl := range rc.inflight {
+		if fl.sessionID == sessionID {
+			return
+		}
+	}
+	delete(rc.epochs, sessionID)
+}
+
+func (rc *renderCache) insertLocked(key, sessionID, contentType string, body []byte) {
+	if rc.maxBytes <= 0 || int64(len(body)) > rc.maxBytes {
+		return
+	}
+	if el, ok := rc.entries[key]; ok { // raced with another non-flight insert
+		rc.size -= int64(len(el.Value.(*renderEntry).body))
+		rc.ll.Remove(el)
+		delete(rc.entries, key)
+	}
+	e := &renderEntry{key: key, sessionID: sessionID, contentType: contentType, body: body}
+	rc.entries[key] = rc.ll.PushFront(e)
+	rc.size += int64(len(body))
+	rc.evictLocked()
+}
+
+// evictLocked drops least recently used bodies until the size bound holds.
+func (rc *renderCache) evictLocked() {
+	for rc.size > rc.maxBytes && rc.ll.Len() > 0 {
+		el := rc.ll.Back()
+		e := el.Value.(*renderEntry)
+		rc.ll.Remove(el)
+		delete(rc.entries, e.key)
+		rc.size -= int64(len(e.body))
+		rc.evictions++
+	}
+}
+
+// InvalidateSession drops every cached body of the given session and bumps
+// its epoch so renders currently in the air complete for their callers but
+// do not store their (now unreachable) bodies.
+func (rc *renderCache) InvalidateSession(sessionID string) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	for _, fl := range rc.inflight {
+		if fl.sessionID == sessionID {
+			rc.epochs[sessionID]++
+			break
+		}
+	}
+	for el := rc.ll.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*renderEntry); e.sessionID == sessionID {
+			rc.ll.Remove(el)
+			delete(rc.entries, e.key)
+			rc.size -= int64(len(e.body))
+		}
+		el = next
+	}
+}
+
+// Stats snapshots the counters.
+func (rc *renderCache) Stats() renderCacheStats {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return renderCacheStats{
+		Hits:      rc.hits,
+		Misses:    rc.misses,
+		Evictions: rc.evictions,
+		Entries:   rc.ll.Len(),
+		Bytes:     rc.size,
+		MaxBytes:  rc.maxBytes,
+	}
+}

@@ -20,26 +20,49 @@ import (
 // maxUploadBytes bounds the size of an uploaded schedule document.
 const maxUploadBytes = 64 << 20
 
+// defaultRenderCacheBytes bounds the render-result cache unless overridden
+// with SetRenderCacheBytes (jedserve -render-cache-mb).
+const defaultRenderCacheBytes = 64 << 20
+
 // Server serves the versioned REST API over a session store, plus the
 // asynchronous job surface for long-running campaigns.
 type Server struct {
-	store *Store
-	jobs  *jobs.Engine
+	store         *Store
+	jobs          *jobs.Engine
+	cache         *renderCache
+	renderWorkers int // render.Options.Workers for every rasterization; 0 = GOMAXPROCS
 }
 
 // NewServer wraps a store and starts a job engine. Two job slots, not one
 // per core: each campaign job already parallelizes across GOMAXPROCS
 // internally, so a wider pool would oversubscribe the CPU quadratically.
 // Terminal jobs are retained up to a cap so past results stay fetchable
-// without growing without bound.
+// without growing without bound. The render cache subscribes to the store's
+// drop notifications so replaced, deleted, evicted, and expired sessions
+// lose their memoized bodies immediately.
 func NewServer(store *Store) *Server {
 	engine := jobs.NewEngine(2)
 	engine.SetRetention(256)
-	return &Server{store: store, jobs: engine}
+	s := &Server{store: store, jobs: engine, cache: newRenderCache(defaultRenderCacheBytes)}
+	store.OnDrop(s.cache.InvalidateSession)
+	return s
 }
 
 // Store returns the underlying session store.
 func (s *Server) Store() *Store { return s.store }
+
+// SetRenderWorkers bounds the goroutines each rasterization may use (0 =
+// GOMAXPROCS, 1 = serial). Call before serving; it is not synchronized with
+// in-flight requests.
+func (s *Server) SetRenderWorkers(n int) { s.renderWorkers = n }
+
+// SetRenderCacheBytes rebounds the render-result cache (0 disables body
+// storage; concurrent identical renders still collapse into one flight).
+func (s *Server) SetRenderCacheBytes(n int64) { s.cache.SetMaxBytes(n) }
+
+// RenderCacheStats exposes the cache counters (for tests; clients read them
+// from GET /api/v1/meta).
+func (s *Server) RenderCacheStats() renderCacheStats { return s.cache.Stats() }
 
 // Jobs returns the job engine (exposed for tests and graceful shutdown).
 func (s *Server) Jobs() *jobs.Engine { return s.jobs }
@@ -51,6 +74,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /{$}", s.index)
 	mux.HandleFunc("GET /api/v1/schedulers", s.schedulers)
+	mux.HandleFunc("GET /api/v1/meta", s.serverMeta)
 	mux.HandleFunc("POST /api/v1/sessions", s.createSession)
 	mux.HandleFunc("GET /api/v1/sessions", s.listSessions)
 	mux.HandleFunc("GET /api/v1/sessions/{id}", s.getSession)
@@ -231,7 +255,7 @@ func (s *Server) export(w http.ResponseWriter, r *http.Request) {
 		if !ok {
 			return
 		}
-		if handleConditional(w, r, sess) {
+		if handleConditional(w, r, etagFor(sess, r.URL.Query())) {
 			return
 		}
 		var buf bytes.Buffer
@@ -260,6 +284,9 @@ func attachment(id, ext string) string {
 
 // encodeImage is the one options-driven branch behind render and export:
 // negotiate view parameters once, then only the encoder differs by format.
+// The 200 body is memoized in the render cache under the same strong ETag
+// that anchors the 304 path, and concurrent identical requests collapse
+// into a single rasterization.
 func (s *Server) encodeImage(w http.ResponseWriter, r *http.Request, download bool) {
 	sess, ok := s.session(w, r)
 	if !ok {
@@ -281,20 +308,44 @@ func (s *Server) encodeImage(w http.ResponseWriter, r *http.Request, download bo
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if handleConditional(w, r, sess) {
+	etag := etagFor(sess, r.URL.Query())
+	if handleConditional(w, r, etag) {
 		return
 	}
-	var buf bytes.Buffer
-	if err := render.Encode(&buf, format, sess.Schedule(), vp.Width, vp.Height, vp.Opts); err != nil {
+	vp.Opts.Workers = s.renderWorkers
+	body, cachedCT, hit, err := s.cache.Render(etag, sess.ID, func() ([]byte, string, error) {
+		var buf bytes.Buffer
+		if err := render.Encode(&buf, format, sess.Schedule(), vp.Width, vp.Height, vp.Opts); err != nil {
+			return nil, "", err
+		}
+		return buf.Bytes(), ct, nil
+	})
+	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	w.Header().Set("Content-Type", ct)
+	w.Header().Set("Content-Type", cachedCT)
 	if download {
 		w.Header().Set("Content-Disposition", attachment(sess.ID, format))
 	}
-	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
-	buf.WriteTo(w) //nolint:errcheck
+	if hit {
+		w.Header().Set("X-Render-Cache", "hit")
+	} else {
+		w.Header().Set("X-Render-Cache", "miss")
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.Write(body) //nolint:errcheck
+}
+
+// serverMeta reports server-level observability: session count, render
+// worker bound, session TTL, and the render-cache counters.
+func (s *Server) serverMeta(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"sessions":            s.store.Len(),
+		"render_workers":      s.renderWorkers,
+		"session_ttl_seconds": s.store.TTL().Seconds(),
+		"render_cache":        s.cache.Stats(),
+	})
 }
 
 // statsJSON mirrors core.Stats for the wire.

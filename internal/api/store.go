@@ -17,6 +17,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 )
@@ -35,7 +36,9 @@ type Session struct {
 	rev   int64  // bumped by Replace; part of the ETag of stateless reads
 	fp    uint64 // content fingerprint of the schedule, computed on swap
 
-	lastUse atomic.Int64 // store clock tick of the last Get (LRU eviction)
+	store      *Store       // owning store; drop notifications on Replace
+	lastUse    atomic.Int64 // store clock tick of the last Get (LRU eviction)
+	lastAccess atomic.Int64 // wall-clock nanos of the last Get (TTL expiry)
 }
 
 // fingerprintOf hashes the schedule's observable content. It anchors the
@@ -66,10 +69,13 @@ func (s *Session) Schedule() *core.Schedule {
 func (s *Session) Replace(sched *core.Schedule) {
 	fp := fingerprintOf(sched)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.sched = sched
 	s.fp = fp
 	s.rev++
+	s.mu.Unlock()
+	if s.store != nil {
+		s.store.notifyDrop(s.ID)
+	}
 }
 
 // Revision counts how often the session's schedule was replaced.
@@ -91,13 +97,44 @@ type Store struct {
 	mu       sync.RWMutex
 	seq      int
 	max      int
+	ttl      time.Duration
+	now      func() time.Time // injectable for TTL tests
+	onDrop   func(sessionID string)
 	sessions map[string]*Session
 	clock    atomic.Int64
+
+	janitorStop chan struct{}
 }
 
-// NewStore returns an empty store without a session cap.
+// NewStore returns an empty store without a session cap or TTL.
 func NewStore() *Store {
-	return &Store{sessions: map[string]*Session{}}
+	return &Store{sessions: map[string]*Session{}, now: time.Now}
+}
+
+// OnDrop registers fn to be called with the ID of every session that leaves
+// the store — explicit Delete, LRU eviction, TTL expiry — and of every
+// session whose schedule is swapped by Replace. The render cache hooks in
+// here to invalidate memoized bodies. fn must not call back into the store.
+func (st *Store) OnDrop(fn func(sessionID string)) {
+	st.mu.Lock()
+	st.onDrop = fn
+	st.mu.Unlock()
+}
+
+// notifyDrop invokes the drop hook outside any store lock.
+func (st *Store) notifyDrop(ids ...string) {
+	if len(ids) == 0 {
+		return
+	}
+	st.mu.RLock()
+	fn := st.onDrop
+	st.mu.RUnlock()
+	if fn == nil {
+		return
+	}
+	for _, id := range ids {
+		fn(id)
+	}
 }
 
 // SetMaxSessions caps the store at n sessions (0 removes the cap). When an
@@ -106,21 +143,97 @@ func NewStore() *Store {
 // accumulating uploads without bound. A lowered cap evicts immediately.
 func (st *Store) SetMaxSessions(n int) {
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	st.max = n
-	st.evictLocked()
+	dropped := st.evictLocked()
+	st.mu.Unlock()
+	st.notifyDrop(dropped...)
+}
+
+// SetTTL sets the idle lifetime of sessions: a session not accessed for d is
+// expired lazily on its next access and proactively by a janitor goroutine
+// that ticks at a fraction of d. SetTTL(0) removes the TTL and stops the
+// janitor.
+func (st *Store) SetTTL(d time.Duration) {
+	st.mu.Lock()
+	st.ttl = d
+	stop := st.janitorStop
+	st.janitorStop = nil
+	if d > 0 {
+		st.janitorStop = make(chan struct{})
+	}
+	start := st.janitorStop
+	st.mu.Unlock()
+	if stop != nil {
+		close(stop)
+	}
+	if start != nil {
+		every := d / 4
+		if every < time.Second {
+			every = time.Second
+		}
+		go st.janitor(start, every)
+	}
+}
+
+// TTL returns the configured idle session lifetime (0 = sessions never
+// expire).
+func (st *Store) TTL() time.Duration {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.ttl
+}
+
+// Close stops the janitor goroutine, if any. The store remains usable.
+func (st *Store) Close() { st.SetTTL(0) }
+
+func (st *Store) janitor(stop chan struct{}, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			st.Sweep()
+		}
+	}
+}
+
+// Sweep removes every expired session now and reports how many it dropped.
+// The janitor calls it on a tick; tests call it directly.
+func (st *Store) Sweep() int {
+	st.mu.Lock()
+	var dropped []string
+	for id, s := range st.sessions {
+		if st.expiredLocked(s) {
+			delete(st.sessions, id)
+			dropped = append(dropped, id)
+		}
+	}
+	st.mu.Unlock()
+	st.notifyDrop(dropped...)
+	return len(dropped)
+}
+
+// expiredLocked reports whether the session sat idle past the TTL. Callers
+// hold st.mu (read or write).
+func (st *Store) expiredLocked(s *Session) bool {
+	return st.ttl > 0 && st.now().Sub(time.Unix(0, s.lastAccess.Load())) > st.ttl
 }
 
 // touch marks the session as recently used.
 func (st *Store) touch(s *Session) {
 	s.lastUse.Store(st.clock.Add(1))
+	s.lastAccess.Store(st.now().UnixNano())
 }
 
-// evictLocked removes least-recently-used sessions until the cap holds.
-func (st *Store) evictLocked() {
+// evictLocked removes least-recently-used sessions until the cap holds,
+// returning the evicted IDs so the caller can notify after unlocking.
+func (st *Store) evictLocked() []string {
 	if st.max <= 0 {
-		return
+		return nil
 	}
+	var dropped []string
 	for len(st.sessions) > st.max {
 		var victim *Session
 		for _, s := range st.sessions {
@@ -130,20 +243,25 @@ func (st *Store) evictLocked() {
 			}
 		}
 		delete(st.sessions, victim.ID)
+		dropped = append(dropped, victim.ID)
 	}
+	return dropped
 }
 
 // Add registers a schedule under a fresh generated ID ("s1", "s2", ...).
 func (st *Store) Add(name, source string, sched *core.Schedule) *Session {
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	for {
 		st.seq++
 		id := fmt.Sprintf("s%d", st.seq)
 		if _, taken := st.sessions[id]; taken {
 			continue // an explicit Put used the ID; keep counting
 		}
-		return st.putLocked(id, name, source, sched)
+		s := st.putLocked(id, name, source, sched)
+		dropped := st.evictLocked()
+		st.mu.Unlock()
+		st.notifyDrop(dropped...)
+		return s
 	}
 }
 
@@ -155,56 +273,90 @@ func (st *Store) Put(id, name, source string, sched *core.Schedule) (*Session, e
 		return nil, fmt.Errorf("api: empty session id")
 	}
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	if _, taken := st.sessions[id]; taken {
+		st.mu.Unlock()
 		return nil, fmt.Errorf("api: session %q already exists", id)
 	}
-	return st.putLocked(id, name, source, sched), nil
+	s := st.putLocked(id, name, source, sched)
+	dropped := st.evictLocked()
+	st.mu.Unlock()
+	st.notifyDrop(dropped...)
+	return s, nil
 }
 
 func (st *Store) putLocked(id, name, source string, sched *core.Schedule) *Session {
-	s := &Session{ID: id, Name: name, Source: source, sched: sched, fp: fingerprintOf(sched)}
+	s := &Session{ID: id, Name: name, Source: source, sched: sched, fp: fingerprintOf(sched), store: st}
 	st.touch(s)
 	st.sessions[id] = s
-	st.evictLocked()
 	return s
 }
 
-// Get returns the session with the given ID, marking it recently used.
+// Get returns the session with the given ID, marking it recently used. A
+// session idle past the TTL is expired here (lazy expiry) and reported as
+// absent.
 func (st *Store) Get(id string) (*Session, bool) {
 	st.mu.RLock()
-	defer st.mu.RUnlock()
 	s, ok := st.sessions[id]
-	if ok {
+	expired := ok && st.expiredLocked(s)
+	if ok && !expired {
 		st.touch(s)
 	}
-	return s, ok
+	st.mu.RUnlock()
+	if !expired {
+		return s, ok
+	}
+	// Upgrade to a write lock and re-check: a concurrent Get may have
+	// refreshed the session, or a Delete/Put may have replaced it.
+	st.mu.Lock()
+	cur, ok := st.sessions[id]
+	if ok && cur == s && st.expiredLocked(s) {
+		delete(st.sessions, id)
+		st.mu.Unlock()
+		st.notifyDrop(id)
+		return nil, false
+	}
+	if ok {
+		st.touch(cur)
+	}
+	st.mu.Unlock()
+	return cur, ok
 }
 
 // Delete removes a session, reporting whether it existed.
 func (st *Store) Delete(id string) bool {
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	_, ok := st.sessions[id]
 	delete(st.sessions, id)
+	st.mu.Unlock()
+	if ok {
+		st.notifyDrop(id)
+	}
 	return ok
 }
 
-// List returns all sessions sorted by ID.
+// List returns all live (non-expired) sessions sorted by ID.
 func (st *Store) List() []*Session {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	out := make([]*Session, 0, len(st.sessions))
 	for _, s := range st.sessions {
-		out = append(out, s)
+		if !st.expiredLocked(s) {
+			out = append(out, s)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
-// Len returns the number of sessions.
+// Len returns the number of live (non-expired) sessions.
 func (st *Store) Len() int {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
-	return len(st.sessions)
+	n := 0
+	for _, s := range st.sessions {
+		if !st.expiredLocked(s) {
+			n++
+		}
+	}
+	return n
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 )
@@ -209,5 +210,148 @@ func TestStoreConcurrent(t *testing.T) {
 	wg.Wait()
 	if st.Len() != 16*25 {
 		t.Fatalf("Len = %d, want %d", st.Len(), 16*25)
+	}
+}
+
+// --- Session TTL ------------------------------------------------------------
+
+// fakeClock drives the store's injectable time source.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestStoreTTLLazyExpiry(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	st := NewStore()
+	st.now = clk.Now
+	st.SetTTL(time.Minute)
+	defer st.Close()
+
+	sess := st.Add("a", "upload", demoSchedule())
+	if _, ok := st.Get(sess.ID); !ok {
+		t.Fatal("fresh session missing")
+	}
+
+	// Accesses inside the TTL keep the session alive.
+	clk.Advance(40 * time.Second)
+	if _, ok := st.Get(sess.ID); !ok {
+		t.Fatal("session expired before the TTL")
+	}
+	clk.Advance(40 * time.Second) // 40s since last access, alive
+	if _, ok := st.Get(sess.ID); !ok {
+		t.Fatal("refreshed session expired")
+	}
+
+	// Idle past the TTL: the next Get expires it lazily.
+	clk.Advance(2 * time.Minute)
+	if _, ok := st.Get(sess.ID); ok {
+		t.Fatal("idle session survived the TTL")
+	}
+	if st.Len() != 0 {
+		t.Fatalf("Len = %d after lazy expiry", st.Len())
+	}
+}
+
+func TestStoreTTLSweepAndOnDrop(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	st := NewStore()
+	st.now = clk.Now
+	st.SetTTL(time.Minute)
+	defer st.Close()
+
+	var mu sync.Mutex
+	var dropped []string
+	st.OnDrop(func(id string) {
+		mu.Lock()
+		dropped = append(dropped, id)
+		mu.Unlock()
+	})
+
+	a := st.Add("a", "upload", demoSchedule())
+	clk.Advance(45 * time.Second)
+	b := st.Add("b", "upload", demoSchedule())
+	clk.Advance(30 * time.Second) // a idle 75s (expired), b idle 30s
+
+	if n := st.Sweep(); n != 1 {
+		t.Fatalf("Sweep dropped %d sessions, want 1", n)
+	}
+	mu.Lock()
+	got := append([]string(nil), dropped...)
+	mu.Unlock()
+	if len(got) != 1 || got[0] != a.ID {
+		t.Fatalf("OnDrop saw %v, want [%s]", got, a.ID)
+	}
+	if _, ok := st.Get(b.ID); !ok {
+		t.Fatal("young session swept")
+	}
+	// List and Len hide expired-but-unswept sessions too.
+	clk.Advance(2 * time.Minute)
+	if st.Len() != 0 || len(st.List()) != 0 {
+		t.Fatalf("expired sessions visible: Len=%d List=%d", st.Len(), len(st.List()))
+	}
+}
+
+func TestStoreTTLZeroNeverExpires(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	st := NewStore()
+	st.now = clk.Now
+	sess := st.Add("a", "upload", demoSchedule())
+	clk.Advance(1000 * time.Hour)
+	if _, ok := st.Get(sess.ID); !ok {
+		t.Fatal("session expired without a TTL")
+	}
+	if st.TTL() != 0 {
+		t.Fatalf("TTL = %v", st.TTL())
+	}
+}
+
+func TestStoreJanitorTick(t *testing.T) {
+	// Real clock, tiny TTL: the janitor (1s floor on the tick) must remove
+	// the idle session without any access touching it.
+	st := NewStore()
+	st.SetTTL(10 * time.Millisecond)
+	defer st.Close()
+	st.Add("a", "upload", demoSchedule())
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		st.mu.RLock()
+		n := len(st.sessions)
+		st.mu.RUnlock()
+		if n == 0 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("janitor never removed the expired session")
+}
+
+func TestSessionReplaceNotifiesDrop(t *testing.T) {
+	st := NewStore()
+	var mu sync.Mutex
+	var dropped []string
+	st.OnDrop(func(id string) {
+		mu.Lock()
+		dropped = append(dropped, id)
+		mu.Unlock()
+	})
+	sess := st.Add("a", "upload", demoSchedule())
+	sess.Replace(demoSchedule())
+	mu.Lock()
+	defer mu.Unlock()
+	if len(dropped) != 1 || dropped[0] != sess.ID {
+		t.Fatalf("OnDrop saw %v, want [%s]", dropped, sess.ID)
 	}
 }

@@ -41,6 +41,15 @@ func New(width, height float64) *Canvas {
 // Size returns the page dimensions.
 func (c *Canvas) Size() (w, h float64) { return c.w, c.h }
 
+// Fragment returns an empty canvas of the same page size (no background
+// fill). One goroutine can record content operations into each fragment
+// concurrently; Append then merges them in a deterministic order, yielding
+// the same content stream as recording everything serially.
+func (c *Canvas) Fragment() *Canvas { return &Canvas{w: c.w, h: c.h} }
+
+// Append merges a fragment's content operations after the receiver's own.
+func (c *Canvas) Append(f *Canvas) { c.content.Write(f.content.Bytes()) }
+
 func rgb(col color.RGBA) (r, g, b float64) {
 	return float64(col.R) / 255, float64(col.G) / 255, float64(col.B) / 255
 }

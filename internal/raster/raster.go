@@ -18,9 +18,12 @@ import (
 	"strings"
 )
 
-// Canvas is a drawing surface backed by an image.RGBA.
+// Canvas is a drawing surface backed by an image.RGBA. A canvas may be a
+// clipped view of another canvas's pixels (see Sub); all drawing primitives
+// route through FillRect, which discards pixels outside the clip rectangle.
 type Canvas struct {
-	img *image.RGBA
+	img  *image.RGBA
+	clip image.Rectangle
 }
 
 // New creates a canvas of the given pixel size filled with white.
@@ -32,10 +35,24 @@ func New(width, height int) *Canvas {
 		height = 1
 	}
 	img := image.NewRGBA(image.Rect(0, 0, width, height))
-	c := &Canvas{img: img}
+	c := &Canvas{img: img, clip: img.Bounds()}
 	c.FillRect(0, 0, float64(width), float64(height), color.RGBA{255, 255, 255, 255})
 	return c
 }
+
+// Sub returns a canvas that draws into the same backing image but only
+// touches pixels inside r (intersected with the receiver's own clip). It
+// reports the full canvas size, so layout code positions elements exactly as
+// on the parent; only the painted region differs. Two Sub canvases with
+// non-overlapping rectangles never write the same pixel, so independent
+// goroutines can rasterize disjoint bands of one image concurrently and the
+// composite needs no copy.
+func (c *Canvas) Sub(r image.Rectangle) *Canvas {
+	return &Canvas{img: c.img, clip: r.Intersect(c.clip)}
+}
+
+// Clip returns the writable pixel region of the canvas.
+func (c *Canvas) Clip() image.Rectangle { return c.clip }
 
 // Size returns the canvas dimensions.
 func (c *Canvas) Size() (w, h float64) {
@@ -62,7 +79,7 @@ func (c *Canvas) FillRect(x, y, w, h float64, col color.RGBA) {
 	}
 	x0, y0 := int(math.Floor(x)), int(math.Floor(y))
 	x1, y1 := int(math.Ceil(x+w)), int(math.Ceil(y+h))
-	r := image.Rect(x0, y0, x1, y1).Intersect(c.img.Bounds())
+	r := image.Rect(x0, y0, x1, y1).Intersect(c.clip)
 	for py := r.Min.Y; py < r.Max.Y; py++ {
 		for px := r.Min.X; px < r.Max.X; px++ {
 			c.img.SetRGBA(px, py, col)
@@ -83,7 +100,9 @@ func (c *Canvas) StrokeRect(x, y, w, h float64, col color.RGBA, lw float64) {
 
 // Line draws a straight segment using a DDA walk; lw widens it into a
 // square brush. The segment is clipped to the canvas first, so arbitrarily
-// distant endpoints cost nothing.
+// distant endpoints cost nothing. It is clipped to the full canvas, not the
+// Sub clip rectangle: the walk must visit the same brush positions on every
+// view of the image so that clipped bands compose pixel-identically.
 func (c *Canvas) Line(x1, y1, x2, y2 float64, col color.RGBA, lw float64) {
 	if lw < 1 {
 		lw = 1

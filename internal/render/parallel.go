@@ -1,0 +1,164 @@
+package render
+
+import (
+	"image"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/colormap"
+	"repro/internal/core"
+	"repro/internal/pdf"
+	"repro/internal/raster"
+	"repro/internal/svg"
+)
+
+// The parallel phase of Render. Cluster panels are embarrassingly parallel:
+// no panel's draw operations touch another panel's band of the canvas, and
+// the title/legend/axis trims are painted by the caller outside this phase.
+// Two strategies keep the output byte-identical to a serial render:
+//
+//   - Raster: the pixels are partitioned. Every job replays one panel's draw
+//     operations through a raster.Sub view that only writes a horizontal
+//     band, so a panel taller than its fair share can be split into several
+//     row bands that rasterize concurrently into the shared image.RGBA.
+//     Each pixel is written by exactly one job, in the same operation order
+//     as a serial render, so compositing is free and exact.
+//
+//   - Vector (svg, pdf): the operations are partitioned. Each panel records
+//     into a Fragment of the target canvas, and the fragments are appended
+//     in layout order — the byte stream is the serial one, reassembled.
+//
+// Backends without a parallel strategy (offsetCanvas columns inside
+// SideBySide, external Canvas implementations) fall back to the serial loop
+// in Render.
+
+// workerCount resolves Options.Workers: 0 means GOMAXPROCS, anything below
+// one means serial.
+func (o Options) workerCount() int {
+	if o.Workers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
+}
+
+// drawPanelsParallel paints all panels using the backend's parallel
+// strategy, reporting false when the canvas supports none (or parallelism is
+// off) so the caller runs the serial loop instead.
+func drawPanelsParallel(c Canvas, s *core.Schedule, l *Layout, cmap *colormap.Map, opt Options) bool {
+	workers := opt.workerCount()
+	if workers <= 1 || len(l.Panels) == 0 {
+		return false
+	}
+	switch cc := c.(type) {
+	case *raster.Canvas:
+		drawPanelsRaster(cc, s, l, cmap, opt, workers)
+	case *svg.Canvas:
+		frags := drawPanelFragments(s, l, cmap, opt, workers,
+			func() Canvas { return cc.Fragment() })
+		for _, f := range frags {
+			cc.Append(f.(*svg.Canvas))
+		}
+	case *pdf.Canvas:
+		frags := drawPanelFragments(s, l, cmap, opt, workers,
+			func() Canvas { return cc.Fragment() })
+		for _, f := range frags {
+			cc.Append(f.(*pdf.Canvas))
+		}
+	default:
+		return false
+	}
+	return true
+}
+
+// panelBand is the horizontal pixel band a panel's draw operations are
+// confined to: header, plot, and time axis. Bands of consecutive panels
+// never touch — the layout keeps panelGap (14px) between the axis band of
+// one panel and the header of the next, so the floor/ceil expansion of one
+// pixel per edge still leaves them disjoint.
+func panelBand(p *Panel, width int) image.Rectangle {
+	y0 := int(math.Floor(p.Plot.Y - panelHeader))
+	y1 := int(math.Ceil(p.Plot.Y + p.Plot.H + axisBand))
+	return image.Rect(0, y0, width, y1)
+}
+
+// drawPanelsRaster partitions the image into per-panel bands (and, when
+// there are more workers than panels, per-row-band strips within a panel)
+// and rasterizes them on a bounded worker pool.
+func drawPanelsRaster(c *raster.Canvas, s *core.Schedule, l *Layout, cmap *colormap.Map, opt Options, workers int) {
+	w, _ := c.Size()
+	width := int(w)
+	bands := make([]image.Rectangle, len(l.Panels))
+	totalH := 0
+	for i := range l.Panels {
+		bands[i] = panelBand(&l.Panels[i], width)
+		totalH += bands[i].Dy()
+	}
+	type job struct {
+		panel int
+		clip  image.Rectangle
+	}
+	var jobs []job
+	for i, band := range bands {
+		strips := 1
+		if workers > len(l.Panels) && totalH > 0 {
+			// Extra workers split the taller panels into row bands,
+			// proportionally to their share of the pixels.
+			strips = int(math.Round(float64(workers) * float64(band.Dy()) / float64(totalH)))
+			if strips < 1 {
+				strips = 1
+			}
+		}
+		for k := 0; k < strips; k++ {
+			clip := image.Rect(band.Min.X,
+				band.Min.Y+band.Dy()*k/strips,
+				band.Max.X,
+				band.Min.Y+band.Dy()*(k+1)/strips)
+			jobs = append(jobs, job{panel: i, clip: clip})
+		}
+	}
+	ch := make(chan job)
+	var wg sync.WaitGroup
+	for n := min(workers, len(jobs)); n > 0; n-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				drawPanel(c.Sub(j.clip), s, &l.Panels[j.panel], cmap, opt)
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// drawPanelFragments renders each panel into its own fragment canvas on a
+// bounded worker pool and returns the fragments in layout order.
+func drawPanelFragments(s *core.Schedule, l *Layout, cmap *colormap.Map, opt Options, workers int, fragment func() Canvas) []Canvas {
+	frags := make([]Canvas, len(l.Panels))
+	ch := make(chan int)
+	var wg sync.WaitGroup
+	for n := min(workers, len(l.Panels)); n > 0; n-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pi := range ch {
+				f := fragment()
+				drawPanel(f, s, &l.Panels[pi], cmap, opt)
+				frags[pi] = f
+			}
+		}()
+	}
+	for pi := range l.Panels {
+		ch <- pi
+	}
+	close(ch)
+	wg.Wait()
+	return frags
+}

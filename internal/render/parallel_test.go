@@ -1,0 +1,137 @@
+package render
+
+import (
+	"bytes"
+	"fmt"
+	"image"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pdf"
+	"repro/internal/raster"
+	"repro/internal/svg"
+)
+
+// randomSchedule builds a schedule over nClusters clusters with nTasks
+// randomly placed tasks (scattered multi-host allocations included), the
+// kind of input the parallel rasterizer must reproduce bit for bit.
+func randomSchedule(rng *rand.Rand, nClusters, nTasks int) *core.Schedule {
+	clusters := make([]core.Cluster, nClusters)
+	for i := range clusters {
+		clusters[i] = core.Cluster{ID: i, Name: fmt.Sprintf("c%d", i), Hosts: 4 + rng.Intn(29)}
+	}
+	s := core.New(clusters...)
+	types := []string{"computation", "transfer", "idle", "other"}
+	for i := 0; i < nTasks; i++ {
+		c := clusters[rng.Intn(nClusters)]
+		start := rng.Float64() * 120
+		end := start + 0.1 + rng.Float64()*25
+		first := rng.Intn(c.Hosts)
+		n := 1 + rng.Intn(c.Hosts-first)
+		t := core.Task{
+			ID: fmt.Sprintf("t%d", i), Type: types[rng.Intn(len(types))],
+			Start: start, End: end,
+			Allocations: []core.Allocation{{Cluster: c.ID, Hosts: []core.HostRange{{Start: first, N: n}}}},
+		}
+		// Occasionally scatter the allocation over a second host range.
+		if rng.Intn(4) == 0 && first > 1 {
+			t.Allocations[0].Hosts = append(t.Allocations[0].Hosts,
+				core.HostRange{Start: rng.Intn(first), N: 1})
+		}
+		s.AddTask(t)
+	}
+	s.SetMeta("seed", "equivalence")
+	return s
+}
+
+// renderAll returns the encoded png, svg, and pdf bytes of one render.
+func renderAll(t *testing.T, s *core.Schedule, w, h int, opt Options) (png, svgB, pdfB []byte) {
+	t.Helper()
+	rc := raster.New(w, h)
+	Render(rc, s, opt)
+	var pngBuf bytes.Buffer
+	if err := rc.EncodePNG(&pngBuf); err != nil {
+		t.Fatal(err)
+	}
+	sc := svg.New(float64(w), float64(h))
+	Render(sc, s, opt)
+	var svgBuf bytes.Buffer
+	if err := sc.Encode(&svgBuf); err != nil {
+		t.Fatal(err)
+	}
+	pc := pdf.New(float64(w), float64(h))
+	Render(pc, s, opt)
+	var pdfBuf bytes.Buffer
+	if err := pc.Encode(&pdfBuf); err != nil {
+		t.Fatal(err)
+	}
+	return pngBuf.Bytes(), svgBuf.Bytes(), pdfBuf.Bytes()
+}
+
+// TestParallelMatchesSerial is the fuzz-style equivalence check: across
+// random schedules, view options, and canvas sizes, a parallel render must
+// be byte-identical to the serial one in every encode format.
+func TestParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 12; trial++ {
+		nClusters := 1 + rng.Intn(5)
+		nTasks := 1 + rng.Intn(300)
+		s := randomSchedule(rng, nClusters, nTasks)
+		w := 200 + rng.Intn(1000)
+		h := 120 + rng.Intn(800)
+		opt := Options{
+			Labels:     rng.Intn(2) == 0,
+			Legend:     rng.Intn(2) == 0,
+			Composites: rng.Intn(2) == 0,
+			AxisLabels: rng.Intn(2) == 0,
+			ShowMeta:   rng.Intn(2) == 0,
+			Title:      "equivalence trial",
+		}
+		if rng.Intn(2) == 0 {
+			opt.Mode = core.ScaledView
+		}
+		opt.Workers = 1
+		serialPNG, serialSVG, serialPDF := renderAll(t, s, w, h, opt)
+		for _, workers := range []int{2, 3, 8} {
+			opt.Workers = workers
+			png, svgB, pdfB := renderAll(t, s, w, h, opt)
+			if !bytes.Equal(serialPNG, png) {
+				t.Fatalf("trial %d: png differs at %d workers (%d clusters, %d tasks, %dx%d)",
+					trial, workers, nClusters, nTasks, w, h)
+			}
+			if !bytes.Equal(serialSVG, svgB) {
+				t.Fatalf("trial %d: svg differs at %d workers (%d clusters, %d tasks, %dx%d)",
+					trial, workers, nClusters, nTasks, w, h)
+			}
+			if !bytes.Equal(serialPDF, pdfB) {
+				t.Fatalf("trial %d: pdf differs at %d workers (%d clusters, %d tasks, %dx%d)",
+					trial, workers, nClusters, nTasks, w, h)
+			}
+		}
+	}
+}
+
+// TestParallelEmptySchedule must not deadlock or panic with no panels.
+func TestParallelEmptySchedule(t *testing.T) {
+	s := core.New()
+	c := raster.New(200, 100)
+	Render(c, s, Options{Workers: 8})
+}
+
+// TestSubCanvasPartition pins the raster compositing contract: two Sub
+// canvases over disjoint bands repaint exactly their own pixels.
+func TestSubCanvasPartition(t *testing.T) {
+	full := raster.New(40, 40)
+	full.FillRect(0, 0, 40, 40, colorRGBA{R: 1, G: 2, B: 3, A: 255})
+	top := full.Sub(image.Rect(0, 0, 40, 20))
+	bot := full.Sub(image.Rect(0, 20, 40, 40))
+	top.FillRect(0, 0, 40, 40, colorRGBA{R: 200, A: 255})
+	bot.FillRect(0, 0, 40, 40, colorRGBA{G: 200, A: 255})
+	if got := full.At(5, 5); got != (colorRGBA{R: 200, A: 255}) {
+		t.Fatalf("top band pixel = %v", got)
+	}
+	if got := full.At(5, 25); got != (colorRGBA{G: 200, A: 255}) {
+		t.Fatalf("bottom band pixel = %v", got)
+	}
+}

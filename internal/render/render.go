@@ -59,6 +59,12 @@ type Options struct {
 	Legend bool
 	// AxisLabels annotates the axes ("time" below, "hosts" on the left).
 	AxisLabels bool
+	// Workers bounds the goroutines that rasterize cluster panels in
+	// parallel: 0 uses GOMAXPROCS, 1 forces serial rendering. Output is
+	// byte-identical for every worker count — raster backends partition
+	// the pixels into non-overlapping bands, vector backends record each
+	// panel into its own fragment and composite in layout order.
+	Workers int
 }
 
 // colorRGBA aliases the stdlib color type for the canvas adapters.
@@ -242,8 +248,10 @@ func Render(c Canvas, s *core.Schedule, opt Options) *Layout {
 	if l.Title != "" {
 		c.Text(marginLeft, marginTop, elide(c, l.Title, fontTitle, w-marginLeft-marginRight), fontTitle, colAxis)
 	}
-	for pi := range l.Panels {
-		drawPanel(c, s, &l.Panels[pi], cmap, opt)
+	if !drawPanelsParallel(c, s, l, cmap, opt) {
+		for pi := range l.Panels {
+			drawPanel(c, s, &l.Panels[pi], cmap, opt)
+		}
 	}
 	bottom := h
 	if opt.Legend {

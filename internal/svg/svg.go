@@ -34,6 +34,15 @@ func New(width, height float64) *Canvas {
 // Size returns the canvas dimensions.
 func (c *Canvas) Size() (w, h float64) { return c.w, c.h }
 
+// Fragment returns an empty canvas of the same size (no background
+// rectangle). One goroutine can record elements into each fragment
+// concurrently; Append then merges them in a deterministic order, yielding
+// the same bytes as recording everything serially.
+func (c *Canvas) Fragment() *Canvas { return &Canvas{w: c.w, h: c.h} }
+
+// Append merges a fragment's elements after the receiver's own.
+func (c *Canvas) Append(f *Canvas) { c.body.Write(f.body.Bytes()) }
+
 func hexColor(col color.RGBA) string {
 	return fmt.Sprintf("#%02x%02x%02x", col.R, col.G, col.B)
 }

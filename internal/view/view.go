@@ -41,6 +41,9 @@ type Viewport struct {
 	Map           *colormap.Map
 	Labels        bool
 	Composites    bool
+	// Workers bounds the goroutines per rasterization (render.Options.
+	// Workers): 0 = GOMAXPROCS, 1 = serial. Output is identical either way.
+	Workers int
 
 	window   *core.Extent // nil = full extent
 	clusters []int        // nil = all
@@ -92,6 +95,7 @@ func (v *Viewport) options() render.Options {
 	return render.Options{
 		Mode: v.Mode, Map: v.Map, Clusters: v.clusters,
 		Window: v.window, Labels: v.Labels, Composites: v.Composites,
+		Workers: v.Workers,
 	}
 }
 
