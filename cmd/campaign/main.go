@@ -34,6 +34,7 @@ import (
 	"strings"
 
 	"repro/internal/campaign"
+	"repro/internal/cliutil"
 	"repro/internal/dag"
 	"repro/internal/jedxml"
 	"repro/internal/platform"
@@ -62,7 +63,7 @@ func main() {
 		return
 	}
 	if *merge != "" {
-		res, cells, err := mergeFiles(splitList(*merge))
+		res, cells, err := mergeFiles(cliutil.SplitList(*merge))
 		if err != nil {
 			fail(err)
 		}
@@ -74,7 +75,7 @@ func main() {
 	}
 
 	cfg := campaign.DefaultConfig()
-	cfg.Algos = splitList(*algos)
+	cfg.Algos = cliutil.SplitList(*algos)
 	cfg.Replicates = *replicates
 	cfg.Seed = *seed
 	cfg.Workers = *workers
@@ -218,28 +219,12 @@ func loadFile(path string) (*campaign.Checkpoint, error) {
 }
 
 // printSummary writes the per-cell table and the corner-case list — the
-// output that must be byte-identical between a single-process run and a
-// merged shard set.
+// output that must be byte-identical between a single-process run, a merged
+// shard set, and a coordinated jedcoord run.
 func printSummary(res *campaign.Result, threshold float64) {
-	if err := res.WriteTable(os.Stdout); err != nil {
+	if err := res.WriteSummary(os.Stdout, threshold); err != nil {
 		fail(err)
 	}
-	corners := res.CornerCases(threshold)
-	fmt.Printf("\n%d corner cases with makespan spread >= %.2f:\n", len(corners), threshold)
-	for _, c := range corners {
-		fmt.Printf("  %-20s worst spread %.3f\n", c.Key(), c.MaxSpread)
-	}
-}
-
-// splitList parses a comma-separated flag value.
-func splitList(s string) []string {
-	var out []string
-	for _, part := range strings.Split(s, ",") {
-		if part = strings.TrimSpace(part); part != "" {
-			out = append(out, part)
-		}
-	}
-	return out
 }
 
 // exportCell reruns replicate 0 of the cell and writes one simulated

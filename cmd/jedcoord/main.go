@@ -1,0 +1,99 @@
+// Command jedcoord coordinates one campaign across a pool of remote
+// jedserve workers: it splits the factorial into k/n shards, dispatches
+// each shard over the workers' /api/v1/jobs surface, reassigns the shards
+// of workers that die (bounded by a per-shard attempt budget), and prints
+// the merged summary — byte-identical to a single-process `campaign` run
+// of the same flags.
+//
+// Usage:
+//
+//	jedcoord -workers http://a:8080,http://b:8080 [-shards 4]
+//	         [-algos cpa,mcpa] [-replicates 8] [-seed 1] [-threshold 1.2]
+//	         [-out merged.jsonl] [-resume] [-max-attempts 3]
+//
+// Progress goes to stderr; stdout carries only the summary, so it can be
+// compared (or piped) exactly like the campaign command's. -out streams
+// every fetched cell into a JSONL checkpoint in the cmd/campaign format —
+// `campaign -merge merged.jsonl` reads it — and -resume continues a torn
+// coordinator run without re-dispatching finished shards.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/coord"
+	"repro/internal/jobs"
+	_ "repro/internal/sched/all"
+)
+
+func main() {
+	var (
+		workers     = flag.String("workers", "", "comma-separated worker base URLs (required)")
+		shards      = flag.Int("shards", 0, "number of k/n shards to dispatch (0 = one per worker)")
+		algos       = flag.String("algos", "cpa,mcpa", "comma-separated scheduler names to compare")
+		replicates  = flag.Int("replicates", 8, "runs per factorial cell")
+		seed        = flag.Int64("seed", 1, "campaign seed")
+		threshold   = flag.Float64("threshold", 1.2, "corner-case spread threshold")
+		out         = flag.String("out", "", "stream fetched cells to this JSONL checkpoint file")
+		resume      = flag.Bool("resume", false, "skip the shards already complete in -out and append")
+		maxAttempts = flag.Int("max-attempts", 3, "dispatch attempts per shard before the run fails")
+		poll        = flag.Duration("poll", 200*time.Millisecond, "poll pacing against workers without long-poll support")
+		quiet       = flag.Bool("quiet", false, "suppress progress lines on stderr")
+	)
+	flag.Parse()
+	if *workers == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *resume && *out == "" {
+		fail(fmt.Errorf("-resume requires -out"))
+	}
+
+	cfg := coord.Config{
+		Workers: cliutil.SplitList(*workers),
+		Spec: jobs.CampaignSpec{
+			Algos:      cliutil.SplitList(*algos),
+			Replicates: *replicates,
+			Seed:       *seed,
+		},
+		Shards:      *shards,
+		MaxAttempts: *maxAttempts,
+		Poll:        *poll,
+		Checkpoint:  *out,
+		Resume:      *resume,
+	}
+	if !*quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	c, err := coord.New(cfg)
+	if err != nil {
+		fail(err)
+	}
+
+	// Interrupt cancels the run; in-flight remote jobs are cancelled best
+	// effort, and -out keeps the fetched shards for a later -resume.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := c.Run(ctx)
+	if err != nil {
+		fail(err)
+	}
+	if err := res.WriteSummary(os.Stdout, *threshold); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "jedcoord:", err)
+	os.Exit(1)
+}

@@ -25,6 +25,13 @@
 // given duration. -render-workers bounds the goroutines each rasterization
 // may use, and -render-cache-mb sizes the cache of encoded render bodies
 // (concurrent identical renders always collapse into one rasterization).
+//
+// -rate-limit enables per-client-IP throttling of /api/v1/: each client
+// accrues that many requests per second up to -rate-burst (default 2× the
+// rate); beyond it the server answers 429 with a Retry-After. -workers
+// names a pool of other jedserve instances, turning this server into a
+// campaign coordinator: POST /api/v1/campaigns fans a campaign's shards
+// out over the pool and merges the results.
 package main
 
 import (
@@ -34,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/cliutil"
 	_ "repro/internal/sched/all"
 )
 
@@ -45,19 +53,22 @@ func main() {
 		sessionTTL    = flag.Duration("session-ttl", 0, "expire sessions idle this long, e.g. 30m (0 = never)")
 		renderWorkers = flag.Int("render-workers", 0, "goroutines per rasterization (0 = GOMAXPROCS, 1 = serial)")
 		renderCacheMB = flag.Int("render-cache-mb", 64, "render-result cache size in MiB (0 = no body caching)")
+		rateLimit     = flag.Float64("rate-limit", 0, "per-client-IP requests per second on /api/v1/ (0 = unlimited)")
+		rateBurst     = flag.Int("rate-burst", 0, "per-client burst above -rate-limit (0 = 2x the rate)")
+		workers       = flag.String("workers", "", "comma-separated base URLs of remote jedserve workers for POST /api/v1/campaigns")
 	)
 	flag.Parse()
 	if *dir == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*dir, *addr, *maxSessions, *sessionTTL, *renderWorkers, *renderCacheMB); err != nil {
+	if err := run(*dir, *addr, *maxSessions, *sessionTTL, *renderWorkers, *renderCacheMB, *rateLimit, *rateBurst, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "jedserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dir, addr string, maxSessions int, sessionTTL time.Duration, renderWorkers, renderCacheMB int) error {
+func run(dir, addr string, maxSessions int, sessionTTL time.Duration, renderWorkers, renderCacheMB int, rateLimit float64, rateBurst int, workers string) error {
 	store := api.NewStore()
 	sessions, err := api.RegisterDir(store, dir)
 	if err != nil {
@@ -76,6 +87,11 @@ func run(dir, addr string, maxSessions int, sessionTTL time.Duration, renderWork
 	srv := api.NewServer(store)
 	srv.SetRenderWorkers(renderWorkers)
 	srv.SetRenderCacheBytes(int64(renderCacheMB) << 20)
+	srv.SetRateLimit(rateLimit, rateBurst)
+	if pool := cliutil.SplitList(workers); len(pool) > 0 {
+		srv.SetCoordWorkers(pool)
+		fmt.Printf("jedserve: coordinating campaigns over %d workers\n", len(pool))
+	}
 	fmt.Printf("jedserve: serving %d sessions on %s (API at /api/v1/)\n", store.Len(), addr)
 	return srv.ListenAndServe(addr)
 }

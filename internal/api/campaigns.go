@@ -1,0 +1,200 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync"
+
+	"repro/internal/campaign"
+	"repro/internal/coord"
+	"repro/internal/jobs"
+)
+
+// Coordinated-campaign surface: POST /api/v1/campaigns fans one campaign
+// out over the server's configured worker pool (remote jedserve instances)
+// through the coord subsystem, running as a job on the engine; GET exposes
+// the aggregate per-shard/per-worker progress on top of the job state, and
+// /result serves the merged full factorial once done.
+
+// campaignTracker pairs the engine job with its coordinator so progress
+// snapshots survive while the run is in flight. Entries are pruned lazily
+// when the engine's retention cap drops the job.
+type campaignTracker struct {
+	mu   sync.Mutex
+	runs map[string]*coord.Coordinator
+}
+
+func (t *campaignTracker) put(id string, c *coord.Coordinator) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.runs == nil {
+		t.runs = map[string]*coord.Coordinator{}
+	}
+	t.runs[id] = c
+}
+
+func (t *campaignTracker) get(id string) (*coord.Coordinator, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c, ok := t.runs[id]
+	return c, ok
+}
+
+// prune drops the trackers of jobs the engine no longer retains.
+func (t *campaignTracker) prune(e *jobs.Engine) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for id := range t.runs {
+		if _, ok := e.Get(id); !ok {
+			delete(t.runs, id)
+		}
+	}
+}
+
+// campaignRequest is the body of POST /api/v1/campaigns: the campaign spec
+// plus the fan-out knobs. Workers overrides the server's configured pool
+// for this one campaign; Shard stays forbidden — the coordinator owns the
+// sharding.
+type campaignRequest struct {
+	jobs.CampaignSpec
+	Shards      int      `json:"shards,omitempty"`
+	MaxAttempts int      `json:"max_attempts,omitempty"`
+	Workers     []string `json:"coord_workers,omitempty"`
+}
+
+// campaignInfo is the wire state of one coordinated campaign: the job plus
+// the coordinator's aggregate progress.
+type campaignInfo struct {
+	jobInfo
+	Coordination *coord.Progress `json:"coordination,omitempty"`
+}
+
+func (s *Server) campaignInfoOf(j *jobs.Job) campaignInfo {
+	info := campaignInfo{jobInfo: infoOfJob(j)}
+	if c, ok := s.campaigns.get(j.ID()); ok {
+		p := c.Progress()
+		info.Coordination = &p
+	}
+	return info
+}
+
+// createCampaign validates the request, builds a coordinator over the
+// worker pool, and runs it as a job on the engine; 202 with the poll URL.
+func (s *Server) createCampaign(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, maxUploadBytes)
+	defer body.Close()
+	var req campaignRequest
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad campaign spec: %v", err)
+		return
+	}
+	workers := req.Workers
+	if len(workers) == 0 {
+		workers = s.coordWorkers
+	}
+	if len(workers) == 0 {
+		writeError(w, http.StatusServiceUnavailable,
+			"no workers configured (start the server with a worker pool or pass coord_workers)")
+		return
+	}
+	c, err := coord.New(coord.Config{
+		Workers:     workers,
+		Spec:        req.CampaignSpec,
+		Shards:      req.Shards,
+		MaxAttempts: req.MaxAttempts,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	header := c.Header()
+	j := s.coordJobs.Submit(jobs.KindCoordinated, c.Cells(), func(ctx context.Context, j *jobs.Job) (any, error) {
+		// The observer is installed here — before Run, on the job's own
+		// goroutine — because the job handle does not exist at Submit time.
+		c.SetOnCell(func(campaign.Cell) { j.Advance(1) })
+		res, err := c.Run(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &jobs.CampaignOutcome{Header: header, Result: res}, nil
+	})
+	s.campaigns.put(j.ID(), c)
+	s.campaigns.prune(s.coordJobs)
+	w.Header().Set("Location", "/api/v1/campaigns/"+j.ID())
+	writeJSON(w, http.StatusAccepted, s.campaignInfoOf(j))
+}
+
+// campaignJob resolves {id} to a coordinated-campaign job.
+func (s *Server) campaignJob(w http.ResponseWriter, r *http.Request) (*jobs.Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.coordJobs.Get(id)
+	if !ok || j.Status().Kind != jobs.KindCoordinated {
+		writeError(w, http.StatusNotFound, "no campaign %q", id)
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) listCampaigns(w http.ResponseWriter, _ *http.Request) {
+	var infos []campaignInfo
+	for _, j := range s.coordJobs.List() {
+		if j.Status().Kind == jobs.KindCoordinated {
+			infos = append(infos, s.campaignInfoOf(j))
+		}
+	}
+	if infos == nil {
+		infos = []campaignInfo{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"campaigns": infos})
+}
+
+// getCampaign reports the coordinated campaign's aggregate state; ?wait=
+// long-polls like the job endpoint.
+func (s *Server) getCampaign(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.campaignJob(w, r)
+	if !ok {
+		return
+	}
+	if !s.maybeWait(w, r, s.coordJobs, j) {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.campaignInfoOf(j))
+}
+
+func (s *Server) cancelCampaign(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.campaignJob(w, r)
+	if !ok {
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusOK, s.campaignInfoOf(j))
+}
+
+// campaignResult serves the merged full-factorial summary of a completed
+// coordinated campaign — the same shape as a job result, with the whole
+// campaign always present (no ?merge=: the coordinator already merged).
+func (s *Server) campaignResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.campaignJob(w, r)
+	if !ok {
+		return
+	}
+	st := j.Status()
+	switch st.State {
+	case jobs.Done:
+	case jobs.Failed:
+		writeError(w, http.StatusInternalServerError, "campaign %s failed: %s", st.ID, st.Err)
+		return
+	default:
+		writeError(w, http.StatusConflict, "campaign %s is %s", st.ID, st.State)
+		return
+	}
+	out, err := jobs.CampaignResult(j)
+	if err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	writeCampaignSummary(w, r, out.Header, out.Result, []string{st.ID})
+}

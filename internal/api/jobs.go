@@ -1,6 +1,7 @@
 package api
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"strconv"
@@ -90,10 +91,46 @@ func (s *Server) listJobs(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": infos})
 }
 
-func (s *Server) getJob(w http.ResponseWriter, r *http.Request) {
-	if j, ok := s.job(w, r); ok {
-		writeJSON(w, http.StatusOK, infoOfJob(j))
+// maxJobWait caps the ?wait= long-poll so a stuck client cannot pin a
+// handler goroutine forever.
+const maxJobWait = time.Minute
+
+// maybeWait honors the ?wait= long-poll parameter on e: it blocks — via
+// the engine's wait primitive, not a sleep loop — until the job reaches a
+// terminal state or the duration elapses. It reports false after answering
+// a malformed duration with a 400.
+func (s *Server) maybeWait(w http.ResponseWriter, r *http.Request, e *jobs.Engine, j *jobs.Job) bool {
+	raw := r.URL.Query().Get("wait")
+	if raw == "" {
+		return true
 	}
+	d, err := time.ParseDuration(raw)
+	if err != nil || d < 0 {
+		writeError(w, http.StatusBadRequest, "bad wait %q (want a duration, e.g. 10s)", raw)
+		return false
+	}
+	if d > maxJobWait {
+		d = maxJobWait
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	defer cancel()
+	e.Wait(ctx, j.ID()) //nolint:errcheck // timeout just means "answer with the current state"
+	return true
+}
+
+// getJob reports a job's state. ?wait=10s long-polls until the job is
+// terminal or the duration elapses, then answers with the current state
+// either way. Coordinators polling many remote workers use this to learn
+// of shard completion within one round trip.
+func (s *Server) getJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	if !s.maybeWait(w, r, s.jobs, j) {
+		return
+	}
+	writeJSON(w, http.StatusOK, infoOfJob(j))
 }
 
 // cancelJob requests cancellation; cancelling a terminal job is a no-op.
@@ -111,11 +148,14 @@ func (s *Server) cancelJob(w http.ResponseWriter, r *http.Request) {
 // is done: per-algorithm win totals, the per-cell table (as data and as the
 // rendered text table), and the corner cases over the threshold.
 type campaignResultJSON struct {
-	Algos []string        `json:"algos"`
-	Total int             `json:"total"`
-	Wins  map[string]int  `json:"wins"`
-	Ties  int             `json:"ties"`
-	Cells []campaign.Cell `json:"cells"`
+	// Header is the campaign identity the job ran under — what remote
+	// coordinators verify before stitching shard results together.
+	Header campaign.Header `json:"header"`
+	Algos  []string        `json:"algos"`
+	Total  int             `json:"total"`
+	Wins   map[string]int  `json:"wins"`
+	Ties   int             `json:"ties"`
+	Cells  []campaign.Cell `json:"cells"`
 	// Merged lists the job IDs aggregated into this summary (the job
 	// itself plus any ?merge= shard jobs).
 	Merged      []string         `json:"merged"`
@@ -187,9 +227,16 @@ func (s *Server) jobResult(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusConflict, "%v", err)
 		return
 	}
+	writeCampaignSummary(w, r, out0.Header, full, merged)
+}
 
+// writeCampaignSummary renders the aggregated summary of a campaign result —
+// shared between the per-job result endpoint and the coordinated-campaign
+// surface. ?threshold= tunes the corner-case cut.
+func writeCampaignSummary(w http.ResponseWriter, r *http.Request, header campaign.Header, full *campaign.Result, merged []string) {
 	threshold := 1.2
 	if raw := r.URL.Query().Get("threshold"); raw != "" {
+		var err error
 		threshold, err = strconv.ParseFloat(raw, 64)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "bad threshold %q", raw)
@@ -199,6 +246,7 @@ func (s *Server) jobResult(w http.ResponseWriter, r *http.Request) {
 
 	wins, ties := full.Summary()
 	out := campaignResultJSON{
+		Header:    header,
 		Algos:     full.Algos,
 		Total:     full.Total,
 		Wins:      map[string]int{},

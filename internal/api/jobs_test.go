@@ -27,12 +27,13 @@ func launchJob(t *testing.T, ts *httptest.Server, spec string) string {
 	return info["id"].(string)
 }
 
-// pollJob polls until the job reaches a terminal state.
+// pollJob blocks until the job reaches a terminal state, via the ?wait=
+// long-poll (Engine.Wait under the handler) rather than a sleep loop.
 func pollJob(t *testing.T, ts *httptest.Server, id string) map[string]any {
 	t.Helper()
 	deadline := time.Now().Add(120 * time.Second)
 	for {
-		code, info := doJSON(t, "GET", ts.URL+"/api/v1/jobs/"+id, nil, "")
+		code, info := doJSON(t, "GET", ts.URL+"/api/v1/jobs/"+id+"?wait=30s", nil, "")
 		if code != 200 {
 			t.Fatalf("poll %s = %d %v", id, code, info)
 		}
@@ -43,7 +44,6 @@ func pollJob(t *testing.T, ts *httptest.Server, id string) map[string]any {
 		if time.Now().After(deadline) {
 			t.Fatalf("job %s stuck: %v", id, info)
 		}
-		time.Sleep(10 * time.Millisecond)
 	}
 }
 
@@ -212,6 +212,7 @@ func TestJobBadInputs(t *testing.T) {
 		"bad shape":            {"POST", "/api/v1/jobs", `{"shapes": ["blob"]}`, 400},
 		"bad shard":            {"POST", "/api/v1/jobs", `{"shard": "9/2"}`, 400},
 		"unknown job":          {"GET", "/api/v1/jobs/j99", "", 404},
+		"bad wait":             {"GET", "/api/v1/jobs/" + done + "?wait=x", "", 400},
 		"unknown cancel":       {"DELETE", "/api/v1/jobs/j99", "", 404},
 		"unknown result":       {"GET", "/api/v1/jobs/j99/result", "", 404},
 		"result too soon":      {"GET", "/api/v1/jobs/" + running + "/result", "", 409},

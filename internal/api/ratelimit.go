@@ -1,0 +1,157 @@
+package api
+
+import (
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Rate limiting: a token-bucket per client IP in front of /api/v1/. Each
+// client accrues `rate` tokens per second up to `burst`; a request costs
+// one token, and an empty bucket answers 429 with a Retry-After telling
+// the client when the next token lands. Off by default — jedserve enables
+// it with -rate-limit.
+
+// rateLimitMaxBuckets bounds the per-IP map. At the cap, buckets idle long
+// enough to have refilled completely are discarded first (they are
+// indistinguishable from fresh ones); if every bucket is still active,
+// arbitrary ones are evicted so the bound holds unconditionally.
+const rateLimitMaxBuckets = 8192
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// rateLimiter is the shared limiter state. A nil *rateLimiter allows
+// everything, so the middleware costs one pointer check when disabled.
+type rateLimiter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64
+	buckets map[string]*tokenBucket
+	now     func() time.Time // injectable for tests
+
+	allowed int64
+	limited int64
+}
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = int(math.Ceil(2 * rate))
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	return &rateLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		buckets: map[string]*tokenBucket{},
+		now:     time.Now,
+	}
+}
+
+// allow spends one token of the client's bucket; when empty it reports the
+// wait until the next token.
+func (rl *rateLimiter) allow(client string) (ok bool, retryAfter time.Duration) {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	now := rl.now()
+	b := rl.buckets[client]
+	if b == nil {
+		if len(rl.buckets) >= rateLimitMaxBuckets {
+			rl.pruneLocked(now)
+			// When every bucket is active, prune frees nothing; evict
+			// arbitrary entries so the map stays bounded regardless. An
+			// evicted active client merely restarts with a full burst —
+			// a small leniency, never unbounded memory.
+			for victim := range rl.buckets {
+				if len(rl.buckets) < rateLimitMaxBuckets {
+					break
+				}
+				delete(rl.buckets, victim)
+			}
+		}
+		b = &tokenBucket{tokens: rl.burst, last: now}
+		rl.buckets[client] = b
+	} else {
+		b.tokens = math.Min(rl.burst, b.tokens+rl.rate*now.Sub(b.last).Seconds())
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		rl.allowed++
+		return true, 0
+	}
+	rl.limited++
+	return false, time.Duration((1 - b.tokens) / rl.rate * float64(time.Second))
+}
+
+// pruneLocked drops the buckets that have fully refilled — clients idle
+// long enough that forgetting them changes nothing.
+func (rl *rateLimiter) pruneLocked(now time.Time) {
+	for client, b := range rl.buckets {
+		if b.tokens+rl.rate*now.Sub(b.last).Seconds() >= rl.burst {
+			delete(rl.buckets, client)
+		}
+	}
+}
+
+// rateLimitStats is the counter block surfaced on /api/v1/meta.
+type rateLimitStats struct {
+	Rate    float64 `json:"rate"`
+	Burst   float64 `json:"burst"`
+	Allowed int64   `json:"allowed"`
+	Limited int64   `json:"limited"`
+	Clients int     `json:"clients"`
+}
+
+func (rl *rateLimiter) Stats() rateLimitStats {
+	if rl == nil {
+		return rateLimitStats{}
+	}
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	return rateLimitStats{
+		Rate: rl.rate, Burst: rl.burst,
+		Allowed: rl.allowed, Limited: rl.limited,
+		Clients: len(rl.buckets),
+	}
+}
+
+// clientIP extracts the per-client key from the remote address.
+func clientIP(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// middleware enforces the limit on the API routes (the HTML index stays
+// reachable for humans even when a client burned its quota).
+func (rl *rateLimiter) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if rl != nil && len(r.URL.Path) >= len(apiPrefix) && r.URL.Path[:len(apiPrefix)] == apiPrefix {
+			if ok, retryAfter := rl.allow(clientIP(r)); !ok {
+				seconds := int(math.Ceil(retryAfter.Seconds()))
+				if seconds < 1 {
+					seconds = 1
+				}
+				w.Header().Set("Retry-After", strconv.Itoa(seconds))
+				writeError(w, http.StatusTooManyRequests, "rate limit exceeded; retry in %ds", seconds)
+				return
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// apiPrefix is the path space the limiter guards.
+const apiPrefix = "/api/v1/"

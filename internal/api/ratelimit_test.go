@@ -1,0 +1,148 @@
+package api
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+)
+
+func TestRateLimiterBucket(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(1000, 0)} // shared with the store TTL tests
+	rl := newRateLimiter(2, 4)                   // 2 tokens/s, burst 4
+	rl.now = clock.Now
+
+	for i := 0; i < 4; i++ {
+		if ok, _ := rl.allow("a"); !ok {
+			t.Fatalf("request %d of the burst limited", i)
+		}
+	}
+	ok, retry := rl.allow("a")
+	if ok {
+		t.Fatal("request beyond the burst allowed")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retry-after = %v, want (0, 1s] at 2 tokens/s", retry)
+	}
+
+	// Another client has its own bucket.
+	if ok, _ := rl.allow("b"); !ok {
+		t.Fatal("second client limited by the first's bucket")
+	}
+
+	// Half a second refills one token.
+	clock.Advance(500 * time.Millisecond)
+	if ok, _ := rl.allow("a"); !ok {
+		t.Fatal("refilled token not granted")
+	}
+	if ok, _ := rl.allow("a"); ok {
+		t.Fatal("second token granted after a one-token refill")
+	}
+
+	st := rl.Stats()
+	if st.Allowed != 6 || st.Limited != 2 || st.Clients != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRateLimiterPrune(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	rl := newRateLimiter(1, 1)
+	rl.now = clock.Now
+	for i := 0; i < rateLimitMaxBuckets; i++ {
+		rl.allow("client-" + strconv.Itoa(i))
+	}
+	if got := rl.Stats().Clients; got != rateLimitMaxBuckets {
+		t.Fatalf("clients = %d", got)
+	}
+	// After every bucket refilled, a new client prunes them all.
+	clock.Advance(time.Hour)
+	rl.allow("fresh")
+	if got := rl.Stats().Clients; got != 1 {
+		t.Fatalf("clients after prune = %d, want 1", got)
+	}
+}
+
+// TestRateLimiterBoundedWhenAllActive pins that the bucket map never
+// exceeds its cap even when no bucket is idle enough to prune — arbitrary
+// eviction must keep the bound.
+func TestRateLimiterBoundedWhenAllActive(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	rl := newRateLimiter(1, 1)
+	rl.now = clock.Now
+	// Distinct, permanently active clients (no time passes, so every bucket
+	// stays drained and unprunable).
+	for i := 0; i < rateLimitMaxBuckets+100; i++ {
+		rl.allow("client-" + strconv.Itoa(i))
+	}
+	if got := rl.Stats().Clients; got > rateLimitMaxBuckets {
+		t.Fatalf("clients = %d, cap %d not enforced", got, rateLimitMaxBuckets)
+	}
+}
+
+func TestRateLimiterDefaults(t *testing.T) {
+	if rl := newRateLimiter(0, 10); rl != nil {
+		t.Fatal("rate 0 did not disable the limiter")
+	}
+	rl := newRateLimiter(3, 0)
+	if rl.burst != 6 {
+		t.Fatalf("default burst = %v, want 2x rate", rl.burst)
+	}
+	// A nil limiter allows everything and reports zero stats.
+	var nilRL *rateLimiter
+	if st := nilRL.Stats(); st != (rateLimitStats{}) {
+		t.Fatalf("nil stats = %+v", st)
+	}
+}
+
+// TestRateLimitHTTP drives the middleware over real HTTP: burst, 429 with
+// Retry-After, the exempt index page, and the meta counters.
+func TestRateLimitHTTP(t *testing.T) {
+	srv := NewServer(NewStore())
+	t.Cleanup(srv.Close)
+	srv.SetRateLimit(0.01, 3) // trickle refill: effectively 3 requests per test run
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	for i := 0; i < 3; i++ {
+		code, _ := doJSON(t, "GET", ts.URL+"/api/v1/sessions", nil, "")
+		if code != 200 {
+			t.Fatalf("request %d = %d", i, code)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/api/v1/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-limit code = %d, want 429", resp.StatusCode)
+	}
+	if after, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || after < 1 {
+		t.Fatalf("Retry-After = %q", resp.Header.Get("Retry-After"))
+	}
+
+	// The HTML index is outside /api/v1/ and stays reachable.
+	resp, err = http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("index = %d", resp.StatusCode)
+	}
+
+	// Meta reports the counters — fetched via a fresh limiter so the meta
+	// request itself is not starved.
+	srv.SetRateLimit(0, 0)
+	ts2 := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts2.Close)
+	code, meta := doJSON(t, "GET", ts2.URL+"/api/v1/meta", nil, "")
+	if code != 200 {
+		t.Fatalf("meta = %d", code)
+	}
+	if _, ok := meta["rate_limit"]; !ok {
+		t.Fatalf("meta missing rate_limit: %v", meta)
+	}
+}

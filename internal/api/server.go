@@ -29,23 +29,43 @@ const defaultRenderCacheBytes = 64 << 20
 type Server struct {
 	store         *Store
 	jobs          *jobs.Engine
+	coordJobs     *jobs.Engine // coordinated campaigns, isolated from the CPU-bound job slots
 	cache         *renderCache
 	renderWorkers int // render.Options.Workers for every rasterization; 0 = GOMAXPROCS
+	limiter       *rateLimiter
+	coordWorkers  []string // remote worker pool for POST /api/v1/campaigns
+	campaigns     campaignTracker
 }
 
-// NewServer wraps a store and starts a job engine. Two job slots, not one
-// per core: each campaign job already parallelizes across GOMAXPROCS
-// internally, so a wider pool would oversubscribe the CPU quadratically.
-// Terminal jobs are retained up to a cap so past results stay fetchable
-// without growing without bound. The render cache subscribes to the store's
-// drop notifications so replaced, deleted, evicted, and expired sessions
-// lose their memoized bodies immediately.
+// NewServer wraps a store and starts the job engines. Two campaign job
+// slots, not one per core: each campaign job already parallelizes across
+// GOMAXPROCS internally, so a wider pool would oversubscribe the CPU
+// quadratically. Coordinated campaigns run on their own engine (IDs
+// "c1", "c2", ...): a coordinator job is idle network waiting, and sharing
+// the CPU-bound slots would let two coordinators starve the very shard
+// jobs they dispatch — a deadlock when a server appears in its own worker
+// pool. Terminal jobs are retained up to a cap so past results stay
+// fetchable without growing without bound. The render cache subscribes to
+// the store's drop notifications so replaced, deleted, evicted, and
+// expired sessions lose their memoized bodies immediately.
 func NewServer(store *Store) *Server {
 	engine := jobs.NewEngine(2)
 	engine.SetRetention(256)
-	s := &Server{store: store, jobs: engine, cache: newRenderCache(defaultRenderCacheBytes)}
+	coordEngine := jobs.NewEngine(4)
+	coordEngine.SetIDPrefix("c")
+	coordEngine.SetRetention(64)
+	s := &Server{
+		store: store, jobs: engine, coordJobs: coordEngine,
+		cache: newRenderCache(defaultRenderCacheBytes),
+	}
 	store.OnDrop(s.cache.InvalidateSession)
 	return s
+}
+
+// Close stops both job engines, cancelling everything still running.
+func (s *Server) Close() {
+	s.coordJobs.Close()
+	s.jobs.Close()
 }
 
 // Store returns the underlying session store.
@@ -60,12 +80,30 @@ func (s *Server) SetRenderWorkers(n int) { s.renderWorkers = n }
 // storage; concurrent identical renders still collapse into one flight).
 func (s *Server) SetRenderCacheBytes(n int64) { s.cache.SetMaxBytes(n) }
 
+// SetRateLimit enables per-client-IP rate limiting on /api/v1/: each client
+// accrues rate requests per second up to burst (burst <= 0 means 2×rate).
+// rate <= 0 disables the limiter. Call before serving; it is not
+// synchronized with in-flight requests.
+func (s *Server) SetRateLimit(rate float64, burst int) {
+	s.limiter = newRateLimiter(rate, burst)
+}
+
+// SetCoordWorkers configures the remote worker pool POST /api/v1/campaigns
+// fans out to (base URLs of jedserve instances). Call before serving.
+func (s *Server) SetCoordWorkers(workers []string) {
+	s.coordWorkers = append([]string(nil), workers...)
+}
+
 // RenderCacheStats exposes the cache counters (for tests; clients read them
 // from GET /api/v1/meta).
 func (s *Server) RenderCacheStats() renderCacheStats { return s.cache.Stats() }
 
-// Jobs returns the job engine (exposed for tests and graceful shutdown).
+// Jobs returns the campaign job engine (exposed for tests and graceful
+// shutdown).
 func (s *Server) Jobs() *jobs.Engine { return s.jobs }
+
+// CoordJobs returns the coordinated-campaign engine.
+func (s *Server) CoordJobs() *jobs.Engine { return s.coordJobs }
 
 // Handler returns the API routes. The legacy viewer mounts this under
 // /api/v1/ next to its own pages; jedserve serves it directly, in which
@@ -89,7 +127,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/jobs/{id}", s.getJob)
 	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.cancelJob)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.jobResult)
-	return mux
+	mux.HandleFunc("POST /api/v1/campaigns", s.createCampaign)
+	mux.HandleFunc("GET /api/v1/campaigns", s.listCampaigns)
+	mux.HandleFunc("GET /api/v1/campaigns/{id}", s.getCampaign)
+	mux.HandleFunc("DELETE /api/v1/campaigns/{id}", s.cancelCampaign)
+	mux.HandleFunc("GET /api/v1/campaigns/{id}/result", s.campaignResult)
+	return s.limiter.middleware(mux)
 }
 
 // ListenAndServe runs the API server on addr.
@@ -345,6 +388,8 @@ func (s *Server) serverMeta(w http.ResponseWriter, _ *http.Request) {
 		"render_workers":      s.renderWorkers,
 		"session_ttl_seconds": s.store.TTL().Seconds(),
 		"render_cache":        s.cache.Stats(),
+		"rate_limit":          s.limiter.Stats(),
+		"coord_workers":       len(s.coordWorkers),
 	})
 }
 

@@ -29,7 +29,7 @@ func newTestAPI(t *testing.T) (*httptest.Server, *Store) {
 func newTestServer(t *testing.T) (*httptest.Server, *Server) {
 	t.Helper()
 	srv := NewServer(NewStore())
-	t.Cleanup(srv.Jobs().Close)
+	t.Cleanup(srv.Close)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return ts, srv

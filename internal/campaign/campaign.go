@@ -383,6 +383,26 @@ func (r *Result) Complete(n int) error {
 	return nil
 }
 
+// WriteSummary writes the per-cell table followed by the corner-case list —
+// the canonical campaign report. Every execution strategy (single process,
+// merged shard set, coordinated fan-out) prints through this one function,
+// which is what makes their outputs byte-comparable.
+func (r *Result) WriteSummary(w io.Writer, threshold float64) error {
+	if err := r.WriteTable(w); err != nil {
+		return err
+	}
+	corners := r.CornerCases(threshold)
+	if _, err := fmt.Fprintf(w, "\n%d corner cases with makespan spread >= %.2f:\n", len(corners), threshold); err != nil {
+		return err
+	}
+	for _, c := range corners {
+		if _, err := fmt.Fprintf(w, "  %-20s worst spread %.3f\n", c.Key(), c.MaxSpread); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // CornerCases returns the cells whose worst makespan spread is at least the
 // threshold, sorted by descending spread — the candidates a developer would
 // open in Jedule, exactly how the paper found Figure 4.

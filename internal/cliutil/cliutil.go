@@ -1,0 +1,17 @@
+// Package cliutil holds the small flag-parsing helpers shared by the
+// commands under cmd/.
+package cliutil
+
+import "strings"
+
+// SplitList parses a comma-separated flag value, trimming whitespace and
+// dropping empty elements.
+func SplitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+// Package client is the typed Go client for the /api/v1/jobs surface of a
+// jedserve worker: submit a campaign job, poll (or long-poll) its state,
+// cancel it, and fetch the completed result including the campaign-identity
+// header. The distributed coordinator drives a pool of workers through this
+// client; it is also usable standalone for scripting against one server.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/jobs"
+)
+
+// maxResponseBytes bounds how much of a worker response the client is
+// willing to buffer (results of paper-sized campaigns are a few hundred KB).
+const maxResponseBytes = 256 << 20
+
+// APIError is a non-2xx answer from the worker, carrying the decoded
+// {"error": ...} message when the body had one.
+type APIError struct {
+	Status  int
+	Message string
+	// RetryAfter is the parsed Retry-After header of a 429 (zero when the
+	// server sent none) — how long the worker's rate limiter asks callers
+	// to back off.
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	if e.Message == "" {
+		return fmt.Sprintf("worker answered %d", e.Status)
+	}
+	return fmt.Sprintf("worker answered %d: %s", e.Status, e.Message)
+}
+
+// Job mirrors the wire state of one remote job.
+type Job struct {
+	ID       string `json:"id"`
+	Kind     string `json:"kind"`
+	State    string `json:"state"`
+	Progress struct {
+		Done  int `json:"done"`
+		Total int `json:"total"`
+	} `json:"progress"`
+	Error string `json:"error,omitempty"`
+}
+
+// Terminal reports whether the job reached a final state.
+func (j Job) Terminal() bool {
+	switch jobs.State(j.State) {
+	case jobs.Done, jobs.Failed, jobs.Cancelled:
+		return true
+	}
+	return false
+}
+
+// Result is the payload of GET /api/v1/jobs/{id}/result: the campaign
+// identity plus the (possibly shard-partial) cells. The coordinator
+// verifies Header against its own before merging — the same guard the
+// server's ?merge= path enforces with a 409.
+type Result struct {
+	Header campaign.Header `json:"header"`
+	Algos  []string        `json:"algos"`
+	Total  int             `json:"total"`
+	Cells  []campaign.Cell `json:"cells"`
+}
+
+// Client talks to one worker.
+type Client struct {
+	// Base is the worker's base URL, e.g. "http://host:8080".
+	Base string
+	// HTTP is the underlying client; nil means a default without a global
+	// timeout (per-call contexts bound every request, and long-polls must
+	// outlive any fixed timeout).
+	HTTP *http.Client
+}
+
+// New returns a client for the worker at base.
+func New(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do issues one request and decodes the JSON answer into out (skipped when
+// out is nil). Non-2xx answers come back as *APIError.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s: %w", c.Base, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if err != nil {
+		return fmt.Errorf("client: %s: read: %w", c.Base, err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		apiErr := &APIError{Status: resp.StatusCode}
+		var envelope struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &envelope) == nil {
+			apiErr.Message = envelope.Error
+		}
+		if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && sec > 0 {
+			apiErr.RetryAfter = time.Duration(sec) * time.Second
+		}
+		return apiErr
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("client: %s: decode: %w", c.Base, err)
+	}
+	return nil
+}
+
+// Submit launches a campaign job and returns its initial state.
+func (c *Client) Submit(ctx context.Context, spec jobs.CampaignSpec) (Job, error) {
+	var j Job
+	err := c.do(ctx, http.MethodPost, "/api/v1/jobs", spec, &j)
+	return j, err
+}
+
+// Job fetches the current state of one job.
+func (c *Client) Job(ctx context.Context, id string) (Job, error) {
+	var j Job
+	err := c.do(ctx, http.MethodGet, "/api/v1/jobs/"+id, nil, &j)
+	return j, err
+}
+
+// Wait blocks until the job reaches a terminal state or ctx expires. Each
+// round trip long-polls GET /jobs/{id}?wait=, so completion is learned
+// within one request rather than a sleep loop; poll only paces the retry
+// cadence against servers that ignore the parameter (0 means a default).
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (Job, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	for {
+		j, err := c.jobAt(ctx, "/api/v1/jobs/"+id+"?wait=15s")
+		if err != nil {
+			return Job{}, err
+		}
+		if j.Terminal() {
+			return j, nil
+		}
+		select {
+		case <-ctx.Done():
+			return j, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// jobAt is Job for a raw path (id plus query parameters).
+func (c *Client) jobAt(ctx context.Context, path string) (Job, error) {
+	var j Job
+	err := c.do(ctx, http.MethodGet, path, nil, &j)
+	return j, err
+}
+
+// Cancel requests cancellation of the job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/api/v1/jobs/"+id, nil, nil)
+}
+
+// Result fetches the completed job's campaign result.
+func (c *Client) Result(ctx context.Context, id string) (*Result, error) {
+	var res Result
+	if err := c.do(ctx, http.MethodGet, "/api/v1/jobs/"+id+"/result", nil, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Health probes the worker (GET /api/v1/meta); nil means the worker is up
+// and answering the API.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/api/v1/meta", nil, nil)
+}

@@ -1,0 +1,108 @@
+package client_test
+
+// External test package: the client is exercised against a real api.Server,
+// which itself imports coord (and thus this package's subject).
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/campaign"
+	"repro/internal/coord/client"
+	"repro/internal/jobs"
+	_ "repro/internal/sched/all"
+)
+
+func newWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := api.NewServer(api.NewStore())
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	ts := newWorker(t)
+	cl := client.New(ts.URL + "/") // trailing slash is trimmed
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	if err := cl.Health(ctx); err != nil {
+		t.Fatalf("health = %v", err)
+	}
+
+	spec := jobs.CampaignSpec{
+		Algos:        []string{"cpa", "mcpa"},
+		Shapes:       []string{"serial"},
+		DAGSizes:     []int{15},
+		ClusterSizes: []int{16},
+		Replicates:   2,
+		Seed:         7,
+	}
+	j, err := cl.Submit(ctx, spec)
+	if err != nil {
+		t.Fatalf("submit = %v", err)
+	}
+	if j.ID == "" || j.Terminal() {
+		t.Fatalf("initial job = %+v", j)
+	}
+	j, err = cl.Wait(ctx, j.ID, 10*time.Millisecond)
+	if err != nil || j.State != string(jobs.Done) {
+		t.Fatalf("wait = %+v, %v", j, err)
+	}
+	res, err := cl.Result(ctx, j.ID)
+	if err != nil {
+		t.Fatalf("result = %v", err)
+	}
+	cfg, _, err := spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Header.Equal(campaign.NewHeader(cfg)); err != nil {
+		t.Fatalf("result header: %v", err)
+	}
+	if len(res.Cells) != 1 || res.Total != 2 {
+		t.Fatalf("result = %d cells, %d runs", len(res.Cells), res.Total)
+	}
+
+	// Errors surface as *APIError with the decoded message.
+	var apiErr *client.APIError
+	if _, err := cl.Job(ctx, "j99"); !errors.As(err, &apiErr) || apiErr.Status != 404 {
+		t.Fatalf("unknown job err = %v", err)
+	}
+	if _, err := cl.Submit(ctx, jobs.CampaignSpec{Algos: []string{"cpa"}}); !errors.As(err, &apiErr) || apiErr.Status != 400 {
+		t.Fatalf("bad spec err = %v", err)
+	}
+	if apiErr.Message == "" {
+		t.Fatalf("error message not decoded: %v", apiErr)
+	}
+}
+
+func TestClientCancel(t *testing.T) {
+	ts := newWorker(t)
+	cl := client.New(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	// A heavyweight campaign so cancellation strikes before completion.
+	j, err := cl.Submit(ctx, jobs.CampaignSpec{
+		Algos:      []string{"cpa", "mcpa"},
+		Replicates: 6,
+		Seed:       5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Cancel(ctx, j.ID); err != nil {
+		t.Fatalf("cancel = %v", err)
+	}
+	j, err = cl.Wait(ctx, j.ID, 10*time.Millisecond)
+	if err != nil || j.State != string(jobs.Cancelled) {
+		t.Fatalf("after cancel: %+v, %v", j, err)
+	}
+}

@@ -1,0 +1,602 @@
+// Package coord is the distributed campaign coordinator: it splits one
+// campaign into k/n shards along the deterministic cell enumeration,
+// dispatches each shard to a pool of remote workers over the /api/v1/jobs
+// surface (every worker is just a jedserve instance), and merges the
+// fetched shard results into the full factorial — byte-identical to a
+// single-process run, because cells depend only on (config, index), never
+// on which machine computed them.
+//
+// The coordinator is fault-tolerant. A worker that stops answering — down
+// at dispatch, or dying mid-shard — is retired after a failed health probe
+// and its shard is reassigned to the survivors, bounded by a per-shard
+// attempt budget. Every fetched result is verified against the campaign
+// identity header before merging, the same guard the REST ?merge= path
+// enforces, so a restarted worker recycling job IDs can never smuggle cells
+// of a different campaign into the merge. Fetched cells stream into a local
+// JSONL checkpoint (the cmd/campaign format), so a torn coordinator resumes
+// without re-running finished shards.
+package coord
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/coord/client"
+	"repro/internal/jobs"
+)
+
+// healthProbeTimeout bounds the is-this-worker-alive probe that decides
+// between "retry the shard here" and "retire the worker".
+const healthProbeTimeout = 2 * time.Second
+
+// Config describes one coordinated campaign.
+type Config struct {
+	// Workers are the base URLs of the jedserve workers, e.g.
+	// "http://host:8080". At least one is required.
+	Workers []string
+	// Spec is the campaign to run. Spec.Shard must be empty — sharding is
+	// the coordinator's job.
+	Spec jobs.CampaignSpec
+	// Shards is the number of k/n partitions to dispatch; 0 means one per
+	// worker. More shards than workers gives finer-grained reassignment
+	// when a worker dies.
+	Shards int
+	// MaxAttempts bounds how often one shard may be dispatched before the
+	// run fails (0 means 3).
+	MaxAttempts int
+	// Poll paces the per-job wait loop against workers that ignore the
+	// ?wait= long-poll (0 means 200ms).
+	Poll time.Duration
+	// Checkpoint is the path of the local JSONL checkpoint the fetched
+	// cells stream into ("" disables). The file uses the cmd/campaign
+	// format, so `campaign -merge` reads it directly.
+	Checkpoint string
+	// Resume loads an existing checkpoint first and skips the shards whose
+	// cells are all persisted; a torn final record is cut, exactly like
+	// `campaign -resume`.
+	Resume bool
+	// OnCell, when set, observes every newly recorded cell (serialized on
+	// the coordinator goroutine) — the aggregate-progress hook.
+	OnCell func(campaign.Cell)
+	// Logf, when set, receives human-readable progress lines.
+	Logf func(format string, args ...any)
+}
+
+// ShardProgress is the state of one shard in a Progress snapshot.
+type ShardProgress struct {
+	Shard    int    `json:"shard"` // 1-based k of k/n
+	State    string `json:"state"` // pending | running | done
+	Worker   string `json:"worker,omitempty"`
+	Job      string `json:"job,omitempty"`
+	Attempts int    `json:"attempts"`
+}
+
+// WorkerProgress is the state of one worker in a Progress snapshot.
+type WorkerProgress struct {
+	URL   string `json:"url"`
+	State string `json:"state"` // live | dead
+}
+
+// Progress is a point-in-time snapshot of a coordinated run.
+type Progress struct {
+	Shards     int              `json:"shards"`
+	ShardsDone int              `json:"shards_done"`
+	Cells      int              `json:"cells"`
+	CellsDone  int              `json:"cells_done"`
+	Shard      []ShardProgress  `json:"shard"`
+	Workers    []WorkerProgress `json:"workers"`
+}
+
+// Coordinator runs one coordinated campaign. Create with New, run once with
+// Run; Progress may be read concurrently while the run is in flight.
+type Coordinator struct {
+	cfg    Config
+	ccfg   campaign.Config
+	header campaign.Header
+	specs  []campaign.CellSpec
+	shards int
+
+	mu        sync.Mutex
+	shardStat []ShardProgress // index k-1
+	workers   []WorkerProgress
+	cells     map[int]campaign.Cell // released once Run returns
+	cellsDone int
+	started   bool
+}
+
+// New validates the configuration and resolves the campaign. The spec is
+// resolved with the same code path workers use, so the coordinator's idea
+// of the cell enumeration and identity header matches theirs exactly.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("coord: no workers")
+	}
+	if cfg.Spec.Shard != "" {
+		return nil, fmt.Errorf("coord: spec must not set shard %q (sharding is the coordinator's job)", cfg.Spec.Shard)
+	}
+	ccfg, _, err := cfg.Spec.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = len(cfg.Workers)
+	}
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("coord: bad shard count %d", cfg.Shards)
+	}
+	if cfg.MaxAttempts == 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.MaxAttempts < 1 {
+		return nil, fmt.Errorf("coord: bad attempt budget %d", cfg.MaxAttempts)
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 200 * time.Millisecond
+	}
+	c := &Coordinator{
+		cfg:    cfg,
+		ccfg:   ccfg,
+		header: campaign.NewHeader(ccfg),
+		specs:  campaign.Cells(ccfg),
+		shards: cfg.Shards,
+		cells:  map[int]campaign.Cell{},
+	}
+	if c.shards > len(c.specs) {
+		// More shards than cells would dispatch provably empty jobs.
+		c.shards = len(c.specs)
+	}
+	c.shardStat = make([]ShardProgress, c.shards)
+	for k := 1; k <= c.shards; k++ {
+		c.shardStat[k-1] = ShardProgress{Shard: k, State: "pending"}
+	}
+	for _, url := range cfg.Workers {
+		c.workers = append(c.workers, WorkerProgress{URL: url, State: "live"})
+	}
+	return c, nil
+}
+
+// Header returns the campaign identity every fetched shard is checked
+// against.
+func (c *Coordinator) Header() campaign.Header { return c.header }
+
+// SetOnCell installs (or replaces) the per-cell observer. It must be called
+// before Run — the REST surface uses it to wire job progress to a
+// coordinator whose job handle does not exist until after submission.
+func (c *Coordinator) SetOnCell(fn func(campaign.Cell)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cfg.OnCell = fn
+}
+
+// Cells returns the size of the full factorial.
+func (c *Coordinator) Cells() int { return len(c.specs) }
+
+// Progress snapshots the run.
+func (c *Coordinator) Progress() Progress {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := Progress{
+		Shards:    c.shards,
+		Cells:     len(c.specs),
+		CellsDone: c.cellsDone,
+		Shard:     append([]ShardProgress(nil), c.shardStat...),
+		Workers:   append([]WorkerProgress(nil), c.workers...),
+	}
+	for _, s := range c.shardStat {
+		if s.State == "done" {
+			p.ShardsDone++
+		}
+	}
+	return p
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// maxThrottleRetries bounds how often one shard may be re-dispatched on
+// 429s before throttling starts counting against the attempt budget — a
+// worker that grants nothing for this many backoffs is effectively stuck.
+const maxThrottleRetries = 64
+
+// task is one dispatchable shard plus its retry bookkeeping.
+type task struct {
+	k         int
+	attempts  int
+	throttles int
+	// notBefore delays the dispatch — the backoff a 429'd worker asked for.
+	notBefore time.Time
+}
+
+// outcome is what a worker goroutine reports back for one task.
+type outcome struct {
+	t      task
+	worker int // index into cfg.Workers
+	cells  []campaign.Cell
+	err    error
+	dead   bool // the worker failed its health probe and retired
+	// throttled marks a failure that was the worker's rate limiter (429);
+	// retryAfter is how long it asked to back off.
+	throttled  bool
+	retryAfter time.Duration
+}
+
+// Run executes the coordinated campaign and returns the merged full
+// factorial. It may be called once.
+func (c *Coordinator) Run(ctx context.Context) (*campaign.Result, error) {
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("coord: Run called twice")
+	}
+	c.started = true
+	c.mu.Unlock()
+	// The cell map exists only to assemble the result; release it when the
+	// run ends so a tracker holding terminal coordinators (the REST
+	// campaign surface) does not pin a second copy of every cell.
+	defer func() {
+		c.mu.Lock()
+		c.cells = nil
+		c.mu.Unlock()
+	}()
+
+	cw, closeCP, err := c.openCheckpoint()
+	if err != nil {
+		return nil, err
+	}
+	defer closeCP()
+
+	// Shards whose cells all came out of the resumed checkpoint are done
+	// before anything is dispatched.
+	var pending []int
+	for k := 1; k <= c.shards; k++ {
+		if c.shardCovered(k) {
+			c.setShardState(k, func(s *ShardProgress) { s.State = "done" })
+			continue
+		}
+		pending = append(pending, k)
+	}
+	if len(pending) < c.shards {
+		c.logf("coord: %d of %d shards already complete in checkpoint", c.shards-len(pending), c.shards)
+	}
+
+	if len(pending) > 0 {
+		if err := c.dispatch(ctx, pending, cw); err != nil {
+			return nil, err
+		}
+	}
+	if cw != nil {
+		if err := cw.sync(); err != nil {
+			return nil, err
+		}
+	}
+	return c.result()
+}
+
+// dispatch fans the pending shards out over the worker pool and collects
+// the results, reassigning the shards of retired workers.
+func (c *Coordinator) dispatch(ctx context.Context, pending []int, cw *checkpointFile) error {
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	queue := make(chan task, c.shards) // never more than c.shards outstanding
+	results := make(chan outcome)
+	var wg sync.WaitGroup
+	for i := range c.cfg.Workers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl := client.New(c.cfg.Workers[i])
+			for t := range queue {
+				if wait := time.Until(t.notBefore); wait > 0 {
+					// Honor the backoff of a throttled requeue; a cancelled
+					// run falls through and fails fast inside runShard.
+					select {
+					case <-runCtx.Done():
+					case <-time.After(wait):
+					}
+				}
+				o := c.runShard(runCtx, cl, i, t)
+				results <- o
+				if o.dead {
+					return // retired: stop pulling tasks
+				}
+			}
+		}(i)
+	}
+	for _, k := range pending {
+		queue <- task{k: k, attempts: 1}
+	}
+
+	live := len(c.cfg.Workers)
+	remaining := len(pending)
+	var runErr error
+	for remaining > 0 && runErr == nil {
+		o := <-results
+		if o.dead {
+			live--
+			c.setWorkerState(o.worker, "dead")
+			c.logf("coord: worker %s retired: %v", c.cfg.Workers[o.worker], o.err)
+		}
+		if o.err != nil {
+			if ctx.Err() != nil {
+				runErr = ctx.Err()
+				break
+			}
+			if o.throttled && o.t.throttles < maxThrottleRetries {
+				// The worker is alive and asked for backoff: requeue without
+				// burning the attempt budget, delayed per its Retry-After.
+				c.setShardState(o.t.k, func(s *ShardProgress) {
+					s.State, s.Worker, s.Job = "pending", "", ""
+				})
+				c.logf("coord: shard %d/%d throttled, retrying in %v", o.t.k, c.shards, o.retryAfter)
+				queue <- task{
+					k: o.t.k, attempts: o.t.attempts, throttles: o.t.throttles + 1,
+					notBefore: time.Now().Add(o.retryAfter),
+				}
+				continue
+			}
+			switch {
+			case o.t.attempts >= c.cfg.MaxAttempts:
+				runErr = fmt.Errorf("coord: shard %d/%d failed after %d attempts: %w",
+					o.t.k, c.shards, o.t.attempts, o.err)
+			case live == 0:
+				runErr = fmt.Errorf("coord: no live workers left (shard %d/%d pending): %w",
+					o.t.k, c.shards, o.err)
+			default:
+				c.setShardState(o.t.k, func(s *ShardProgress) {
+					s.State, s.Worker, s.Job = "pending", "", ""
+				})
+				c.logf("coord: requeueing shard %d/%d (attempt %d): %v", o.t.k, c.shards, o.t.attempts, o.err)
+				queue <- task{k: o.t.k, attempts: o.t.attempts + 1}
+			}
+			continue
+		}
+		if err := c.recordCells(o.t.k, o.cells, cw); err != nil {
+			runErr = err
+			continue
+		}
+		c.setShardState(o.t.k, func(s *ShardProgress) { s.State = "done" })
+		remaining--
+	}
+	cancel() // abort in-flight remote waits before draining
+	close(queue)
+	go func() { wg.Wait(); close(results) }()
+	for range results {
+		// Drain outcomes of workers that were mid-shard when the run ended.
+	}
+	return runErr
+}
+
+// runShard drives one shard on one worker: submit, wait, fetch, verify.
+func (c *Coordinator) runShard(ctx context.Context, cl *client.Client, worker int, t task) outcome {
+	spec := c.cfg.Spec
+	spec.Shard = fmt.Sprintf("%d/%d", t.k, c.shards)
+	c.setShardState(t.k, func(s *ShardProgress) {
+		s.State, s.Worker, s.Job, s.Attempts = "running", cl.Base, "", t.attempts
+	})
+
+	j, err := cl.Submit(ctx, spec)
+	if err != nil {
+		return c.classify(cl, worker, t, fmt.Errorf("submit: %w", err))
+	}
+	id := j.ID // j is zeroed on a failed Wait; keep the ID for messages
+	c.setShardState(t.k, func(s *ShardProgress) { s.Job = id })
+	c.logf("coord: shard %s -> %s as job %s", spec.Shard, cl.Base, id)
+
+	j, err = cl.Wait(ctx, id, c.cfg.Poll)
+	if err != nil {
+		if ctx.Err() != nil {
+			// Best effort: don't leave the remote job burning CPU.
+			cancelCtx, cancel := context.WithTimeout(context.Background(), healthProbeTimeout)
+			cl.Cancel(cancelCtx, id) //nolint:errcheck // the worker may be gone with the run
+			cancel()
+		}
+		return c.classify(cl, worker, t, fmt.Errorf("wait for job %s: %w", id, err))
+	}
+	if j.State != string(jobs.Done) {
+		return c.classify(cl, worker, t, fmt.Errorf("job %s finished %s: %s", id, j.State, j.Error))
+	}
+	res, err := cl.Result(ctx, id)
+	if err != nil {
+		return c.classify(cl, worker, t, fmt.Errorf("fetch result of job %s: %w", id, err))
+	}
+	// The identity guard: a worker restart reuses job IDs, so never merge a
+	// result that does not prove it belongs to this campaign.
+	if err := res.Header.Equal(c.header); err != nil {
+		return c.classify(cl, worker, t, fmt.Errorf("job %s: %w", id, err))
+	}
+	for _, cell := range res.Cells {
+		if cell.Index < 0 || cell.Index >= len(c.specs) || cell.Index%c.shards != t.k-1 {
+			return c.classify(cl, worker, t,
+				fmt.Errorf("job %s returned cell %d outside shard %s", id, cell.Index, spec.Shard))
+		}
+	}
+	return outcome{t: t, worker: worker, cells: res.Cells}
+}
+
+// classify turns a shard failure into an outcome, probing the worker's
+// health to decide whether it should be retired: failures with a dead
+// health endpoint retire the worker, everything else leaves it in the pool
+// for the retry. A 429 — from the worker's own rate limiter — is proof of
+// life, never grounds for retirement, whether it struck the shard request
+// or the probe itself.
+func (c *Coordinator) classify(cl *client.Client, worker int, t task, err error) outcome {
+	o := outcome{t: t, worker: worker, err: err}
+	if backoff, ok := throttleBackoff(err, c.cfg.Poll); ok {
+		o.throttled, o.retryAfter = true, backoff
+		return o
+	}
+	probeCtx, cancel := context.WithTimeout(context.Background(), healthProbeTimeout)
+	defer cancel()
+	if probeErr := cl.Health(probeCtx); probeErr != nil {
+		if backoff, ok := throttleBackoff(probeErr, c.cfg.Poll); ok {
+			o.throttled, o.retryAfter = true, backoff
+		} else {
+			o.dead = true
+		}
+	}
+	return o
+}
+
+// throttleBackoff reports whether the error is the worker's rate limiter
+// answering 429 — an alive worker asking for backoff — and for how long
+// (the Retry-After header, floored at the poll pacing).
+func throttleBackoff(err error, floor time.Duration) (time.Duration, bool) {
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests {
+		return 0, false
+	}
+	backoff := apiErr.RetryAfter
+	if backoff < floor {
+		backoff = floor
+	}
+	return backoff, true
+}
+
+// shardCovered reports whether every cell of shard k is already recorded.
+func (c *Coordinator) shardCovered(k int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sh := campaign.Shard{K: k, N: c.shards}
+	for _, spec := range c.specs {
+		if !sh.Includes(spec.Index) {
+			continue
+		}
+		if _, ok := c.cells[spec.Index]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// recordCells folds a fetched shard into the cell map, appending the cells
+// not already persisted to the checkpoint and firing OnCell for each.
+func (c *Coordinator) recordCells(k int, cells []campaign.Cell, cw *checkpointFile) error {
+	c.mu.Lock()
+	var fresh []campaign.Cell
+	for _, cell := range cells {
+		if _, ok := c.cells[cell.Index]; ok {
+			continue
+		}
+		c.cells[cell.Index] = cell
+		c.cellsDone++
+		fresh = append(fresh, cell)
+	}
+	c.mu.Unlock()
+	for _, cell := range fresh {
+		if cw != nil {
+			if err := cw.writer.WriteCell(cell); err != nil {
+				return fmt.Errorf("coord: checkpoint: %w", err)
+			}
+		}
+		if c.cfg.OnCell != nil {
+			c.cfg.OnCell(cell)
+		}
+	}
+	c.logf("coord: shard %d/%d complete (%d cells, %d new)", k, c.shards, len(cells), len(fresh))
+	return nil
+}
+
+func (c *Coordinator) setShardState(k int, mut func(*ShardProgress)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	mut(&c.shardStat[k-1])
+}
+
+func (c *Coordinator) setWorkerState(i int, state string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.workers[i].State = state
+}
+
+// result assembles the merged full-factorial result from the recorded cells
+// and verifies it is complete.
+func (c *Coordinator) result() (*campaign.Result, error) {
+	c.mu.Lock()
+	res := &campaign.Result{Algos: append([]string(nil), c.ccfg.Algos...)}
+	for _, cell := range c.cells {
+		res.Cells = append(res.Cells, cell)
+	}
+	c.mu.Unlock()
+	sort.Slice(res.Cells, func(i, j int) bool { return res.Cells[i].Index < res.Cells[j].Index })
+	for _, cell := range res.Cells {
+		res.Total += cell.Runs
+	}
+	if err := res.Complete(len(c.specs)); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// checkpointFile bundles the JSONL writer with its backing file.
+type checkpointFile struct {
+	f      *os.File
+	writer *campaign.CheckpointWriter
+}
+
+func (cf *checkpointFile) sync() error { return cf.f.Sync() }
+
+// openCheckpoint prepares the local checkpoint per Config: fresh, resumed
+// (with the torn tail cut and the persisted cells preloaded), or disabled.
+// The returned close function is safe to call on every path.
+func (c *Coordinator) openCheckpoint() (*checkpointFile, func(), error) {
+	if c.cfg.Checkpoint == "" {
+		return nil, func() {}, nil
+	}
+	if c.cfg.Resume {
+		f, err := os.Open(c.cfg.Checkpoint)
+		switch {
+		case errors.Is(err, fs.ErrNotExist):
+			// Nothing to resume: fall through to a fresh checkpoint.
+		case err != nil:
+			return nil, nil, err
+		default:
+			cp, err := campaign.LoadCheckpoint(f)
+			f.Close()
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s: %w", c.cfg.Checkpoint, err)
+			}
+			if err := cp.Header.Matches(c.ccfg); err != nil {
+				return nil, nil, fmt.Errorf("%s: %w (rerun without resume to start over)", c.cfg.Checkpoint, err)
+			}
+			wf, err := os.OpenFile(c.cfg.Checkpoint, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return nil, nil, err
+			}
+			// Cut a torn final record before appending, or the first new
+			// record would be concatenated onto it and lost with it.
+			if err := wf.Truncate(cp.ValidSize); err != nil {
+				wf.Close()
+				return nil, nil, err
+			}
+			for _, cell := range cp.Cells {
+				c.cells[cell.Index] = cell
+			}
+			c.cellsDone = len(c.cells)
+			c.logf("coord: resuming %s: %d cells already done", c.cfg.Checkpoint, len(cp.Cells))
+			cf := &checkpointFile{f: wf, writer: campaign.ResumeCheckpointWriter(wf)}
+			return cf, func() { wf.Close() }, nil
+		}
+	}
+	f, err := os.Create(c.cfg.Checkpoint)
+	if err != nil {
+		return nil, nil, err
+	}
+	cw, err := campaign.NewCheckpointWriter(f, c.ccfg)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &checkpointFile{f: f, writer: cw}, func() { f.Close() }, nil
+}

@@ -1,0 +1,523 @@
+package coord_test
+
+// The coordinator tests run real api.Server instances as workers (the same
+// handler jedserve serves), so dispatch, long-poll, result fetch, and the
+// campaign-identity guard are exercised over genuine HTTP. The package is
+// an external test package because api imports coord.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/campaign"
+	"repro/internal/coord"
+	"repro/internal/jobs"
+	_ "repro/internal/sched/all"
+)
+
+// testSpec is a small two-shape campaign (4 cells) that completes in well
+// under a second per shard.
+func testSpec() jobs.CampaignSpec {
+	return jobs.CampaignSpec{
+		Algos:        []string{"cpa", "mcpa"},
+		Shapes:       []string{"serial", "wide"},
+		DAGSizes:     []int{15},
+		ClusterSizes: []int{16, 32},
+		Replicates:   2,
+		Seed:         11,
+	}
+}
+
+// singleProcess runs the same campaign in-process — the golden result every
+// coordinated run must reproduce exactly.
+func singleProcess(t *testing.T, spec jobs.CampaignSpec) *campaign.Result {
+	t.Helper()
+	cfg, _, err := spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := campaign.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func newWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := api.NewServer(api.NewStore())
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// summaryOf renders the canonical summary text used for byte-equality
+// comparisons.
+func summaryOf(t *testing.T, res *campaign.Result) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := res.WriteSummary(&sb, 1.2); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// jobCount asks a worker how many jobs it has accepted so far.
+func jobCount(t *testing.T, workerURL string) int {
+	t.Helper()
+	resp, err := http.Get(workerURL + "/api/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Jobs []any `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return len(out.Jobs)
+}
+
+// TestCoordinatedMatchesSingleProcess is the acceptance path: two workers,
+// four shards, merged result byte-identical to the in-process run.
+func TestCoordinatedMatchesSingleProcess(t *testing.T) {
+	w1, w2 := newWorker(t), newWorker(t)
+	var cells int64
+	c, err := coord.New(coord.Config{
+		Workers: []string{w1.URL, w2.URL},
+		Spec:    testSpec(),
+		Shards:  4,
+		OnCell:  func(campaign.Cell) { atomic.AddInt64(&cells, 1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := singleProcess(t, testSpec())
+	if got, wantS := summaryOf(t, res), summaryOf(t, want); got != wantS {
+		t.Fatalf("coordinated summary differs:\n%s\nvs\n%s", got, wantS)
+	}
+	if atomic.LoadInt64(&cells) != int64(len(want.Cells)) {
+		t.Fatalf("OnCell fired %d times, want %d", cells, len(want.Cells))
+	}
+	p := c.Progress()
+	if p.ShardsDone != 4 || p.CellsDone != len(want.Cells) {
+		t.Fatalf("progress = %+v", p)
+	}
+	for _, wp := range p.Workers {
+		if wp.State != "live" {
+			t.Fatalf("worker %s = %s", wp.URL, wp.State)
+		}
+	}
+}
+
+// TestWorkerDownAtDispatch points one pool slot at a dead address: its
+// shards must be reassigned to the live worker and the merged output stay
+// byte-identical.
+func TestWorkerDownAtDispatch(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // nothing listens: dials fail at dispatch
+	live := newWorker(t)
+	c, err := coord.New(coord.Config{
+		Workers: []string{dead.URL, live.URL},
+		Spec:    testSpec(),
+		Shards:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := summaryOf(t, res), summaryOf(t, singleProcess(t, testSpec())); got != want {
+		t.Fatalf("summary differs after dispatch failure:\n%s\nvs\n%s", got, want)
+	}
+	states := map[string]string{}
+	for _, wp := range c.Progress().Workers {
+		states[wp.URL] = wp.State
+	}
+	if states[dead.URL] != "dead" || states[live.URL] != "live" {
+		t.Fatalf("worker states = %v", states)
+	}
+}
+
+// flakyWorker proxies a real worker until it has accepted one job, then
+// fails every request — the deterministic stand-in for a worker dying
+// mid-shard: the job was accepted, then the machine went away, and health
+// probes fail too. The kill is synchronous with the accepting request, so
+// the very next poll is guaranteed to hit a dead worker.
+type flakyWorker struct {
+	inner  http.Handler
+	killed atomic.Bool
+}
+
+func (f *flakyWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if f.killed.Load() {
+		http.Error(w, "worker gone", http.StatusBadGateway)
+		return
+	}
+	f.inner.ServeHTTP(w, r)
+	if r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/jobs") {
+		f.killed.Store(true)
+	}
+}
+
+// TestWorkerDiesMidShard kills a worker right after it accepted a job; the
+// shard must be reassigned and the merged output stay byte-identical.
+func TestWorkerDiesMidShard(t *testing.T) {
+	stable := newWorker(t)
+	srv := api.NewServer(api.NewStore())
+	t.Cleanup(srv.Close)
+	flaky := &flakyWorker{inner: srv.Handler()}
+	flakyTS := httptest.NewServer(flaky)
+	t.Cleanup(flakyTS.Close)
+
+	c, err := coord.New(coord.Config{
+		Workers: []string{flakyTS.URL, stable.URL},
+		Spec:    testSpec(),
+		Shards:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := summaryOf(t, res), summaryOf(t, singleProcess(t, testSpec())); got != want {
+		t.Fatalf("summary differs after mid-shard death:\n%s\nvs\n%s", got, want)
+	}
+	for _, wp := range c.Progress().Workers {
+		if wp.URL == flakyTS.URL && wp.State != "dead" {
+			t.Fatalf("flaky worker not retired: %+v", c.Progress().Workers)
+		}
+	}
+}
+
+// stubWorker mimics the job API but every job it accepts reports failure —
+// an alive but useless worker, for exhausting the per-shard attempt budget.
+func stubWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	fail := func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{ //nolint:errcheck
+			"id": "j1", "kind": "campaign", "state": "failed",
+			"progress": map[string]int{"done": 0, "total": 0},
+			"error":    "stub always fails",
+		})
+	}
+	mux.HandleFunc("POST /api/v1/jobs", fail)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", fail)
+	mux.HandleFunc("GET /api/v1/meta", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("{}")) //nolint:errcheck
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestShardAttemptsExhausted pins that a shard failing on a healthy worker
+// burns the attempt budget and fails the run (rather than looping forever).
+func TestShardAttemptsExhausted(t *testing.T) {
+	stub := stubWorker(t)
+	c, err := coord.New(coord.Config{
+		Workers:     []string{stub.URL},
+		Spec:        testSpec(),
+		Shards:      1,
+		MaxAttempts: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "after 2 attempts") {
+		t.Fatalf("err = %v, want attempt exhaustion", err)
+	}
+}
+
+// TestAllWorkersDead pins the no-live-workers failure mode.
+func TestAllWorkersDead(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	c, err := coord.New(coord.Config{
+		Workers: []string{dead.URL},
+		Spec:    testSpec(),
+		Shards:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(context.Background()); err == nil {
+		t.Fatal("run with no live workers succeeded")
+	}
+}
+
+// TestHeaderGuard pins the campaign-identity check: a worker answering with
+// cells of a different campaign (a restarted worker recycling job IDs) must
+// never be merged.
+func TestHeaderGuard(t *testing.T) {
+	// A worker that truthfully runs a *different* campaign: it rewrites the
+	// submitted spec's seed, so the job lifecycle is genuine but the result
+	// header mismatches the coordinator's.
+	srv := api.NewServer(api.NewStore())
+	t.Cleanup(srv.Close)
+	inner := srv.Handler()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec map[string]any
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		spec["seed"] = float64(999)
+		raw, err := json.Marshal(spec)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		r2 := r.Clone(r.Context())
+		r2.Body = io.NopCloser(bytes.NewReader(raw))
+		r2.ContentLength = int64(len(raw))
+		inner.ServeHTTP(w, r2)
+	})
+	mux.Handle("/", inner)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	c, err := coord.New(coord.Config{
+		Workers:     []string{ts.URL},
+		Spec:        testSpec(),
+		Shards:      1,
+		MaxAttempts: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "header") {
+		t.Fatalf("err = %v, want header mismatch", err)
+	}
+}
+
+// TestCheckpointAndResume tears a coordinator checkpoint mid-record and
+// resumes it: finished shards are not re-dispatched, and the final summary
+// is byte-identical to the first run's.
+func TestCheckpointAndResume(t *testing.T) {
+	w := newWorker(t)
+	path := filepath.Join(t.TempDir(), "coord.jsonl")
+
+	// First run writes the full checkpoint: one job per shard on the worker.
+	c1, err := coord.New(coord.Config{
+		Workers:    []string{w.URL},
+		Spec:       testSpec(),
+		Shards:     4,
+		Checkpoint: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := c1.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := jobCount(t, w.URL); n != 4 {
+		t.Fatalf("first run dispatched %d jobs, want 4", n)
+	}
+
+	// The checkpoint is the cmd/campaign format: loadable, full campaign.
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := campaign.LoadCheckpoint(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cp.Cells) != len(res1.Cells) {
+		t.Fatalf("checkpoint holds %d cells, want %d", len(cp.Cells), len(res1.Cells))
+	}
+
+	// Tear the tail mid-record, as a coordinator killed mid-write would.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-20], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume: only the torn record's shard is re-dispatched (job 5).
+	c2, err := coord.New(coord.Config{
+		Workers:    []string{w.URL},
+		Spec:       testSpec(),
+		Shards:     4,
+		Checkpoint: path,
+		Resume:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := c2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := summaryOf(t, res2), summaryOf(t, res1); got != want {
+		t.Fatalf("resumed summary differs:\n%s\nvs\n%s", got, want)
+	}
+	if n := jobCount(t, w.URL); n != 5 {
+		t.Fatalf("resume left %d jobs on the worker, want 5 (one re-dispatched shard)", n)
+	}
+	// The repaired checkpoint loads cleanly and is complete again.
+	f, err = os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err = campaign.LoadCheckpoint(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Result().Complete(cp.Header.Cells); err != nil {
+		t.Fatalf("repaired checkpoint incomplete: %v", err)
+	}
+
+	// Resuming with different campaign flags must refuse.
+	other := testSpec()
+	other.Seed = 999
+	c3, err := coord.New(coord.Config{
+		Workers:    []string{w.URL},
+		Spec:       other,
+		Shards:     4,
+		Checkpoint: path,
+		Resume:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c3.Run(context.Background()); err == nil {
+		t.Fatal("resume with mismatched config succeeded")
+	}
+}
+
+// TestConfigValidation covers New's rejects plus the run-once guard.
+func TestConfigValidation(t *testing.T) {
+	spec := testSpec()
+	if _, err := coord.New(coord.Config{Spec: spec}); err == nil {
+		t.Error("no workers accepted")
+	}
+	withShard := spec
+	withShard.Shard = "1/2"
+	if _, err := coord.New(coord.Config{Workers: []string{"http://x"}, Spec: withShard}); err == nil {
+		t.Error("pre-sharded spec accepted")
+	}
+	bad := spec
+	bad.Algos = []string{"cpa"}
+	if _, err := coord.New(coord.Config{Workers: []string{"http://x"}, Spec: bad}); err == nil {
+		t.Error("one-algo spec accepted")
+	}
+	if _, err := coord.New(coord.Config{Workers: []string{"http://x"}, Spec: spec, Shards: -1}); err == nil {
+		t.Error("negative shard count accepted")
+	}
+	w := newWorker(t)
+	c, err := coord.New(coord.Config{Workers: []string{w.URL}, Spec: spec, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(context.Background()); err == nil {
+		t.Error("second Run accepted")
+	}
+}
+
+// TestCancelMidRun pins that cancelling the coordinator's context aborts
+// the run with an error instead of hanging.
+func TestCancelMidRun(t *testing.T) {
+	w := newWorker(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c, err := coord.New(coord.Config{
+		Workers: []string{w.URL},
+		Spec:    testSpec(),
+		Shards:  4,
+		// Strike as soon as the first shard lands, while others are pending.
+		OnCell: func(campaign.Cell) { cancel() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(ctx); err == nil {
+		t.Fatal("cancelled run succeeded")
+	}
+}
+
+// throttlingWorker answers 429 (the worker-side rate limiter) to the first
+// n submits, then proxies everything to the real worker.
+type throttlingWorker struct {
+	inner     http.Handler
+	remaining atomic.Int64
+}
+
+func (f *throttlingWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, "/jobs") && f.remaining.Add(-1) >= 0 {
+		http.Error(w, `{"error": "rate limit exceeded"}`, http.StatusTooManyRequests)
+		return
+	}
+	f.inner.ServeHTTP(w, r)
+}
+
+// TestThrottledWorkerNotRetired pins that a 429 from a worker's rate
+// limiter is proof of life: the shard retries with backoff, without
+// burning the attempt budget (4 consecutive 429s against MaxAttempts 2),
+// the worker stays in the pool, and the run completes byte-identically.
+func TestThrottledWorkerNotRetired(t *testing.T) {
+	srv := api.NewServer(api.NewStore())
+	t.Cleanup(srv.Close)
+	throttling := &throttlingWorker{inner: srv.Handler()}
+	throttling.remaining.Store(4)
+	ts := httptest.NewServer(throttling)
+	t.Cleanup(ts.Close)
+
+	c, err := coord.New(coord.Config{
+		Workers:     []string{ts.URL},
+		Spec:        testSpec(),
+		Shards:      2,
+		MaxAttempts: 2,
+		Poll:        10 * time.Millisecond, // also the throttle-backoff floor
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := summaryOf(t, res), summaryOf(t, singleProcess(t, testSpec())); got != want {
+		t.Fatalf("summary differs after throttling:\n%s\nvs\n%s", got, want)
+	}
+	for _, wp := range c.Progress().Workers {
+		if wp.State != "live" {
+			t.Fatalf("throttled worker retired: %+v", c.Progress().Workers)
+		}
+	}
+}

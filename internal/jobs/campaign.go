@@ -11,6 +11,11 @@ import (
 // KindCampaign labels campaign jobs.
 const KindCampaign = "campaign"
 
+// KindCoordinated labels coordinated (fan-out) campaign jobs: the
+// coordinator dispatches the shards of one campaign to remote workers and
+// the job completes with the merged full-factorial outcome.
+const KindCoordinated = "campaign-coordinated"
+
 // CampaignSpec is the JSON body of POST /api/v1/jobs: the campaign factorial
 // with every dimension optional — absent fields keep the paper-sized
 // defaults of campaign.DefaultConfig. Shard ("k/n") restricts the job to
@@ -104,10 +109,11 @@ func SubmitCampaign(e *Engine, spec CampaignSpec) (*Job, error) {
 	}), nil
 }
 
-// CampaignResult extracts the campaign outcome of a Done campaign job.
+// CampaignResult extracts the campaign outcome of a Done campaign job
+// (plain or coordinated — both complete with a *CampaignOutcome).
 func CampaignResult(j *Job) (*CampaignOutcome, error) {
 	st := j.Status()
-	if st.Kind != KindCampaign {
+	if st.Kind != KindCampaign && st.Kind != KindCoordinated {
 		return nil, fmt.Errorf("jobs: %s is a %s job, not a campaign", st.ID, st.Kind)
 	}
 	if st.State != Done {

@@ -172,6 +172,7 @@ type Engine struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	seq    int
+	prefix string
 	retain int
 	jobs   map[string]*Job
 	order  []*Job
@@ -186,7 +187,7 @@ func NewEngine(workers int) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	e := &Engine{jobs: map[string]*Job{}}
+	e := &Engine{jobs: map[string]*Job{}, prefix: "j"}
 	e.cond = sync.NewCond(&e.mu)
 	e.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -209,7 +210,7 @@ func (e *Engine) Submit(kind string, total int, fn Fn) *Job {
 	}
 	e.mu.Lock()
 	e.seq++
-	j.id = fmt.Sprintf("j%d", e.seq)
+	j.id = fmt.Sprintf("%s%d", e.prefix, e.seq)
 	e.jobs[j.id] = j
 	e.order = append(e.order, j)
 	if e.closed {
@@ -227,6 +228,14 @@ func (e *Engine) Submit(kind string, total int, fn Fn) *Job {
 	e.cond.Signal()
 	e.mu.Unlock()
 	return j
+}
+
+// SetIDPrefix changes the ID prefix ("j" by default) so several engines in
+// one process mint non-colliding IDs. Call before the first Submit.
+func (e *Engine) SetIDPrefix(p string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.prefix = p
 }
 
 // SetRetention caps how many terminal (done/failed/cancelled) jobs the
@@ -273,6 +282,21 @@ func (e *Engine) Get(id string) (*Job, bool) {
 	defer e.mu.Unlock()
 	j, ok := e.jobs[id]
 	return j, ok
+}
+
+// Wait blocks until the job with the given ID reaches a terminal state or
+// ctx expires, returning the job either way it exists. This is the wait
+// primitive pollers should use instead of sleep-looping over Get — the
+// HTTP job surface exposes it as the ?wait= long-poll parameter.
+func (e *Engine) Wait(ctx context.Context, id string) (*Job, error) {
+	j, ok := e.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("jobs: no job %q", id)
+	}
+	if err := j.Wait(ctx); err != nil {
+		return j, err
+	}
+	return j, nil
 }
 
 // List returns every job in submission order.

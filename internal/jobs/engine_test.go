@@ -234,3 +234,43 @@ func TestWorkerPoolBound(t *testing.T) {
 		t.Fatalf("peak concurrency %d with 2 workers", peak)
 	}
 }
+
+// TestEngineWait covers the engine-level wait primitive: it blocks until
+// the job is terminal, honors ctx, and rejects unknown IDs.
+func TestEngineWait(t *testing.T) {
+	e := newTestEngine(t, 1)
+	release := make(chan struct{})
+	j := e.Submit("demo", 0, func(ctx context.Context, _ *Job) (any, error) {
+		select {
+		case <-release:
+			return "ok", nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+
+	// A short deadline expires while the job still runs.
+	short, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if got, err := e.Wait(short, j.ID()); err != context.DeadlineExceeded || got != j {
+		t.Fatalf("Wait on running job = %v, %v; want job, DeadlineExceeded", got, err)
+	}
+
+	close(release)
+	ctx, cancel2 := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel2()
+	got, err := e.Wait(ctx, j.ID())
+	if err != nil || got != j {
+		t.Fatalf("Wait = %v, %v", got, err)
+	}
+	if st := got.Status(); st.State != Done {
+		t.Fatalf("state after Wait = %s", st.State)
+	}
+	// Waiting on a terminal job returns immediately.
+	if _, err := e.Wait(ctx, j.ID()); err != nil {
+		t.Fatalf("Wait on done job = %v", err)
+	}
+	if _, err := e.Wait(ctx, "j99"); err == nil {
+		t.Fatalf("Wait on unknown job succeeded")
+	}
+}
