@@ -12,6 +12,7 @@ import (
 	"bytes"
 	"io"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/campaign"
@@ -498,6 +499,112 @@ func BenchmarkTimelineGapInsert(b *testing.B) {
 			start := tl.EarliestGap(0, r.ready, r.dur)
 			tl.Reserve(0, start, start+r.dur)
 		}
+	}
+}
+
+// --- Million-task fast path --------------------------------------------------
+
+// The 1M-task synthetic trace and its render index are built once and
+// shared: the benchmarks measure rendering and scanning, not generation.
+var bench1M struct {
+	once sync.Once
+	s    *core.Schedule
+	idx  *render.TaskIndex
+	win  core.Extent
+}
+
+func schedule1M() (*core.Schedule, *render.TaskIndex, core.Extent) {
+	bench1M.once.Do(func() {
+		cfg := workload.DefaultGenerateConfig(1_000_000)
+		bench1M.s = workload.GenerateSchedule(cfg)
+		bench1M.idx = render.BuildIndex(bench1M.s)
+		// A deep zoom: 0.05% of the horizon, the interactive pan/zoom shape.
+		h := float64(cfg.Horizon)
+		bench1M.win = core.Extent{Min: 0.5 * h, Max: 0.5005 * h}
+	})
+	return bench1M.s, bench1M.idx, bench1M.win
+}
+
+// BenchmarkRender1M: a zoomed-in window over the 1M-task trace with the
+// prebuilt index — the per-panel binary search visits only the tasks that
+// can intersect the window.
+func BenchmarkRender1M(b *testing.B) {
+	s, idx, win := schedule1M()
+	opt := render.Options{Workers: 1, Index: idx, Window: &win, LOD: true}
+	// The canvas is reused across iterations: every pixel a render touches
+	// is overwritten deterministically, and allocating the 3.8 MB backing
+	// image would otherwise dominate the fast path being measured.
+	c := raster.New(1200, 800)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		render.Render(c, s, opt)
+	}
+}
+
+// BenchmarkRender1MFullScan is the ablation baseline: the same render with
+// culling and LOD disabled, so every panel pass scans all indexed tasks —
+// the pre-index code path. The acceptance criterion is Render1M >= 10x
+// faster than this.
+func BenchmarkRender1MFullScan(b *testing.B) {
+	s, idx, win := schedule1M()
+	opt := render.Options{Workers: 1, Index: idx, Window: &win, NoCull: true}
+	c := raster.New(1200, 800)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		render.Render(c, s, opt)
+	}
+}
+
+// BenchmarkRender1MLODFull: the bird's-eye view of the whole trace with
+// density-band aggregation — the paper's Figure 13 shape at a thousand
+// times the job count.
+func BenchmarkRender1MLODFull(b *testing.B) {
+	s, idx, _ := schedule1M()
+	opt := render.Options{Workers: 1, Index: idx, LOD: true}
+	c := raster.New(1200, 800)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		render.Render(c, s, opt)
+	}
+}
+
+// BenchmarkScanSWF1M: streaming parse of a million-job SWF trace; the
+// allocs/op column is the O(1)-allocations-per-job acceptance criterion.
+func BenchmarkScanSWF1M(b *testing.B) {
+	jobs := workload.Generate(workload.DefaultGenerateConfig(1_000_000))
+	var buf bytes.Buffer
+	if err := workload.WriteSWF(&buf, jobs, nil); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		err := workload.ScanSWF(bytes.NewReader(data), nil, func(workload.Job) error {
+			n++
+			return nil
+		})
+		if err != nil || n != len(jobs) {
+			b.Fatalf("scan: %v (%d jobs)", err, n)
+		}
+	}
+}
+
+// BenchmarkRenderColorMemo: a composite-heavy render; the per-render color
+// memo resolves each composite's member types once instead of per panel
+// pass, which shows up in the allocs/op column.
+func BenchmarkRenderColorMemo(b *testing.B) {
+	s := compositeInput().WithComposites()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := raster.New(800, 500)
+		render.Render(c, s, render.Options{Workers: 1})
 	}
 }
 

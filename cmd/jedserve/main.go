@@ -53,6 +53,7 @@ func main() {
 		sessionTTL    = flag.Duration("session-ttl", 0, "expire sessions idle this long, e.g. 30m (0 = never)")
 		renderWorkers = flag.Int("render-workers", 0, "goroutines per rasterization (0 = GOMAXPROCS, 1 = serial)")
 		renderCacheMB = flag.Int("render-cache-mb", 64, "render-result cache size in MiB (0 = no body caching)")
+		lod           = flag.Bool("lod", false, "default level-of-detail rendering (a request's lod= query parameter overrides)")
 		rateLimit     = flag.Float64("rate-limit", 0, "per-client-IP requests per second on /api/v1/ (0 = unlimited)")
 		rateBurst     = flag.Int("rate-burst", 0, "per-client burst above -rate-limit (0 = 2x the rate)")
 		workers       = flag.String("workers", "", "comma-separated base URLs of remote jedserve workers for POST /api/v1/campaigns")
@@ -62,13 +63,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*dir, *addr, *maxSessions, *sessionTTL, *renderWorkers, *renderCacheMB, *rateLimit, *rateBurst, *workers); err != nil {
+	if err := run(*dir, *addr, *maxSessions, *sessionTTL, *renderWorkers, *renderCacheMB, *lod, *rateLimit, *rateBurst, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "jedserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dir, addr string, maxSessions int, sessionTTL time.Duration, renderWorkers, renderCacheMB int, rateLimit float64, rateBurst int, workers string) error {
+func run(dir, addr string, maxSessions int, sessionTTL time.Duration, renderWorkers, renderCacheMB int, lod bool, rateLimit float64, rateBurst int, workers string) error {
 	store := api.NewStore()
 	sessions, err := api.RegisterDir(store, dir)
 	if err != nil {
@@ -87,6 +88,7 @@ func run(dir, addr string, maxSessions int, sessionTTL time.Duration, renderWork
 	srv := api.NewServer(store)
 	srv.SetRenderWorkers(renderWorkers)
 	srv.SetRenderCacheBytes(int64(renderCacheMB) << 20)
+	srv.SetLOD(lod)
 	srv.SetRateLimit(rateLimit, rateBurst)
 	if pool := cliutil.SplitList(workers); len(pool) > 0 {
 		srv.SetCoordWorkers(pool)

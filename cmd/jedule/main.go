@@ -32,6 +32,7 @@ import (
 	"repro/internal/sched"
 	_ "repro/internal/sched/all"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -60,6 +61,9 @@ func run(args []string) error {
 		meta       = fs.Bool("meta", false, "append schedule meta info to the title")
 		stats      = fs.Bool("stats", false, "print schedule statistics to stdout")
 		workers    = fs.Int("render-workers", 0, "goroutines for the rasterization (0 = GOMAXPROCS, 1 = serial; output is identical)")
+		lod        = fs.Bool("lod", false, "level-of-detail rendering: aggregate sub-pixel tasks into density bands in dense panels")
+		window     = fs.String("window", "", "visible time range as min,max (zoom; default: full extent)")
+		workloadN  = fs.Int("workload", 0, "render a deterministic synthetic workload trace of N jobs instead of reading -in")
 		listScheds = fs.Bool("list-schedulers", false, "print the registered scheduler names and exit")
 		schedName  = fs.String("sched", "", "run the named scheduler on a generated DAG instead of reading -in")
 		shape      = fs.String("shape", "random", "DAG shape for -sched: serial, wide, long, random, forkjoin")
@@ -76,6 +80,12 @@ func run(args []string) error {
 	}
 	var schedule *core.Schedule
 	switch {
+	case *workloadN > 0:
+		if *out == "" {
+			fs.Usage()
+			return fmt.Errorf("-out is required with -workload")
+		}
+		schedule = workload.GenerateSchedule(workload.DefaultGenerateConfig(*workloadN))
 	case *schedName != "":
 		if *out == "" {
 			fs.Usage()
@@ -114,9 +124,19 @@ func run(args []string) error {
 	opt := render.Options{
 		Map: cmap, Labels: *labels, Composites: *composites,
 		Title: *title, ShowMeta: *meta, Workers: *workers, Legend: *legend,
+		LOD: *lod,
 	}
 	if !*aligned {
 		opt.Mode = core.ScaledView
+	}
+	if *window != "" {
+		lo, hi, ok := strings.Cut(*window, ",")
+		wlo, err0 := strconv.ParseFloat(strings.TrimSpace(lo), 64)
+		whi, err1 := strconv.ParseFloat(strings.TrimSpace(hi), 64)
+		if !ok || err0 != nil || err1 != nil || !(wlo < whi) {
+			return fmt.Errorf("bad -window %q (want min,max with min < max)", *window)
+		}
+		opt.Window = &core.Extent{Min: wlo, Max: whi}
 	}
 	if *clusters != "" {
 		for _, part := range strings.Split(*clusters, ",") {

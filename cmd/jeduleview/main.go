@@ -41,15 +41,16 @@ func main() {
 		sessionTTL    = flag.Duration("session-ttl", 0, "with -serve-many: expire sessions idle this long (0 = never)")
 		renderWorkers = flag.Int("render-workers", 0, "goroutines per rasterization (0 = GOMAXPROCS, 1 = serial)")
 		renderCacheMB = flag.Int("render-cache-mb", 64, "with -serve-many: render-result cache size in MiB (0 = off)")
+		lod           = flag.Bool("lod", false, "level-of-detail rendering: aggregate sub-pixel tasks into density bands (serve-many default; lod= query overrides)")
 	)
 	flag.Parse()
-	if err := run(*in, *addr, *width, *height, *serveMany, *sessionTTL, *renderWorkers, *renderCacheMB, flag.Args()); err != nil {
+	if err := run(*in, *addr, *width, *height, *serveMany, *sessionTTL, *renderWorkers, *renderCacheMB, *lod, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "jeduleview:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, addr string, width, height int, serveMany bool, sessionTTL time.Duration, renderWorkers, renderCacheMB int, extra []string) error {
+func run(in, addr string, width, height int, serveMany bool, sessionTTL time.Duration, renderWorkers, renderCacheMB int, lod bool, extra []string) error {
 	if serveMany {
 		store := api.NewStore()
 		files := extra
@@ -67,6 +68,7 @@ func run(in, addr string, width, height int, serveMany bool, sessionTTL time.Dur
 		srv := api.NewServer(store)
 		srv.SetRenderWorkers(renderWorkers)
 		srv.SetRenderCacheBytes(int64(renderCacheMB) << 20)
+		srv.SetLOD(lod)
 		fmt.Printf("jeduleview: serving %d sessions on %s (API at /api/v1/)\n", store.Len(), addr)
 		return srv.ListenAndServe(addr)
 	}
@@ -79,6 +81,7 @@ func run(in, addr string, width, height int, serveMany bool, sessionTTL time.Dur
 		return err
 	}
 	vp.Workers = renderWorkers
+	vp.LOD = lod
 	fmt.Printf("jeduleview: serving %s on %s\n", in, addr)
 	return view.NewServer(vp).ListenAndServe(addr)
 }

@@ -1,0 +1,130 @@
+package api
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// denseAPISchedule is dense enough to cross the LOD threshold at the small
+// render sizes the tests use: sub-pixel tasks over a long horizon.
+func denseAPISchedule(n int) *core.Schedule {
+	s := core.NewSingleCluster("dense", 32)
+	for i := 0; i < n; i++ {
+		start := float64(i%997) * 100.17
+		s.AddTask(core.Task{
+			ID: fmt.Sprintf("t%d", i), Type: "computation",
+			Start: start, End: start + 2,
+			Allocations: []core.Allocation{{Cluster: 0, Hosts: []core.HostRange{{Start: i % 32, N: 1}}}},
+		})
+	}
+	s.SortTasks()
+	return s
+}
+
+// TestRenderLOD pins the lod= query surface: explicit values parse, bad
+// values are 400, spelling variants and the server default share one ETag
+// (canonicalization), and the meta counters expose LOD activity.
+func TestRenderLOD(t *testing.T) {
+	ts, srv := newTestServer(t)
+	sess := srv.Store().Add("dense", "upload", denseAPISchedule(2000))
+	base := ts.URL + "/api/v1/sessions/" + sess.ID + "/render?width=200&height=150"
+
+	get := func(u, inm string) *http.Response {
+		t.Helper()
+		req, _ := http.NewRequest("GET", u, nil)
+		if inm != "" {
+			req.Header.Set("If-None-Match", inm)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		return resp
+	}
+
+	if resp := get(base+"&lod=bogus", ""); resp.StatusCode != 400 {
+		t.Fatalf("lod=bogus = %d, want 400", resp.StatusCode)
+	}
+
+	// lod=1 and lod=true canonicalize onto one validator.
+	resp := get(base+"&lod=1", "")
+	etag := resp.Header.Get("ETag")
+	if resp.StatusCode != 200 || etag == "" {
+		t.Fatalf("lod=1 render = %d etag %q", resp.StatusCode, etag)
+	}
+	if resp = get(base+"&lod=true", etag); resp.StatusCode != 304 {
+		t.Fatalf("lod=true with lod=1 etag = %d, want 304", resp.StatusCode)
+	}
+
+	// The default (off) and an explicit lod=false share a validator too,
+	// distinct from the LOD one.
+	resp = get(base, "")
+	offTag := resp.Header.Get("ETag")
+	if offTag == "" || offTag == etag {
+		t.Fatalf("lod-off etag %q vs lod-on %q", offTag, etag)
+	}
+	if resp = get(base+"&lod=false", offTag); resp.StatusCode != 304 {
+		t.Fatalf("explicit lod=false vs default = %d, want 304", resp.StatusCode)
+	}
+
+	// Counters: the dense schedule crossed the threshold, so the one
+	// LOD-enabled rasterization was counted with its aggregated tasks; the
+	// 304 and cache-hit paths must not re-count.
+	get(base+"&lod=1", "") // render-cache hit: closure not re-run
+	code, meta := doJSON(t, "GET", ts.URL+"/api/v1/meta", nil, "")
+	if code != 200 {
+		t.Fatalf("meta = %d", code)
+	}
+	if got := meta["lod_renders"].(float64); got != 1 {
+		t.Fatalf("lod_renders = %v, want 1", got)
+	}
+	if got := meta["lod_tasks_aggregated"].(float64); got <= 0 {
+		t.Fatalf("lod_tasks_aggregated = %v, want > 0", got)
+	}
+	if meta["lod_default"].(bool) {
+		t.Fatal("lod_default true on a fresh server")
+	}
+}
+
+// TestServerLODDefault: SetLOD flips the effective value for requests
+// without a lod= parameter — and because the effective value is hashed, a
+// default-on server answers a plain render with the same ETag as lod=true.
+func TestServerLODDefault(t *testing.T) {
+	ts, srv := newTestServer(t)
+	srv.SetLOD(true)
+	sess := srv.Store().Add("dense", "upload", denseAPISchedule(2000))
+	base := ts.URL + "/api/v1/sessions/" + sess.ID + "/render?width=200&height=150"
+
+	resp, err := http.Get(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	defTag := resp.Header.Get("ETag")
+
+	req, _ := http.NewRequest("GET", base+"&lod=true", nil)
+	req.Header.Set("If-None-Match", defTag)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 304 {
+		t.Fatalf("lod=true vs default-on = %d, want 304", resp.StatusCode)
+	}
+
+	code, meta := doJSON(t, "GET", ts.URL+"/api/v1/meta", nil, "")
+	if code != 200 || !meta["lod_default"].(bool) {
+		t.Fatalf("meta lod_default = %v (%d)", meta["lod_default"], code)
+	}
+	if got := meta["lod_renders"].(float64); got != 1 {
+		t.Fatalf("lod_renders = %v, want 1", got)
+	}
+}

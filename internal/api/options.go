@@ -25,6 +25,12 @@ const (
 type viewParams struct {
 	Width, Height int
 	Opts          render.Options
+	// LODSet records whether the request carried an explicit lod= value;
+	// when absent the server's -lod default applies. encodeImage
+	// canonicalizes the effective value into the ETag'd query either way,
+	// so lod=1, lod=true, and a matching server default share validators —
+	// and a restart with a different default cannot serve stale 304s.
+	LODSet bool
 }
 
 // parseViewParams derives render options from a request's query parameters.
@@ -93,11 +99,13 @@ func parseViewParams(q url.Values) (*viewParams, error) {
 		{"legend", &vp.Opts.Legend},
 		{"meta", &vp.Opts.ShowMeta},
 		{"gray", &gray},
+		{"lod", &vp.Opts.LOD},
 	} {
 		if err := boolParam(q, b.name, b.dst); err != nil {
 			return nil, err
 		}
 	}
+	vp.LODSet = q.Get("lod") != ""
 	if gray {
 		vp.Opts.Map = colormap.Default().Grayscale()
 	}

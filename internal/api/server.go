@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/jedxml"
@@ -31,7 +32,10 @@ type Server struct {
 	jobs          *jobs.Engine
 	coordJobs     *jobs.Engine // coordinated campaigns, isolated from the CPU-bound job slots
 	cache         *renderCache
-	renderWorkers int // render.Options.Workers for every rasterization; 0 = GOMAXPROCS
+	renderWorkers int  // render.Options.Workers for every rasterization; 0 = GOMAXPROCS
+	lodDefault    bool // render.Options.LOD when the request has no lod= param
+	lodRenders    atomic.Int64
+	lodAggregated atomic.Int64
 	limiter       *rateLimiter
 	coordWorkers  []string // remote worker pool for POST /api/v1/campaigns
 	campaigns     campaignTracker
@@ -75,6 +79,11 @@ func (s *Server) Store() *Store { return s.store }
 // GOMAXPROCS, 1 = serial). Call before serving; it is not synchronized with
 // in-flight requests.
 func (s *Server) SetRenderWorkers(n int) { s.renderWorkers = n }
+
+// SetLOD sets the server-wide default for level-of-detail rendering; a
+// request's explicit lod= query parameter always wins. Call before serving;
+// it is not synchronized with in-flight requests.
+func (s *Server) SetLOD(on bool) { s.lodDefault = on }
 
 // SetRenderCacheBytes rebounds the render-result cache (0 disables body
 // storage; concurrent identical renders still collapse into one flight).
@@ -351,14 +360,35 @@ func (s *Server) encodeImage(w http.ResponseWriter, r *http.Request, download bo
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	etag := etagFor(sess, r.URL.Query())
+	if !vp.LODSet {
+		vp.Opts.LOD = s.lodDefault
+	}
+	// Canonicalize the effective LOD into the hashed query: lod=1, lod=true
+	// and an equal server default collapse onto one validator, and a restart
+	// with a different -lod default cannot answer 304 for a body it would
+	// now render differently.
+	q := r.URL.Query()
+	q.Set("lod", strconv.FormatBool(vp.Opts.LOD))
+	etag := etagFor(sess, q)
 	if handleConditional(w, r, etag) {
 		return
 	}
 	vp.Opts.Workers = s.renderWorkers
+	schedule, index := sess.ScheduleWithIndex()
+	if !vp.Opts.Composites {
+		// The session-cached index matches the schedule as stored; with
+		// composites on, Render derives extra tasks and rebuilds anyway.
+		vp.Opts.Index = index
+	}
+	if vp.Opts.LOD {
+		vp.Opts.LODReport = func(n int) {
+			s.lodRenders.Add(1)
+			s.lodAggregated.Add(int64(n))
+		}
+	}
 	body, cachedCT, hit, err := s.cache.Render(etag, sess.ID, func() ([]byte, string, error) {
 		var buf bytes.Buffer
-		if err := render.Encode(&buf, format, sess.Schedule(), vp.Width, vp.Height, vp.Opts); err != nil {
+		if err := render.Encode(&buf, format, schedule, vp.Width, vp.Height, vp.Opts); err != nil {
 			return nil, "", err
 		}
 		return buf.Bytes(), ct, nil
@@ -384,12 +414,15 @@ func (s *Server) encodeImage(w http.ResponseWriter, r *http.Request, download bo
 // worker bound, session TTL, and the render-cache counters.
 func (s *Server) serverMeta(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"sessions":            s.store.Len(),
-		"render_workers":      s.renderWorkers,
-		"session_ttl_seconds": s.store.TTL().Seconds(),
-		"render_cache":        s.cache.Stats(),
-		"rate_limit":          s.limiter.Stats(),
-		"coord_workers":       len(s.coordWorkers),
+		"sessions":             s.store.Len(),
+		"render_workers":       s.renderWorkers,
+		"session_ttl_seconds":  s.store.TTL().Seconds(),
+		"render_cache":         s.cache.Stats(),
+		"rate_limit":           s.limiter.Stats(),
+		"coord_workers":        len(s.coordWorkers),
+		"lod_default":          s.lodDefault,
+		"lod_renders":          s.lodRenders.Load(),
+		"lod_tasks_aggregated": s.lodAggregated.Load(),
 	})
 }
 
@@ -492,6 +525,8 @@ func (s *Server) tasks(w http.ResponseWriter, r *http.Request) {
 		}
 		if vp.Opts.Composites {
 			schedule = schedule.WithComposites()
+		} else {
+			schedule, vp.Opts.Index = sess.ScheduleWithIndex()
 		}
 		l := render.ComputeLayout(schedule, float64(vp.Width), float64(vp.Height), vp.Opts)
 		idx, hit := l.HitTest(schedule, x, y)

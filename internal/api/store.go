@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/render"
 )
 
 // Session is one schedule held by the server. The schedule pointer is
@@ -33,8 +34,9 @@ type Session struct {
 
 	mu    sync.RWMutex
 	sched *core.Schedule
-	rev   int64  // bumped by Replace; part of the ETag of stateless reads
-	fp    uint64 // content fingerprint of the schedule, computed on swap
+	idx   *render.TaskIndex // lazy render index of sched; cleared on Replace
+	rev   int64             // bumped by Replace; part of the ETag of stateless reads
+	fp    uint64            // content fingerprint of the schedule, computed on swap
 
 	store      *Store       // owning store; drop notifications on Replace
 	lastUse    atomic.Int64 // store clock tick of the last Get (LRU eviction)
@@ -64,12 +66,33 @@ func (s *Session) Schedule() *core.Schedule {
 	return s.sched
 }
 
+// ScheduleWithIndex returns the current schedule together with its render
+// task index, building the index on first use and caching it until Replace
+// swaps the schedule. The returned pair is always consistent: when a
+// concurrent Replace wins the race, the caller gets the schedule it started
+// from with a freshly built index rather than a mismatched pair.
+func (s *Session) ScheduleWithIndex() (*core.Schedule, *render.TaskIndex) {
+	s.mu.RLock()
+	sched, idx := s.sched, s.idx
+	s.mu.RUnlock()
+	if idx == nil {
+		idx = render.BuildIndex(sched)
+		s.mu.Lock()
+		if s.sched == sched && s.idx == nil {
+			s.idx = idx
+		}
+		s.mu.Unlock()
+	}
+	return sched, idx
+}
+
 // Replace swaps in a new schedule (the viewer's fast-reread path) and bumps
 // the revision, invalidating cached renders of the old schedule.
 func (s *Session) Replace(sched *core.Schedule) {
 	fp := fingerprintOf(sched)
 	s.mu.Lock()
 	s.sched = sched
+	s.idx = nil
 	s.fp = fp
 	s.rev++
 	s.mu.Unlock()

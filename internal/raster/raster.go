@@ -80,10 +80,23 @@ func (c *Canvas) FillRect(x, y, w, h float64, col color.RGBA) {
 	x0, y0 := int(math.Floor(x)), int(math.Floor(y))
 	x1, y1 := int(math.Ceil(x+w)), int(math.Ceil(y+h))
 	r := image.Rect(x0, y0, x1, y1).Intersect(c.clip)
-	for py := r.Min.Y; py < r.Max.Y; py++ {
-		for px := r.Min.X; px < r.Max.X; px++ {
-			c.img.SetRGBA(px, py, col)
-		}
+	if r.Empty() {
+		return
+	}
+	// Paint the first row pixel by pixel, then replicate it with copy:
+	// memmove beats per-pixel offset arithmetic by an order of magnitude
+	// on the wide fills (panel backgrounds, zoomed-in tasks) that dominate
+	// rasterization time.
+	rowLen := 4 * r.Dx()
+	off := c.img.PixOffset(r.Min.X, r.Min.Y)
+	first := c.img.Pix[off : off+rowLen]
+	first[0], first[1], first[2], first[3] = col.R, col.G, col.B, col.A
+	for n := 4; n < rowLen; n *= 2 {
+		copy(first[n:], first[:n]) // double the painted prefix each step
+	}
+	for py := r.Min.Y + 1; py < r.Max.Y; py++ {
+		off += c.img.Stride
+		copy(c.img.Pix[off:off+rowLen], first)
 	}
 }
 

@@ -1,0 +1,150 @@
+package render
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// TaskIndex is the per-cluster task index behind the renderer's fast path.
+// For every cluster it keeps the indices of the tasks allocated there,
+// sorted by start time, together with a running maximum of the finish
+// times. drawPanel then binary-searches the visible time window instead of
+// scanning every task of the schedule for every panel: two searches bound
+// the candidate range
+//
+//   - tasks sorted by start: the first index whose start exceeds the window
+//     ends the range;
+//   - the max-finish prefix is non-decreasing, so the first index whose
+//     prefix maximum reaches the window begins it — everything before it
+//     finished strictly before the window opens.
+//
+// The index also interns task types into small integer ids so a render can
+// memoize color-map lookups per type instead of per task per panel.
+//
+// An index is immutable after BuildIndex and safe for concurrent readers.
+// It is valid only for the exact schedule it was built from; Render guards
+// with Matches and silently rebuilds on a mismatch (for example after
+// WithComposites appended composite tasks).
+type TaskIndex struct {
+	nTasks    int
+	types     []string // interned task types, first-seen order
+	typeIDs   []int32  // per task: index into types
+	byCluster map[int]*clusterIndex
+}
+
+// clusterIndex splits one cluster's tasks into the two draw passes: plain
+// tasks first, composite overlays on top.
+type clusterIndex struct {
+	plain spanList
+	comp  spanList
+}
+
+// spanList is a start-sorted list of task indices with a max-finish prefix.
+type spanList struct {
+	idx    []int32   // task indices, sorted by (start, index)
+	start  []float64 // start[i] = Tasks[idx[i]].Start
+	maxEnd []float64 // maxEnd[i] = max of Tasks[idx[j]].End for j <= i
+}
+
+// visible returns the half-open candidate range [lo, hi) of tasks that can
+// intersect the time window [wlo, whi]. Candidates still need the usual
+// per-task clipping (a task inside the range may individually end before
+// the window), which TaskRects already performs.
+func (sl *spanList) visible(wlo, whi float64) (int, int) {
+	hi := sort.Search(len(sl.start), func(i int) bool { return sl.start[i] > whi })
+	lo := sort.Search(hi, func(i int) bool { return sl.maxEnd[i] >= wlo })
+	return lo, hi
+}
+
+func (sl *spanList) add(s *core.Schedule, ti int32) {
+	t := &s.Tasks[ti]
+	sl.idx = append(sl.idx, ti)
+	sl.start = append(sl.start, t.Start)
+	sl.maxEnd = append(sl.maxEnd, t.End) // prefix-maximized in finish()
+}
+
+func (sl *spanList) finish(s *core.Schedule) {
+	sort.SliceStable(sl.idx, func(a, b int) bool {
+		sa, sb := s.Tasks[sl.idx[a]].Start, s.Tasks[sl.idx[b]].Start
+		if sa != sb {
+			return sa < sb
+		}
+		return sl.idx[a] < sl.idx[b]
+	})
+	running := 0.0
+	for i, ti := range sl.idx {
+		t := &s.Tasks[ti]
+		sl.start[i] = t.Start
+		if i == 0 || t.End > running {
+			running = t.End
+		}
+		sl.maxEnd[i] = running
+	}
+}
+
+// BuildIndex indexes the schedule for rendering and hit testing. It costs
+// one O(n log n) pass; long-lived holders of a schedule (the API session
+// store) build it once and pass it through Options.Index so every
+// subsequent render of the same schedule skips the pass.
+func BuildIndex(s *core.Schedule) *TaskIndex {
+	ix := &TaskIndex{
+		nTasks:    len(s.Tasks),
+		typeIDs:   make([]int32, len(s.Tasks)),
+		byCluster: make(map[int]*clusterIndex, len(s.Clusters)),
+	}
+	typeID := map[string]int32{}
+	for i := range s.Tasks {
+		t := &s.Tasks[i]
+		id, ok := typeID[t.Type]
+		if !ok {
+			id = int32(len(ix.types))
+			typeID[t.Type] = id
+			ix.types = append(ix.types, t.Type)
+		}
+		ix.typeIDs[i] = id
+		for _, a := range t.Allocations {
+			ci := ix.byCluster[a.Cluster]
+			if ci == nil {
+				ci = &clusterIndex{}
+				ix.byCluster[a.Cluster] = ci
+			}
+			if t.Type == core.CompositeType {
+				ci.comp.add(s, int32(i))
+			} else {
+				ci.plain.add(s, int32(i))
+			}
+		}
+	}
+	for _, ci := range ix.byCluster {
+		ci.plain.finish(s)
+		ci.comp.finish(s)
+	}
+	return ix
+}
+
+// Matches reports whether the index plausibly belongs to the schedule. The
+// check is deliberately cheap (task count only); callers own the stronger
+// contract of pairing an index with the schedule it was built from.
+func (ix *TaskIndex) Matches(s *core.Schedule) bool {
+	return ix != nil && ix.nTasks == len(s.Tasks)
+}
+
+// cluster returns the per-cluster lists, or an empty index for clusters
+// without tasks.
+func (ix *TaskIndex) cluster(id int) *clusterIndex {
+	if ci := ix.byCluster[id]; ci != nil {
+		return ci
+	}
+	return &emptyClusterIndex
+}
+
+var emptyClusterIndex clusterIndex
+
+// list returns the span list of one draw pass (0 = plain, 1 = composite).
+func (ci *clusterIndex) list(pass int) *spanList {
+	if pass == 0 {
+		return &ci.plain
+	}
+	return &ci.comp
+}

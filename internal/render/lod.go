@@ -1,0 +1,219 @@
+package render
+
+import (
+	"image/color"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Level-of-detail rasterization. On a bird's-eye view of a million-task
+// trace most tasks are narrower than one pixel; drawing each one costs a
+// FillRect that lands on the same pixel column as thousands of its
+// neighbours. When a panel's visible plain-task count crosses
+// lodDensityThreshold tasks per pixel column, those sub-pixel tasks are
+// folded into density bands instead: a per-pixel cell grid counts how many
+// sub-pixel tasks cover each (column, row) cell and remembers the type of
+// the first covering task in draw order, then vertical runs of cells with
+// the same (type, density bucket) become one FillRect whose color blends
+// the panel background toward the type color — darker means denser.
+//
+// The whole aggregation is computed serially in newRenderState, before any
+// parallel draw phase, from (schedule, viewport, panel geometry) only.
+// Parallel raster strips replay the same precomputed band list, so output
+// is byte-identical across Options.Workers, and the strong ETag / render
+// cache stay valid. Tasks at least one pixel wide, and composite overlays,
+// are always drawn individually on top of the bands.
+
+const (
+	// lodDensityThreshold is the visible-plain-tasks-per-pixel-column ratio
+	// above which a panel switches to density bands.
+	lodDensityThreshold = 2.0
+	// lodBuckets is the number of density buckets (1, 2, 3, >=4 tasks per
+	// cell); each bucket maps to one shade of the task type's ramp.
+	lodBuckets = 4
+)
+
+// lodBlend[b] is how far bucket b blends from the panel background toward
+// the task type's fill color.
+var lodBlend = [lodBuckets]float64{0.35, 0.55, 0.75, 1.0}
+
+// lodPanelBG matches the plot background fill in drawPanel.
+var lodPanelBG = color.RGBA{250, 250, 250, 255}
+
+// lodRamp precomputes the bucket shades for one task type.
+func lodRamp(bg color.RGBA) [lodBuckets]color.RGBA {
+	var ramp [lodBuckets]color.RGBA
+	for b := 0; b < lodBuckets; b++ {
+		f := lodBlend[b]
+		ramp[b] = color.RGBA{
+			R: uint8(float64(lodPanelBG.R) + (float64(bg.R)-float64(lodPanelBG.R))*f),
+			G: uint8(float64(lodPanelBG.G) + (float64(bg.G)-float64(lodPanelBG.G))*f),
+			B: uint8(float64(lodPanelBG.B) + (float64(bg.B)-float64(lodPanelBG.B))*f),
+			A: 255,
+		}
+	}
+	return ramp
+}
+
+// lodBand is one merged density rectangle in screen coordinates.
+type lodBand struct {
+	x, y, w, h float64
+	col        color.RGBA
+}
+
+// panelLOD is the precomputed aggregation of one panel.
+type panelLOD struct {
+	bands      []lodBand
+	aggregated int     // plain tasks folded into bands
+	pxPerTime  float64 // horizontal scale, for the aggregates test
+}
+
+// aggregates reports whether a plain task is folded into the density bands
+// (and must therefore be skipped by the individual draw pass). It is a pure
+// function of the task and the panel geometry, so every parallel strip
+// agrees with the serial precomputation: a task is folded exactly when its
+// window-clipped extent is narrower than one pixel.
+func (ld *panelLOD) aggregates(p *Panel, t *core.Task) bool {
+	lo := math.Max(t.Start, p.Time.Min)
+	hi := math.Min(t.End, p.Time.Max)
+	if hi < lo {
+		return false // no visible extent; nothing is drawn either way
+	}
+	return (hi-lo)*ld.pxPerTime < 1
+}
+
+// computePanelLOD builds the density bands of one panel, or returns nil
+// when the panel is below the density threshold (then every task is drawn
+// individually, exactly as with LOD off).
+func computePanelLOD(s *core.Schedule, p *Panel, st *renderState) *panelLOD {
+	gw, gh := int(p.Plot.W), int(p.Plot.H)
+	if gw <= 0 || gh <= 0 {
+		return nil
+	}
+	ci := st.idx.cluster(p.Cluster.ID)
+	sl := ci.list(0)
+	lo, hi := sl.visible(p.Time.Min, p.Time.Max)
+	if float64(hi-lo) <= lodDensityThreshold*float64(gw) {
+		return nil
+	}
+	ld := &panelLOD{pxPerTime: p.Plot.W / p.Time.Span()}
+
+	// Cheap pre-pass: if no candidate is actually sub-pixel (a deep zoom
+	// can have many candidates but every one wider than a pixel), skip the
+	// grid allocation entirely.
+	anySubPixel := false
+	for k := lo; k < hi; k++ {
+		if ld.aggregates(p, &s.Tasks[sl.idx[k]]) {
+			anySubPixel = true
+			break
+		}
+	}
+	if !anySubPixel {
+		return nil
+	}
+
+	// Cell grid: count of covering sub-pixel tasks and the type of the
+	// first one, per (column, row) pixel cell. Column-major so the band
+	// merge below walks each column contiguously. Transient: released once
+	// the bands are extracted.
+	count := make([]uint16, gw*gh)
+	typeAt := make([]int32, gw*gh)
+	for i := range typeAt {
+		typeAt[i] = -1
+	}
+	for k := lo; k < hi; k++ {
+		ti := sl.idx[k]
+		t := &s.Tasks[ti]
+		if !ld.aggregates(p, t) {
+			continue
+		}
+		tlo := math.Max(t.Start, p.Time.Min)
+		col := int((tlo - p.Time.Min) * ld.pxPerTime)
+		if col < 0 {
+			col = 0
+		} else if col >= gw {
+			col = gw - 1
+		}
+		a, ok := t.AllocationOn(p.Cluster.ID)
+		if !ok {
+			continue
+		}
+		// The allocation's host ranges are walked as stored — no
+		// HostList materialization or re-normalization; at a million
+		// tasks that per-task allocation dominates the whole pass.
+		covered := false
+		for _, r := range a.Hosts {
+			if r.N <= 0 || r.Start >= p.Rows {
+				continue
+			}
+			y0 := p.Transform.YToScreen(float64(r.Start)) - p.Plot.Y
+			y1 := p.Transform.YToScreen(math.Min(float64(r.End()), float64(p.Rows))) - p.Plot.Y
+			py0 := int(y0)
+			if py0 < 0 {
+				py0 = 0
+			} else if py0 > gh-1 {
+				py0 = gh - 1
+			}
+			py1 := int(math.Ceil(y1))
+			if py1 < py0+1 {
+				py1 = py0 + 1
+			} else if py1 > gh {
+				py1 = gh
+			}
+			base := col * gh
+			for py := py0; py < py1; py++ {
+				cell := base + py
+				if count[cell] < math.MaxUint16 {
+					count[cell]++
+				}
+				if typeAt[cell] < 0 {
+					typeAt[cell] = st.idx.typeIDs[ti]
+				}
+				covered = true
+			}
+		}
+		if covered {
+			ld.aggregated++
+		}
+	}
+
+	// Merge vertical runs of equal (type, bucket) cells into bands.
+	for col := 0; col < gw; col++ {
+		base := col * gh
+		py := 0
+		for py < gh {
+			c := count[base+py]
+			if c == 0 {
+				py++
+				continue
+			}
+			typ, b := typeAt[base+py], lodBucket(c)
+			run := py + 1
+			for run < gh && count[base+run] > 0 &&
+				typeAt[base+run] == typ && lodBucket(count[base+run]) == b {
+				run++
+			}
+			ld.bands = append(ld.bands, lodBand{
+				x:   p.Plot.X + float64(col),
+				y:   p.Plot.Y + float64(py),
+				w:   1,
+				h:   float64(run - py),
+				col: st.lodShades[typ][b],
+			})
+			py = run
+		}
+	}
+	if ld.aggregated == 0 {
+		return nil
+	}
+	return ld
+}
+
+// lodBucket maps a cell count to its density bucket.
+func lodBucket(c uint16) int {
+	if int(c) >= lodBuckets {
+		return lodBuckets - 1
+	}
+	return int(c) - 1
+}

@@ -1,0 +1,192 @@
+package render
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// denseSchedule builds a single-cluster schedule dense enough to cross the
+// LOD threshold at small canvas sizes: nTasks short tasks over a long
+// horizon, so almost every task is narrower than one pixel.
+func denseSchedule(rng *rand.Rand, nTasks int) *core.Schedule {
+	s := core.NewSingleCluster("dense", 64)
+	types := []string{"computation", "transfer", "idle"}
+	for i := 0; i < nTasks; i++ {
+		start := rng.Float64() * 100_000
+		end := start + 1 + rng.Float64()*20
+		first := rng.Intn(64)
+		n := 1 + rng.Intn(64-first)
+		s.AddTask(core.Task{
+			ID: taskIDt(i), Type: types[i%len(types)],
+			Start: start, End: end,
+			Allocations: []core.Allocation{{Cluster: 0, Hosts: []core.HostRange{{Start: first, N: n}}}},
+		})
+	}
+	s.SortTasks()
+	return s
+}
+
+func taskIDt(i int) string {
+	return "t" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+(i/676)%26)) + string(rune('a'+(i/17576)%26))
+}
+
+// TestIndexCullEquivalence: the binary-search culling fast path must paint
+// exactly what a full scan of the per-panel lists paints, with and without
+// a caller-supplied prebuilt index, zoomed and unzoomed.
+func TestIndexCullEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 6; trial++ {
+		s := randomSchedule(rng, 1+trial%3, 150+rng.Intn(400))
+		opt := Options{Labels: true, Workers: 1}
+		if trial%2 == 0 {
+			opt.Window = &core.Extent{Min: 20, Max: 60}
+		}
+		wantPNG, wantSVG, wantPDF := renderAll(t, s, 420, 300, opt)
+
+		full := opt
+		full.NoCull = true
+		gotPNG, gotSVG, gotPDF := renderAll(t, s, 420, 300, full)
+		if !bytes.Equal(wantPNG, gotPNG) || !bytes.Equal(wantSVG, gotSVG) || !bytes.Equal(wantPDF, gotPDF) {
+			t.Fatalf("trial %d: culled render differs from full scan", trial)
+		}
+
+		pre := opt
+		pre.Index = BuildIndex(s)
+		gotPNG, gotSVG, gotPDF = renderAll(t, s, 420, 300, pre)
+		if !bytes.Equal(wantPNG, gotPNG) || !bytes.Equal(wantSVG, gotSVG) || !bytes.Equal(wantPDF, gotPDF) {
+			t.Fatalf("trial %d: prebuilt-index render differs", trial)
+		}
+	}
+}
+
+// TestLODDeterminism fuzzes the hard invariant behind the render cache:
+// with LOD on (and off), every worker count must produce byte-identical
+// png, svg, and pdf output.
+func TestLODDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 4; trial++ {
+		var s *core.Schedule
+		if trial%2 == 0 {
+			s = denseSchedule(rng, 4000+rng.Intn(3000))
+		} else {
+			s = randomSchedule(rng, 2, 300+rng.Intn(300))
+		}
+		for _, lod := range []bool{true, false} {
+			opt := Options{Labels: true, Workers: 1, LOD: lod}
+			wantPNG, wantSVG, wantPDF := renderAll(t, s, 400, 280, opt)
+			for _, workers := range []int{2, 8} {
+				opt.Workers = workers
+				png, svgB, pdfB := renderAll(t, s, 400, 280, opt)
+				if !bytes.Equal(wantPNG, png) {
+					t.Fatalf("trial %d lod=%v: png differs at %d workers", trial, lod, workers)
+				}
+				if !bytes.Equal(wantSVG, svgB) {
+					t.Fatalf("trial %d lod=%v: svg differs at %d workers", trial, lod, workers)
+				}
+				if !bytes.Equal(wantPDF, pdfB) {
+					t.Fatalf("trial %d lod=%v: pdf differs at %d workers", trial, lod, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestLODAggregation checks that the density path actually engages on a
+// dense panel — tasks are folded, reported once per render, and the bands
+// change the raster — while a sparse schedule reports zero and renders
+// exactly as with LOD off.
+func TestLODAggregation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dense := denseSchedule(rng, 6000)
+
+	var reported []int
+	opt := Options{Workers: 1, LOD: true, LODReport: func(n int) { reported = append(reported, n) }}
+	lodPNG, _, _ := renderAll(t, dense, 400, 280, opt)
+	if len(reported) != 3 { // one per backend render
+		t.Fatalf("LODReport called %d times, want 3", len(reported))
+	}
+	if reported[0] == 0 {
+		t.Fatal("dense schedule aggregated no tasks")
+	}
+	for _, n := range reported {
+		if n != reported[0] {
+			t.Fatalf("aggregation count varies across backends: %v", reported)
+		}
+	}
+	offPNG, _, _ := renderAll(t, dense, 400, 280, Options{Workers: 1})
+	if bytes.Equal(lodPNG, offPNG) {
+		t.Fatal("LOD render identical to non-LOD render on a dense schedule")
+	}
+
+	reported = nil
+	sparse := randomSchedule(rng, 1, 40)
+	spLOD, _, _ := renderAll(t, sparse, 400, 280, opt)
+	spOff, _, _ := renderAll(t, sparse, 400, 280, Options{Workers: 1})
+	if !bytes.Equal(spLOD, spOff) {
+		t.Fatal("below-threshold LOD render differs from plain render")
+	}
+	for _, n := range reported {
+		if n != 0 {
+			t.Fatalf("sparse schedule reported %d aggregated tasks", n)
+		}
+	}
+}
+
+// TestSpanListVisible pins the binary-search window semantics: candidates
+// are exactly the tasks whose start precedes the window end and whose
+// max-finish prefix reaches the window start.
+func TestSpanListVisible(t *testing.T) {
+	s := core.NewSingleCluster("c", 4)
+	// Tasks: [0,1] [2,3] [4,50] [6,7] [8,9] — the long third task keeps
+	// later prefixes high.
+	spans := [][2]float64{{0, 1}, {2, 3}, {4, 50}, {6, 7}, {8, 9}}
+	for i, sp := range spans {
+		s.AddTask(core.Task{
+			ID: taskIDt(i), Type: "computation", Start: sp[0], End: sp[1],
+			Allocations: []core.Allocation{{Cluster: 0, Hosts: []core.HostRange{{Start: 0, N: 1}}}},
+		})
+	}
+	ix := BuildIndex(s)
+	sl := ix.cluster(0).list(0)
+	cases := []struct {
+		wlo, whi float64
+		lo, hi   int
+	}{
+		{0, 100, 0, 5}, // everything
+		// Candidates are a superset: t3/t4 start before 20 and the prefix
+		// maximum (the long task) reaches 10, so they stay in range and
+		// are rejected by per-task clipping, not by the search.
+		{10, 20, 2, 5},
+		{6.5, 8.5, 2, 5}, // long task + t3 + t4
+		{60, 70, 5, 5},   // past every finish
+		{-5, -1, 0, 0},   // before every start
+	}
+	for _, c := range cases {
+		lo, hi := sl.visible(c.wlo, c.whi)
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("visible(%g,%g) = [%d,%d), want [%d,%d)", c.wlo, c.whi, lo, hi, c.lo, c.hi)
+		}
+	}
+}
+
+// TestIndexMatches guards the silent-rebuild contract used by the API
+// session cache.
+func TestIndexMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := randomSchedule(rng, 1, 20)
+	ix := BuildIndex(s)
+	if !ix.Matches(s) {
+		t.Fatal("index does not match its own schedule")
+	}
+	var nilIx *TaskIndex
+	if nilIx.Matches(s) {
+		t.Fatal("nil index claims to match")
+	}
+	s2 := randomSchedule(rng, 1, 21)
+	if ix.Matches(s2) {
+		t.Fatal("index matches a schedule with a different task count")
+	}
+}

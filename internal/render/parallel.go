@@ -6,7 +6,6 @@ import (
 	"runtime"
 	"sync"
 
-	"repro/internal/colormap"
 	"repro/internal/core"
 	"repro/internal/pdf"
 	"repro/internal/raster"
@@ -48,22 +47,22 @@ func (o Options) workerCount() int {
 // drawPanelsParallel paints all panels using the backend's parallel
 // strategy, reporting false when the canvas supports none (or parallelism is
 // off) so the caller runs the serial loop instead.
-func drawPanelsParallel(c Canvas, s *core.Schedule, l *Layout, cmap *colormap.Map, opt Options) bool {
-	workers := opt.workerCount()
+func drawPanelsParallel(c Canvas, s *core.Schedule, l *Layout, st *renderState) bool {
+	workers := st.opt.workerCount()
 	if workers <= 1 || len(l.Panels) == 0 {
 		return false
 	}
 	switch cc := c.(type) {
 	case *raster.Canvas:
-		drawPanelsRaster(cc, s, l, cmap, opt, workers)
+		drawPanelsRaster(cc, s, l, st, workers)
 	case *svg.Canvas:
-		frags := drawPanelFragments(s, l, cmap, opt, workers,
+		frags := drawPanelFragments(s, l, st, workers,
 			func() Canvas { return cc.Fragment() })
 		for _, f := range frags {
 			cc.Append(f.(*svg.Canvas))
 		}
 	case *pdf.Canvas:
-		frags := drawPanelFragments(s, l, cmap, opt, workers,
+		frags := drawPanelFragments(s, l, st, workers,
 			func() Canvas { return cc.Fragment() })
 		for _, f := range frags {
 			cc.Append(f.(*pdf.Canvas))
@@ -88,7 +87,7 @@ func panelBand(p *Panel, width int) image.Rectangle {
 // drawPanelsRaster partitions the image into per-panel bands (and, when
 // there are more workers than panels, per-row-band strips within a panel)
 // and rasterizes them on a bounded worker pool.
-func drawPanelsRaster(c *raster.Canvas, s *core.Schedule, l *Layout, cmap *colormap.Map, opt Options, workers int) {
+func drawPanelsRaster(c *raster.Canvas, s *core.Schedule, l *Layout, st *renderState, workers int) {
 	w, _ := c.Size()
 	width := int(w)
 	bands := make([]image.Rectangle, len(l.Panels))
@@ -127,7 +126,7 @@ func drawPanelsRaster(c *raster.Canvas, s *core.Schedule, l *Layout, cmap *color
 		go func() {
 			defer wg.Done()
 			for j := range ch {
-				drawPanel(c.Sub(j.clip), s, &l.Panels[j.panel], cmap, opt)
+				drawPanel(c.Sub(j.clip), s, &l.Panels[j.panel], st)
 			}
 		}()
 	}
@@ -140,7 +139,7 @@ func drawPanelsRaster(c *raster.Canvas, s *core.Schedule, l *Layout, cmap *color
 
 // drawPanelFragments renders each panel into its own fragment canvas on a
 // bounded worker pool and returns the fragments in layout order.
-func drawPanelFragments(s *core.Schedule, l *Layout, cmap *colormap.Map, opt Options, workers int, fragment func() Canvas) []Canvas {
+func drawPanelFragments(s *core.Schedule, l *Layout, st *renderState, workers int, fragment func() Canvas) []Canvas {
 	frags := make([]Canvas, len(l.Panels))
 	ch := make(chan int)
 	var wg sync.WaitGroup
@@ -150,7 +149,7 @@ func drawPanelFragments(s *core.Schedule, l *Layout, cmap *colormap.Map, opt Opt
 			defer wg.Done()
 			for pi := range ch {
 				f := fragment()
-				drawPanel(f, s, &l.Panels[pi], cmap, opt)
+				drawPanel(f, s, &l.Panels[pi], st)
 				frags[pi] = f
 			}
 		}()

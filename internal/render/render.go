@@ -65,6 +65,28 @@ type Options struct {
 	// the pixels into non-overlapping bands, vector backends record each
 	// panel into its own fragment and composite in layout order.
 	Workers int
+	// Index supplies a prebuilt task index (BuildIndex) so repeated
+	// renders of the same schedule skip the O(n log n) indexing pass.
+	// The index must have been built from exactly this schedule; an index
+	// that does not match (for example one built before Composites
+	// derived extra tasks) is ignored and rebuilt.
+	Index *TaskIndex
+	// LOD enables level-of-detail rasterization: when a panel's visible
+	// task density crosses lodDensityThreshold tasks per pixel column,
+	// tasks narrower than one pixel are aggregated into exact density
+	// bands instead of being drawn individually. The aggregation is a
+	// pure function of (schedule, viewport, canvas size) — never of
+	// worker count or map order — so output stays byte-identical across
+	// Options.Workers and cacheable under strong ETags.
+	LOD bool
+	// LODReport, when non-nil, is called once per Render with the number
+	// of tasks that were folded into density bands (0 when LOD is off or
+	// no panel crossed the density threshold).
+	LODReport func(tasksAggregated int)
+	// NoCull disables the binary-search window culling and scans every
+	// indexed task of each panel — the pre-index code path, kept as an
+	// ablation switch for benchmarks and equivalence tests.
+	NoCull bool
 }
 
 // colorRGBA aliases the stdlib color type for the canvas adapters.
@@ -74,6 +96,10 @@ type colorRGBA = color.RGBA
 type Layout struct {
 	Panels []Panel
 	Title  string
+
+	// index accelerates HitTest and the draw passes; computed (or adopted
+	// from Options.Index) by ComputeLayout.
+	index *TaskIndex
 }
 
 // Panel is the drawing region of one cluster.
@@ -83,6 +109,11 @@ type Panel struct {
 	Time      core.Extent // visible time range
 	Rows      int         // host rows
 	Transform geom.Transform
+
+	// lod holds the precomputed density bands of this panel, or nil when
+	// level-of-detail aggregation is off or below threshold. Computed
+	// serially by newRenderState before any parallel draw phase.
+	lod *panelLOD
 }
 
 const (
@@ -105,10 +136,17 @@ var (
 	colBorder = color.RGBA{0, 0, 0, 255}
 )
 
-// ComputeLayout arranges the selected clusters on a canvas of the given size.
+// ComputeLayout arranges the selected clusters on a canvas of the given
+// size. It also attaches the per-panel task index (adopting Options.Index
+// when it matches the schedule, building one otherwise) so both rendering
+// and hit testing binary-search visible tasks instead of scanning s.Tasks.
 func ComputeLayout(s *core.Schedule, width, height float64, opt Options) *Layout {
 	clusters := selectClusters(s, opt.Clusters)
 	l := &Layout{Title: opt.Title}
+	l.index = opt.Index
+	if !l.index.Matches(s) {
+		l.index = BuildIndex(s)
+	}
 	if opt.ShowMeta && len(s.Meta) > 0 {
 		var parts []string
 		for _, m := range s.Meta {
@@ -145,9 +183,14 @@ func ComputeLayout(s *core.Schedule, width, height float64, opt Options) *Layout
 	}
 	y := top
 	for _, c := range clusters {
-		ext := s.ExtentFor(c.ID, opt.Mode)
+		var ext core.Extent
 		if opt.Window != nil {
+			// An explicit window replaces the data extent entirely — skip
+			// the O(tasks) ExtentFor scan, which at a million tasks costs
+			// more than the whole culled draw.
 			ext = *opt.Window
+		} else {
+			ext = s.ExtentFor(c.ID, opt.Mode)
 		}
 		if ext.Span() <= 0 {
 			ext = core.Extent{Min: ext.Min, Max: ext.Min + 1}
@@ -199,6 +242,18 @@ func (p *Panel) TaskRects(t *core.Task) []geom.Rect {
 	end = math.Min(end, p.Time.Max)
 	x0 := p.Transform.XToScreen(start)
 	x1 := p.Transform.XToScreen(end)
+	if len(a.Hosts) == 1 && a.Hosts[0].N > 0 {
+		// Single contiguous range — the overwhelmingly common case: skip
+		// the HostList expansion and re-normalization, which otherwise
+		// costs three allocations per visible task.
+		r := a.Hosts[0]
+		if r.Start >= p.Rows {
+			return nil
+		}
+		y0 := p.Transform.YToScreen(float64(r.Start))
+		y1 := p.Transform.YToScreen(math.Min(float64(r.End()), float64(p.Rows)))
+		return []geom.Rect{{X: x0, Y: y0, W: x1 - x0, H: y1 - y0}}
+	}
 	var out []geom.Rect
 	for _, r := range core.RangesFromHosts(a.HostList()) {
 		if r.Start >= p.Rows {
@@ -213,25 +268,42 @@ func (p *Panel) TaskRects(t *core.Task) []geom.Rect {
 
 // HitTest returns the index (into s.Tasks) of the topmost task whose
 // rectangle contains the screen point, preferring composite tasks (drawn on
-// top), and ok=false when the point hits no task.
+// top), and ok=false when the point hits no task. Through the layout's task
+// index only tasks of the panel's cluster are probed; the screen point pins
+// a single time coordinate, so the visible-range search reduces the
+// candidates to the tasks covering that instant.
 func (l *Layout) HitTest(s *core.Schedule, x, y float64) (int, bool) {
-	hit := -1
+	firstPlain, lastComp := -1, -1
 	for pi := range l.Panels {
 		p := &l.Panels[pi]
 		if !p.Plot.Contains(x, y) {
 			continue
 		}
-		for i := range s.Tasks {
-			for _, r := range p.TaskRects(&s.Tasks[i]) {
-				if r.Contains(x, y) {
-					if hit < 0 || s.Tasks[i].Type == core.CompositeType {
-						hit = i
+		ci := l.index.cluster(p.Cluster.ID)
+		for pass := 0; pass < 2; pass++ {
+			sl := ci.list(pass)
+			lo, hi := sl.visible(p.Time.Min, p.Time.Max)
+			for k := lo; k < hi; k++ {
+				i := int(sl.idx[k])
+				for _, r := range p.TaskRects(&s.Tasks[i]) {
+					if !r.Contains(x, y) {
+						continue
+					}
+					if pass == 1 {
+						if i > lastComp {
+							lastComp = i
+						}
+					} else if firstPlain < 0 || i < firstPlain {
+						firstPlain = i
 					}
 				}
 			}
 		}
 	}
-	return hit, hit >= 0
+	if lastComp >= 0 {
+		return lastComp, true
+	}
+	return firstPlain, firstPlain >= 0
 }
 
 // Render paints the schedule onto the canvas.
@@ -245,12 +317,13 @@ func Render(c Canvas, s *core.Schedule, opt Options) *Layout {
 	}
 	w, h := c.Size()
 	l := ComputeLayout(s, w, h, opt)
+	st := newRenderState(s, l, cmap, opt)
 	if l.Title != "" {
 		c.Text(marginLeft, marginTop, elide(c, l.Title, fontTitle, w-marginLeft-marginRight), fontTitle, colAxis)
 	}
-	if !drawPanelsParallel(c, s, l, cmap, opt) {
+	if !drawPanelsParallel(c, s, l, st) {
 		for pi := range l.Panels {
-			drawPanel(c, s, &l.Panels[pi], cmap, opt)
+			drawPanel(c, s, &l.Panels[pi], st)
 		}
 	}
 	bottom := h
@@ -266,10 +339,95 @@ func Render(c Canvas, s *core.Schedule, opt Options) *Layout {
 		first := &l.Panels[0]
 		c.VerticalText(2, first.Plot.Y+first.Plot.H/2-c.TextWidth("hosts", fontAxes)/2, "hosts", fontAxes, colAxis)
 	}
+	if opt.LODReport != nil {
+		opt.LODReport(st.lodAggregated)
+	}
 	return l
 }
 
-func drawPanel(c Canvas, s *core.Schedule, p *Panel, cmap *colormap.Map, opt Options) {
+// renderState carries the per-render memos shared by every panel and draw
+// worker: the task index, the color-map lookups resolved once per task type
+// (and once per composite task), and the precomputed LOD bands. It is
+// immutable after newRenderState, so parallel draw workers read it without
+// synchronization.
+type renderState struct {
+	opt           Options
+	cmap          *colormap.Map
+	idx           *TaskIndex
+	typeColors    []colormap.Colors                // by TaskIndex type id
+	compColors    map[int32]colormap.Colors        // by task index, composite tasks only
+	lodShades     map[int32][lodBuckets]color.RGBA // by type id, density-bucket ramp
+	lodAggregated int
+}
+
+func newRenderState(s *core.Schedule, l *Layout, cmap *colormap.Map, opt Options) *renderState {
+	st := &renderState{opt: opt, cmap: cmap, idx: l.index}
+	st.typeColors = make([]colormap.Colors, len(st.idx.types))
+	for id, typ := range st.idx.types {
+		if typ == core.CompositeType {
+			st.typeColors[id] = cmap.CompositeDefault
+			continue
+		}
+		st.typeColors[id] = cmap.Lookup(typ)
+	}
+	// Composite colors depend on the member types; resolve them once per
+	// composite task through an id->task map instead of the O(n) per-member
+	// Schedule.Task scan. The index's interned type table says whether any
+	// composites exist at all, so a composite-free million-task schedule
+	// never pays a per-render task scan here.
+	hasComposites := false
+	for _, typ := range st.idx.types {
+		if typ == core.CompositeType {
+			hasComposites = true
+			break
+		}
+	}
+	if hasComposites {
+		st.compColors = map[int32]colormap.Colors{}
+		byID := make(map[string]int32, len(s.Tasks))
+		for j := range s.Tasks {
+			byID[s.Tasks[j].ID] = int32(j)
+		}
+		for j := range s.Tasks {
+			if s.Tasks[j].Type == core.CompositeType {
+				st.compColors[int32(j)] = compositeColors(s, &s.Tasks[j], cmap, byID)
+			}
+		}
+	}
+	if opt.LOD {
+		st.lodShades = make(map[int32][lodBuckets]color.RGBA, len(st.typeColors))
+		for id := range st.typeColors {
+			st.lodShades[int32(id)] = lodRamp(st.typeColors[id].BG)
+		}
+		for pi := range l.Panels {
+			p := &l.Panels[pi]
+			p.lod = computePanelLOD(s, p, st)
+			if p.lod != nil {
+				st.lodAggregated += p.lod.aggregated
+			}
+		}
+	}
+	return st
+}
+
+// colorsFor returns the memoized fill/label colors of task ti.
+func (st *renderState) colorsFor(ti int32) colormap.Colors {
+	if c, ok := st.compColors[ti]; ok {
+		return c
+	}
+	return st.typeColors[st.idx.typeIDs[ti]]
+}
+
+// visible resolves one draw pass of a panel, honoring the NoCull ablation
+// switch by widening the range to the full list.
+func (st *renderState) visible(sl *spanList, p *Panel) (int, int) {
+	if st.opt.NoCull {
+		return 0, len(sl.idx)
+	}
+	return sl.visible(p.Time.Min, p.Time.Max)
+}
+
+func drawPanel(c Canvas, s *core.Schedule, p *Panel, st *renderState) {
 	// Panel header: cluster name and id.
 	header := fmt.Sprintf("%s (%d hosts)", p.Cluster.DisplayName(), p.Cluster.Hosts)
 	c.Text(p.Plot.X, p.Plot.Y-panelHeader+2, elide(c, header, fontAxes, p.Plot.W), fontAxes, colAxis)
@@ -283,7 +441,10 @@ func drawPanel(c Canvas, s *core.Schedule, p *Panel, cmap *colormap.Map, opt Opt
 	}
 	for r := gridStep; r < p.Rows; r += gridStep {
 		y := p.Transform.YToScreen(float64(r))
-		c.Line(p.Plot.X, y, p.Plot.X+p.Plot.W, y, colGrid, 1)
+		// Axis-aligned 1px rect, not Line: the DDA walk stamps every pixel
+		// individually, which at hundreds of grid rows costs more than all
+		// visible tasks of a zoomed million-task render.
+		c.FillRect(p.Plot.X, y, p.Plot.W, 1, colGrid)
 	}
 	// Host labels on the left (sampled when dense).
 	labStep := 1
@@ -297,21 +458,32 @@ func drawPanel(c Canvas, s *core.Schedule, p *Panel, cmap *colormap.Map, opt Opt
 		c.Text(p.Plot.X-4-c.TextWidth(lab, fontAxes), y, lab, fontAxes, colAxis)
 	}
 
-	// Tasks: plain tasks first, composites on top.
+	// Density bands below the individually drawn tasks (LOD only).
+	if p.lod != nil {
+		for _, b := range p.lod.bands {
+			c.FillRect(b.x, b.y, b.w, b.h, b.col)
+		}
+	}
+
+	// Tasks: plain tasks first, composites on top, each pass in start-time
+	// order from the panel's index slice of the visible window.
+	ci := st.idx.cluster(p.Cluster.ID)
 	for pass := 0; pass < 2; pass++ {
-		for i := range s.Tasks {
-			t := &s.Tasks[i]
-			isComposite := t.Type == core.CompositeType
-			if (pass == 0) == isComposite {
-				continue
+		sl := ci.list(pass)
+		lo, hi := st.visible(sl, p)
+		for k := lo; k < hi; k++ {
+			ti := sl.idx[k]
+			t := &s.Tasks[ti]
+			if pass == 0 && p.lod != nil && p.lod.aggregates(p, t) {
+				continue // folded into a density band
 			}
-			cols := taskColors(s, t, cmap)
+			cols := st.colorsFor(ti)
 			for _, r := range p.TaskRects(t) {
 				c.FillRect(r.X, r.Y, r.W, r.H, cols.BG)
 				if r.W > 2 && r.H > 2 {
 					c.StrokeRect(r.X, r.Y, r.W, r.H, colBorder, 1)
 				}
-				if opt.Labels && r.W >= c.TextWidth(t.ID, fontLabel)+4 && r.H >= c.TextHeight(fontLabel)+2 {
+				if st.opt.Labels && r.W >= c.TextWidth(t.ID, fontLabel)+4 && r.H >= c.TextHeight(fontLabel)+2 {
 					c.Text(r.X+(r.W-c.TextWidth(t.ID, fontLabel))/2,
 						r.Y+(r.H-c.TextHeight(fontLabel))/2, t.ID, fontLabel, cols.FG)
 				}
@@ -325,7 +497,8 @@ func drawPanel(c Canvas, s *core.Schedule, p *Panel, cmap *colormap.Map, opt Opt
 }
 
 // taskColors resolves the fill/label colors, consulting composite rules for
-// composite tasks based on their member types.
+// composite tasks based on their member types. Render itself goes through
+// the renderState memo; this remains the single-task entry point.
 func taskColors(s *core.Schedule, t *core.Task, cmap *colormap.Map) colormap.Colors {
 	if t.Type != core.CompositeType {
 		return cmap.Lookup(t.Type)
@@ -334,6 +507,21 @@ func taskColors(s *core.Schedule, t *core.Task, cmap *colormap.Map) colormap.Col
 	for _, id := range strings.Split(t.Property("members"), ",") {
 		if m := s.Task(id); m != nil {
 			types = append(types, m.Type)
+		}
+	}
+	if len(types) == 0 {
+		return cmap.CompositeDefault
+	}
+	return cmap.LookupComposite(types)
+}
+
+// compositeColors is taskColors for composite tasks with the member lookup
+// served from a prebuilt id->index map.
+func compositeColors(s *core.Schedule, t *core.Task, cmap *colormap.Map, byID map[string]int32) colormap.Colors {
+	var types []string
+	for _, id := range strings.Split(t.Property("members"), ",") {
+		if j, ok := byID[id]; ok {
+			types = append(types, s.Tasks[j].Type)
 		}
 	}
 	if len(types) == 0 {

@@ -44,6 +44,10 @@ type Viewport struct {
 	// Workers bounds the goroutines per rasterization (render.Options.
 	// Workers): 0 = GOMAXPROCS, 1 = serial. Output is identical either way.
 	Workers int
+	// LOD enables level-of-detail rendering (render.Options.LOD): panels
+	// past the density threshold aggregate sub-pixel tasks into density
+	// bands instead of drawing each rectangle.
+	LOD bool
 
 	window   *core.Extent // nil = full extent
 	clusters []int        // nil = all
@@ -95,7 +99,7 @@ func (v *Viewport) options() render.Options {
 	return render.Options{
 		Mode: v.Mode, Map: v.Map, Clusters: v.clusters,
 		Window: v.window, Labels: v.Labels, Composites: v.Composites,
-		Workers: v.Workers,
+		Workers: v.Workers, LOD: v.LOD,
 	}
 }
 

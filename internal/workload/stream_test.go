@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestScanSWFEquivalence: the streaming parser and the materializing reader
+// must agree record for record, header for header — including the
+// fractional avg-CPU field.
+func TestScanSWFEquivalence(t *testing.T) {
+	wantJobs, wantHdr, err := ReadSWF(strings.NewReader(sampleSWF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotJobs []Job
+	var gotHdr Header
+	err = ScanSWF(strings.NewReader(sampleSWF),
+		func(k, v string) { gotHdr = append(gotHdr, struct{ Key, Value string }{k, v}) },
+		func(j Job) error { gotJobs = append(gotJobs, j); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantJobs, gotJobs) {
+		t.Fatalf("jobs differ:\nread %+v\nscan %+v", wantJobs, gotJobs)
+	}
+	if !reflect.DeepEqual(wantHdr, gotHdr) {
+		t.Fatalf("headers differ:\nread %+v\nscan %+v", wantHdr, gotHdr)
+	}
+}
+
+// TestScanSWFErrors: torn and malformed lines must fail with the offending
+// line number, and a mid-stream job error must stop the scan.
+func TestScanSWFErrors(t *testing.T) {
+	good := "1 0 0 10 2 -1 -1 -1 -1 -1 1 7 -1 -1 1 1 -1 -1\n"
+	cases := []struct {
+		name, input, wantSub string
+	}{
+		{"short line", good + "2 0 0\n", "line 2: 3 fields"},
+		{"bad int field", good + strings.Repeat("x ", 18) + "\n", "line 2 field 1"},
+		{"bad float field 6", "1 0 0 10 2 no.pe -1 -1 -1 -1 1 7 -1 -1 1 1 -1 -1\n", "line 1 field 6"},
+	}
+	for _, c := range cases {
+		err := ScanSWF(strings.NewReader(c.input), nil, func(Job) error { return nil })
+		if err == nil {
+			t.Errorf("%s: no error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantSub)
+		}
+	}
+
+	// Callback errors propagate unchanged and stop the stream.
+	calls := 0
+	sentinel := errSentinel{}
+	err := ScanSWF(strings.NewReader(good+good), nil, func(Job) error {
+		calls++
+		return sentinel
+	})
+	if err != sentinel {
+		t.Fatalf("callback error not propagated: %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("scan continued after callback error: %d calls", calls)
+	}
+}
+
+type errSentinel struct{}
+
+func (errSentinel) Error() string { return "stop" }
+
+// TestScanSWFFractionalAvgCPU pins the satellite fix: field 6 is parsed
+// exactly once, fractional values survive, and integer values take the
+// alloc-free fast path.
+func TestScanSWFFractionalAvgCPU(t *testing.T) {
+	input := "1 0 0 10 2 2.5 -1 -1 -1 -1 1 7 -1 -1 1 1 -1 -1\n" +
+		"2 5 0 10 2 97 -1 -1 -1 -1 1 7 -1 -1 1 1 -1 -1\n"
+	jobs, _, err := ReadSWF(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs[0].AvgCPU != 2.5 || jobs[1].AvgCPU != 97 {
+		t.Fatalf("AvgCPU = %g, %g; want 2.5, 97", jobs[0].AvgCPU, jobs[1].AvgCPU)
+	}
+}
+
+// TestReadSWFWindow: the fused streaming filter must select exactly what
+// FilterWindow selects from a materialized read.
+func TestReadSWFWindow(t *testing.T) {
+	all, _, err := ReadSWF(strings.NewReader(sampleSWF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, win := range [][2]int64{{0, 10_000}, {1000, 2000}, {5000, 6000}} {
+		want := FilterWindow(all, win[0], win[1])
+		got, _, err := ReadSWFWindow(strings.NewReader(sampleSWF), win[0], win[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) != len(got) || (len(want) > 0 && !reflect.DeepEqual(want, got)) {
+			t.Fatalf("window %v: streaming got %d jobs, materialized %d", win, len(got), len(want))
+		}
+	}
+}
+
+// TestScanSWFAllocs: the record path must not allocate per job — the only
+// per-scan allocations are the scanner, its buffer, and the reader.
+func TestScanSWFAllocs(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSWF(&buf, Generate(GenerateConfig{Jobs: 2000, Nodes: 128, Users: 8, Horizon: 86_400, Seed: 2}), nil); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	allocs := testing.AllocsPerRun(5, func() {
+		err := ScanSWF(bytes.NewReader(data), nil, func(Job) error { return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	// ~4 fixed allocations per whole scan; anything growing with the 2000
+	// jobs would push this far beyond the bound.
+	if allocs > 16 {
+		t.Fatalf("ScanSWF allocated %.0f times for 2000 jobs; want O(1) per scan", allocs)
+	}
+}
+
+// TestGenerateDeterminism: the synthetic trace and its direct schedule are
+// pure functions of the config.
+func TestGenerateDeterminism(t *testing.T) {
+	cfg := DefaultGenerateConfig(5_000)
+	a, b := Generate(cfg), Generate(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Generate is not deterministic")
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].Submit < a[i-1].Submit {
+			t.Fatal("Generate output not sorted by submit time")
+		}
+	}
+	s1, s2 := GenerateSchedule(cfg), GenerateSchedule(cfg)
+	if len(s1.Tasks) != len(a) || len(s1.Tasks) != len(s2.Tasks) {
+		t.Fatalf("schedule task counts: %d, %d; jobs %d", len(s1.Tasks), len(s2.Tasks), len(a))
+	}
+	for i := range s1.Tasks {
+		x, y := &s1.Tasks[i], &s2.Tasks[i]
+		if x.ID != y.ID || x.Start != y.Start || x.End != y.End ||
+			!reflect.DeepEqual(x.Allocations, y.Allocations) {
+			t.Fatalf("task %d differs between identical configs", i)
+		}
+	}
+	if err := s1.Validate(); err != nil {
+		t.Fatalf("generated schedule invalid: %v", err)
+	}
+}
