@@ -1,27 +1,44 @@
-// Command jedcoord coordinates one campaign across a pool of remote
-// jedserve workers: it splits the factorial into k/n shards, dispatches
-// each shard over the workers' /api/v1/jobs surface, reassigns the shards
-// of workers that die (bounded by a per-shard attempt budget), and prints
-// the merged summary — byte-identical to a single-process `campaign` run
-// of the same flags.
+// Command jedcoord coordinates one campaign across remote jedserve workers
+// and prints the merged summary — byte-identical to a single-process
+// `campaign` run of the same flags. It speaks two dispatch models:
+//
+// Static pool (-workers): the factorial is split into k/n shards and each
+// shard is pushed over the listed workers' /api/v1/jobs surface; workers
+// that die are retired after a health probe and their shards reassigned,
+// bounded by a per-shard attempt budget.
+//
+// Elastic fleet (-fleet): jedcoord listens on the given address and workers
+// join it (`jedserve -join http://host:port`). Joined workers hold a
+// heartbeat lease and *pull* shards from the coordinator's queue, so a fast
+// machine naturally takes more of the campaign than a slow one; a shard
+// leased past -lease-ttl is requeued for another worker to steal, and
+// workers may join or leave mid-campaign. -min-workers gates dispatch until
+// enough workers have joined.
 //
 // Usage:
 //
 //	jedcoord -workers http://a:8080,http://b:8080 [-shards 4]
+//	jedcoord -fleet 127.0.0.1:9090 [-min-workers 2] [-shards 8]
+//	         [-heartbeat-interval 5s] [-lease-ttl 2m]
 //	         [-algos cpa,mcpa] [-replicates 8] [-seed 1] [-threshold 1.2]
 //	         [-out merged.jsonl] [-resume] [-max-attempts 3]
 //
-// Progress goes to stderr; stdout carries only the summary, so it can be
-// compared (or piped) exactly like the campaign command's. -out streams
-// every fetched cell into a JSONL checkpoint in the cmd/campaign format —
-// `campaign -merge merged.jsonl` reads it — and -resume continues a torn
-// coordinator run without re-dispatching finished shards.
+// Exactly one of -workers and -fleet must be given. Progress goes to
+// stderr; stdout carries only the summary, so it can be compared (or piped)
+// exactly like the campaign command's. -out streams every fetched cell into
+// a JSONL checkpoint in the cmd/campaign format — `campaign -merge
+// merged.jsonl` reads it — and -resume continues a torn coordinator run
+// without re-dispatching finished shards. In fleet mode GET /api/v1/meta on
+// the fleet address reports the fleet counters.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -29,14 +46,20 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/coord"
+	"repro/internal/fleet"
 	"repro/internal/jobs"
 	_ "repro/internal/sched/all"
 )
 
 func main() {
 	var (
-		workers     = flag.String("workers", "", "comma-separated worker base URLs (required)")
-		shards      = flag.Int("shards", 0, "number of k/n shards to dispatch (0 = one per worker)")
+		workers     = flag.String("workers", "", "comma-separated worker base URLs (static pool mode)")
+		fleetAddr   = flag.String("fleet", "", "listen address for the elastic worker fleet, e.g. :9090 (fleet mode)")
+		minWorkers  = flag.Int("min-workers", 1, "fleet: wait for this many joined workers before dispatching")
+		heartbeat   = flag.Duration("heartbeat-interval", fleet.DefaultHeartbeatInterval, "fleet: advertised heartbeat interval (a worker silent for 3 intervals is retired)")
+		leaseTTL    = flag.Duration("lease-ttl", fleet.DefaultLeaseTTL, "fleet: how long one worker may hold a shard before it is requeued for stealing")
+		probeTO     = flag.Duration("probe-timeout", 2*time.Second, "static pool: health-probe timeout deciding whether a failing worker is retired")
+		shards      = flag.Int("shards", 0, "number of k/n shards to dispatch (0 = one per worker, or 4x -min-workers in fleet mode)")
 		algos       = flag.String("algos", "cpa,mcpa", "comma-separated scheduler names to compare")
 		replicates  = flag.Int("replicates", 8, "runs per factorial cell")
 		seed        = flag.Int64("seed", 1, "campaign seed")
@@ -48,7 +71,8 @@ func main() {
 		quiet       = flag.Bool("quiet", false, "suppress progress lines on stderr")
 	)
 	flag.Parse()
-	if *workers == "" {
+	if (*workers == "") == (*fleetAddr == "") {
+		fmt.Fprintln(os.Stderr, "jedcoord: exactly one of -workers (static pool) and -fleet (elastic fleet) is required")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -57,40 +81,95 @@ func main() {
 	}
 
 	cfg := coord.Config{
-		Workers: cliutil.SplitList(*workers),
 		Spec: jobs.CampaignSpec{
 			Algos:      cliutil.SplitList(*algos),
 			Replicates: *replicates,
 			Seed:       *seed,
 		},
-		Shards:      *shards,
-		MaxAttempts: *maxAttempts,
-		Poll:        *poll,
-		Checkpoint:  *out,
-		Resume:      *resume,
+		Shards:       *shards,
+		MaxAttempts:  *maxAttempts,
+		Poll:         *poll,
+		ProbeTimeout: *probeTO,
+		Checkpoint:   *out,
+		Resume:       *resume,
 	}
+	logf := func(string, ...any) {}
 	if !*quiet {
-		cfg.Logf = func(format string, args ...any) {
+		logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
-	}
-	c, err := coord.New(cfg)
-	if err != nil {
-		fail(err)
+		cfg.Logf = logf
 	}
 
-	// Interrupt cancels the run; in-flight remote jobs are cancelled best
+	// Interrupt cancels the run; in-flight work is cancelled or requeued best
 	// effort, and -out keeps the fetched shards for a later -resume.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var m *fleet.Manager
+	if *fleetAddr != "" {
+		m = fleet.NewManager(fleet.Config{
+			HeartbeatInterval: *heartbeat,
+			LeaseTTL:          *leaseTTL,
+			Logf:              cfg.Logf,
+		})
+		srv, err := serveFleet(m, *fleetAddr)
+		if err != nil {
+			fail(err)
+		}
+		defer srv.Close()
+		logf("jedcoord: fleet listening on %s (workers join with `jedserve -join http://<this-host>%s`)",
+			srv.Addr, srv.Addr)
+		cfg.Fleet = m
+		cfg.MinWorkers = *minWorkers
+		if *minWorkers > 1 {
+			logf("jedcoord: waiting for %d workers to join", *minWorkers)
+		}
+	} else {
+		cfg.Workers = cliutil.SplitList(*workers)
+	}
+
+	c, err := coord.New(cfg)
+	if err != nil {
+		fail(err)
+	}
 	res, err := c.Run(ctx)
+	if m != nil {
+		st := m.Stats()
+		logf("jedcoord: fleet: %d joined, %d retired, %d left; %d leases granted, %d expired, %d shards stolen, %d duplicates discarded",
+			st.WorkersJoined, st.WorkersRetired, st.WorkersLeft,
+			st.LeasesGranted, st.LeasesExpired, st.ShardsStolen, st.DuplicatesDiscarded)
+	}
 	if err != nil {
 		fail(err)
 	}
 	if err := res.WriteSummary(os.Stdout, *threshold); err != nil {
 		fail(err)
 	}
+}
+
+// serveFleet binds the fleet address and serves the worker protocol plus a
+// minimal GET /api/v1/meta with the fleet counters. It returns once the
+// listener is bound, so "fleet listening" is never printed before workers
+// could actually join.
+func serveFleet(m *fleet.Manager, addr string) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fleet listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	fh := fleet.Handler(m)
+	mux.Handle("/api/v1/workers", fh)
+	mux.Handle("/api/v1/workers/", fh)
+	mux.HandleFunc("GET /api/v1/meta", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{"fleet": m.Stats()}) //nolint:errcheck
+	})
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // Close on exit surfaces ErrServerClosed
+	return srv, nil
 }
 
 func fail(err error) {

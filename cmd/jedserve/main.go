@@ -7,6 +7,7 @@
 // Usage:
 //
 //	jedserve -dir schedules/ [-addr :8080] [-max-sessions 0]
+//	jedserve -join http://coordinator:9090 [-worker-name myhost]
 //
 // Endpoints (see the README's "HTTP API" section for the full table):
 //
@@ -29,25 +30,43 @@
 // -rate-limit enables per-client-IP throttling of /api/v1/: each client
 // accrues that many requests per second up to -rate-burst (default 2× the
 // rate); beyond it the server answers 429 with a Retry-After. -workers
-// names a pool of other jedserve instances, turning this server into a
-// campaign coordinator: POST /api/v1/campaigns fans a campaign's shards
+// names a static pool of other jedserve instances, turning this server into
+// a campaign coordinator: POST /api/v1/campaigns fans a campaign's shards
 // out over the pool and merges the results.
+//
+// -fleet instead coordinates campaigns over an *elastic* worker fleet:
+// workers join at /api/v1/workers (run `jedserve -join <this-server>` on
+// each machine), hold a heartbeat lease, and pull shards from the
+// coordinator's queue — capacity grows and shrinks without editing a flag.
+// -min-workers gates each campaign until enough workers have joined;
+// -heartbeat-interval and -lease-ttl tune the liveness protocol.
+//
+// -join turns this process into a pure fleet worker: no sessions, no HTTP
+// listener — it registers with the coordinator, heartbeats, and computes
+// leased shards until stopped. SIGTERM drains gracefully (finish the
+// current shard, deregister, exit); a second signal aborts immediately and
+// the coordinator requeues the abandoned shard on lease expiry.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/api"
 	"repro/internal/cliutil"
+	"repro/internal/fleet"
 	_ "repro/internal/sched/all"
 )
 
 func main() {
 	var (
-		dir           = flag.String("dir", "", "directory of schedule files to pre-register (required)")
+		dir           = flag.String("dir", "", "directory of schedule files to pre-register (required unless -join)")
 		addr          = flag.String("addr", ":8080", "HTTP listen address")
 		maxSessions   = flag.Int("max-sessions", 0, "evict least recently used sessions beyond this count (0 = unlimited)")
 		sessionTTL    = flag.Duration("session-ttl", 0, "expire sessions idle this long, e.g. 30m (0 = never)")
@@ -56,44 +75,136 @@ func main() {
 		lod           = flag.Bool("lod", false, "default level-of-detail rendering (a request's lod= query parameter overrides)")
 		rateLimit     = flag.Float64("rate-limit", 0, "per-client-IP requests per second on /api/v1/ (0 = unlimited)")
 		rateBurst     = flag.Int("rate-burst", 0, "per-client burst above -rate-limit (0 = 2x the rate)")
-		workers       = flag.String("workers", "", "comma-separated base URLs of remote jedserve workers for POST /api/v1/campaigns")
+		workers       = flag.String("workers", "", "comma-separated base URLs of remote jedserve workers for POST /api/v1/campaigns (static pool)")
+		fleetOn       = flag.Bool("fleet", false, "coordinate campaigns over an elastic worker fleet (workers join at /api/v1/workers)")
+		minWorkers    = flag.Int("min-workers", 1, "fleet: wait for this many joined workers before a campaign dispatches")
+		heartbeat     = flag.Duration("heartbeat-interval", fleet.DefaultHeartbeatInterval, "fleet: advertised heartbeat interval (a worker silent for 3 intervals is retired)")
+		leaseTTL      = flag.Duration("lease-ttl", fleet.DefaultLeaseTTL, "fleet: how long one worker may hold a shard before it is requeued for stealing")
+		join          = flag.String("join", "", "run as a fleet worker of the coordinator at this base URL (worker mode; excludes -dir, -fleet, -workers)")
+		workerName    = flag.String("worker-name", "", "worker mode: name reported to the coordinator (default: hostname)")
+		workerPoll    = flag.Duration("worker-poll", 500*time.Millisecond, "worker mode: idle lease-poll pacing")
 	)
 	flag.Parse()
+	if *join != "" {
+		if *dir != "" || *fleetOn || *workers != "" {
+			fmt.Fprintln(os.Stderr, "jedserve: -join (worker mode) is mutually exclusive with -dir, -fleet, and -workers")
+			os.Exit(2)
+		}
+		if err := runWorker(*join, *workerName, *workerPoll); err != nil {
+			fmt.Fprintln(os.Stderr, "jedserve:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *dir == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*dir, *addr, *maxSessions, *sessionTTL, *renderWorkers, *renderCacheMB, *lod, *rateLimit, *rateBurst, *workers); err != nil {
+	if *fleetOn && *workers != "" {
+		fmt.Fprintln(os.Stderr, "jedserve: -fleet (elastic pull dispatch) and -workers (static pool) are mutually exclusive")
+		os.Exit(2)
+	}
+	opts := serveOptions{
+		dir: *dir, addr: *addr,
+		maxSessions: *maxSessions, sessionTTL: *sessionTTL,
+		renderWorkers: *renderWorkers, renderCacheMB: *renderCacheMB,
+		lod: *lod, rateLimit: *rateLimit, rateBurst: *rateBurst,
+		workers: *workers,
+		fleet:   *fleetOn, minWorkers: *minWorkers,
+		heartbeat: *heartbeat, leaseTTL: *leaseTTL,
+	}
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "jedserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dir, addr string, maxSessions int, sessionTTL time.Duration, renderWorkers, renderCacheMB int, lod bool, rateLimit float64, rateBurst int, workers string) error {
+type serveOptions struct {
+	dir, addr                    string
+	maxSessions                  int
+	sessionTTL                   time.Duration
+	renderWorkers, renderCacheMB int
+	lod                          bool
+	rateLimit                    float64
+	rateBurst                    int
+	workers                      string
+	fleet                        bool
+	minWorkers                   int
+	heartbeat, leaseTTL          time.Duration
+}
+
+func run(o serveOptions) error {
 	store := api.NewStore()
-	sessions, err := api.RegisterDir(store, dir)
+	sessions, err := api.RegisterDir(store, o.dir)
 	if err != nil {
 		return err
 	}
-	store.SetMaxSessions(maxSessions)
-	store.SetTTL(sessionTTL)
-	if maxSessions > 0 && len(sessions) > maxSessions {
+	store.SetMaxSessions(o.maxSessions)
+	store.SetTTL(o.sessionTTL)
+	if o.maxSessions > 0 && len(sessions) > o.maxSessions {
 		fmt.Fprintf(os.Stderr, "jedserve: warning: %d schedule files but -max-sessions %d; the %d least recently registered were evicted\n",
-			len(sessions), maxSessions, len(sessions)-maxSessions)
+			len(sessions), o.maxSessions, len(sessions)-o.maxSessions)
 	}
 	// Print what actually survived the cap, not what was registered.
 	for _, sess := range store.List() {
 		fmt.Printf("jedserve: session %s <- %s\n", sess.ID, sess.Name)
 	}
 	srv := api.NewServer(store)
-	srv.SetRenderWorkers(renderWorkers)
-	srv.SetRenderCacheBytes(int64(renderCacheMB) << 20)
-	srv.SetLOD(lod)
-	srv.SetRateLimit(rateLimit, rateBurst)
-	if pool := cliutil.SplitList(workers); len(pool) > 0 {
+	srv.SetRenderWorkers(o.renderWorkers)
+	srv.SetRenderCacheBytes(int64(o.renderCacheMB) << 20)
+	srv.SetLOD(o.lod)
+	srv.SetRateLimit(o.rateLimit, o.rateBurst)
+	if pool := cliutil.SplitList(o.workers); len(pool) > 0 {
 		srv.SetCoordWorkers(pool)
 		fmt.Printf("jedserve: coordinating campaigns over %d workers\n", len(pool))
 	}
-	fmt.Printf("jedserve: serving %d sessions on %s (API at /api/v1/)\n", store.Len(), addr)
-	return srv.ListenAndServe(addr)
+	if o.fleet {
+		m := fleet.NewManager(fleet.Config{
+			HeartbeatInterval: o.heartbeat,
+			LeaseTTL:          o.leaseTTL,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "jedserve: "+format+"\n", args...)
+			},
+		})
+		srv.SetFleet(m, o.minWorkers)
+		fmt.Printf("jedserve: elastic fleet enabled (workers join at /api/v1/workers; campaigns wait for %d)\n", o.minWorkers)
+	}
+	fmt.Printf("jedserve: serving %d sessions on %s (API at /api/v1/)\n", store.Len(), o.addr)
+	return srv.ListenAndServe(o.addr)
+}
+
+// runWorker is worker mode: join the coordinator, heartbeat, pull and
+// compute shards. The first SIGTERM/SIGINT drains (finish the current
+// shard, deregister, exit 0); the second aborts the shard immediately.
+func runWorker(coordinator, name string, poll time.Duration) error {
+	if name == "" {
+		name, _ = os.Hostname()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	drain := make(chan struct{})
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "jedserve: signal received, draining (send again to abort)")
+		close(drain)
+		<-sig
+		fmt.Fprintln(os.Stderr, "jedserve: second signal, aborting")
+		cancel()
+	}()
+	err := fleet.RunWorker(ctx, fleet.WorkerConfig{
+		Coordinator: coordinator,
+		Name:        name,
+		Poll:        poll,
+		Drain:       drain,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "jedserve: "+format+"\n", args...)
+		},
+	})
+	if errors.Is(err, context.Canceled) {
+		// The second-signal hard stop is a requested exit, not a failure.
+		return nil
+	}
+	return err
 }

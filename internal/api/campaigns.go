@@ -95,17 +95,25 @@ func (s *Server) createCampaign(w http.ResponseWriter, r *http.Request) {
 	if len(workers) == 0 {
 		workers = s.coordWorkers
 	}
-	if len(workers) == 0 {
-		writeError(w, http.StatusServiceUnavailable,
-			"no workers configured (start the server with a worker pool or pass coord_workers)")
-		return
-	}
-	c, err := coord.New(coord.Config{
-		Workers:     workers,
+	cfg := coord.Config{
 		Spec:        req.CampaignSpec,
 		Shards:      req.Shards,
 		MaxAttempts: req.MaxAttempts,
-	})
+	}
+	switch {
+	case len(workers) > 0:
+		// An explicit pool (request or server flag) wins: static push
+		// dispatch, exactly as before the fleet existed.
+		cfg.Workers = workers
+	case s.fleet != nil:
+		cfg.Fleet = s.fleet
+		cfg.MinWorkers = s.fleetMin
+	default:
+		writeError(w, http.StatusServiceUnavailable,
+			"no workers configured (start the server with a worker pool or a fleet, or pass coord_workers)")
+		return
+	}
+	c, err := coord.New(cfg)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/fleet"
 	"repro/internal/jedxml"
 	"repro/internal/jobs"
 	"repro/internal/render"
@@ -37,7 +38,9 @@ type Server struct {
 	lodRenders    atomic.Int64
 	lodAggregated atomic.Int64
 	limiter       *rateLimiter
-	coordWorkers  []string // remote worker pool for POST /api/v1/campaigns
+	coordWorkers  []string       // static remote worker pool for POST /api/v1/campaigns
+	fleet         *fleet.Manager // elastic pull-based pool; serves /api/v1/workers
+	fleetMin      int            // fleet campaigns wait for this many workers
 	campaigns     campaignTracker
 }
 
@@ -103,6 +106,19 @@ func (s *Server) SetCoordWorkers(workers []string) {
 	s.coordWorkers = append([]string(nil), workers...)
 }
 
+// SetFleet mounts the elastic worker fleet: the manager's worker protocol is
+// served under /api/v1/workers and coordinated campaigns without a static
+// pool dispatch through its pull queue. minWorkers is how many joined
+// workers a campaign waits for before queueing shards (0 means 1). Call
+// before serving.
+func (s *Server) SetFleet(m *fleet.Manager, minWorkers int) {
+	s.fleet = m
+	s.fleetMin = minWorkers
+}
+
+// Fleet returns the mounted fleet manager (nil without SetFleet).
+func (s *Server) Fleet() *fleet.Manager { return s.fleet }
+
 // RenderCacheStats exposes the cache counters (for tests; clients read them
 // from GET /api/v1/meta).
 func (s *Server) RenderCacheStats() renderCacheStats { return s.cache.Stats() }
@@ -141,6 +157,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/campaigns/{id}", s.getCampaign)
 	mux.HandleFunc("DELETE /api/v1/campaigns/{id}", s.cancelCampaign)
 	mux.HandleFunc("GET /api/v1/campaigns/{id}/result", s.campaignResult)
+	if s.fleet != nil {
+		// The worker protocol: join, heartbeat, lease, complete, drain,
+		// leave. The fleet handler matches full /api/v1/workers paths, so it
+		// mounts without a prefix strip.
+		fh := fleet.Handler(s.fleet)
+		mux.Handle("/api/v1/workers", fh)
+		mux.Handle("/api/v1/workers/", fh)
+	}
 	return s.limiter.middleware(mux)
 }
 
@@ -411,9 +435,11 @@ func (s *Server) encodeImage(w http.ResponseWriter, r *http.Request, download bo
 }
 
 // serverMeta reports server-level observability: session count, render
-// worker bound, session TTL, and the render-cache counters.
+// worker bound, session TTL, the render-cache counters, and — with a fleet
+// mounted — the fleet counters (workers joined/active/retired, leases
+// granted/expired, shards stolen, queue depth).
 func (s *Server) serverMeta(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	meta := map[string]any{
 		"sessions":             s.store.Len(),
 		"render_workers":       s.renderWorkers,
 		"session_ttl_seconds":  s.store.TTL().Seconds(),
@@ -423,7 +449,11 @@ func (s *Server) serverMeta(w http.ResponseWriter, _ *http.Request) {
 		"lod_default":          s.lodDefault,
 		"lod_renders":          s.lodRenders.Load(),
 		"lod_tasks_aggregated": s.lodAggregated.Load(),
-	})
+	}
+	if s.fleet != nil {
+		meta["fleet"] = s.fleet.Stats()
+	}
+	writeJSON(w, http.StatusOK, meta)
 }
 
 // statsJSON mirrors core.Stats for the wire.

@@ -30,18 +30,28 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/coord/client"
+	"repro/internal/fleet"
 	"repro/internal/jobs"
 )
 
-// healthProbeTimeout bounds the is-this-worker-alive probe that decides
-// between "retry the shard here" and "retire the worker".
-const healthProbeTimeout = 2 * time.Second
+// defaultProbeTimeout bounds the is-this-worker-alive probe that decides
+// between "retry the shard here" and "retire the worker" (static pools;
+// Config.ProbeTimeout overrides).
+const defaultProbeTimeout = 2 * time.Second
 
 // Config describes one coordinated campaign.
 type Config struct {
 	// Workers are the base URLs of the jedserve workers, e.g.
-	// "http://host:8080". At least one is required.
+	// "http://host:8080" — the static push-dispatch pool. Exactly one of
+	// Workers and Fleet must be set.
 	Workers []string
+	// Fleet switches dispatch to the elastic pull model: shards go onto the
+	// manager's queue and joined workers lease them at their own pace, so a
+	// fast machine naturally takes more of the campaign than a slow one.
+	Fleet *fleet.Manager
+	// MinWorkers makes a fleet run wait until that many workers have joined
+	// before queueing the first shard (0 means 1). Fleet mode only.
+	MinWorkers int
 	// Spec is the campaign to run. Spec.Shard must be empty — sharding is
 	// the coordinator's job.
 	Spec jobs.CampaignSpec
@@ -55,6 +65,10 @@ type Config struct {
 	// Poll paces the per-job wait loop against workers that ignore the
 	// ?wait= long-poll (0 means 200ms).
 	Poll time.Duration
+	// ProbeTimeout bounds the health probe deciding whether a failing
+	// static-pool worker is retired (0 means 2s). Static mode only — fleet
+	// liveness is heartbeat-lease based.
+	ProbeTimeout time.Duration
 	// Checkpoint is the path of the local JSONL checkpoint the fetched
 	// cells stream into ("" disables). The file uses the cmd/campaign
 	// format, so `campaign -merge` reads it directly.
@@ -110,14 +124,18 @@ type Coordinator struct {
 	cells     map[int]campaign.Cell // released once Run returns
 	cellsDone int
 	started   bool
+	fleetRun  *fleet.Run // live shard queue while a fleet run is in flight
 }
 
 // New validates the configuration and resolves the campaign. The spec is
 // resolved with the same code path workers use, so the coordinator's idea
 // of the cell enumeration and identity header matches theirs exactly.
 func New(cfg Config) (*Coordinator, error) {
-	if len(cfg.Workers) == 0 {
-		return nil, fmt.Errorf("coord: no workers")
+	if len(cfg.Workers) == 0 && cfg.Fleet == nil {
+		return nil, fmt.Errorf("coord: no workers and no fleet")
+	}
+	if len(cfg.Workers) > 0 && cfg.Fleet != nil {
+		return nil, fmt.Errorf("coord: static workers and a fleet are mutually exclusive")
 	}
 	if cfg.Spec.Shard != "" {
 		return nil, fmt.Errorf("coord: spec must not set shard %q (sharding is the coordinator's job)", cfg.Spec.Shard)
@@ -126,8 +144,20 @@ func New(cfg Config) (*Coordinator, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Fleet != nil && cfg.MinWorkers < 1 {
+		cfg.MinWorkers = 1
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = defaultProbeTimeout
+	}
 	if cfg.Shards == 0 {
-		cfg.Shards = len(cfg.Workers)
+		if cfg.Fleet != nil {
+			// Pull dispatch wants finer granularity than one-per-worker:
+			// small shards are what lets a fast worker overtake a slow one.
+			cfg.Shards = 4 * cfg.MinWorkers
+		} else {
+			cfg.Shards = len(cfg.Workers)
+		}
 	}
 	if cfg.Shards < 1 {
 		return nil, fmt.Errorf("coord: bad shard count %d", cfg.Shards)
@@ -179,10 +209,20 @@ func (c *Coordinator) SetOnCell(fn func(campaign.Cell)) {
 // Cells returns the size of the full factorial.
 func (c *Coordinator) Cells() int { return len(c.specs) }
 
-// Progress snapshots the run.
+// Progress snapshots the run. In fleet mode the worker list reflects the
+// manager's live registry (workers join and leave at will) and the running
+// shard states come from the fleet's lease table.
 func (c *Coordinator) Progress() Progress {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	if run := c.fleetRun; run != nil {
+		for _, s := range run.Snapshot() {
+			st := &c.shardStat[s.K-1]
+			if st.State == "done" {
+				continue // completion already recorded; lease table may lag
+			}
+			st.State, st.Worker, st.Attempts = s.State, s.Worker, s.Attempts
+		}
+	}
 	p := Progress{
 		Shards:    c.shards,
 		Cells:     len(c.specs),
@@ -193,6 +233,16 @@ func (c *Coordinator) Progress() Progress {
 	for _, s := range c.shardStat {
 		if s.State == "done" {
 			p.ShardsDone++
+		}
+	}
+	c.mu.Unlock()
+	if c.cfg.Fleet != nil {
+		for _, w := range c.cfg.Fleet.Workers() {
+			name := w.ID
+			if w.Name != "" {
+				name = fmt.Sprintf("%s (%s)", w.ID, w.Name)
+			}
+			p.Workers = append(p.Workers, WorkerProgress{URL: name, State: w.State})
 		}
 	}
 	return p
@@ -271,7 +321,12 @@ func (c *Coordinator) Run(ctx context.Context) (*campaign.Result, error) {
 	}
 
 	if len(pending) > 0 {
-		if err := c.dispatch(ctx, pending, cw); err != nil {
+		if c.cfg.Fleet != nil {
+			err = c.dispatchFleet(ctx, pending, cw)
+		} else {
+			err = c.dispatch(ctx, pending, cw)
+		}
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -281,6 +336,77 @@ func (c *Coordinator) Run(ctx context.Context) (*campaign.Result, error) {
 		}
 	}
 	return c.result()
+}
+
+// dispatchFleet runs the pending shards through the elastic fleet: wait for
+// the worker quorum, put the shards on the pull queue, and fold verified
+// completions into the cell map as they arrive. Lease expiry, stealing, and
+// retirement all happen inside the manager; from here a dead worker is just
+// a shard that comes back from someone else.
+func (c *Coordinator) dispatchFleet(ctx context.Context, pending []int, cw *checkpointFile) error {
+	m := c.cfg.Fleet
+	if n := c.cfg.MinWorkers; m.ActiveWorkers() < n {
+		c.logf("coord: waiting for %d fleet workers (have %d)", n, m.ActiveWorkers())
+		if err := m.WaitWorkers(ctx, n); err != nil {
+			return fmt.Errorf("coord: waiting for %d workers: %w", n, err)
+		}
+	}
+	run, err := m.StartRun(fleet.RunConfig{
+		Spec:        c.cfg.Spec,
+		Shards:      c.shards,
+		Pending:     pending,
+		Header:      c.header,
+		CellCount:   len(c.specs),
+		MaxAttempts: c.cfg.MaxAttempts,
+	})
+	if err != nil {
+		return err
+	}
+	defer run.End()
+	c.mu.Lock()
+	c.fleetRun = run
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.fleetRun = nil
+		c.mu.Unlock()
+	}()
+	c.logf("coord: %d shards queued for the fleet (%d workers active)",
+		len(pending), m.ActiveWorkers())
+
+	// The ticker drives lease/heartbeat expiry while every worker is busy
+	// (or gone): worker traffic expires lazily, a silent fleet would not.
+	tick := m.HeartbeatInterval() / 2
+	if lt := m.LeaseTTL() / 4; lt < tick {
+		tick = lt
+	}
+	if tick < 50*time.Millisecond {
+		tick = 50 * time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+
+	remaining := len(pending)
+	for remaining > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+			m.Tick()
+		case d := <-run.Completions():
+			if d.Err != nil {
+				return d.Err
+			}
+			if err := c.recordCells(d.K, d.Cells, cw); err != nil {
+				return err
+			}
+			c.setShardState(d.K, func(s *ShardProgress) {
+				s.State, s.Worker = "done", d.Worker
+			})
+			remaining--
+		}
+	}
+	return nil
 }
 
 // dispatch fans the pending shards out over the worker pool and collects
@@ -398,7 +524,7 @@ func (c *Coordinator) runShard(ctx context.Context, cl *client.Client, worker in
 	if err != nil {
 		if ctx.Err() != nil {
 			// Best effort: don't leave the remote job burning CPU.
-			cancelCtx, cancel := context.WithTimeout(context.Background(), healthProbeTimeout)
+			cancelCtx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
 			cl.Cancel(cancelCtx, id) //nolint:errcheck // the worker may be gone with the run
 			cancel()
 		}
@@ -437,7 +563,7 @@ func (c *Coordinator) classify(cl *client.Client, worker int, t task, err error)
 		o.throttled, o.retryAfter = true, backoff
 		return o
 	}
-	probeCtx, cancel := context.WithTimeout(context.Background(), healthProbeTimeout)
+	probeCtx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
 	defer cancel()
 	if probeErr := cl.Health(probeCtx); probeErr != nil {
 		if backoff, ok := throttleBackoff(probeErr, c.cfg.Poll); ok {

@@ -1,0 +1,138 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// The worker protocol, as served under /api/v1/:
+//
+//	POST   /api/v1/workers                 join: {name, capabilities} -> identity + pacing
+//	GET    /api/v1/workers                 list the fleet
+//	PUT    /api/v1/workers/{id}/heartbeat  renew the registration lease
+//	POST   /api/v1/workers/{id}/lease      pull the next shard (204 = no work)
+//	POST   /api/v1/workers/{id}/complete   report a finished shard
+//	POST   /api/v1/workers/{id}/drain      stop receiving shards (graceful shutdown)
+//	DELETE /api/v1/workers/{id}            leave; an outstanding shard is requeued
+//
+// Every endpoint that names a worker answers 404 ErrUnknownWorker once the
+// registration lease expired — the worker's cue to rejoin.
+
+// maxCompleteBytes bounds a completion body (shard results of paper-sized
+// campaigns are a few hundred KB; 256 MiB matches the jobs client bound).
+const maxCompleteBytes = 256 << 20
+
+// JoinRequest is the body of POST /api/v1/workers.
+type JoinRequest struct {
+	Name         string            `json:"name,omitempty"`
+	Capabilities map[string]string `json:"capabilities,omitempty"`
+}
+
+// JoinResponse hands the worker its identity and the protocol pacing.
+type JoinResponse struct {
+	ID               string  `json:"id"`
+	HeartbeatSeconds float64 `json:"heartbeat_seconds"`
+	WorkerTTLSeconds float64 `json:"worker_ttl_seconds"`
+	LeaseTTLSeconds  float64 `json:"lease_ttl_seconds"`
+}
+
+// Handler serves the worker protocol for the manager. The api.Server mounts
+// it inside its /api/v1/ mux; a standalone fleet coordinator (jedcoord
+// -fleet) serves it directly.
+func Handler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/workers", func(w http.ResponseWriter, r *http.Request) {
+		var req JoinRequest
+		if r.Body != nil && r.ContentLength != 0 {
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				fleetError(w, http.StatusBadRequest, "bad join request: %v", err)
+				return
+			}
+		}
+		worker := m.Join(req.Name, req.Capabilities)
+		fleetJSON(w, http.StatusCreated, JoinResponse{
+			ID:               worker.ID,
+			HeartbeatSeconds: m.HeartbeatInterval().Seconds(),
+			WorkerTTLSeconds: (m.HeartbeatInterval() * workerTTLFactor).Seconds(),
+			LeaseTTLSeconds:  m.LeaseTTL().Seconds(),
+		})
+	})
+	mux.HandleFunc("GET /api/v1/workers", func(w http.ResponseWriter, _ *http.Request) {
+		fleetJSON(w, http.StatusOK, map[string]any{"workers": m.Workers()})
+	})
+	mux.HandleFunc("PUT /api/v1/workers/{id}/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		worker, err := m.Heartbeat(r.PathValue("id"))
+		if err != nil {
+			fleetErr(w, err)
+			return
+		}
+		fleetJSON(w, http.StatusOK, map[string]string{"state": worker.State})
+	})
+	mux.HandleFunc("POST /api/v1/workers/{id}/lease", func(w http.ResponseWriter, r *http.Request) {
+		a, err := m.Lease(r.PathValue("id"))
+		if err != nil {
+			fleetErr(w, err)
+			return
+		}
+		if a == nil {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		fleetJSON(w, http.StatusOK, a)
+	})
+	mux.HandleFunc("POST /api/v1/workers/{id}/complete", func(w http.ResponseWriter, r *http.Request) {
+		body := http.MaxBytesReader(w, r.Body, maxCompleteBytes)
+		defer body.Close()
+		var req CompleteRequest
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			fleetError(w, http.StatusBadRequest, "bad completion: %v", err)
+			return
+		}
+		resp, err := m.Complete(r.PathValue("id"), req)
+		if err != nil {
+			if errors.Is(err, ErrUnknownWorker) {
+				fleetErr(w, err)
+			} else {
+				// Verification failure: the result is rejected and the shard
+				// requeued; 422 tells the worker its work was unusable.
+				fleetError(w, http.StatusUnprocessableEntity, "%v", err)
+			}
+			return
+		}
+		fleetJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /api/v1/workers/{id}/drain", func(w http.ResponseWriter, r *http.Request) {
+		if err := m.Drain(r.PathValue("id")); err != nil {
+			fleetErr(w, err)
+			return
+		}
+		fleetJSON(w, http.StatusOK, map[string]string{"state": "draining"})
+	})
+	mux.HandleFunc("DELETE /api/v1/workers/{id}", func(w http.ResponseWriter, r *http.Request) {
+		m.Leave(r.PathValue("id"))
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
+}
+
+func fleetJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // headers already sent
+}
+
+func fleetError(w http.ResponseWriter, code int, format string, args ...any) {
+	fleetJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func fleetErr(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	if errors.Is(err, ErrUnknownWorker) {
+		code = http.StatusNotFound
+	}
+	fleetError(w, code, "%v", err)
+}

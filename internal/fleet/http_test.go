@@ -1,0 +1,199 @@
+package fleet_test
+
+// Protocol tests run the real Handler over httptest and speak to it through
+// the same Client the jedserve worker mode uses, so join, heartbeat, lease,
+// complete, drain, and leave are exercised over genuine HTTP — including
+// the full RunWorker loop computing a real campaign shard by shard.
+
+import (
+	"context"
+	"net/http/httptest"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+func newFleetServer(t *testing.T, cfg fleet.Config) (*fleet.Manager, *httptest.Server) {
+	t.Helper()
+	m := fleet.NewManager(cfg)
+	ts := httptest.NewServer(fleet.Handler(m))
+	t.Cleanup(ts.Close)
+	return m, ts
+}
+
+// TestHTTPLifecycle walks one worker identity through every endpoint.
+func TestHTTPLifecycle(t *testing.T) {
+	clk := newFakeClock()
+	m, ts := newFleetServer(t, fleet.Config{
+		HeartbeatInterval: 10 * time.Second,
+		LeaseTTL:          time.Minute,
+		Clock:             clk.Now,
+	})
+	cl := fleet.NewClient(ts.URL)
+	ctx := context.Background()
+
+	join, err := cl.Join(ctx, fleet.JoinRequest{Name: "box", Capabilities: map[string]string{"arch": "amd64"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if join.ID == "" || join.HeartbeatSeconds != 10 || join.WorkerTTLSeconds != 30 || join.LeaseTTLSeconds != 60 {
+		t.Fatalf("join = %+v", join)
+	}
+	if err := cl.Heartbeat(ctx, join.ID); err != nil {
+		t.Fatal(err)
+	}
+	// No runs yet: lease answers 204, decoded as no work.
+	if a, err := cl.Lease(ctx, join.ID); err != nil || a != nil {
+		t.Fatalf("idle lease = %v, %v", a, err)
+	}
+
+	_, header, cellCount := startTestRun(t, m, []int{1, 2}, 3)
+	a, err := cl.Lease(ctx, join.ID)
+	if err != nil || a == nil {
+		t.Fatalf("lease = %v, %v", a, err)
+	}
+	if a.Spec.Shard == "" || a.Shards != 2 || a.LeaseTTL != 60 {
+		t.Fatalf("assignment = %+v", a)
+	}
+	resp, err := cl.Complete(ctx, join.ID, fleet.CompleteRequest{
+		Run: a.Run, Lease: a.Lease, Shard: a.Shard,
+		Header: header, Cells: shardCells(a.Shard, 2, cellCount),
+	})
+	if err != nil || !resp.Accepted {
+		t.Fatalf("complete = %+v, %v", resp, err)
+	}
+
+	// A lying completion is a 422, surfaced as a plain error (not a rejoin).
+	a, err = cl.Lease(ctx, join.ID)
+	if err != nil || a == nil {
+		t.Fatalf("second lease = %v, %v", a, err)
+	}
+	bad := header
+	bad.Seed = 999
+	if _, err := cl.Complete(ctx, join.ID, fleet.CompleteRequest{
+		Run: a.Run, Lease: a.Lease, Shard: a.Shard,
+		Header: bad, Cells: shardCells(a.Shard, 2, cellCount),
+	}); err == nil {
+		t.Fatal("forged header accepted over HTTP")
+	}
+
+	if err := cl.Drain(ctx, join.ID); err != nil {
+		t.Fatal(err)
+	}
+	if ws := m.Workers(); len(ws) != 1 || ws[0].State != "draining" {
+		t.Fatalf("workers = %+v", ws)
+	}
+	if err := cl.Leave(ctx, join.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Every endpoint now answers the rejoin signal.
+	if err := cl.Heartbeat(ctx, join.ID); err != fleet.ErrUnknownWorker {
+		t.Fatalf("heartbeat after leave = %v", err)
+	}
+	if _, err := cl.Lease(ctx, join.ID); err != fleet.ErrUnknownWorker {
+		t.Fatalf("lease after leave = %v", err)
+	}
+}
+
+// TestRunWorkerComputesRun runs the real worker loop against the real
+// handler: it joins, pulls both shards, computes them with the genuine
+// campaign code path, and drains out cleanly on request.
+func TestRunWorkerComputesRun(t *testing.T) {
+	m, ts := newFleetServer(t, fleet.Config{
+		HeartbeatInterval: 50 * time.Millisecond,
+		LeaseTTL:          time.Minute,
+	})
+	run, _, cellCount := startTestRun(t, m, []int{1, 2}, 3)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	drain := make(chan struct{})
+	workerErr := make(chan error, 1)
+	go func() {
+		workerErr <- fleet.RunWorker(ctx, fleet.WorkerConfig{
+			Coordinator: ts.URL,
+			Name:        "tester",
+			Poll:        10 * time.Millisecond,
+			Drain:       drain,
+		})
+	}()
+
+	var indices []int
+	deadline := time.After(60 * time.Second)
+	for done := 0; done < 2; done++ {
+		select {
+		case d := <-run.Completions():
+			if d.Err != nil {
+				t.Fatal(d.Err)
+			}
+			for _, c := range d.Cells {
+				indices = append(indices, c.Index)
+			}
+		case <-deadline:
+			t.Fatal("timed out waiting for shard completions")
+		}
+	}
+	sort.Ints(indices)
+	for i, idx := range indices {
+		if idx != i {
+			t.Fatalf("merged cell indices = %v, want 0..%d", indices, cellCount-1)
+		}
+	}
+
+	// Drain: the idle worker deregisters and the loop returns nil.
+	close(drain)
+	select {
+	case err := <-workerErr:
+		if err != nil {
+			t.Fatalf("drained worker returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not drain")
+	}
+	if st := m.Stats(); st.ShardsCompleted != 2 || st.WorkersActive+st.WorkersDraining != 0 {
+		t.Fatalf("final stats = %+v", st)
+	}
+}
+
+// TestRunWorkerRejoinsAfterRetirement pins the rejoin path: a worker whose
+// registration was dropped (coordinator restart, missed heartbeats) comes
+// back under a fresh identity without operator help.
+func TestRunWorkerRejoinsAfterRetirement(t *testing.T) {
+	m, ts := newFleetServer(t, fleet.Config{
+		HeartbeatInterval: 50 * time.Millisecond,
+		LeaseTTL:          time.Minute,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	workerErr := make(chan error, 1)
+	go func() {
+		workerErr <- fleet.RunWorker(ctx, fleet.WorkerConfig{
+			Coordinator: ts.URL,
+			Name:        "phoenix",
+			Poll:        10 * time.Millisecond,
+		})
+	}()
+
+	waitJoined := func(min int64) {
+		t.Helper()
+		deadline := time.After(30 * time.Second)
+		for m.Stats().WorkersJoined < min {
+			select {
+			case <-deadline:
+				t.Fatalf("stats = %+v, want %d joins", m.Stats(), min)
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+	}
+	waitJoined(1)
+	// Forcibly forget the worker; its next lease poll or heartbeat 404s and
+	// the loop joins again.
+	for _, w := range m.Workers() {
+		m.Leave(w.ID)
+	}
+	waitJoined(2)
+	cancel()
+	<-workerErr
+}

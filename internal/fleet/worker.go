@@ -1,0 +1,379 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// Client speaks the worker protocol against a fleet coordinator.
+type Client struct {
+	// Base is the coordinator's base URL, e.g. "http://host:9090".
+	Base string
+	// HTTP is the underlying client; nil means http.DefaultClient
+	// (per-call contexts bound every request).
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the coordinator at base.
+func NewClient(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do issues one request, decoding a JSON answer into out (skipped when out
+// is nil, and on 204). A 404 maps to ErrUnknownWorker — the rejoin signal.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("fleet: encode request: %w", err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+	if err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("fleet: %s: %w", c.Base, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxCompleteBytes))
+	if err != nil {
+		return fmt.Errorf("fleet: %s: read: %w", c.Base, err)
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		return ErrUnknownWorker
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var envelope struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &envelope) == nil && envelope.Error != "" {
+			return fmt.Errorf("fleet: coordinator answered %d: %s", resp.StatusCode, envelope.Error)
+		}
+		return fmt.Errorf("fleet: coordinator answered %d", resp.StatusCode)
+	}
+	if out == nil || resp.StatusCode == http.StatusNoContent {
+		return nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("fleet: %s: decode: %w", c.Base, err)
+	}
+	return nil
+}
+
+// Join registers with the coordinator.
+func (c *Client) Join(ctx context.Context, req JoinRequest) (JoinResponse, error) {
+	var resp JoinResponse
+	err := c.do(ctx, http.MethodPost, "/api/v1/workers", req, &resp)
+	return resp, err
+}
+
+// Heartbeat renews the registration lease.
+func (c *Client) Heartbeat(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodPut, "/api/v1/workers/"+id+"/heartbeat", nil, nil)
+}
+
+// Lease pulls the next shard; nil with a nil error means no work right now.
+func (c *Client) Lease(ctx context.Context, id string) (*Assignment, error) {
+	var a Assignment
+	if err := c.do(ctx, http.MethodPost, "/api/v1/workers/"+id+"/lease", nil, &a); err != nil {
+		return nil, err
+	}
+	if a.Lease == "" { // 204: no assignment decoded
+		return nil, nil
+	}
+	return &a, nil
+}
+
+// Complete reports one finished shard.
+func (c *Client) Complete(ctx context.Context, id string, req CompleteRequest) (CompleteResponse, error) {
+	var resp CompleteResponse
+	err := c.do(ctx, http.MethodPost, "/api/v1/workers/"+id+"/complete", req, &resp)
+	return resp, err
+}
+
+// Drain asks the coordinator to stop handing this worker shards.
+func (c *Client) Drain(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodPost, "/api/v1/workers/"+id+"/drain", nil, nil)
+}
+
+// Leave deregisters the worker.
+func (c *Client) Leave(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/api/v1/workers/"+id, nil, nil)
+}
+
+// Runner executes one leased shard, returning the campaign identity header
+// and the shard's cells. RunAssignment is the default; tests substitute
+// slow or broken runners.
+type Runner func(ctx context.Context, a *Assignment) (campaign.Header, []campaign.Cell, error)
+
+// RunAssignment resolves the assignment's spec and runs the shard
+// in-process — the exact code path `campaign -shard k/n` uses, so a fleet
+// worker's cells are byte-identical to any other execution strategy's.
+func RunAssignment(ctx context.Context, a *Assignment) (campaign.Header, []campaign.Cell, error) {
+	cfg, shard, err := a.Spec.Resolve()
+	if err != nil {
+		return campaign.Header{}, nil, err
+	}
+	res, err := campaign.RunContext(ctx, cfg, campaign.RunOptions{Shard: shard})
+	if err != nil {
+		return campaign.Header{}, nil, err
+	}
+	return campaign.NewHeader(cfg), res.Cells, nil
+}
+
+// WorkerConfig configures one worker loop.
+type WorkerConfig struct {
+	// Coordinator is the fleet coordinator's base URL (required).
+	Coordinator string
+	// Name labels the worker in the coordinator's registry (hostname-ish).
+	Name string
+	// Capabilities are free-form labels sent at join time.
+	Capabilities map[string]string
+	// Poll paces idle lease polls when the queue is empty (0 means 500ms).
+	Poll time.Duration
+	// Drain, when it becomes readable, makes the loop finish its current
+	// shard, deregister, and return nil — the SIGTERM half of graceful
+	// shutdown. A cancelled ctx is the hard stop: the in-flight shard is
+	// abandoned (the coordinator requeues it on lease expiry).
+	Drain <-chan struct{}
+	// Run executes a leased shard (nil means RunAssignment).
+	Run Runner
+	// HTTP overrides the transport (tests).
+	HTTP *http.Client
+	// Logf, when set, receives human-readable progress lines.
+	Logf func(format string, args ...any)
+}
+
+// RunWorker joins the coordinator and pulls shards until ctx is cancelled
+// or a drain completes. It survives coordinator restarts and its own
+// retirement by rejoining under a fresh identity.
+func RunWorker(ctx context.Context, cfg WorkerConfig) error {
+	if cfg.Coordinator == "" {
+		return fmt.Errorf("fleet: no coordinator URL")
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 500 * time.Millisecond
+	}
+	if cfg.Run == nil {
+		cfg.Run = RunAssignment
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	cl := &Client{Base: strings.TrimRight(cfg.Coordinator, "/"), HTTP: cfg.HTTP}
+
+	for {
+		join, err := joinWithRetry(ctx, cl, cfg, logf)
+		if err != nil {
+			return err
+		}
+		logf("fleet: joined %s as %s (heartbeat %gs, lease ttl %gs)",
+			cl.Base, join.ID, join.HeartbeatSeconds, join.LeaseTTLSeconds)
+
+		rejoin, err := workerSession(ctx, cl, cfg, join, logf)
+		if !rejoin {
+			return err
+		}
+		logf("fleet: registration lost, rejoining %s", cl.Base)
+	}
+}
+
+// joinWithRetry joins with backoff until it succeeds or ctx ends.
+func joinWithRetry(ctx context.Context, cl *Client, cfg WorkerConfig, logf func(string, ...any)) (JoinResponse, error) {
+	backoff := cfg.Poll
+	for {
+		join, err := cl.Join(ctx, JoinRequest{Name: cfg.Name, Capabilities: cfg.Capabilities})
+		if err == nil {
+			return join, nil
+		}
+		if ctx.Err() != nil {
+			return JoinResponse{}, ctx.Err()
+		}
+		logf("fleet: join %s failed (%v), retrying in %v", cl.Base, err, backoff)
+		select {
+		case <-ctx.Done():
+			return JoinResponse{}, ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff < 5*time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// workerSession is one registration's pull loop. It returns rejoin=true
+// when the registration was lost and the caller should join again.
+func workerSession(ctx context.Context, cl *Client, cfg WorkerConfig, join JoinResponse, logf func(string, ...any)) (rejoin bool, err error) {
+	// The heartbeat loop runs beside the (potentially long) shard
+	// computations. ±10% jitter keeps a fleet started by one script from
+	// synchronizing its probes into coordinated bursts.
+	interval := time.Duration(join.HeartbeatSeconds * float64(time.Second))
+	if interval <= 0 {
+		interval = DefaultHeartbeatInterval
+	}
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	lost := make(chan struct{}, 1)
+	go func() {
+		rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+		for {
+			jittered := time.Duration(float64(interval) * (0.9 + 0.2*rng.Float64()))
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-time.After(jittered):
+			}
+			if err := cl.Heartbeat(hbCtx, join.ID); err != nil {
+				if errors.Is(err, ErrUnknownWorker) {
+					select {
+					case lost <- struct{}{}:
+					default:
+					}
+					return
+				}
+				if hbCtx.Err() == nil {
+					logf("fleet: heartbeat failed: %v", err)
+				}
+			}
+		}
+	}()
+
+	draining := false
+	for {
+		// A lost registration (heartbeat 404) forces a rejoin; drain flips
+		// the loop into its finish-and-leave mode.
+		select {
+		case <-lost:
+			return true, nil
+		case <-ctx.Done():
+			leaveBestEffort(cl, join.ID)
+			return false, ctx.Err()
+		default:
+		}
+		if !draining && cfg.Drain != nil {
+			select {
+			case <-cfg.Drain:
+				draining = true
+				logf("fleet: draining (finishing current work, then leaving)")
+				if err := cl.Drain(ctx, join.ID); err != nil {
+					if errors.Is(err, ErrUnknownWorker) {
+						// Already forgotten: nothing to finish gracefully.
+						return false, nil
+					}
+					logf("fleet: drain request failed: %v", err)
+				}
+			default:
+			}
+		}
+
+		a, err := cl.Lease(ctx, join.ID)
+		if err != nil {
+			if errors.Is(err, ErrUnknownWorker) {
+				return true, nil
+			}
+			if ctx.Err() != nil {
+				leaveBestEffort(cl, join.ID)
+				return false, ctx.Err()
+			}
+			logf("fleet: lease poll failed: %v", err)
+			a = nil
+		}
+		if a == nil {
+			if draining {
+				// Drained and nothing further to do: deregister and exit.
+				leaveBestEffort(cl, join.ID)
+				logf("fleet: drained, left %s", cl.Base)
+				return false, nil
+			}
+			select {
+			case <-ctx.Done():
+				leaveBestEffort(cl, join.ID)
+				return false, ctx.Err()
+			case <-drainOrNil(cfg.Drain, draining):
+				draining = true
+				logf("fleet: draining (finishing current work, then leaving)")
+				if err := cl.Drain(ctx, join.ID); err != nil && errors.Is(err, ErrUnknownWorker) {
+					return false, nil
+				}
+			case <-lost:
+				return true, nil
+			case <-time.After(cfg.Poll):
+			}
+			continue
+		}
+
+		logf("fleet: leased shard %d/%d of %s", a.Shard, a.Shards, a.Run)
+		header, cells, err := cfg.Run(ctx, a)
+		if err != nil {
+			if ctx.Err() != nil {
+				leaveBestEffort(cl, join.ID)
+				return false, ctx.Err()
+			}
+			// No failure endpoint on purpose: the lease expires and the
+			// shard is requeued — the same path a crashed worker takes.
+			logf("fleet: shard %d/%d of %s failed locally: %v (lease will expire)",
+				a.Shard, a.Shards, a.Run, err)
+			continue
+		}
+		resp, err := cl.Complete(ctx, join.ID, CompleteRequest{
+			Run: a.Run, Lease: a.Lease, Shard: a.Shard,
+			Header: header, Cells: cells,
+		})
+		switch {
+		case errors.Is(err, ErrUnknownWorker):
+			return true, nil
+		case err != nil:
+			if ctx.Err() != nil {
+				return false, ctx.Err()
+			}
+			logf("fleet: completion of shard %d/%d of %s rejected: %v", a.Shard, a.Shards, a.Run, err)
+		case !resp.Accepted:
+			logf("fleet: shard %d/%d of %s discarded: %s", a.Shard, a.Shards, a.Run, resp.Reason)
+		default:
+			logf("fleet: shard %d/%d of %s completed (%d cells)", a.Shard, a.Shards, a.Run, len(cells))
+		}
+	}
+}
+
+// drainOrNil returns the drain channel while it is still armed, or a
+// never-ready channel once draining (or when no drain channel exists).
+func drainOrNil(drain <-chan struct{}, draining bool) <-chan struct{} {
+	if draining || drain == nil {
+		return nil
+	}
+	return drain
+}
+
+// leaveBestEffort deregisters with a short independent timeout, so a hard
+// stop still frees the worker's shard immediately instead of waiting out
+// the lease TTL.
+func leaveBestEffort(cl *Client, id string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	cl.Leave(ctx, id) //nolint:errcheck // the coordinator may be gone
+}
