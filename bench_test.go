@@ -10,6 +10,7 @@ package repro
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"math/rand"
 	"sync"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/figures"
 	"repro/internal/jedxml"
 	"repro/internal/pdf"
+	"repro/internal/persist"
 	"repro/internal/platform"
 	"repro/internal/raster"
 	"repro/internal/render"
@@ -635,5 +637,58 @@ func BenchmarkSideBySide(b *testing.B) {
 		c := raster.New(1400, 500)
 		render.SideBySide(c, "cpa vs mcpa", []*core.Schedule{r.CPA, r.MCPA},
 			[]render.Options{{Labels: true}, {Labels: true}})
+	}
+}
+
+// --- Durable state -------------------------------------------------------
+
+// persistPayload is a session-descriptor-sized record: what one jedserve
+// write-path Put carries.
+func persistPayload() []byte {
+	payload := make([]byte, 512)
+	rng := rand.New(rand.NewSource(7))
+	rng.Read(payload)
+	return payload
+}
+
+// BenchmarkPersistPutMemory is the write path of the default in-memory
+// backend — the floor the filesystem backend is compared against.
+func BenchmarkPersistPutMemory(b *testing.B) {
+	ps := persist.Memory()
+	defer ps.Close()
+	payload := persistPayload()
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("j%d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ps.Put("jobs", keys[i%len(keys)], payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPersistPutFS is the filesystem backend's non-durable append path
+// (the per-cell journal write of a running campaign job), including the
+// compactions it periodically triggers.
+func BenchmarkPersistPutFS(b *testing.B) {
+	ps, err := persist.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ps.Close()
+	payload := persistPayload()
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("j%d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ps.Put("jobs", keys[i%len(keys)], payload); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

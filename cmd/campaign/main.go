@@ -168,7 +168,7 @@ func runCheckpointed(cfg campaign.Config, opt campaign.RunOptions, out string, r
 	if err != nil {
 		return nil, err
 	}
-	if err := f.Sync(); err != nil {
+	if err := cw.Sync(); err != nil {
 		return nil, err
 	}
 	if prior != nil {

@@ -30,6 +30,12 @@
 // merged.jsonl` reads it — and -resume continues a torn coordinator run
 // without re-dispatching finished shards. In fleet mode GET /api/v1/meta on
 // the fleet address reports the fleet counters.
+//
+// -state-dir with -run-id journals the run's identity header and every
+// fetched cell into a shared persistence directory (the jedserve
+// -state-dir format) instead of — or alongside — the -out file, so a
+// coordinator restarted on any machine that sees the directory resumes
+// with -resume from exactly where its predecessor stopped.
 package main
 
 import (
@@ -48,6 +54,7 @@ import (
 	"repro/internal/coord"
 	"repro/internal/fleet"
 	"repro/internal/jobs"
+	"repro/internal/persist"
 	_ "repro/internal/sched/all"
 )
 
@@ -65,7 +72,9 @@ func main() {
 		seed        = flag.Int64("seed", 1, "campaign seed")
 		threshold   = flag.Float64("threshold", 1.2, "corner-case spread threshold")
 		out         = flag.String("out", "", "stream fetched cells to this JSONL checkpoint file")
-		resume      = flag.Bool("resume", false, "skip the shards already complete in -out and append")
+		stateDir    = flag.String("state-dir", "", "journal run progress into this shared persistence directory (requires -run-id)")
+		runID       = flag.String("run-id", "", "run name inside -state-dir; reuse it with -resume to continue that run")
+		resume      = flag.Bool("resume", false, "skip the shards already complete in -out / the -state-dir journal and append")
 		maxAttempts = flag.Int("max-attempts", 3, "dispatch attempts per shard before the run fails")
 		poll        = flag.Duration("poll", 200*time.Millisecond, "poll pacing against workers without long-poll support")
 		quiet       = flag.Bool("quiet", false, "suppress progress lines on stderr")
@@ -76,8 +85,11 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *resume && *out == "" {
-		fail(fmt.Errorf("-resume requires -out"))
+	if (*stateDir == "") != (*runID == "") {
+		fail(fmt.Errorf("-state-dir and -run-id go together"))
+	}
+	if *resume && *out == "" && *stateDir == "" {
+		fail(fmt.Errorf("-resume requires -out or -state-dir"))
 	}
 
 	cfg := coord.Config{
@@ -92,6 +104,15 @@ func main() {
 		ProbeTimeout: *probeTO,
 		Checkpoint:   *out,
 		Resume:       *resume,
+	}
+	if *stateDir != "" {
+		ps, err := persist.Open(*stateDir)
+		if err != nil {
+			fail(fmt.Errorf("opening state dir: %w", err))
+		}
+		defer ps.Close()
+		cfg.Persist = ps
+		cfg.RunID = *runID
 	}
 	logf := func(string, ...any) {}
 	if !*quiet {

@@ -46,6 +46,14 @@
 // leased shards until stopped. SIGTERM drains gracefully (finish the
 // current shard, deregister, exit); a second signal aborts immediately and
 // the coordinator requeues the abandoned shard on lease expiry.
+//
+// -state-dir makes the server durable: session descriptors, job records,
+// finished results, and the streamed cells of running campaign jobs are
+// journaled into that directory, and a restarted server recovers them —
+// sessions re-list (their schedules re-hydrate lazily on first access),
+// terminal job results serve byte-identically, and interrupted campaign
+// jobs resume from their last journaled cell. Empty (the default) keeps
+// the purely in-memory behavior. See the README's "Durable state" section.
 package main
 
 import (
@@ -61,6 +69,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/cliutil"
 	"repro/internal/fleet"
+	"repro/internal/persist"
 	_ "repro/internal/sched/all"
 )
 
@@ -80,6 +89,7 @@ func main() {
 		minWorkers    = flag.Int("min-workers", 1, "fleet: wait for this many joined workers before a campaign dispatches")
 		heartbeat     = flag.Duration("heartbeat-interval", fleet.DefaultHeartbeatInterval, "fleet: advertised heartbeat interval (a worker silent for 3 intervals is retired)")
 		leaseTTL      = flag.Duration("lease-ttl", fleet.DefaultLeaseTTL, "fleet: how long one worker may hold a shard before it is requeued for stealing")
+		stateDir      = flag.String("state-dir", "", "journal sessions and jobs into this directory and recover them on restart (empty = in-memory only)")
 		join          = flag.String("join", "", "run as a fleet worker of the coordinator at this base URL (worker mode; excludes -dir, -fleet, -workers)")
 		workerName    = flag.String("worker-name", "", "worker mode: name reported to the coordinator (default: hostname)")
 		workerPoll    = flag.Duration("worker-poll", 500*time.Millisecond, "worker mode: idle lease-poll pacing")
@@ -112,6 +122,7 @@ func main() {
 		workers: *workers,
 		fleet:   *fleetOn, minWorkers: *minWorkers,
 		heartbeat: *heartbeat, leaseTTL: *leaseTTL,
+		stateDir: *stateDir,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "jedserve:", err)
@@ -131,16 +142,38 @@ type serveOptions struct {
 	fleet                        bool
 	minWorkers                   int
 	heartbeat, leaseTTL          time.Duration
+	stateDir                     string
 }
 
 func run(o serveOptions) error {
 	store := api.NewStore()
+	var ps persist.Store
+	if o.stateDir != "" {
+		var err error
+		ps, err = persist.Open(o.stateDir)
+		if err != nil {
+			return fmt.Errorf("opening state dir: %w", err)
+		}
+		defer ps.Close()
+		store.SetPersist(ps)
+	}
+	// Register files before recovering: a file present in -dir is the
+	// fresher truth, so pre-registered sessions win ID collisions.
 	sessions, err := api.RegisterDir(store, o.dir)
 	if err != nil {
 		return err
 	}
 	store.SetMaxSessions(o.maxSessions)
 	store.SetTTL(o.sessionTTL)
+	if ps != nil {
+		n, err := store.RecoverSessions()
+		if err != nil {
+			return fmt.Errorf("recovering sessions: %w", err)
+		}
+		if n > 0 {
+			fmt.Printf("jedserve: recovered %d sessions from %s\n", n, o.stateDir)
+		}
+	}
 	if o.maxSessions > 0 && len(sessions) > o.maxSessions {
 		fmt.Fprintf(os.Stderr, "jedserve: warning: %d schedule files but -max-sessions %d; the %d least recently registered were evicted\n",
 			len(sessions), o.maxSessions, len(sessions)-o.maxSessions)
@@ -150,6 +183,16 @@ func run(o serveOptions) error {
 		fmt.Printf("jedserve: session %s <- %s\n", sess.ID, sess.Name)
 	}
 	srv := api.NewServer(store)
+	if ps != nil {
+		if err := srv.EnablePersistence(ps); err != nil {
+			return fmt.Errorf("recovering jobs: %w", err)
+		}
+		jr, cr := srv.RecoveredJobs()
+		if n := jr.Restored + jr.Resumed + jr.Interrupted + cr.Restored + cr.Resumed + cr.Interrupted; n > 0 {
+			fmt.Printf("jedserve: recovered %d jobs (%d restored, %d resumed, %d interrupted)\n",
+				n, jr.Restored+cr.Restored, jr.Resumed+cr.Resumed, jr.Interrupted+cr.Interrupted)
+		}
+	}
 	srv.SetRenderWorkers(o.renderWorkers)
 	srv.SetRenderCacheBytes(int64(o.renderCacheMB) << 20)
 	srv.SetLOD(o.lod)

@@ -123,6 +123,11 @@ func (s *Server) createCampaign(w http.ResponseWriter, r *http.Request) {
 		// The observer is installed here — before Run, on the job's own
 		// goroutine — because the job handle does not exist at Submit time.
 		c.SetOnCell(func(campaign.Cell) { j.Advance(1) })
+		if s.persist != nil {
+			// Journal run progress under the job's ID: another coordinator
+			// pointed at the same state directory can resume from it.
+			c.SetPersist(s.persist, j.ID())
+		}
 		res, err := c.Run(ctx)
 		if err != nil {
 			return nil, err

@@ -46,10 +46,17 @@ func RegisterFile(st *Store, path string) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Persist the absolute path so a restart from another working
+	// directory still re-parses the same file.
+	recipePath := path
+	if abs, err := filepath.Abs(path); err == nil {
+		recipePath = abs
+	}
 	base := sessionID(path)
 	id := base
 	for n := 2; ; n++ {
-		sess, err := st.Put(id, filepath.Base(path), "file", s)
+		sess, err := st.PutRecipe(id, filepath.Base(path), "file", s,
+			&Recipe{Kind: "file", Path: recipePath})
 		if err == nil {
 			return sess, nil
 		}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"html"
+	"io"
 	"net/http"
 	"sort"
 	"strconv"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/jedxml"
 	"repro/internal/jobs"
+	"repro/internal/persist"
 	"repro/internal/render"
 	"repro/internal/sched"
 )
@@ -42,6 +44,13 @@ type Server struct {
 	fleet         *fleet.Manager // elastic pull-based pool; serves /api/v1/workers
 	fleetMin      int            // fleet campaigns wait for this many workers
 	campaigns     campaignTracker
+
+	// Durable state (nil/zero without EnablePersistence).
+	persist        persist.Store
+	jobsPersist    *jobs.Persister
+	coordPersist   *jobs.Persister
+	jobsRecovered  jobs.RecoverStats
+	coordRecovered jobs.RecoverStats
 }
 
 // NewServer wraps a store and starts the job engines. Two campaign job
@@ -118,6 +127,34 @@ func (s *Server) SetFleet(m *fleet.Manager, minWorkers int) {
 
 // Fleet returns the mounted fleet manager (nil without SetFleet).
 func (s *Server) Fleet() *fleet.Manager { return s.fleet }
+
+// EnablePersistence journals both job engines into the store and replays the
+// records of the previous process: terminal jobs come back with their
+// results intact, interrupted campaign jobs are re-submitted from their
+// journaled cells, and coordinated campaigns journal run progress under
+// their job ID so their checkpoints are shareable through the store. Call
+// once, before serving and before any job is submitted.
+func (s *Server) EnablePersistence(ps persist.Store) error {
+	s.persist = ps
+	s.jobsPersist = jobs.NewPersister(ps, "jobs")
+	s.coordPersist = jobs.NewPersister(ps, "cjobs")
+	s.jobs.SetJournal(s.jobsPersist)
+	s.coordJobs.SetJournal(s.coordPersist)
+	var err error
+	if s.jobsRecovered, err = s.jobsPersist.Recover(s.jobs); err != nil {
+		return err
+	}
+	if s.coordRecovered, err = s.coordPersist.Recover(s.coordJobs); err != nil {
+		return err
+	}
+	return nil
+}
+
+// RecoveredJobs reports what EnablePersistence replayed: campaign jobs,
+// then coordinated campaigns.
+func (s *Server) RecoveredJobs() (jobs.RecoverStats, jobs.RecoverStats) {
+	return s.jobsRecovered, s.coordRecovered
+}
 
 // RenderCacheStats exposes the cache counters (for tests; clients read them
 // from GET /api/v1/meta).
@@ -199,15 +236,17 @@ type sessionInfo struct {
 }
 
 func infoOf(sess *Session) sessionInfo {
-	sched := sess.Schedule()
+	// The cached summary, not the schedule: listing sessions must not
+	// hydrate recovered sessions.
+	sum := sess.Summary()
 	return sessionInfo{
 		ID:       sess.ID,
 		Name:     sess.Name,
 		Source:   sess.Source,
-		Clusters: len(sched.Clusters),
-		Hosts:    sched.TotalHosts(),
-		Tasks:    len(sched.Tasks),
-		Makespan: sched.Extent().Span(),
+		Clusters: sum.Clusters,
+		Hosts:    sum.Hosts,
+		Tasks:    sum.Tasks,
+		Makespan: sum.Makespan,
 	}
 }
 
@@ -258,15 +297,34 @@ func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
 	}
 
 	name := r.URL.Query().Get("name")
+	// With persistence on, the body is captured verbatim so the session's
+	// recipe replays the exact client input after a restart: the raw JSON
+	// re-runs the deterministic generator, the raw document re-parses.
+	var input io.Reader = body
+	var raw []byte
+	if s.store.PersistEnabled() {
+		var err error
+		raw, err = io.ReadAll(body)
+		if err != nil {
+			code := http.StatusBadRequest
+			if _, ok := err.(*http.MaxBytesError); ok {
+				code = http.StatusRequestEntityTooLarge
+			}
+			writeError(w, code, "reading body: %v", err)
+			return
+		}
+		input = bytes.NewReader(raw)
+	}
 	var (
 		schedule *core.Schedule
 		source   string
+		recipe   *Recipe
 		err      error
 	)
 	switch kind {
 	case "generate", "json":
 		var req CreateRequest
-		dec := json.NewDecoder(body)
+		dec := json.NewDecoder(input)
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil {
 			writeError(w, http.StatusBadRequest, "bad create request: %v", err)
@@ -284,16 +342,22 @@ func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
 			name = req.Algo
 		}
 		source = "generated"
+		if raw != nil {
+			recipe = &Recipe{Kind: "generate", Request: raw}
+		}
 	default:
-		schedule, err = jedxml.ReadFormat(kind, body)
+		schedule, err = jedxml.ReadFormat(kind, input)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
 		source = "upload"
+		if raw != nil {
+			recipe = &Recipe{Kind: "doc", Format: kind, Doc: raw}
+		}
 	}
 
-	sess := s.store.Add(name, source, schedule)
+	sess := s.store.AddRecipe(name, source, schedule, recipe)
 	w.Header().Set("Location", "/api/v1/sessions/"+sess.ID)
 	writeJSON(w, http.StatusCreated, infoOf(sess))
 }
@@ -449,9 +513,21 @@ func (s *Server) serverMeta(w http.ResponseWriter, _ *http.Request) {
 		"lod_default":          s.lodDefault,
 		"lod_renders":          s.lodRenders.Load(),
 		"lod_tasks_aggregated": s.lodAggregated.Load(),
+		"jobs_evicted":         s.jobs.Evictions() + s.coordJobs.Evictions(),
 	}
 	if s.fleet != nil {
 		meta["fleet"] = s.fleet.Stats()
+	}
+	if s.persist != nil {
+		meta["persist"] = map[string]any{
+			"store":              s.persist.Stats(),
+			"recovered_sessions": s.store.RecoveredSessions(),
+			"hydration_failures": s.store.HydrationFailures(),
+			"session_errors":     s.store.PersistErrors(),
+			"job_errors":         s.jobsPersist.Errors() + s.coordPersist.Errors(),
+			"jobs":               s.jobsRecovered,
+			"campaigns":          s.coordRecovered,
+		}
 	}
 	writeJSON(w, http.StatusOK, meta)
 }

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/persist"
 	"repro/internal/render"
 )
 
@@ -32,11 +33,13 @@ type Session struct {
 	Name   string
 	Source string // "upload", "generated", "file", "viewer"
 
-	mu    sync.RWMutex
-	sched *core.Schedule
-	idx   *render.TaskIndex // lazy render index of sched; cleared on Replace
-	rev   int64             // bumped by Replace; part of the ETag of stateless reads
-	fp    uint64            // content fingerprint of the schedule, computed on swap
+	mu      sync.RWMutex
+	sched   *core.Schedule    // nil for a recovered session until first access
+	idx     *render.TaskIndex // lazy render index of sched; cleared on Replace
+	rev     int64             // bumped by Replace; part of the ETag of stateless reads
+	fp      uint64            // content fingerprint of the schedule, computed on swap
+	summary Summary           // cached schedule shape, served by list/info reads
+	recipe  *Recipe           // rebuilds sched after a restart; nil = synthesized on persist
 
 	store      *Store       // owning store; drop notifications on Replace
 	lastUse    atomic.Int64 // store clock tick of the last Get (LRU eviction)
@@ -59,11 +62,24 @@ func fingerprintOf(s *core.Schedule) uint64 {
 	return h.Sum64()
 }
 
-// Schedule returns the session's current schedule.
+// Schedule returns the session's current schedule, hydrating a recovered
+// session first. Store.Get is the gate that surfaces hydration errors; this
+// defensive path degrades to an empty schedule rather than a nil pointer.
 func (s *Session) Schedule() *core.Schedule {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.sched
+	sched := s.sched
+	s.mu.RUnlock()
+	if sched != nil {
+		return sched
+	}
+	s.ensureHydrated() //nolint:errcheck // Get reports hydration failures
+	s.mu.RLock()
+	sched = s.sched
+	s.mu.RUnlock()
+	if sched == nil {
+		sched = &core.Schedule{}
+	}
+	return sched
 }
 
 // ScheduleWithIndex returns the current schedule together with its render
@@ -75,6 +91,12 @@ func (s *Session) ScheduleWithIndex() (*core.Schedule, *render.TaskIndex) {
 	s.mu.RLock()
 	sched, idx := s.sched, s.idx
 	s.mu.RUnlock()
+	if sched == nil {
+		sched = s.Schedule()
+		s.mu.RLock()
+		idx = s.idx
+		s.mu.RUnlock()
+	}
 	if idx == nil {
 		idx = render.BuildIndex(sched)
 		s.mu.Lock()
@@ -90,13 +112,17 @@ func (s *Session) ScheduleWithIndex() (*core.Schedule, *render.TaskIndex) {
 // the revision, invalidating cached renders of the old schedule.
 func (s *Session) Replace(sched *core.Schedule) {
 	fp := fingerprintOf(sched)
+	sum := summaryOf(sched)
 	s.mu.Lock()
 	s.sched = sched
 	s.idx = nil
 	s.fp = fp
+	s.summary = sum
+	s.recipe = nil // the old recipe describes the old schedule
 	s.rev++
 	s.mu.Unlock()
 	if s.store != nil {
+		s.store.persistSession(s)
 		s.store.notifyDrop(s.ID)
 	}
 }
@@ -115,6 +141,15 @@ func (s *Session) Fingerprint() uint64 {
 	return s.fp
 }
 
+// Summary returns the cached shape of the session's schedule. For a
+// recovered, not-yet-hydrated session this is the persisted summary, so
+// listing sessions never forces a hydration.
+func (s *Session) Summary() Summary {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.summary
+}
+
 // Store is the concurrent-safe session registry behind the REST API.
 type Store struct {
 	mu       sync.RWMutex
@@ -125,6 +160,11 @@ type Store struct {
 	onDrop   func(sessionID string)
 	sessions map[string]*Session
 	clock    atomic.Int64
+
+	persist         persist.Store // nil = persistence off (the default)
+	recovered       atomic.Int64
+	hydrationFailed atomic.Int64
+	persistErrors   atomic.Int64
 
 	janitorStop chan struct{}
 }
@@ -169,6 +209,7 @@ func (st *Store) SetMaxSessions(n int) {
 	st.max = n
 	dropped := st.evictLocked()
 	st.mu.Unlock()
+	st.dropPersisted(dropped...)
 	st.notifyDrop(dropped...)
 }
 
@@ -234,6 +275,7 @@ func (st *Store) Sweep() int {
 		}
 	}
 	st.mu.Unlock()
+	st.dropPersisted(dropped...)
 	st.notifyDrop(dropped...)
 	return len(dropped)
 }
@@ -273,6 +315,13 @@ func (st *Store) evictLocked() []string {
 
 // Add registers a schedule under a fresh generated ID ("s1", "s2", ...).
 func (st *Store) Add(name, source string, sched *core.Schedule) *Session {
+	return st.AddRecipe(name, source, sched, nil)
+}
+
+// AddRecipe is Add with an explicit persistence recipe: how to rebuild the
+// schedule after a restart. A nil recipe persists the schedule as canonical
+// Jedule XML.
+func (st *Store) AddRecipe(name, source string, sched *core.Schedule, rec *Recipe) *Session {
 	st.mu.Lock()
 	for {
 		st.seq++
@@ -280,9 +329,11 @@ func (st *Store) Add(name, source string, sched *core.Schedule) *Session {
 		if _, taken := st.sessions[id]; taken {
 			continue // an explicit Put used the ID; keep counting
 		}
-		s := st.putLocked(id, name, source, sched)
+		s := st.putLocked(id, name, source, sched, rec)
 		dropped := st.evictLocked()
 		st.mu.Unlock()
+		st.persistSession(s)
+		st.dropPersisted(dropped...)
 		st.notifyDrop(dropped...)
 		return s
 	}
@@ -292,6 +343,11 @@ func (st *Store) Add(name, source string, sched *core.Schedule) *Session {
 // the legacy viewer's "default", jedserve's per-file sessions). It fails on
 // an empty or already-taken ID.
 func (st *Store) Put(id, name, source string, sched *core.Schedule) (*Session, error) {
+	return st.PutRecipe(id, name, source, sched, nil)
+}
+
+// PutRecipe is Put with an explicit persistence recipe (see AddRecipe).
+func (st *Store) PutRecipe(id, name, source string, sched *core.Schedule, rec *Recipe) (*Session, error) {
 	if id == "" {
 		return nil, fmt.Errorf("api: empty session id")
 	}
@@ -300,15 +356,21 @@ func (st *Store) Put(id, name, source string, sched *core.Schedule) (*Session, e
 		st.mu.Unlock()
 		return nil, fmt.Errorf("api: session %q already exists", id)
 	}
-	s := st.putLocked(id, name, source, sched)
+	s := st.putLocked(id, name, source, sched, rec)
 	dropped := st.evictLocked()
 	st.mu.Unlock()
+	st.persistSession(s)
+	st.dropPersisted(dropped...)
 	st.notifyDrop(dropped...)
 	return s, nil
 }
 
-func (st *Store) putLocked(id, name, source string, sched *core.Schedule) *Session {
-	s := &Session{ID: id, Name: name, Source: source, sched: sched, fp: fingerprintOf(sched), store: st}
+func (st *Store) putLocked(id, name, source string, sched *core.Schedule, rec *Recipe) *Session {
+	s := &Session{
+		ID: id, Name: name, Source: source,
+		sched: sched, fp: fingerprintOf(sched), summary: summaryOf(sched),
+		recipe: rec, store: st,
+	}
 	st.touch(s)
 	st.sessions[id] = s
 	return s
@@ -316,8 +378,23 @@ func (st *Store) putLocked(id, name, source string, sched *core.Schedule) *Sessi
 
 // Get returns the session with the given ID, marking it recently used. A
 // session idle past the TTL is expired here (lazy expiry) and reported as
-// absent.
+// absent. A recovered session is hydrated here — its first access after a
+// restart rebuilds the schedule from the persisted recipe; a session whose
+// recipe fails is dropped and counted.
 func (st *Store) Get(id string) (*Session, bool) {
+	s, ok := st.getLive(id)
+	if !ok {
+		return nil, false
+	}
+	if err := s.ensureHydrated(); err != nil {
+		st.hydrationFailed.Add(1)
+		st.Delete(id)
+		return nil, false
+	}
+	return s, true
+}
+
+func (st *Store) getLive(id string) (*Session, bool) {
 	st.mu.RLock()
 	s, ok := st.sessions[id]
 	expired := ok && st.expiredLocked(s)
@@ -335,6 +412,7 @@ func (st *Store) Get(id string) (*Session, bool) {
 	if ok && cur == s && st.expiredLocked(s) {
 		delete(st.sessions, id)
 		st.mu.Unlock()
+		st.dropPersisted(id)
 		st.notifyDrop(id)
 		return nil, false
 	}
@@ -352,6 +430,7 @@ func (st *Store) Delete(id string) bool {
 	delete(st.sessions, id)
 	st.mu.Unlock()
 	if ok {
+		st.dropPersisted(id)
 		st.notifyDrop(id)
 	}
 	return ok

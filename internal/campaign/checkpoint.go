@@ -108,12 +108,15 @@ type checkpointLine struct {
 // concurrent use; RunOptions.OnCell already serializes, but the REST job
 // engine shares writers across retries.
 type CheckpointWriter struct {
-	mu  sync.Mutex
-	enc *json.Encoder
+	mu   sync.Mutex
+	enc  *json.Encoder
+	sync func() error // w's fsync, when it has one (an *os.File does)
 }
 
 // NewCheckpointWriter starts a fresh checkpoint on w by writing the header
-// line for cfg.
+// line for cfg. When w can fsync (an *os.File), the header is synced to
+// storage before any cell may follow it: a crash must never leave cells
+// whose identifying header only ever existed in the page cache.
 func NewCheckpointWriter(w io.Writer, cfg Config) (*CheckpointWriter, error) {
 	cw := ResumeCheckpointWriter(w)
 	h := NewHeader(cfg)
@@ -122,13 +125,22 @@ func NewCheckpointWriter(w io.Writer, cfg Config) (*CheckpointWriter, error) {
 	if err := cw.enc.Encode(checkpointLine{Header: &h}); err != nil {
 		return nil, fmt.Errorf("campaign: checkpoint header: %w", err)
 	}
+	if cw.sync != nil {
+		if err := cw.sync(); err != nil {
+			return nil, fmt.Errorf("campaign: checkpoint header sync: %w", err)
+		}
+	}
 	return cw, nil
 }
 
 // ResumeCheckpointWriter continues an existing checkpoint (opened for
 // append): no new header is written.
 func ResumeCheckpointWriter(w io.Writer) *CheckpointWriter {
-	return &CheckpointWriter{enc: json.NewEncoder(w)}
+	cw := &CheckpointWriter{enc: json.NewEncoder(w)}
+	if s, ok := w.(interface{ Sync() error }); ok {
+		cw.sync = s.Sync
+	}
+	return cw
 }
 
 // WriteCell appends one completed cell.
@@ -136,6 +148,18 @@ func (cw *CheckpointWriter) WriteCell(c Cell) error {
 	cw.mu.Lock()
 	defer cw.mu.Unlock()
 	return cw.enc.Encode(checkpointLine{Cell: &c})
+}
+
+// Sync flushes the checkpoint to storage — the end-of-run barrier a writer
+// on a real file should run before declaring the checkpoint complete. A
+// writer whose destination cannot fsync reports success.
+func (cw *CheckpointWriter) Sync() error {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if cw.sync == nil {
+		return nil
+	}
+	return cw.sync()
 }
 
 // Checkpoint is a loaded JSONL file: the campaign identity plus every

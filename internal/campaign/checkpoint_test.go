@@ -207,3 +207,45 @@ func TestCheckpointCorruption(t *testing.T) {
 		t.Error("future version accepted")
 	}
 }
+
+// syncCounter wraps a buffer with a Sync method so tests can observe the
+// fsync barriers a CheckpointWriter issues.
+type syncCounter struct {
+	bytes.Buffer
+	syncs int
+}
+
+func (s *syncCounter) Sync() error { s.syncs++; return nil }
+
+// TestCheckpointWriterSyncsHeader pins the durability contract: the header
+// record is synced before any cell may follow it, Sync flushes on demand,
+// and a destination without fsync (a plain buffer) still works.
+func TestCheckpointWriterSyncsHeader(t *testing.T) {
+	cfg := smallConfig()
+	var w syncCounter
+	cw, err := NewCheckpointWriter(&w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.syncs != 1 {
+		t.Fatalf("header written with %d syncs, want 1", w.syncs)
+	}
+	if err := cw.WriteCell(Cell{Index: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if w.syncs != 2 {
+		t.Fatalf("after explicit Sync, syncs = %d, want 2", w.syncs)
+	}
+
+	var buf bytes.Buffer
+	cw2, err := NewCheckpointWriter(&buf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cw2.Sync(); err != nil {
+		t.Fatalf("Sync on an unsyncable destination = %v, want nil", err)
+	}
+}

@@ -19,12 +19,14 @@ package coord
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io/fs"
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -32,7 +34,11 @@ import (
 	"repro/internal/coord/client"
 	"repro/internal/fleet"
 	"repro/internal/jobs"
+	"repro/internal/persist"
 )
+
+// runNS is the persistence namespace coordinated runs journal into.
+const runNS = "runs"
 
 // defaultProbeTimeout bounds the is-this-worker-alive probe that decides
 // between "retry the shard here" and "retire the worker" (static pools;
@@ -77,6 +83,15 @@ type Config struct {
 	// cells are all persisted; a torn final record is cut, exactly like
 	// `campaign -resume`.
 	Resume bool
+	// Persist, when set, journals run progress (identity header plus every
+	// recorded cell) into the shared persistence store under RunID — the
+	// store-backed sibling of Checkpoint, which makes a coordinator's
+	// checkpoint shareable across processes pointed at one state directory.
+	// With Resume, the persisted cells preload exactly like a file resume.
+	Persist persist.Store
+	// RunID names this run in the persistence store. Required with Persist;
+	// the REST surface uses the coordinated job's ID.
+	RunID string
 	// OnCell, when set, observes every newly recorded cell (serialized on
 	// the coordinator goroutine) — the aggregate-progress hook.
 	OnCell func(campaign.Cell)
@@ -139,6 +154,9 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	if cfg.Spec.Shard != "" {
 		return nil, fmt.Errorf("coord: spec must not set shard %q (sharding is the coordinator's job)", cfg.Spec.Shard)
+	}
+	if cfg.Persist != nil && cfg.RunID == "" {
+		return nil, fmt.Errorf("coord: persistence needs a run ID")
 	}
 	ccfg, _, err := cfg.Spec.Resolve()
 	if err != nil {
@@ -204,6 +222,16 @@ func (c *Coordinator) SetOnCell(fn func(campaign.Cell)) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.cfg.OnCell = fn
+}
+
+// SetPersist installs (or replaces) the run journal. Like SetOnCell it must
+// be called before Run — the REST surface names the run after the
+// coordinated job, whose ID does not exist until after submission.
+func (c *Coordinator) SetPersist(ps persist.Store, runID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cfg.Persist = ps
+	c.cfg.RunID = runID
 }
 
 // Cells returns the size of the full factorial.
@@ -305,6 +333,9 @@ func (c *Coordinator) Run(ctx context.Context) (*campaign.Result, error) {
 		return nil, err
 	}
 	defer closeCP()
+	if err := c.openRunJournal(); err != nil {
+		return nil, err
+	}
 
 	// Shards whose cells all came out of the resumed checkpoint are done
 	// before anything is dispatched.
@@ -335,7 +366,80 @@ func (c *Coordinator) Run(ctx context.Context) (*campaign.Result, error) {
 			return nil, err
 		}
 	}
-	return c.result()
+	res, err := c.result()
+	if err == nil && c.cfg.Persist != nil {
+		// The run is merged and complete; its journal has served its purpose.
+		// Best-effort — a leftover journal only costs a header check next run.
+		if derr := c.cfg.Persist.DeletePrefix(runNS, c.cfg.RunID+"/"); derr != nil {
+			c.logf("coord: dropping run journal: %v", derr)
+		}
+	}
+	return res, err
+}
+
+// runCellKey zero-pads the index so lexical key order is numeric cell order.
+func runCellKey(runID string, index int) string {
+	return fmt.Sprintf("%s/c/%08d", runID, index)
+}
+
+// openRunJournal prepares the store-backed run journal per Config. With
+// Resume and a persisted header that matches this campaign, the journaled
+// cells preload into the cell map exactly like a file resume; otherwise any
+// stale record under this run ID is dropped and a fresh identity header is
+// written durably, so the next resume can verify the journal belongs here.
+func (c *Coordinator) openRunJournal() error {
+	ps := c.cfg.Persist
+	if ps == nil {
+		return nil
+	}
+	id := c.cfg.RunID
+	if c.cfg.Resume {
+		raw, ok, err := ps.Get(runNS, id+"/header")
+		if err != nil {
+			return err
+		}
+		if ok {
+			var h campaign.Header
+			if err := json.Unmarshal(raw, &h); err != nil {
+				return fmt.Errorf("coord: run %s: corrupt persisted header: %w", id, err)
+			}
+			if err := h.Matches(c.ccfg); err != nil {
+				return fmt.Errorf("coord: run %s: %w (use a fresh run ID to start over)", id, err)
+			}
+			all, err := ps.Load(runNS)
+			if err != nil {
+				return err
+			}
+			prefix := id + "/c/"
+			n := 0
+			c.mu.Lock()
+			for k, v := range all {
+				if !strings.HasPrefix(k, prefix) {
+					continue
+				}
+				var cell campaign.Cell
+				if err := json.Unmarshal(v, &cell); err != nil {
+					continue // a corrupt cell just gets recomputed
+				}
+				if _, dup := c.cells[cell.Index]; !dup {
+					c.cells[cell.Index] = cell
+					c.cellsDone++
+					n++
+				}
+			}
+			c.mu.Unlock()
+			c.logf("coord: resuming run %s from store: %d journaled cells", id, n)
+			return nil
+		}
+	}
+	if err := ps.DeletePrefix(runNS, id+"/"); err != nil {
+		return err
+	}
+	b, err := json.Marshal(c.header)
+	if err != nil {
+		return err
+	}
+	return ps.PutDurable(runNS, id+"/header", b)
 }
 
 // dispatchFleet runs the pending shards through the elastic fleet: wait for
@@ -626,6 +730,15 @@ func (c *Coordinator) recordCells(k int, cells []campaign.Cell, cw *checkpointFi
 				return fmt.Errorf("coord: checkpoint: %w", err)
 			}
 		}
+		if ps := c.cfg.Persist; ps != nil {
+			// Best-effort: a lost journal record only means recomputing the
+			// cell after a crash, never a wrong result.
+			if b, err := json.Marshal(cell); err == nil {
+				if err := ps.Put(runNS, runCellKey(c.cfg.RunID, cell.Index), b); err != nil {
+					c.logf("coord: run journal: %v", err)
+				}
+			}
+		}
 		if c.cfg.OnCell != nil {
 			c.cfg.OnCell(cell)
 		}
@@ -671,7 +784,7 @@ type checkpointFile struct {
 	writer *campaign.CheckpointWriter
 }
 
-func (cf *checkpointFile) sync() error { return cf.f.Sync() }
+func (cf *checkpointFile) sync() error { return cf.writer.Sync() }
 
 // openCheckpoint prepares the local checkpoint per Config: fresh, resumed
 // (with the torn tail cut and the persisted cells preloaded), or disabled.

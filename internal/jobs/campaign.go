@@ -2,6 +2,7 @@ package jobs
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/campaign"
@@ -94,19 +95,73 @@ func SubmitCampaign(e *Engine, spec CampaignSpec) (*Job, error) {
 			total++
 		}
 	}
-	return e.Submit(KindCampaign, total, func(ctx context.Context, j *Job) (any, error) {
+	// The spec rides along as the job's persisted descriptor: a restarted
+	// server re-resolves it deterministically to resume the job.
+	meta, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	return e.SubmitWithMeta(KindCampaign, total, meta, campaignFn(cfg, shard, nil)), nil
+}
+
+// ResubmitCampaign re-queues an interrupted campaign job from a previous
+// process under its original ID, skipping the prior cells journaled before
+// the crash and merging them into the final result — which therefore equals
+// the uninterrupted run byte-for-byte (cells depend only on (cfg, index),
+// and Merge restores enumeration order).
+func ResubmitCampaign(e *Engine, id string, spec CampaignSpec, prior []campaign.Cell) (*Job, error) {
+	cfg, shard, err := spec.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, cell := range campaign.Cells(cfg) {
+		if shard.Includes(cell.Index) {
+			total++
+		}
+	}
+	meta, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	return e.Resubmit(id, KindCampaign, total, meta, campaignFn(cfg, shard, prior))
+}
+
+// campaignFn builds the job body: run the (remaining) cells, journal each
+// completion, and merge prior cells back in.
+func campaignFn(cfg campaign.Config, shard campaign.Shard, prior []campaign.Cell) Fn {
+	return func(ctx context.Context, j *Job) (any, error) {
+		skip := make(map[string]bool, len(prior))
+		for _, c := range prior {
+			skip[c.Key()] = true
+		}
+		j.Advance(len(prior))
 		res, err := campaign.RunContext(ctx, cfg, campaign.RunOptions{
 			Shard: shard,
-			OnCell: func(campaign.Cell) error {
+			Skip:  skip,
+			OnCell: func(c campaign.Cell) error {
 				j.Advance(1)
+				if j.journal != nil {
+					j.journal.JobCell(j.id, c)
+				}
 				return nil
 			},
 		})
 		if err != nil {
 			return nil, err
 		}
+		if len(prior) > 0 {
+			priorRes := &campaign.Result{Algos: append([]string(nil), cfg.Algos...), Cells: prior}
+			for _, c := range prior {
+				priorRes.Total += c.Runs
+			}
+			res, err = campaign.Merge(priorRes, res)
+			if err != nil {
+				return nil, err
+			}
+		}
 		return &CampaignOutcome{Header: campaign.NewHeader(cfg), Result: res}, nil
-	}), nil
+	}
 }
 
 // CampaignResult extracts the campaign outcome of a Done campaign job

@@ -15,7 +15,10 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -58,11 +61,13 @@ type Status struct {
 
 // Job is one unit of asynchronous work tracked by an Engine.
 type Job struct {
-	id     string
-	kind   string
-	fn     Fn
-	ctx    context.Context
-	cancel context.CancelFunc
+	id      string
+	kind    string
+	fn      Fn
+	meta    []byte  // opaque submission descriptor, persisted for recovery
+	journal Journal // engine journal at submission time; nil = no journaling
+	ctx     context.Context
+	cancel  context.CancelFunc
 
 	mu                         sync.Mutex
 	state                      State
@@ -75,6 +80,10 @@ type Job struct {
 
 // ID returns the engine-assigned identifier ("j1", "j2", ...).
 func (j *Job) ID() string { return j.id }
+
+// Meta returns the opaque submission descriptor attached by SubmitWithMeta
+// (nil otherwise). Callers must not mutate it.
+func (j *Job) Meta() []byte { return j.meta }
 
 // Status snapshots the job.
 func (j *Job) Status() Status {
@@ -118,12 +127,17 @@ func (j *Job) Advance(n int) {
 func (j *Job) Cancel() {
 	j.cancel()
 	j.mu.Lock()
-	defer j.mu.Unlock()
+	finished := false
 	if j.state == Pending {
 		j.state = Cancelled
 		j.err = context.Canceled
 		j.finished = time.Now()
 		close(j.finishedCh)
+		finished = true
+	}
+	j.mu.Unlock()
+	if finished && j.journal != nil {
+		j.journal.JobFinished(j)
 	}
 }
 
@@ -152,7 +166,6 @@ func (j *Job) run() {
 	result, err := j.fn(j.ctx, j)
 
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	switch {
 	case err == nil:
 		j.state, j.result = Done, result
@@ -163,22 +176,31 @@ func (j *Job) run() {
 	}
 	j.finished = time.Now()
 	close(j.finishedCh)
+	j.mu.Unlock()
+	// Journal the terminal transition after unlocking: the journal reads
+	// the job's status itself, and a durable write has no place under j.mu.
+	if j.journal != nil {
+		j.journal.JobFinished(j)
+	}
 }
 
 // Engine runs submitted jobs on a fixed pool of worker goroutines. The
 // submission queue is unbounded — Submit never blocks, so an HTTP handler
 // can always accept a job and answer 202.
 type Engine struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	seq    int
-	prefix string
-	retain int
-	jobs   map[string]*Job
-	order  []*Job
-	queue  []*Job
-	closed bool
-	wg     sync.WaitGroup
+	mu      sync.Mutex
+	cond    *sync.Cond
+	seq     int
+	prefix  string
+	retain  int
+	jobs    map[string]*Job
+	order   []*Job
+	queue   []*Job
+	closed  bool
+	journal Journal // nil = no persistence
+	wg      sync.WaitGroup
+
+	evictions atomic.Int64
 }
 
 // NewEngine starts an engine with the given worker count (0 means
@@ -201,9 +223,17 @@ func NewEngine(workers int) *Engine {
 // Close returns an already-failed job rather than panicking, so shutdown
 // races stay harmless.
 func (e *Engine) Submit(kind string, total int, fn Fn) *Job {
+	return e.SubmitWithMeta(kind, total, nil, fn)
+}
+
+// SubmitWithMeta is Submit with an opaque descriptor attached to the job:
+// what the persistence journal stores so an interrupted job can be
+// re-submitted after a restart (the campaign driver attaches the original
+// CampaignSpec JSON).
+func (e *Engine) SubmitWithMeta(kind string, total int, meta []byte, fn Fn) *Job {
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &Job{
-		kind: kind, fn: fn, ctx: ctx, cancel: cancel,
+		kind: kind, fn: fn, meta: meta, ctx: ctx, cancel: cancel,
 		state: Pending, total: total,
 		created:    time.Now(),
 		finishedCh: make(chan struct{}),
@@ -211,6 +241,7 @@ func (e *Engine) Submit(kind string, total int, fn Fn) *Job {
 	e.mu.Lock()
 	e.seq++
 	j.id = fmt.Sprintf("%s%d", e.prefix, e.seq)
+	j.journal = e.journal
 	e.jobs[j.id] = j
 	e.order = append(e.order, j)
 	if e.closed {
@@ -224,10 +255,95 @@ func (e *Engine) Submit(kind string, total int, fn Fn) *Job {
 		return j
 	}
 	e.queue = append(e.queue, j)
-	e.pruneLocked()
+	evicted := e.pruneLocked()
 	e.cond.Signal()
 	e.mu.Unlock()
+	if j.journal != nil {
+		j.journal.JobSubmitted(j)
+	}
+	e.notifyEvicted(evicted)
 	return j
+}
+
+// Resubmit queues a job under a pre-assigned ID — how an interrupted job
+// from a previous process re-enters the engine with its published identity
+// intact. No submission journal entry is written; the job's persisted
+// record already exists.
+func (e *Engine) Resubmit(id, kind string, total int, meta []byte, fn Fn) (*Job, error) {
+	if id == "" {
+		return nil, fmt.Errorf("jobs: resubmit needs an ID")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{
+		id: id, kind: kind, fn: fn, meta: meta, ctx: ctx, cancel: cancel,
+		state: Pending, total: total,
+		created:    time.Now(),
+		finishedCh: make(chan struct{}),
+	}
+	e.mu.Lock()
+	if _, taken := e.jobs[id]; taken {
+		e.mu.Unlock()
+		cancel()
+		return nil, fmt.Errorf("jobs: job %q already exists", id)
+	}
+	if e.closed {
+		e.mu.Unlock()
+		cancel()
+		return nil, fmt.Errorf("jobs: engine closed")
+	}
+	j.journal = e.journal
+	e.jobs[id] = j
+	e.order = append(e.order, j)
+	e.bumpSeqLocked(id)
+	e.queue = append(e.queue, j)
+	e.cond.Signal()
+	e.mu.Unlock()
+	return j, nil
+}
+
+// RestoreTerminal inserts an already-finished job from a persisted record:
+// a restarted server lists it and serves its result exactly as the previous
+// process did. The state must be terminal and the ID free.
+func (e *Engine) RestoreTerminal(st Status, meta []byte, result any) (*Job, error) {
+	if !st.State.Terminal() {
+		return nil, fmt.Errorf("jobs: cannot restore non-terminal state %q", st.State)
+	}
+	if st.ID == "" {
+		return nil, fmt.Errorf("jobs: restore needs an ID")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // nothing left to cancel
+	j := &Job{
+		id: st.ID, kind: st.Kind, ctx: ctx, cancel: cancel,
+		state: st.State, done: st.Done, total: st.Total,
+		meta: meta, result: result,
+		created: st.Created, started: st.Started, finished: st.Finished,
+		finishedCh: make(chan struct{}),
+	}
+	if st.Err != "" {
+		j.err = errors.New(st.Err)
+	}
+	close(j.finishedCh)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, taken := e.jobs[st.ID]; taken {
+		return nil, fmt.Errorf("jobs: job %q already exists", st.ID)
+	}
+	e.jobs[st.ID] = j
+	e.order = append(e.order, j)
+	e.bumpSeqLocked(st.ID)
+	return j, nil
+}
+
+// bumpSeqLocked keeps the generated-ID sequence past an externally assigned
+// ID, so the next Submit cannot mint a colliding one.
+func (e *Engine) bumpSeqLocked(id string) {
+	if !strings.HasPrefix(id, e.prefix) {
+		return
+	}
+	if n, err := strconv.Atoi(id[len(e.prefix):]); err == nil && n > e.seq {
+		e.seq = n
+	}
 }
 
 // SetIDPrefix changes the ID prefix ("j" by default) so several engines in
@@ -238,6 +354,36 @@ func (e *Engine) SetIDPrefix(p string) {
 	e.prefix = p
 }
 
+// SetJournal attaches a persistence journal: from now on, submissions,
+// terminal transitions, and retention evictions are reported to it. Call
+// before the first Submit; nil (the default) disables journaling.
+func (e *Engine) SetJournal(jn Journal) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.journal = jn
+}
+
+// Evictions counts terminal jobs dropped by the retention cap — each one a
+// result that is no longer fetchable. Served on /api/v1/meta.
+func (e *Engine) Evictions() int64 { return e.evictions.Load() }
+
+// notifyEvicted counts and journals retention evictions, outside e.mu.
+func (e *Engine) notifyEvicted(ids []string) {
+	if len(ids) == 0 {
+		return
+	}
+	e.evictions.Add(int64(len(ids)))
+	e.mu.Lock()
+	jn := e.journal
+	e.mu.Unlock()
+	if jn == nil {
+		return
+	}
+	for _, id := range ids {
+		jn.JobEvicted(id)
+	}
+}
+
 // SetRetention caps how many terminal (done/failed/cancelled) jobs the
 // engine keeps around for result fetches; 0 means unlimited. Beyond the
 // cap the oldest terminal jobs are dropped on the next Submit — results
@@ -245,15 +391,18 @@ func (e *Engine) SetIDPrefix(p string) {
 // a long-lived server pins for past campaigns.
 func (e *Engine) SetRetention(n int) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.retain = n
-	e.pruneLocked()
+	evicted := e.pruneLocked()
+	e.mu.Unlock()
+	e.notifyEvicted(evicted)
 }
 
-// pruneLocked drops the oldest terminal jobs beyond the retention cap.
-func (e *Engine) pruneLocked() {
+// pruneLocked drops the oldest terminal jobs beyond the retention cap,
+// returning the evicted IDs so the caller can count and journal them after
+// unlocking.
+func (e *Engine) pruneLocked() []string {
 	if e.retain <= 0 {
-		return
+		return nil
 	}
 	terminal := 0
 	for _, j := range e.order {
@@ -262,18 +411,21 @@ func (e *Engine) pruneLocked() {
 		}
 	}
 	if terminal <= e.retain {
-		return
+		return nil
 	}
+	var evicted []string
 	kept := e.order[:0]
 	for _, j := range e.order {
 		if terminal > e.retain && j.Status().State.Terminal() {
 			terminal--
 			delete(e.jobs, j.id)
+			evicted = append(evicted, j.id)
 			continue
 		}
 		kept = append(kept, j)
 	}
 	e.order = kept
+	return evicted
 }
 
 // Get returns the job with the given ID.

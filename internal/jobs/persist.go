@@ -1,0 +1,264 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/persist"
+)
+
+// Journal receives the engine's durable-state events. The engine calls it
+// outside its own locks; implementations must be safe for concurrent use.
+type Journal interface {
+	// JobSubmitted records a freshly queued job (best-effort write).
+	JobSubmitted(j *Job)
+	// JobFinished records a terminal transition (durable write — a finished
+	// result must survive the very next crash).
+	JobFinished(j *Job)
+	// JobEvicted removes the record of a job dropped by the retention cap.
+	JobEvicted(id string)
+	// JobCell journals one completed campaign cell of a running job — the
+	// checkpoint a restart resumes from.
+	JobCell(jobID string, cell campaign.Cell)
+}
+
+// jobRecord is the persisted form of one job (the engine's namespace,
+// keyed by job ID).
+type jobRecord struct {
+	ID       string           `json:"id"`
+	Kind     string           `json:"kind"`
+	State    State            `json:"state"`
+	Done     int              `json:"done"`
+	Total    int              `json:"total"`
+	Err      string           `json:"err,omitempty"`
+	Created  time.Time        `json:"created"`
+	Started  time.Time        `json:"started,omitzero"`
+	Finished time.Time        `json:"finished,omitzero"`
+	Spec     json.RawMessage  `json:"spec,omitempty"`
+	Outcome  *CampaignOutcome `json:"outcome,omitempty"`
+}
+
+// Persister journals an engine's jobs into a persist.Store: job records in
+// namespace ns, the streamed cells of running campaign jobs in ns+"-cells"
+// (keyed "<job>/<index>" so one DeletePrefix drops them when the job
+// finishes or is evicted). Writes are best-effort — a persistence failure
+// is counted, never propagated into the job path.
+type Persister struct {
+	ps     persist.Store
+	ns     string
+	cellNS string
+	errs   atomic.Int64
+}
+
+// NewPersister builds a journal writing into the given namespace.
+func NewPersister(ps persist.Store, ns string) *Persister {
+	return &Persister{ps: ps, ns: ns, cellNS: ns + "-cells"}
+}
+
+// Errors counts failed persistence writes.
+func (p *Persister) Errors() int64 { return p.errs.Load() }
+
+// cellKey zero-pads the index so lexical key order is numeric cell order.
+func cellKey(jobID string, index int) string {
+	return fmt.Sprintf("%s/%08d", jobID, index)
+}
+
+func (p *Persister) record(j *Job) jobRecord {
+	st := j.Status()
+	rec := jobRecord{
+		ID: st.ID, Kind: st.Kind, State: st.State,
+		Done: st.Done, Total: st.Total, Err: st.Err,
+		Created: st.Created, Started: st.Started, Finished: st.Finished,
+		Spec: j.Meta(),
+	}
+	if v, ok := j.Result(); ok {
+		if out, ok := v.(*CampaignOutcome); ok {
+			rec.Outcome = out
+		}
+	}
+	return rec
+}
+
+func (p *Persister) write(rec jobRecord, durable bool) {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		p.errs.Add(1)
+		return
+	}
+	if durable {
+		err = p.ps.PutDurable(p.ns, rec.ID, b)
+	} else {
+		err = p.ps.Put(p.ns, rec.ID, b)
+	}
+	if err != nil {
+		p.errs.Add(1)
+	}
+}
+
+// JobSubmitted implements Journal.
+func (p *Persister) JobSubmitted(j *Job) { p.write(p.record(j), false) }
+
+// JobFinished implements Journal: the terminal record is durable, and the
+// job's journaled cells are dropped — the outcome now carries them.
+func (p *Persister) JobFinished(j *Job) {
+	p.write(p.record(j), true)
+	if err := p.ps.DeletePrefix(p.cellNS, j.ID()+"/"); err != nil {
+		p.errs.Add(1)
+	}
+}
+
+// JobEvicted implements Journal.
+func (p *Persister) JobEvicted(id string) {
+	if err := p.ps.Delete(p.ns, id); err != nil {
+		p.errs.Add(1)
+	}
+	if err := p.ps.DeletePrefix(p.cellNS, id+"/"); err != nil {
+		p.errs.Add(1)
+	}
+}
+
+// JobCell implements Journal.
+func (p *Persister) JobCell(jobID string, cell campaign.Cell) {
+	b, err := json.Marshal(cell)
+	if err != nil {
+		p.errs.Add(1)
+		return
+	}
+	if err := p.ps.Put(p.cellNS, cellKey(jobID, cell.Index), b); err != nil {
+		p.errs.Add(1)
+	}
+}
+
+// RecoverStats summarizes what Recover restored, served on /api/v1/meta.
+type RecoverStats struct {
+	// Restored counts terminal jobs re-listed with their results intact.
+	Restored int `json:"restored"`
+	// Resumed counts interrupted campaign jobs re-submitted from their
+	// journaled cells.
+	Resumed int `json:"resumed"`
+	// Interrupted counts jobs that could not be resumed (coordinated
+	// campaigns, undecodable specs); they reappear as failed.
+	Interrupted int `json:"interrupted"`
+	// Cells counts journaled cells the resumed jobs did not recompute.
+	Cells int `json:"cells_skipped"`
+}
+
+// Recover replays the persisted job records of a previous process into the
+// engine: terminal jobs are restored as-is (their results serve
+// byte-identically), interrupted campaign jobs are re-submitted with their
+// journaled cells skipped, and everything else reappears as failed with an
+// explanatory error. Call once, after SetJournal and before serving.
+func (p *Persister) Recover(e *Engine) (RecoverStats, error) {
+	var stats RecoverStats
+	records, err := p.ps.Load(p.ns)
+	if err != nil {
+		return stats, err
+	}
+	ids := make([]string, 0, len(records))
+	for id := range records {
+		ids = append(ids, id)
+	}
+	// Shorter-then-lexical sorts "j2" before "j10": submission order for
+	// engine-minted IDs, which keeps the restored listing stable.
+	sort.Slice(ids, func(a, b int) bool {
+		if len(ids[a]) != len(ids[b]) {
+			return len(ids[a]) < len(ids[b])
+		}
+		return ids[a] < ids[b]
+	})
+	for _, id := range ids {
+		var rec jobRecord
+		if err := json.Unmarshal(records[id], &rec); err != nil || rec.ID == "" {
+			p.errs.Add(1)
+			continue
+		}
+		switch {
+		case rec.State.Terminal():
+			var result any
+			if rec.Outcome != nil {
+				result = rec.Outcome
+			}
+			if _, err := e.RestoreTerminal(statusOf(rec), rec.Spec, result); err != nil {
+				p.errs.Add(1)
+				continue
+			}
+			stats.Restored++
+		case rec.Kind == KindCampaign && len(rec.Spec) > 0:
+			var spec CampaignSpec
+			if err := json.Unmarshal(rec.Spec, &spec); err != nil {
+				p.failInterrupted(e, rec, &stats)
+				continue
+			}
+			prior := p.loadCells(rec.ID)
+			if _, err := ResubmitCampaign(e, rec.ID, spec, prior); err != nil {
+				p.failInterrupted(e, rec, &stats)
+				continue
+			}
+			stats.Resumed++
+			stats.Cells += len(prior)
+		default:
+			p.failInterrupted(e, rec, &stats)
+		}
+	}
+	return stats, nil
+}
+
+// failInterrupted restores a non-resumable interrupted job as failed and
+// rewrites its record so the next restart agrees.
+func (p *Persister) failInterrupted(e *Engine, rec jobRecord, stats *RecoverStats) {
+	rec.State = Failed
+	rec.Err = "interrupted by server restart"
+	rec.Outcome = nil
+	if rec.Finished.IsZero() {
+		rec.Finished = time.Now()
+	}
+	if _, err := e.RestoreTerminal(statusOf(rec), rec.Spec, nil); err != nil {
+		p.errs.Add(1)
+		return
+	}
+	p.write(rec, true)
+	if err := p.ps.DeletePrefix(p.cellNS, rec.ID+"/"); err != nil {
+		p.errs.Add(1)
+	}
+	stats.Interrupted++
+}
+
+func statusOf(rec jobRecord) Status {
+	return Status{
+		ID: rec.ID, Kind: rec.Kind, State: rec.State,
+		Done: rec.Done, Total: rec.Total, Err: rec.Err,
+		Created: rec.Created, Started: rec.Started, Finished: rec.Finished,
+	}
+}
+
+// loadCells returns the journaled cells of one job, in index order.
+func (p *Persister) loadCells(jobID string) []campaign.Cell {
+	all, err := p.ps.Load(p.cellNS)
+	if err != nil {
+		p.errs.Add(1)
+		return nil
+	}
+	prefix := jobID + "/"
+	keys := make([]string, 0, len(all))
+	for k := range all {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	cells := make([]campaign.Cell, 0, len(keys))
+	for _, k := range keys {
+		var c campaign.Cell
+		if err := json.Unmarshal(all[k], &c); err != nil {
+			p.errs.Add(1)
+			continue
+		}
+		cells = append(cells, c)
+	}
+	return cells
+}

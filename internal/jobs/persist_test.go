@@ -1,0 +1,213 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/persist"
+)
+
+// restartEngine simulates a process restart against the same store: a fresh
+// engine with a fresh persister journaling into the same namespaces.
+func restartEngine(t *testing.T, ps persist.Store, workers int) (*Engine, *Persister, RecoverStats) {
+	t.Helper()
+	e := newTestEngine(t, workers)
+	p := NewPersister(ps, "jobs")
+	e.SetJournal(p)
+	stats, err := p.Recover(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, p, stats
+}
+
+// outcomeJSON is the byte-identity yardstick: what /jobs/{id}/result
+// ultimately serializes.
+func outcomeJSON(t *testing.T, j *Job) []byte {
+	t.Helper()
+	out, err := CampaignResult(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestPersistTerminalRoundTrip(t *testing.T) {
+	ps := persist.Memory()
+	e1, p1, _ := restartEngine(t, ps, 2)
+	j, err := SubmitCampaign(e1, smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, Done)
+	want := outcomeJSON(t, j)
+	if n := p1.Errors(); n != 0 {
+		t.Fatalf("persist errors = %d", n)
+	}
+	// The finished job's streamed cells must be gone — the outcome carries
+	// them now.
+	cells, err := ps.Load("jobs-cells")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 0 {
+		t.Fatalf("finished job left %d journaled cells", len(cells))
+	}
+
+	e2, _, stats := restartEngine(t, ps, 2)
+	if stats.Restored != 1 || stats.Resumed != 0 || stats.Interrupted != 0 {
+		t.Fatalf("recover stats = %+v", stats)
+	}
+	j2, ok := e2.Get(j.ID())
+	if !ok {
+		t.Fatalf("job %s not restored", j.ID())
+	}
+	st := j2.Status()
+	if st.State != Done || st.Done != st.Total {
+		t.Fatalf("restored status = %+v", st)
+	}
+	if got := outcomeJSON(t, j2); !bytes.Equal(got, want) {
+		t.Fatalf("restored result differs:\n%s\nvs\n%s", got, want)
+	}
+	// The restored ID must be burned: the next submission picks a fresh one.
+	next := e2.Submit("demo", 1, func(context.Context, *Job) (any, error) { return nil, nil })
+	if next.ID() == j.ID() {
+		t.Fatalf("sequence not bumped past restored %s", j.ID())
+	}
+}
+
+func TestPersistResumeInterruptedCampaign(t *testing.T) {
+	spec := smallSpec()
+	cfg, _, err := spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := campaign.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fabricate the journal a crash leaves behind: a running record plus the
+	// first two cells, and no terminal write.
+	ps := persist.Memory()
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := jobRecord{
+		ID: "j1", Kind: KindCampaign, State: Running,
+		Done: 2, Total: len(direct.Cells),
+		Created: time.Now(), Started: time.Now(),
+		Spec: specJSON,
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.PutDurable("jobs", rec.ID, b); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range direct.Cells[:2] {
+		cb, err := json.Marshal(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ps.Put("jobs-cells", cellKey(rec.ID, c.Index), cb); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	e, _, stats := restartEngine(t, ps, 2)
+	if stats.Resumed != 1 || stats.Cells != 2 || stats.Restored != 0 {
+		t.Fatalf("recover stats = %+v", stats)
+	}
+	j, ok := e.Get("j1")
+	if !ok {
+		t.Fatal("resumed job not listed")
+	}
+	st := waitState(t, j, Done)
+	if st.Done != st.Total {
+		t.Fatalf("progress = %d/%d", st.Done, st.Total)
+	}
+	out, err := CampaignResult(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Byte-identity with the uninterrupted run: the journaled cells were
+	// skipped, not recomputed, and Merge restored enumeration order.
+	got, err := json.Marshal(out.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed result differs:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func TestPersistInterruptedUnknownKind(t *testing.T) {
+	ps := persist.Memory()
+	rec := jobRecord{ID: "j1", Kind: "demo", State: Running, Total: 3, Created: time.Now()}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.PutDurable("jobs", rec.ID, b); err != nil {
+		t.Fatal(err)
+	}
+
+	e, _, stats := restartEngine(t, ps, 1)
+	if stats.Interrupted != 1 {
+		t.Fatalf("recover stats = %+v", stats)
+	}
+	j, ok := e.Get("j1")
+	if !ok {
+		t.Fatal("interrupted job not listed")
+	}
+	st := j.Status()
+	if st.State != Failed || !strings.Contains(st.Err, "interrupted by server restart") {
+		t.Fatalf("status = %+v", st)
+	}
+	// The rewritten record is terminal: the next restart restores, not
+	// re-interrupts.
+	_, _, again := restartEngine(t, ps, 1)
+	if again.Restored != 1 || again.Interrupted != 0 {
+		t.Fatalf("second recover stats = %+v", again)
+	}
+}
+
+func TestEvictionNotifiesJournal(t *testing.T) {
+	ps := persist.Memory()
+	e, _, _ := restartEngine(t, ps, 2)
+	quick := func(context.Context, *Job) (any, error) { return "ok", nil }
+	j1 := e.Submit("demo", 1, quick)
+	j2 := e.Submit("demo", 1, quick)
+	waitState(t, j1, Done)
+	waitState(t, j2, Done)
+
+	e.SetRetention(1)
+	if n := e.Evictions(); n != 1 {
+		t.Fatalf("evictions = %d, want 1", n)
+	}
+	if _, ok := e.Get(j1.ID()); ok {
+		t.Fatal("oldest job survived the retention cap")
+	}
+	if _, found, err := ps.Get("jobs", j1.ID()); err != nil || found {
+		t.Fatalf("evicted record still persisted (found=%v err=%v)", found, err)
+	}
+	if _, found, err := ps.Get("jobs", j2.ID()); err != nil || !found {
+		t.Fatalf("retained record missing (found=%v err=%v)", found, err)
+	}
+}

@@ -1,0 +1,500 @@
+package persist
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// fileVersion guards the on-disk record format.
+const fileVersion = 1
+
+// compactMinRecords is how many log appends a namespace accumulates before
+// compaction is even considered; beyond it, a log holding more than twice
+// its live record count is rewritten as a snapshot.
+const compactMinRecords = 256
+
+// fileHeader is the first line of every log and snapshot file.
+type fileHeader struct {
+	Version int    `json:"persist"`
+	NS      string `json:"ns"`
+}
+
+// fileRecord is one JSONL line after the header. Exactly one op:
+// "put" upserts Key to Val, "del" removes Key, "delprefix" removes every
+// key with prefix Key. Val marshals as base64 (encoding/json []byte).
+type fileRecord struct {
+	Op  string `json:"op"`
+	Key string `json:"key"`
+	Val []byte `json:"val,omitempty"`
+}
+
+// fsNamespace is the in-memory mirror of one namespace: the live records
+// plus the open append handle of its log.
+type fsNamespace struct {
+	log      *os.File
+	live     map[string][]byte
+	appended int // log records since the last compaction
+}
+
+// fsStore is the filesystem implementation: per namespace an append-only
+// record log (<ns>.log) and a compacted snapshot (<ns>.snap), both
+// newline-framed JSON with a schema-version header line.
+type fsStore struct {
+	mu     sync.Mutex
+	dir    string
+	spaces map[string]*fsNamespace
+	stats  Stats
+}
+
+// Open opens (or initializes) a filesystem store rooted at dir, replaying
+// every namespace found there: snapshot first, then the log, with a torn
+// final log record cut before the log is reopened for append.
+func Open(dir string) (Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	st := &fsStore{dir: dir, spaces: map[string]*fsNamespace{}, stats: Stats{Backend: "fs"}}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	names := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			// Leftover of a compaction that never reached its rename —
+			// the pre-crash files are still authoritative.
+			os.Remove(filepath.Join(dir, name)) //nolint:errcheck
+		case strings.HasSuffix(name, ".log"):
+			names[strings.TrimSuffix(name, ".log")] = true
+		case strings.HasSuffix(name, ".snap"):
+			names[strings.TrimSuffix(name, ".snap")] = true
+		}
+	}
+	for ns := range names {
+		if err := validNS(ns); err != nil {
+			continue // foreign file; leave it alone
+		}
+		if _, err := st.openNamespace(ns); err != nil {
+			st.Close() //nolint:errcheck
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+func (st *fsStore) logPath(ns string) string  { return filepath.Join(st.dir, ns+".log") }
+func (st *fsStore) snapPath(ns string) string { return filepath.Join(st.dir, ns+".snap") }
+
+// openNamespace replays snapshot and log into a live map and opens the log
+// for append, truncating a torn tail first. Callers hold st.mu (or are
+// single-threaded in Open).
+func (st *fsStore) openNamespace(ns string) (*fsNamespace, error) {
+	sp := &fsNamespace{live: map[string][]byte{}}
+	if err := replayFile(st.snapPath(ns), ns, sp.live, nil); err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	var valid int64
+	records := 0
+	err := replayFile(st.logPath(ns), ns, sp.live, func(off int64, n int) { valid, records = off, n })
+	switch {
+	case os.IsNotExist(err):
+		// Fresh namespace: start a new log with just the header.
+		f, err := st.freshLog(ns)
+		if err != nil {
+			return nil, err
+		}
+		sp.log = f
+	case err != nil:
+		return nil, err
+	default:
+		f, err := os.OpenFile(st.logPath(ns), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("persist: %w", err)
+		}
+		// Cut a record torn by a crash mid-write, or the first append
+		// would be concatenated onto it and lost with it.
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("persist: %w", err)
+		}
+		sp.log = f
+		sp.appended = records
+	}
+	st.spaces[ns] = sp
+	return sp, nil
+}
+
+// freshLog creates <ns>.log containing only the header, atomically via a
+// tmp file so a crash can never leave a header-less log behind.
+func (st *fsStore) freshLog(ns string) (*os.File, error) {
+	tmp := st.logPath(ns) + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	line, err := json.Marshal(fileHeader{Version: fileVersion, NS: ns})
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	if err := os.Rename(tmp, st.logPath(ns)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	st.syncDir()
+	return f, nil
+}
+
+// replayFile applies every complete record of one file onto live. A final
+// line without its newline — the signature of a crash mid-write — is
+// dropped silently; a complete line that does not parse is corruption.
+// onExtent, when set, receives the byte extent of the newline-terminated
+// records and the record count (what a log replay reports so the caller can
+// truncate the torn tail).
+func replayFile(path, ns string, live map[string][]byte, onExtent func(valid int64, records int)) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var (
+		offset, valid int64
+		lineNo        int
+		records       int
+		sawHeader     bool
+	)
+	for {
+		line, readErr := br.ReadBytes('\n')
+		offset += int64(len(line))
+		if readErr != nil && readErr != io.EOF {
+			return fmt.Errorf("persist: %s: %w", path, readErr)
+		}
+		if readErr == io.EOF && len(line) > 0 {
+			break // unterminated tail: torn record, drop it
+		}
+		if len(line) == 0 {
+			break // clean EOF
+		}
+		lineNo++
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) == 0 {
+			valid = offset
+			continue
+		}
+		if !sawHeader {
+			var h fileHeader
+			if err := json.Unmarshal(trimmed, &h); err != nil || h.Version == 0 {
+				return fmt.Errorf("persist: %s: missing header line", path)
+			}
+			if h.Version != fileVersion {
+				return fmt.Errorf("persist: %s: schema version %d (this build reads %d)", path, h.Version, fileVersion)
+			}
+			if h.NS != ns {
+				return fmt.Errorf("persist: %s: header names namespace %q", path, h.NS)
+			}
+			sawHeader = true
+			valid = offset
+			continue
+		}
+		var rec fileRecord
+		if err := json.Unmarshal(trimmed, &rec); err != nil {
+			return fmt.Errorf("persist: %s corrupt at line %d: %v", path, lineNo, err)
+		}
+		switch rec.Op {
+		case "put":
+			live[rec.Key] = rec.Val
+		case "del":
+			delete(live, rec.Key)
+		case "delprefix":
+			for k := range live {
+				if strings.HasPrefix(k, rec.Key) {
+					delete(live, k)
+				}
+			}
+		default:
+			return fmt.Errorf("persist: %s corrupt at line %d: unknown op %q", path, lineNo, rec.Op)
+		}
+		records++
+		valid = offset
+	}
+	if !sawHeader {
+		return fmt.Errorf("persist: %s: missing header line", path)
+	}
+	if onExtent != nil {
+		onExtent(valid, records)
+	}
+	return nil
+}
+
+// space returns the namespace, creating its log on first use when create
+// is set. Callers hold st.mu.
+func (st *fsStore) space(ns string, create bool) (*fsNamespace, error) {
+	if err := validNS(ns); err != nil {
+		return nil, err
+	}
+	sp, ok := st.spaces[ns]
+	if ok {
+		return sp, nil
+	}
+	if !create {
+		return nil, nil
+	}
+	return st.openNamespace(ns)
+}
+
+// appendRecord writes one record line to the namespace log in a single
+// write call. A failed write reseals the log with a newline best-effort so
+// a partial line cannot swallow the next record.
+func (st *fsStore) appendRecord(sp *fsNamespace, rec fileRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if _, err := sp.log.Write(append(line, '\n')); err != nil {
+		sp.log.Write([]byte("\n")) //nolint:errcheck // reseal a torn line
+		return fmt.Errorf("persist: %w", err)
+	}
+	sp.appended++
+	return nil
+}
+
+func (st *fsStore) put(ns, key string, value []byte, durable bool) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	sp, err := st.space(ns, true)
+	if err != nil {
+		return err
+	}
+	if err := st.appendRecord(sp, fileRecord{Op: "put", Key: key, Val: value}); err != nil {
+		return err
+	}
+	sp.live[key] = append([]byte(nil), value...)
+	st.stats.Puts++
+	if durable {
+		if err := sp.log.Sync(); err != nil {
+			return fmt.Errorf("persist: %w", err)
+		}
+		st.stats.Syncs++
+	}
+	return st.maybeCompactLocked(ns, sp)
+}
+
+func (st *fsStore) Put(ns, key string, value []byte) error {
+	return st.put(ns, key, value, false)
+}
+
+func (st *fsStore) PutDurable(ns, key string, value []byte) error {
+	return st.put(ns, key, value, true)
+}
+
+func (st *fsStore) Delete(ns, key string) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	sp, err := st.space(ns, false)
+	if err != nil || sp == nil {
+		return err
+	}
+	if _, ok := sp.live[key]; !ok {
+		return nil
+	}
+	if err := st.appendRecord(sp, fileRecord{Op: "del", Key: key}); err != nil {
+		return err
+	}
+	delete(sp.live, key)
+	st.stats.Deletes++
+	return st.maybeCompactLocked(ns, sp)
+}
+
+func (st *fsStore) DeletePrefix(ns, prefix string) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	sp, err := st.space(ns, false)
+	if err != nil || sp == nil {
+		return err
+	}
+	any := false
+	for k := range sp.live {
+		if strings.HasPrefix(k, prefix) {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	if err := st.appendRecord(sp, fileRecord{Op: "delprefix", Key: prefix}); err != nil {
+		return err
+	}
+	for k := range sp.live {
+		if strings.HasPrefix(k, prefix) {
+			delete(sp.live, k)
+		}
+	}
+	st.stats.Deletes++
+	return st.maybeCompactLocked(ns, sp)
+}
+
+func (st *fsStore) Get(ns, key string) ([]byte, bool, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	sp, err := st.space(ns, false)
+	if err != nil || sp == nil {
+		return nil, false, err
+	}
+	v, ok := sp.live[key]
+	if !ok {
+		return nil, false, nil
+	}
+	return append([]byte(nil), v...), true, nil
+}
+
+func (st *fsStore) Load(ns string) (map[string][]byte, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	sp, err := st.space(ns, false)
+	if err != nil || sp == nil {
+		return map[string][]byte{}, err
+	}
+	out := make(map[string][]byte, len(sp.live))
+	for k, v := range sp.live {
+		out[k] = append([]byte(nil), v...)
+	}
+	return out, nil
+}
+
+// maybeCompactLocked compacts once the log has accumulated well more
+// records than the namespace holds live — the point where replay cost and
+// file size are dominated by overwritten history.
+func (st *fsStore) maybeCompactLocked(ns string, sp *fsNamespace) error {
+	if sp.appended < compactMinRecords || sp.appended < 2*len(sp.live)+16 {
+		return nil
+	}
+	return st.compactLocked(ns, sp)
+}
+
+func (st *fsStore) Compact(ns string) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	sp, err := st.space(ns, false)
+	if err != nil || sp == nil {
+		return err
+	}
+	return st.compactLocked(ns, sp)
+}
+
+// compactLocked rewrites the namespace: the live records become a fresh
+// snapshot (written to a tmp file, synced, renamed), then the log is
+// atomically replaced by a header-only file. A crash between the two
+// renames replays the old log over the new snapshot — puts are upserts and
+// deletes idempotent, so that replay is harmless.
+func (st *fsStore) compactLocked(ns string, sp *fsNamespace) error {
+	snapTmp := st.snapPath(ns) + ".tmp"
+	f, err := os.Create(snapTmp)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(fileHeader{Version: fileVersion, NS: ns}); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: %w", err)
+	}
+	keys := make([]string, 0, len(sp.live))
+	for k := range sp.live {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := enc.Encode(fileRecord{Op: "put", Key: k, Val: sp.live[k]}); err != nil {
+			f.Close()
+			return fmt.Errorf("persist: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := os.Rename(snapTmp, st.snapPath(ns)); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	fresh, err := st.freshLog(ns)
+	if err != nil {
+		return err
+	}
+	sp.log.Close() //nolint:errcheck // replaced handle; contents already snapshotted
+	sp.log = fresh
+	sp.appended = 0
+	st.stats.Compactions++
+	st.syncDir()
+	return nil
+}
+
+// syncDir fsyncs the state directory so renames survive a power cut;
+// best-effort because not every platform supports directory syncs.
+func (st *fsStore) syncDir() {
+	d, err := os.Open(st.dir)
+	if err != nil {
+		return
+	}
+	d.Sync() //nolint:errcheck
+	d.Close()
+}
+
+func (st *fsStore) Stats() Stats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s := st.stats
+	s.Namespaces = len(st.spaces)
+	for _, sp := range st.spaces {
+		s.Records += len(sp.live)
+	}
+	return s
+}
+
+func (st *fsStore) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var firstErr error
+	for _, sp := range st.spaces {
+		if sp.log == nil {
+			continue
+		}
+		if err := sp.log.Sync(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := sp.log.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		sp.log = nil
+	}
+	return firstErr
+}

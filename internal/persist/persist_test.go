@@ -1,0 +1,334 @@
+package persist
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// backends runs a subtest against each Store implementation.
+func backends(t *testing.T, run func(t *testing.T, open func(t *testing.T) Store)) {
+	t.Helper()
+	t.Run("memory", func(t *testing.T) {
+		run(t, func(t *testing.T) Store { return Memory() })
+	})
+	t.Run("fs", func(t *testing.T) {
+		dir := t.TempDir()
+		run(t, func(t *testing.T) Store {
+			st, err := Open(dir)
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			return st
+		})
+	})
+}
+
+func TestRoundTrip(t *testing.T) {
+	backends(t, func(t *testing.T, open func(t *testing.T) Store) {
+		st := open(t)
+		defer st.Close()
+		if err := st.Put("ns", "a", []byte("one")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		if err := st.PutDurable("ns", "b", []byte("two")); err != nil {
+			t.Fatalf("PutDurable: %v", err)
+		}
+		if err := st.Put("ns", "a", []byte("one-v2")); err != nil {
+			t.Fatalf("Put upsert: %v", err)
+		}
+		v, ok, err := st.Get("ns", "a")
+		if err != nil || !ok || string(v) != "one-v2" {
+			t.Fatalf("Get a = %q, %v, %v; want one-v2", v, ok, err)
+		}
+		if _, ok, _ := st.Get("ns", "missing"); ok {
+			t.Fatal("Get missing reported ok")
+		}
+		if err := st.Delete("ns", "b"); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+		if _, ok, _ := st.Get("ns", "b"); ok {
+			t.Fatal("deleted key still present")
+		}
+		all, err := st.Load("ns")
+		if err != nil || len(all) != 1 || string(all["a"]) != "one-v2" {
+			t.Fatalf("Load = %v, %v; want one key a=one-v2", all, err)
+		}
+		// Mutating the returned map/values must not affect the store.
+		all["a"][0] = 'X'
+		v, _, _ = st.Get("ns", "a")
+		if string(v) != "one-v2" {
+			t.Fatal("Load returned aliased bytes")
+		}
+		if err := st.Put("bad ns", "k", nil); err == nil {
+			t.Fatal("namespace with a space accepted")
+		}
+		if err := st.Put("", "k", nil); err == nil {
+			t.Fatal("empty namespace accepted")
+		}
+	})
+}
+
+func TestDeletePrefix(t *testing.T) {
+	backends(t, func(t *testing.T, open func(t *testing.T) Store) {
+		st := open(t)
+		defer st.Close()
+		for _, k := range []string{"j1/c/1", "j1/c/2", "j10/c/1", "j2/c/1"} {
+			if err := st.Put("cells", k, []byte(k)); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+		}
+		if err := st.DeletePrefix("cells", "j1/"); err != nil {
+			t.Fatalf("DeletePrefix: %v", err)
+		}
+		all, _ := st.Load("cells")
+		if len(all) != 2 {
+			t.Fatalf("after DeletePrefix(j1/): %d keys left, want 2 (j10 and j2 untouched)", len(all))
+		}
+		for _, want := range []string{"j10/c/1", "j2/c/1"} {
+			if _, ok := all[want]; !ok {
+				t.Fatalf("key %s missing after unrelated prefix delete", want)
+			}
+		}
+	})
+}
+
+func TestFSReopen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := st.PutDurable("sessions", "s1", []byte(`{"id":"s1"}`)); err != nil {
+		t.Fatalf("PutDurable: %v", err)
+	}
+	if err := st.Put("jobs", "j1", []byte("pending")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := st.Put("jobs", "j1", []byte("done")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := st.Delete("jobs", "gone"); err != nil {
+		t.Fatalf("Delete absent: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer st2.Close()
+	v, ok, _ := st2.Get("sessions", "s1")
+	if !ok || string(v) != `{"id":"s1"}` {
+		t.Fatalf("sessions/s1 after reopen = %q, %v", v, ok)
+	}
+	v, ok, _ = st2.Get("jobs", "j1")
+	if !ok || string(v) != "done" {
+		t.Fatalf("jobs/j1 after reopen = %q, %v; want the upserted value", v, ok)
+	}
+	if got := st2.Stats().Namespaces; got != 2 {
+		t.Fatalf("namespaces after reopen = %d, want 2", got)
+	}
+}
+
+func TestFSTornTail(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := st.Put("ns", fmt.Sprintf("k%d", i), []byte{byte('0' + i)}); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	st.Close()
+
+	// Simulate a crash mid-append: a final record missing its newline.
+	logPath := filepath.Join(dir, "ns.log")
+	f, err := os.OpenFile(logPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"put","key":"torn","val":"A`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	tornSize := fileSize(t, logPath)
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen with torn tail: %v", err)
+	}
+	if _, ok, _ := st2.Get("ns", "torn"); ok {
+		t.Fatal("torn record surfaced after reopen")
+	}
+	all, _ := st2.Load("ns")
+	if len(all) != 3 {
+		t.Fatalf("torn tail cost more than the torn record: %d keys, want 3", len(all))
+	}
+	if got := fileSize(t, logPath); got >= tornSize {
+		t.Fatalf("torn tail not truncated: size %d, was %d", got, tornSize)
+	}
+	// The log must be appendable again after the truncation.
+	if err := st2.Put("ns", "k3", []byte("3")); err != nil {
+		t.Fatalf("Put after truncation: %v", err)
+	}
+	st2.Close()
+	st3, err := Open(dir)
+	if err != nil {
+		t.Fatalf("third open: %v", err)
+	}
+	defer st3.Close()
+	if v, ok, _ := st3.Get("ns", "k3"); !ok || string(v) != "3" {
+		t.Fatalf("record appended after truncation lost: %q, %v", v, ok)
+	}
+}
+
+func TestFSCompaction(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	// Overwrite few keys many times: log length far exceeds live count,
+	// which must trip automatic compaction.
+	for i := 0; i < 600; i++ {
+		if err := st.Put("ns", fmt.Sprintf("k%d", i%4), []byte(strings.Repeat("x", i%17))); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if got := st.Stats().Compactions; got == 0 {
+		t.Fatal("600 overwrites of 4 keys never compacted")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ns.snap")); err != nil {
+		t.Fatalf("no snapshot after compaction: %v", err)
+	}
+	if size := fileSize(t, filepath.Join(dir, "ns.log")); size > 4096 {
+		t.Fatalf("log still %d bytes after compaction", size)
+	}
+	want, _ := st.Load("ns")
+	st.Close()
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after compaction: %v", err)
+	}
+	defer st2.Close()
+	got, _ := st2.Load("ns")
+	if len(got) != len(want) {
+		t.Fatalf("reopen lost records: %d != %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if !bytes.Equal(got[k], v) {
+			t.Fatalf("key %s differs after compacted reopen", k)
+		}
+	}
+
+	// Explicit Compact must also work and keep every record.
+	if err := st2.Compact("ns"); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	again, _ := st2.Load("ns")
+	if len(again) != len(want) {
+		t.Fatalf("explicit Compact lost records: %d != %d", len(again), len(want))
+	}
+}
+
+func TestFSVersionMismatch(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "ns.log"),
+		[]byte("{\"persist\":99,\"ns\":\"ns\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil || !strings.Contains(err.Error(), "schema version") {
+		t.Fatalf("future schema version opened without error: %v", err)
+	}
+}
+
+func TestFSCorruptLine(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "ns.log"), []byte(
+		"{\"persist\":1,\"ns\":\"ns\"}\n{\"op\":\"put\",\"key\":\"a\"}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("complete garbage line accepted: %v", err)
+	}
+}
+
+func TestFSIgnoresForeignAndTmpFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "README"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ns.snap.tmp"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open with foreign files: %v", err)
+	}
+	defer st.Close()
+	if _, err := os.Stat(filepath.Join(dir, "ns.snap.tmp")); !os.IsNotExist(err) {
+		t.Fatal("stale compaction tmp file not removed at open")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "README")); err != nil {
+		t.Fatal("foreign file was touched")
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	backends(t, func(t *testing.T, open func(t *testing.T) Store) {
+		st := open(t)
+		defer st.Close()
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				ns := fmt.Sprintf("ns%d", g%2)
+				for i := 0; i < 50; i++ {
+					key := fmt.Sprintf("g%d-k%d", g, i)
+					if err := st.Put(ns, key, []byte(key)); err != nil {
+						t.Errorf("Put: %v", err)
+						return
+					}
+					if _, _, err := st.Get(ns, key); err != nil {
+						t.Errorf("Get: %v", err)
+						return
+					}
+					if i%10 == 9 {
+						if _, err := st.Load(ns); err != nil {
+							t.Errorf("Load: %v", err)
+							return
+						}
+						st.Stats()
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		for g := 0; g < 2; g++ {
+			all, err := st.Load(fmt.Sprintf("ns%d", g))
+			if err != nil || len(all) != 200 {
+				t.Fatalf("ns%d holds %d records, want 200 (%v)", g, len(all), err)
+			}
+		}
+	})
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("stat %s: %v", path, err)
+	}
+	return fi.Size()
+}
