@@ -8,8 +8,16 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/coord"
+	"repro/internal/events"
 	"repro/internal/jobs"
 )
+
+// shardEvent is the payload of topic "shard" events: the coordinator's
+// per-shard progress snapshot plus the campaign job it belongs to.
+type shardEvent struct {
+	Campaign string `json:"campaign"`
+	coord.ShardProgress
+}
 
 // Coordinated-campaign surface: POST /api/v1/campaigns fans one campaign
 // out over the server's configured worker pool (remote jedserve instances)
@@ -88,7 +96,7 @@ func (s *Server) createCampaign(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad campaign spec: %v", err)
+		writeError(w, http.StatusBadRequest, "bad_spec", "bad campaign spec: %v", err)
 		return
 	}
 	workers := req.Workers
@@ -109,20 +117,25 @@ func (s *Server) createCampaign(w http.ResponseWriter, r *http.Request) {
 		cfg.Fleet = s.fleet
 		cfg.MinWorkers = s.fleetMin
 	default:
-		writeError(w, http.StatusServiceUnavailable,
+		writeError(w, http.StatusServiceUnavailable, "no_workers",
 			"no workers configured (start the server with a worker pool or a fleet, or pass coord_workers)")
 		return
 	}
 	c, err := coord.New(cfg)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, "bad_spec", "%v", err)
 		return
 	}
 	header := c.Header()
 	j := s.coordJobs.Submit(jobs.KindCoordinated, c.Cells(), func(ctx context.Context, j *jobs.Job) (any, error) {
-		// The observer is installed here — before Run, on the job's own
+		// The observers are installed here — before Run, on the job's own
 		// goroutine — because the job handle does not exist at Submit time.
 		c.SetOnCell(func(campaign.Cell) { j.Advance(1) })
+		c.SetOnShard(func(sp coord.ShardProgress) {
+			// Shard events are keyed by the campaign job, so one SSE filter
+			// (?campaign=cN) follows the whole fan-out.
+			s.bus.Publish(events.TopicShard, sp.State, j.ID(), shardEvent{Campaign: j.ID(), ShardProgress: sp})
+		})
 		if s.persist != nil {
 			// Journal run progress under the job's ID: another coordinator
 			// pointed at the same state directory can resume from it.
@@ -145,7 +158,7 @@ func (s *Server) campaignJob(w http.ResponseWriter, r *http.Request) (*jobs.Job,
 	id := r.PathValue("id")
 	j, ok := s.coordJobs.Get(id)
 	if !ok || j.Status().Kind != jobs.KindCoordinated {
-		writeError(w, http.StatusNotFound, "no campaign %q", id)
+		writeError(w, http.StatusNotFound, "campaign_not_found", "no campaign %q", id)
 		return nil, false
 	}
 	return j, true
@@ -198,15 +211,15 @@ func (s *Server) campaignResult(w http.ResponseWriter, r *http.Request) {
 	switch st.State {
 	case jobs.Done:
 	case jobs.Failed:
-		writeError(w, http.StatusInternalServerError, "campaign %s failed: %s", st.ID, st.Err)
+		writeError(w, http.StatusInternalServerError, "campaign_failed", "campaign %s failed: %s", st.ID, st.Err)
 		return
 	default:
-		writeError(w, http.StatusConflict, "campaign %s is %s", st.ID, st.State)
+		writeError(w, http.StatusConflict, "campaign_not_terminal", "campaign %s is %s", st.ID, st.State)
 		return
 	}
 	out, err := jobs.CampaignResult(j)
 	if err != nil {
-		writeError(w, http.StatusConflict, "%v", err)
+		writeError(w, http.StatusConflict, "result_unavailable", "%v", err)
 		return
 	}
 	writeCampaignSummary(w, r, out.Header, out.Result, []string{st.ID})

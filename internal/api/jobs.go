@@ -1,7 +1,6 @@
 package api
 
 import (
-	"context"
 	"encoding/json"
 	"net/http"
 	"strconv"
@@ -55,7 +54,7 @@ func (s *Server) job(w http.ResponseWriter, r *http.Request) (*jobs.Job, bool) {
 	id := r.PathValue("id")
 	j, ok := s.jobs.Get(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no job %q", id)
+		writeError(w, http.StatusNotFound, "job_not_found", "no job %q", id)
 		return nil, false
 	}
 	return j, true
@@ -70,52 +69,57 @@ func (s *Server) createJob(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, "bad job spec: %v", err)
+		writeError(w, http.StatusBadRequest, "bad_spec", "bad job spec: %v", err)
 		return
 	}
 	j, err := jobs.SubmitCampaign(s.jobs, spec)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, "bad_spec", "%v", err)
 		return
 	}
 	w.Header().Set("Location", "/api/v1/jobs/"+j.ID())
 	writeJSON(w, http.StatusAccepted, infoOfJob(j))
 }
 
-func (s *Server) listJobs(w http.ResponseWriter, _ *http.Request) {
-	list := s.jobs.List()
-	infos := make([]jobInfo, len(list))
-	for i, j := range list {
-		infos[i] = infoOfJob(j)
+// listJobs lists the engine's jobs in submission order (a stable order:
+// IDs are minted monotonically). ?state= and ?kind= filter before
+// pagination, so total counts the matches, not the whole engine.
+func (s *Server) listJobs(w http.ResponseWriter, r *http.Request) {
+	pg, ok := parsePage(w, r)
+	if !ok {
+		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": infos})
+	q := r.URL.Query()
+	state, kind := q.Get("state"), q.Get("kind")
+	if state != "" && !validJobState(state) {
+		writeError(w, http.StatusBadRequest, "bad_filter",
+			"unknown state %q (want pending, running, done, failed, or cancelled)", state)
+		return
+	}
+	var infos []jobInfo
+	for _, j := range s.jobs.List() {
+		info := infoOfJob(j)
+		if (state == "" || info.State == state) && (kind == "" || info.Kind == kind) {
+			infos = append(infos, info)
+		}
+	}
+	total := len(infos)
+	infos = pageSlice(pg, infos)
+	if infos == nil {
+		infos = []jobInfo{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"jobs": infos, "total": total,
+		"limit": pg.limit, "offset": pg.offset,
+	})
 }
 
-// maxJobWait caps the ?wait= long-poll so a stuck client cannot pin a
-// handler goroutine forever.
-const maxJobWait = time.Minute
-
-// maybeWait honors the ?wait= long-poll parameter on e: it blocks — via
-// the engine's wait primitive, not a sleep loop — until the job reaches a
-// terminal state or the duration elapses. It reports false after answering
-// a malformed duration with a 400.
-func (s *Server) maybeWait(w http.ResponseWriter, r *http.Request, e *jobs.Engine, j *jobs.Job) bool {
-	raw := r.URL.Query().Get("wait")
-	if raw == "" {
+func validJobState(s string) bool {
+	switch jobs.State(s) {
+	case jobs.Pending, jobs.Running, jobs.Done, jobs.Failed, jobs.Cancelled:
 		return true
 	}
-	d, err := time.ParseDuration(raw)
-	if err != nil || d < 0 {
-		writeError(w, http.StatusBadRequest, "bad wait %q (want a duration, e.g. 10s)", raw)
-		return false
-	}
-	if d > maxJobWait {
-		d = maxJobWait
-	}
-	ctx, cancel := context.WithTimeout(r.Context(), d)
-	defer cancel()
-	e.Wait(ctx, j.ID()) //nolint:errcheck // timeout just means "answer with the current state"
-	return true
+	return false
 }
 
 // getJob reports a job's state. ?wait=10s long-polls until the job is
@@ -182,15 +186,15 @@ func (s *Server) jobResult(w http.ResponseWriter, r *http.Request) {
 	switch st.State {
 	case jobs.Done:
 	case jobs.Failed:
-		writeError(w, http.StatusInternalServerError, "job %s failed: %s", st.ID, st.Err)
+		writeError(w, http.StatusInternalServerError, "job_failed", "job %s failed: %s", st.ID, st.Err)
 		return
 	default:
-		writeError(w, http.StatusConflict, "job %s is %s", st.ID, st.State)
+		writeError(w, http.StatusConflict, "job_not_terminal", "job %s is %s", st.ID, st.State)
 		return
 	}
 	out0, err := jobs.CampaignResult(j)
 	if err != nil {
-		writeError(w, http.StatusConflict, "%v", err)
+		writeError(w, http.StatusConflict, "result_unavailable", "%v", err)
 		return
 	}
 
@@ -204,18 +208,18 @@ func (s *Server) jobResult(w http.ResponseWriter, r *http.Request) {
 			}
 			other, ok := s.jobs.Get(id)
 			if !ok {
-				writeError(w, http.StatusNotFound, "no job %q", id)
+				writeError(w, http.StatusNotFound, "job_not_found", "no job %q", id)
 				return
 			}
 			otherOut, err := jobs.CampaignResult(other)
 			if err != nil {
-				writeError(w, http.StatusConflict, "merge: %v", err)
+				writeError(w, http.StatusConflict, "result_unavailable", "merge: %v", err)
 				return
 			}
 			// Shards of one campaign share the identity header; refusing a
 			// mismatch keeps seeds/configs from being stitched together.
 			if err := otherOut.Header.Equal(out0.Header); err != nil {
-				writeError(w, http.StatusConflict, "merge %s: %v", id, err)
+				writeError(w, http.StatusConflict, "campaign_header_mismatch", "merge %s: %v", id, err)
 				return
 			}
 			parts = append(parts, otherOut.Result)
@@ -224,7 +228,7 @@ func (s *Server) jobResult(w http.ResponseWriter, r *http.Request) {
 	}
 	full, err := campaign.Merge(parts...)
 	if err != nil {
-		writeError(w, http.StatusConflict, "%v", err)
+		writeError(w, http.StatusConflict, "merge_conflict", "%v", err)
 		return
 	}
 	writeCampaignSummary(w, r, out0.Header, full, merged)
@@ -239,7 +243,7 @@ func writeCampaignSummary(w http.ResponseWriter, r *http.Request, header campaig
 		var err error
 		threshold, err = strconv.ParseFloat(raw, 64)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad threshold %q", raw)
+			writeError(w, http.StatusBadRequest, "bad_threshold", "bad threshold %q", raw)
 			return
 		}
 	}
@@ -263,7 +267,7 @@ func writeCampaignSummary(w http.ResponseWriter, r *http.Request, header campaig
 	}
 	var table strings.Builder
 	if err := full.WriteTable(&table); err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, http.StatusInternalServerError, "internal", "%v", err)
 		return
 	}
 	out.Table = table.String()

@@ -145,7 +145,7 @@ func (rl *rateLimiter) middleware(next http.Handler) http.Handler {
 					seconds = 1
 				}
 				w.Header().Set("Retry-After", strconv.Itoa(seconds))
-				writeError(w, http.StatusTooManyRequests, "rate limit exceeded; retry in %ds", seconds)
+				writeError(w, http.StatusTooManyRequests, "rate_limited", "rate limit exceeded; retry in %ds", seconds)
 				return
 			}
 		}

@@ -11,8 +11,11 @@ import (
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/apierr"
 	"repro/internal/core"
+	"repro/internal/events"
 	"repro/internal/fleet"
 	"repro/internal/jedxml"
 	"repro/internal/jobs"
@@ -44,6 +47,9 @@ type Server struct {
 	fleet         *fleet.Manager // elastic pull-based pool; serves /api/v1/workers
 	fleetMin      int            // fleet campaigns wait for this many workers
 	campaigns     campaignTracker
+	bus           *events.Bus   // the broadcast bus behind GET /api/v1/events
+	heartbeat     time.Duration // SSE heartbeat-comment interval
+	longPolls     atomic.Int64  // ?wait= long-polls served (the polls SSE replaces)
 
 	// Durable state (nil/zero without EnablePersistence).
 	persist        persist.Store
@@ -72,11 +78,30 @@ func NewServer(store *Store) *Server {
 	coordEngine.SetRetention(64)
 	s := &Server{
 		store: store, jobs: engine, coordJobs: coordEngine,
-		cache: newRenderCache(defaultRenderCacheBytes),
+		cache:     newRenderCache(defaultRenderCacheBytes),
+		bus:       events.NewBus(0),
+		heartbeat: defaultEventHeartbeat,
 	}
 	store.OnDrop(s.cache.InvalidateSession)
+	// Producer wiring: every job transition, session change, and (via
+	// createCampaign/SetFleet) shard and fleet event lands on the bus.
+	engine.SetObserver(s.jobObserver(events.TopicJob))
+	coordEngine.SetObserver(s.jobObserver(events.TopicCampaign))
+	store.OnEvent(func(kind, id string) {
+		s.bus.Publish(events.TopicSession, kind, id, nil)
+	})
 	return s
 }
+
+// jobObserver bridges an engine's lifecycle notifications onto the bus.
+func (s *Server) jobObserver(topic events.Topic) jobs.Observer {
+	return func(j *jobs.Job, change string) {
+		s.bus.Publish(topic, change, j.ID(), infoOfJob(j))
+	}
+}
+
+// Bus returns the event bus (exposed for tests and embedding servers).
+func (s *Server) Bus() *events.Bus { return s.bus }
 
 // Close stops both job engines, cancelling everything still running.
 func (s *Server) Close() {
@@ -123,6 +148,9 @@ func (s *Server) SetCoordWorkers(workers []string) {
 func (s *Server) SetFleet(m *fleet.Manager, minWorkers int) {
 	s.fleet = m
 	s.fleetMin = minWorkers
+	m.SetOnEvent(func(e fleet.Event) {
+		s.bus.Publish(events.TopicFleet, e.Type, e.Worker, e)
+	})
 }
 
 // Fleet returns the mounted fleet manager (nil without SetFleet).
@@ -175,6 +203,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /{$}", s.index)
 	mux.HandleFunc("GET /api/v1/schedulers", s.schedulers)
 	mux.HandleFunc("GET /api/v1/meta", s.serverMeta)
+	mux.HandleFunc("GET /api/v1/events", s.events)
 	mux.HandleFunc("POST /api/v1/sessions", s.createSession)
 	mux.HandleFunc("GET /api/v1/sessions", s.listSessions)
 	mux.HandleFunc("GET /api/v1/sessions/{id}", s.getSession)
@@ -220,8 +249,12 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v) //nolint:errcheck // headers already sent
 }
 
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+// writeError answers with the structured error envelope
+// {"error": {"code", "message"}} — every error of the API surface goes
+// through here, so the envelope shape and the machine-readable codes cannot
+// drift between handlers.
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	apierr.Write(w, status, code, format, args...)
 }
 
 // sessionInfo is the JSON description of one session.
@@ -254,7 +287,7 @@ func (s *Server) session(w http.ResponseWriter, r *http.Request) (*Session, bool
 	id := r.PathValue("id")
 	sess, ok := s.store.Get(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no session %q", id)
+		writeError(w, http.StatusNotFound, "session_not_found", "no session %q", id)
 		return nil, false
 	}
 	return sess, true
@@ -266,13 +299,22 @@ func (s *Server) schedulers(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]string{"schedulers": sched.List()})
 }
 
-func (s *Server) listSessions(w http.ResponseWriter, _ *http.Request) {
-	sessions := s.store.List()
+func (s *Server) listSessions(w http.ResponseWriter, r *http.Request) {
+	pg, ok := parsePage(w, r)
+	if !ok {
+		return
+	}
+	sessions := s.store.List() // stable: sorted by ID
+	total := len(sessions)
+	sessions = pageSlice(pg, sessions)
 	infos := make([]sessionInfo, len(sessions))
 	for i, sess := range sessions {
 		infos[i] = infoOf(sess)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"sessions": infos})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"sessions": infos, "total": total,
+		"limit": pg.limit, "offset": pg.offset,
+	})
 }
 
 // createSession accepts three body kinds, chosen by Content-Type (a
@@ -306,11 +348,11 @@ func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
 		var err error
 		raw, err = io.ReadAll(body)
 		if err != nil {
-			code := http.StatusBadRequest
+			status, code := http.StatusBadRequest, "bad_request"
 			if _, ok := err.(*http.MaxBytesError); ok {
-				code = http.StatusRequestEntityTooLarge
+				status, code = http.StatusRequestEntityTooLarge, "payload_too_large"
 			}
-			writeError(w, code, "reading body: %v", err)
+			writeError(w, status, code, "reading body: %v", err)
 			return
 		}
 		input = bytes.NewReader(raw)
@@ -327,12 +369,12 @@ func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
 		dec := json.NewDecoder(input)
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, "bad create request: %v", err)
+			writeError(w, http.StatusBadRequest, "bad_request", "bad create request: %v", err)
 			return
 		}
 		schedule, err = req.Build()
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
+			writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
 			return
 		}
 		if name == "" {
@@ -348,7 +390,7 @@ func (s *Server) createSession(w http.ResponseWriter, r *http.Request) {
 	default:
 		schedule, err = jedxml.ReadFormat(kind, input)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
+			writeError(w, http.StatusBadRequest, "bad_document", "%v", err)
 			return
 		}
 		source = "upload"
@@ -371,7 +413,7 @@ func (s *Server) getSession(w http.ResponseWriter, r *http.Request) {
 func (s *Server) deleteSession(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if !s.store.Delete(id) {
-		writeError(w, http.StatusNotFound, "no session %q", id)
+		writeError(w, http.StatusNotFound, "session_not_found", "no session %q", id)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -400,7 +442,7 @@ func (s *Server) export(w http.ResponseWriter, r *http.Request) {
 		}
 		var buf bytes.Buffer
 		if err := jedxml.Write(&buf, sess.Schedule()); err != nil {
-			writeError(w, http.StatusInternalServerError, "%v", err)
+			writeError(w, http.StatusInternalServerError, "internal", "%v", err)
 			return
 		}
 		w.Header().Set("Content-Type", "application/xml; charset=utf-8")
@@ -439,13 +481,13 @@ func (s *Server) encodeImage(w http.ResponseWriter, r *http.Request, download bo
 		if download {
 			valid = append(valid, "jedule") // export also streams the XML document
 		}
-		writeError(w, http.StatusBadRequest, "unknown format %q (want %s)",
+		writeError(w, http.StatusBadRequest, "bad_format", "unknown format %q (want %s)",
 			format, strings.Join(valid, ", "))
 		return
 	}
 	vp, err := parseViewParams(r.URL.Query())
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, "bad_view_params", "%v", err)
 		return
 	}
 	if !vp.LODSet {
@@ -482,7 +524,7 @@ func (s *Server) encodeImage(w http.ResponseWriter, r *http.Request, download bo
 		return buf.Bytes(), ct, nil
 	})
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, http.StatusInternalServerError, "render_failed", "%v", err)
 		return
 	}
 	w.Header().Set("Content-Type", cachedCT)
@@ -514,6 +556,8 @@ func (s *Server) serverMeta(w http.ResponseWriter, _ *http.Request) {
 		"lod_renders":          s.lodRenders.Load(),
 		"lod_tasks_aggregated": s.lodAggregated.Load(),
 		"jobs_evicted":         s.jobs.Evictions() + s.coordJobs.Evictions(),
+		"events":               s.bus.Stats(),
+		"long_polls":           s.longPolls.Load(),
 	}
 	if s.fleet != nil {
 		meta["fleet"] = s.fleet.Stats()
@@ -554,11 +598,11 @@ func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
 	if raw := r.URL.Query().Get("cluster"); raw != "" {
 		id, err := strconv.Atoi(raw)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad cluster %q", raw)
+			writeError(w, http.StatusBadRequest, "bad_cluster", "bad cluster %q", raw)
 			return
 		}
 		if _, ok := schedule.Cluster(id); !ok {
-			writeError(w, http.StatusNotFound, "no cluster %d", id)
+			writeError(w, http.StatusNotFound, "cluster_not_found", "no cluster %d", id)
 			return
 		}
 		st = schedule.ClusterStats(id)
@@ -621,12 +665,12 @@ func (s *Server) tasks(w http.ResponseWriter, r *http.Request) {
 		x, err0 := strconv.ParseFloat(q.Get("x"), 64)
 		y, err1 := strconv.ParseFloat(q.Get("y"), 64)
 		if err0 != nil || err1 != nil {
-			writeError(w, http.StatusBadRequest, "bad x/y")
+			writeError(w, http.StatusBadRequest, "bad_request", "bad x/y")
 			return
 		}
 		vp, err := parseViewParams(q)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
+			writeError(w, http.StatusBadRequest, "bad_view_params", "%v", err)
 			return
 		}
 		if vp.Opts.Composites {

@@ -124,6 +124,7 @@ func (s *Session) Replace(sched *core.Schedule) {
 	if s.store != nil {
 		s.store.persistSession(s)
 		s.store.notifyDrop(s.ID)
+		s.store.notifyEvent("replaced", s.ID)
 	}
 }
 
@@ -158,6 +159,7 @@ type Store struct {
 	ttl      time.Duration
 	now      func() time.Time // injectable for TTL tests
 	onDrop   func(sessionID string)
+	onEvent  func(kind, sessionID string)
 	sessions map[string]*Session
 	clock    atomic.Int64
 
@@ -182,6 +184,32 @@ func (st *Store) OnDrop(fn func(sessionID string)) {
 	st.mu.Lock()
 	st.onDrop = fn
 	st.mu.Unlock()
+}
+
+// OnEvent registers fn to be called with every session lifecycle change:
+// kind is "created", "replaced", "deleted", "evicted", or "expired". The
+// event bus hooks in here. Like OnDrop, fn runs outside the store lock and
+// must not call back into the store.
+func (st *Store) OnEvent(fn func(kind, sessionID string)) {
+	st.mu.Lock()
+	st.onEvent = fn
+	st.mu.Unlock()
+}
+
+// notifyEvent invokes the lifecycle hook outside any store lock.
+func (st *Store) notifyEvent(kind string, ids ...string) {
+	if len(ids) == 0 {
+		return
+	}
+	st.mu.RLock()
+	fn := st.onEvent
+	st.mu.RUnlock()
+	if fn == nil {
+		return
+	}
+	for _, id := range ids {
+		fn(kind, id)
+	}
 }
 
 // notifyDrop invokes the drop hook outside any store lock.
@@ -211,6 +239,7 @@ func (st *Store) SetMaxSessions(n int) {
 	st.mu.Unlock()
 	st.dropPersisted(dropped...)
 	st.notifyDrop(dropped...)
+	st.notifyEvent("evicted", dropped...)
 }
 
 // SetTTL sets the idle lifetime of sessions: a session not accessed for d is
@@ -277,6 +306,7 @@ func (st *Store) Sweep() int {
 	st.mu.Unlock()
 	st.dropPersisted(dropped...)
 	st.notifyDrop(dropped...)
+	st.notifyEvent("expired", dropped...)
 	return len(dropped)
 }
 
@@ -335,6 +365,8 @@ func (st *Store) AddRecipe(name, source string, sched *core.Schedule, rec *Recip
 		st.persistSession(s)
 		st.dropPersisted(dropped...)
 		st.notifyDrop(dropped...)
+		st.notifyEvent("evicted", dropped...)
+		st.notifyEvent("created", s.ID)
 		return s
 	}
 }
@@ -362,6 +394,8 @@ func (st *Store) PutRecipe(id, name, source string, sched *core.Schedule, rec *R
 	st.persistSession(s)
 	st.dropPersisted(dropped...)
 	st.notifyDrop(dropped...)
+	st.notifyEvent("evicted", dropped...)
+	st.notifyEvent("created", id)
 	return s, nil
 }
 
@@ -414,6 +448,7 @@ func (st *Store) getLive(id string) (*Session, bool) {
 		st.mu.Unlock()
 		st.dropPersisted(id)
 		st.notifyDrop(id)
+		st.notifyEvent("expired", id)
 		return nil, false
 	}
 	if ok {
@@ -432,6 +467,7 @@ func (st *Store) Delete(id string) bool {
 	if ok {
 		st.dropPersisted(id)
 		st.notifyDrop(id)
+		st.notifyEvent("deleted", id)
 	}
 	return ok
 }

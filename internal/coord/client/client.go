@@ -14,8 +14,11 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/apierr"
 	"repro/internal/campaign"
 	"repro/internal/jobs"
 )
@@ -25,9 +28,12 @@ import (
 const maxResponseBytes = 256 << 20
 
 // APIError is a non-2xx answer from the worker, carrying the decoded
-// {"error": ...} message when the body had one.
+// error envelope when the body had one. Both the current nested shape
+// ({"error": {"code", "message"}}) and the legacy flat {"error": "..."} of
+// older workers decode; Code is empty for the latter.
 type APIError struct {
 	Status  int
+	Code    string // machine-readable, e.g. "job_not_found", "rate_limited"
 	Message string
 	// RetryAfter is the parsed Retry-After header of a 429 (zero when the
 	// server sent none) — how long the worker's rate limiter asks callers
@@ -82,6 +88,23 @@ type Client struct {
 	// timeout (per-call contexts bound every request, and long-polls must
 	// outlive any fixed timeout).
 	HTTP *http.Client
+	// Logf, when set, receives the client's connection-mode notes (event
+	// subscription, long-poll fallback). Set it before the first Wait.
+	Logf func(format string, args ...any)
+
+	// sseUnsupported remembers a worker that answered the event stream with
+	// 404 (it predates /api/v1/events), so later Waits skip the attempt.
+	sseUnsupported atomic.Bool
+	subscribed     sync.Once
+	fellBack       sync.Once
+}
+
+func (c *Client) logOnce(once *sync.Once, format string, args ...any) {
+	once.Do(func() {
+		if c.Logf != nil {
+			c.Logf(format, args...)
+		}
+	})
 }
 
 // New returns a client for the worker at base.
@@ -125,11 +148,8 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		apiErr := &APIError{Status: resp.StatusCode}
-		var envelope struct {
-			Error string `json:"error"`
-		}
-		if json.Unmarshal(raw, &envelope) == nil {
-			apiErr.Message = envelope.Error
+		if e, ok := apierr.Decode(raw); ok {
+			apiErr.Code, apiErr.Message = e.Code, e.Message
 		}
 		if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && sec > 0 {
 			apiErr.RetryAfter = time.Duration(sec) * time.Second
@@ -159,13 +179,18 @@ func (c *Client) Job(ctx context.Context, id string) (Job, error) {
 	return j, err
 }
 
-// Wait blocks until the job reaches a terminal state or ctx expires. Each
-// round trip long-polls GET /jobs/{id}?wait=, so completion is learned
-// within one request rather than a sleep loop; poll only paces the retry
-// cadence against servers that ignore the parameter (0 means a default).
+// Wait blocks until the job reaches a terminal state or ctx expires. It
+// subscribes to the worker's /api/v1/events stream first — one connection
+// learns of completion with no polling at all — and falls back to the
+// ?wait= long-poll loop against workers that predate the stream (or when
+// the stream breaks mid-wait). poll paces the fallback loop's retry
+// cadence (0 means a default).
 func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (Job, error) {
 	if poll <= 0 {
 		poll = 200 * time.Millisecond
+	}
+	if j, handled, err := c.waitEvents(ctx, id); handled {
+		return j, err
 	}
 	for {
 		j, err := c.jobAt(ctx, "/api/v1/jobs/"+id+"?wait=15s")

@@ -1,0 +1,161 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The event-stream half of Wait: subscribe to GET /api/v1/events filtered
+// to one job, and return when a terminal job event arrives. Everything that
+// can go wrong — a worker predating the stream, a connection that wedges, a
+// proxy that buffers — degrades to the ?wait= long-poll loop, so Wait's
+// contract never depends on the stream existing.
+
+// sseIdleTimeout bounds how long the stream may stay completely silent.
+// The server heartbeats every few seconds, so a stream this quiet is a
+// dead connection no FIN ever reported.
+const sseIdleTimeout = time.Minute
+
+// waitEvents tries to learn of the job's completion from the event stream.
+// handled=false means the caller should long-poll instead: the worker has
+// no stream, or the stream broke before a terminal event arrived.
+func (c *Client) waitEvents(ctx context.Context, id string) (j Job, handled bool, err error) {
+	if c.sseUnsupported.Load() {
+		return Job{}, false, nil
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(sctx, http.MethodGet,
+		c.Base+"/api/v1/events?topic=job&job="+url.QueryEscape(id), nil)
+	if err != nil {
+		return Job{}, false, nil
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		// Transport trouble is the long-poll loop's to diagnose — it owns
+		// the retry/health logic.
+		return Job{}, false, nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck
+		apiErr := &APIError{Status: resp.StatusCode, Code: "rate_limited"}
+		if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && sec > 0 {
+			apiErr.RetryAfter = time.Duration(sec) * time.Second
+		}
+		return Job{}, true, apiErr // proof of life; the coordinator backs off
+	}
+	if resp.StatusCode != http.StatusOK ||
+		!strings.HasPrefix(resp.Header.Get("Content-Type"), "text/event-stream") {
+		c.sseUnsupported.Store(true)
+		c.logOnce(&c.fellBack, "client: %s has no event stream, falling back to ?wait= long-poll", c.Base)
+		return Job{}, false, nil
+	}
+	c.logOnce(&c.subscribed, "client: subscribed to events on %s", c.Base)
+
+	// Close the subscribe/terminal race: a job that finished before the
+	// stream opened will never produce another event.
+	j, err = c.Job(ctx, id)
+	if err != nil {
+		var apiErr *APIError
+		if errors.As(err, &apiErr) {
+			return Job{}, true, err // the job is gone or we are throttled: report it
+		}
+		return Job{}, false, nil
+	}
+	if j.Terminal() {
+		return j, true, nil
+	}
+
+	// Idle watchdog: cancelling the request context unblocks the read below,
+	// and the broken stream falls back to long-polling.
+	watchdog := time.AfterFunc(sseIdleTimeout, cancel)
+	defer watchdog.Stop()
+
+	fr := newFrameReader(resp.Body)
+	for {
+		f, ferr := fr.next()
+		if ferr != nil {
+			if ctx.Err() != nil {
+				return j, true, ctx.Err()
+			}
+			return Job{}, false, nil // stream broke or watchdog fired
+		}
+		watchdog.Reset(sseIdleTimeout)
+		if len(f.data) == 0 {
+			continue // heartbeat / comment frame: liveness only
+		}
+		var ev struct {
+			Data json.RawMessage `json:"data"`
+		}
+		if json.Unmarshal(f.data, &ev) != nil || len(ev.Data) == 0 {
+			continue
+		}
+		var ju Job
+		if json.Unmarshal(ev.Data, &ju) != nil || ju.ID != id {
+			continue
+		}
+		if ju.Terminal() {
+			return ju, true, nil
+		}
+	}
+}
+
+// sseFrame is one server-sent event: the fields of contiguous non-blank
+// lines. A comment-only frame has empty data.
+type sseFrame struct {
+	id    string
+	event string
+	data  []byte
+}
+
+type frameReader struct {
+	r *bufio.Reader
+}
+
+func newFrameReader(r io.Reader) *frameReader {
+	return &frameReader{r: bufio.NewReader(r)}
+}
+
+// next reads one frame, terminated by a blank line. Comments reset the
+// caller's idle watchdog but carry no payload.
+func (fr *frameReader) next() (sseFrame, error) {
+	var f sseFrame
+	seen := false
+	for {
+		line, err := fr.r.ReadString('\n')
+		if err != nil {
+			return f, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "" {
+			if seen {
+				return f, nil
+			}
+			continue // leading blank lines between frames
+		}
+		seen = true
+		switch {
+		case strings.HasPrefix(line, ":"):
+			// comment — heartbeat or advisory; nothing to record
+		case strings.HasPrefix(line, "id:"):
+			f.id = strings.TrimSpace(line[len("id:"):])
+		case strings.HasPrefix(line, "event:"):
+			f.event = strings.TrimSpace(line[len("event:"):])
+		case strings.HasPrefix(line, "data:"):
+			if len(f.data) > 0 {
+				f.data = append(f.data, '\n')
+			}
+			f.data = append(f.data, strings.TrimPrefix(line[len("data:"):], " ")...)
+		}
+	}
+}

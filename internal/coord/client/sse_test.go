@@ -1,0 +1,184 @@
+package client_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/coord/client"
+	"repro/internal/jobs"
+)
+
+var quickSpec = jobs.CampaignSpec{
+	Algos:        []string{"cpa", "mcpa"},
+	Shapes:       []string{"serial"},
+	DAGSizes:     []int{15},
+	ClusterSizes: []int{16},
+	Replicates:   2,
+	Seed:         7,
+}
+
+// logRecorder captures the client's connection-mode notes.
+type logRecorder struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (lr *logRecorder) logf(format string, args ...any) {
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	lr.lines = append(lr.lines, fmt.Sprintf(format, args...))
+}
+
+func (lr *logRecorder) has(substr string) bool {
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	for _, l := range lr.lines {
+		if strings.Contains(l, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestWaitUsesEventStream is the zero-poll contract: against a server with
+// /api/v1/events, Wait learns of completion from the stream and never issues
+// a ?wait= long-poll.
+func TestWaitUsesEventStream(t *testing.T) {
+	srv := api.NewServer(api.NewStore())
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	var lr logRecorder
+	cl := client.New(ts.URL)
+	cl.Logf = lr.logf
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	j, err := cl.Submit(ctx, quickSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err = cl.Wait(ctx, j.ID, 10*time.Millisecond)
+	if err != nil || j.State != string(jobs.Done) {
+		t.Fatalf("wait = %+v, %v", j, err)
+	}
+	if n := srv.LongPolls(); n != 0 {
+		t.Fatalf("server answered %d ?wait= long-polls; the event stream should make it 0", n)
+	}
+	if !lr.has("subscribed to events") {
+		t.Fatalf("client never logged the subscription: %v", lr.lines)
+	}
+	if lr.has("falling back") {
+		t.Fatalf("client fell back unexpectedly: %v", lr.lines)
+	}
+}
+
+// TestWaitFallsBackToLongPoll points the client at a worker whose
+// /api/v1/events does not exist (a pre-events server): Wait must degrade to
+// the ?wait= loop and still complete.
+func TestWaitFallsBackToLongPoll(t *testing.T) {
+	srv := api.NewServer(api.NewStore())
+	t.Cleanup(srv.Close)
+	inner := srv.Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/api/v1/events" {
+			http.NotFound(w, r) // simulate a server that predates the stream
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+
+	var lr logRecorder
+	cl := client.New(ts.URL)
+	cl.Logf = lr.logf
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	j, err := cl.Submit(ctx, quickSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err = cl.Wait(ctx, j.ID, 10*time.Millisecond)
+	if err != nil || j.State != string(jobs.Done) {
+		t.Fatalf("wait = %+v, %v", j, err)
+	}
+	if !lr.has("falling back to ?wait= long-poll") {
+		t.Fatalf("client never logged the fallback: %v", lr.lines)
+	}
+	if n := srv.LongPolls(); n < 1 {
+		t.Fatalf("long polls = %d, want >= 1 on the fallback path", n)
+	}
+
+	// The unsupported answer is remembered: a second Wait skips the probe.
+	j2, err := cl.Submit(ctx, quickSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2, err = cl.Wait(ctx, j2.ID, 10*time.Millisecond); err != nil || j2.State != string(jobs.Done) {
+		t.Fatalf("second wait = %+v, %v", j2, err)
+	}
+}
+
+// TestWaitEventStreamAlreadyTerminal covers the subscribe/terminal race: a
+// job that finished before Wait subscribes is still learned of promptly.
+func TestWaitEventStreamAlreadyTerminal(t *testing.T) {
+	srv := api.NewServer(api.NewStore())
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	cl := client.New(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	j, err := cl.Submit(ctx, quickSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j, err = cl.Wait(ctx, j.ID, 10*time.Millisecond); err != nil || j.State != string(jobs.Done) {
+		t.Fatalf("first wait = %+v, %v", j, err)
+	}
+	// The job is terminal; a fresh Wait must return without hanging on a
+	// stream that will never produce another event for it.
+	done := make(chan error, 1)
+	go func() {
+		j2, err := cl.Wait(ctx, j.ID, 10*time.Millisecond)
+		if err == nil && j2.State != string(jobs.Done) {
+			err = fmt.Errorf("state = %s", j2.State)
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("wait on terminal job: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Wait hung on an already-terminal job")
+	}
+}
+
+// TestAPIErrorCode asserts the machine-readable code decodes end to end.
+func TestAPIErrorCode(t *testing.T) {
+	ts := newWorker(t)
+	cl := client.New(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_, err := cl.Job(ctx, "j99")
+	apiErr, ok := err.(*client.APIError)
+	if !ok {
+		t.Fatalf("err = %T %v", err, err)
+	}
+	if apiErr.Code != "job_not_found" || apiErr.Status != 404 {
+		t.Fatalf("decoded = %+v, want 404 job_not_found", apiErr)
+	}
+}

@@ -95,6 +95,10 @@ type Config struct {
 	// OnCell, when set, observes every newly recorded cell (serialized on
 	// the coordinator goroutine) — the aggregate-progress hook.
 	OnCell func(campaign.Cell)
+	// OnShard, when set, observes every shard state transition the
+	// coordinator records (dispatch, requeue, completion) with the
+	// post-transition snapshot — the event-bus hook.
+	OnShard func(ShardProgress)
 	// Logf, when set, receives human-readable progress lines.
 	Logf func(format string, args ...any)
 }
@@ -222,6 +226,14 @@ func (c *Coordinator) SetOnCell(fn func(campaign.Cell)) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.cfg.OnCell = fn
+}
+
+// SetOnShard installs (or replaces) the per-shard transition observer. Like
+// SetOnCell it must be called before Run.
+func (c *Coordinator) SetOnShard(fn func(ShardProgress)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cfg.OnShard = fn
 }
 
 // SetPersist installs (or replaces) the run journal. Like SetOnCell it must
@@ -527,6 +539,7 @@ func (c *Coordinator) dispatch(ctx context.Context, pending []int, cw *checkpoin
 		go func(i int) {
 			defer wg.Done()
 			cl := client.New(c.cfg.Workers[i])
+			cl.Logf = c.cfg.Logf // surfaces "subscribed to events" / fallback notes
 			for t := range queue {
 				if wait := time.Until(t.notBefore); wait > 0 {
 					// Honor the backoff of a throttled requeue; a cancelled
@@ -747,10 +760,17 @@ func (c *Coordinator) recordCells(k int, cells []campaign.Cell, cw *checkpointFi
 	return nil
 }
 
+// setShardState applies one shard transition and fires the OnShard observer
+// with the post-transition snapshot, outside the lock.
 func (c *Coordinator) setShardState(k int, mut func(*ShardProgress)) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	mut(&c.shardStat[k-1])
+	snap := c.shardStat[k-1]
+	fn := c.cfg.OnShard
+	c.mu.Unlock()
+	if fn != nil {
+		fn(snap)
+	}
 }
 
 func (c *Coordinator) setWorkerState(i int, state string) {

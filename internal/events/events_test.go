@@ -1,0 +1,250 @@
+package events
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestPublishDeliversInOrder(t *testing.T) {
+	b := NewBus(0)
+	sub := b.Subscribe(Filter{}, 0)
+	defer sub.Close()
+
+	for i := 0; i < 5; i++ {
+		b.Publish(TopicJob, "progress", fmt.Sprintf("j%d", i), map[string]int{"i": i})
+	}
+	evs, dropped := sub.Drain()
+	if dropped != 0 {
+		t.Fatalf("dropped = %d, want 0", dropped)
+	}
+	if len(evs) != 5 {
+		t.Fatalf("got %d events, want 5", len(evs))
+	}
+	for i, e := range evs {
+		if e.ID != uint64(i+1) {
+			t.Errorf("event %d: ID = %d, want %d", i, e.ID, i+1)
+		}
+		if e.Seq != uint64(i+1) {
+			t.Errorf("event %d: topic seq = %d, want %d", i, e.Seq, i+1)
+		}
+		if e.Topic != TopicJob || e.Type != "progress" {
+			t.Errorf("event %d: topic/type = %s/%s", i, e.Topic, e.Type)
+		}
+	}
+}
+
+func TestTopicSeqIndependent(t *testing.T) {
+	b := NewBus(0)
+	b.Publish(TopicJob, "submitted", "j1", nil)
+	b.Publish(TopicFleet, "join", "w1", nil)
+	e := b.Publish(TopicJob, "started", "j1", nil)
+	if e.Seq != 2 {
+		t.Errorf("job seq = %d, want 2", e.Seq)
+	}
+	if e.ID != 3 {
+		t.Errorf("bus id = %d, want 3", e.ID)
+	}
+	st := b.Stats()
+	if st.TopicSeq[TopicJob] != 2 || st.TopicSeq[TopicFleet] != 1 {
+		t.Errorf("topic seq = %v", st.TopicSeq)
+	}
+}
+
+func TestFilterMatch(t *testing.T) {
+	cases := []struct {
+		name string
+		f    Filter
+		e    Event
+		want bool
+	}{
+		{"zero filter matches", Filter{}, Event{Topic: TopicJob}, true},
+		{"topic match", Filter{Topics: []Topic{TopicJob}}, Event{Topic: TopicJob}, true},
+		{"topic mismatch", Filter{Topics: []Topic{TopicJob}}, Event{Topic: TopicFleet}, false},
+		{"key match", Filter{Key: map[Topic]string{TopicJob: "j1"}}, Event{Topic: TopicJob, Key: "j1"}, true},
+		{"key mismatch", Filter{Key: map[Topic]string{TopicJob: "j1"}}, Event{Topic: TopicJob, Key: "j2"}, false},
+		{"key on other topic unrestricted", Filter{Key: map[Topic]string{TopicJob: "j1"}}, Event{Topic: TopicFleet, Key: "w9"}, true},
+		{"topic and key", Filter{Topics: []Topic{TopicShard}, Key: map[Topic]string{TopicShard: "c1"}},
+			Event{Topic: TopicShard, Key: "c1"}, true},
+	}
+	for _, tc := range cases {
+		if got := tc.f.Match(tc.e); got != tc.want {
+			t.Errorf("%s: Match = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestBackpressureIsolation is the wedged-subscriber guarantee: a consumer
+// that never drains loses its own oldest events, while publishers never
+// block and healthy subscribers see everything.
+func TestBackpressureIsolation(t *testing.T) {
+	b := NewBus(0)
+	wedged := b.Subscribe(Filter{}, 4)
+	defer wedged.Close()
+	healthy := b.Subscribe(Filter{}, 64)
+	defer healthy.Close()
+
+	const n = 32
+	for i := 0; i < n; i++ {
+		b.Publish(TopicJob, "progress", "j1", nil)
+	}
+
+	evs, dropped := healthy.Drain()
+	if len(evs) != n || dropped != 0 {
+		t.Fatalf("healthy subscriber: %d events, %d dropped; want %d, 0", len(evs), dropped, n)
+	}
+
+	evs, dropped = wedged.Drain()
+	if len(evs) != 4 {
+		t.Fatalf("wedged subscriber buffered %d events, want 4", len(evs))
+	}
+	if dropped != n-4 {
+		t.Fatalf("wedged subscriber dropped = %d, want %d", dropped, n-4)
+	}
+	// The survivors are the newest events.
+	if evs[0].ID != n-3 || evs[3].ID != n {
+		t.Errorf("survivors = %d..%d, want %d..%d", evs[0].ID, evs[3].ID, n-3, n)
+	}
+	if wedged.Dropped() != n-4 {
+		t.Errorf("lifetime drops = %d, want %d", wedged.Dropped(), n-4)
+	}
+	if st := b.Stats(); st.Dropped != n-4 {
+		t.Errorf("bus drop counter = %d, want %d", st.Dropped, n-4)
+	}
+}
+
+func TestReplaySince(t *testing.T) {
+	b := NewBus(8)
+	for i := 0; i < 6; i++ {
+		b.Publish(TopicJob, "progress", "j1", nil)
+	}
+	evs, complete := b.ReplaySince(3, Filter{})
+	if !complete {
+		t.Fatal("replay reported incomplete with the gap fully retained")
+	}
+	if len(evs) != 3 || evs[0].ID != 4 || evs[2].ID != 6 {
+		t.Fatalf("replay after 3 = %v", ids(evs))
+	}
+
+	// Overflow the tail: events 1..4 evicted (tail holds 5..12).
+	for i := 0; i < 6; i++ {
+		b.Publish(TopicJob, "progress", "j1", nil)
+	}
+	evs, complete = b.ReplaySince(2, Filter{})
+	if complete {
+		t.Fatal("replay reported complete across an evicted gap")
+	}
+	if len(evs) != 8 || evs[0].ID != 5 {
+		t.Fatalf("truncated replay = %v", ids(evs))
+	}
+
+	// A cursor at the tail boundary is still complete.
+	if _, complete = b.ReplaySince(4, Filter{}); !complete {
+		t.Error("replay after 4 (oldest retained is 5) should be complete")
+	}
+	// A current cursor replays nothing, completely.
+	evs, complete = b.ReplaySince(12, Filter{})
+	if len(evs) != 0 || !complete {
+		t.Errorf("replay at head = %v, complete=%v", ids(evs), complete)
+	}
+}
+
+func TestReplayFiltered(t *testing.T) {
+	b := NewBus(0)
+	b.Publish(TopicJob, "submitted", "j1", nil)
+	b.Publish(TopicFleet, "join", "w1", nil)
+	b.Publish(TopicJob, "done", "j1", nil)
+	evs, complete := b.ReplaySince(0, Filter{Topics: []Topic{TopicJob}})
+	if !complete || len(evs) != 2 || evs[0].Type != "submitted" || evs[1].Type != "done" {
+		t.Fatalf("filtered replay = %v (complete=%v)", ids(evs), complete)
+	}
+}
+
+func TestSubscriberFilter(t *testing.T) {
+	b := NewBus(0)
+	sub := b.Subscribe(Filter{Key: map[Topic]string{TopicJob: "j2"}}, 0)
+	defer sub.Close()
+	b.Publish(TopicJob, "submitted", "j1", nil)
+	b.Publish(TopicJob, "submitted", "j2", nil)
+	b.Publish(TopicShard, "running", "c9", nil)
+	evs, _ := sub.Drain()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2 (j2 + unrestricted shard)", len(evs))
+	}
+	if evs[0].Key != "j2" || evs[1].Topic != TopicShard {
+		t.Errorf("events = %+v", evs)
+	}
+}
+
+func TestCloseStopsDelivery(t *testing.T) {
+	b := NewBus(0)
+	sub := b.Subscribe(Filter{}, 0)
+	sub.Close()
+	sub.Close() // idempotent
+	b.Publish(TopicJob, "submitted", "j1", nil)
+	if evs, _ := sub.Drain(); len(evs) != 0 {
+		t.Fatalf("closed subscriber received %d events", len(evs))
+	}
+	if st := b.Stats(); st.Subscribers != 0 {
+		t.Errorf("subscribers = %d, want 0", st.Subscribers)
+	}
+}
+
+// TestConcurrentPublish hammers the bus from many goroutines while one
+// consumer drains — run under -race this is the data-race check, and the
+// ID assertions verify no event is minted twice.
+func TestConcurrentPublish(t *testing.T) {
+	b := NewBus(64)
+	sub := b.Subscribe(Filter{}, 4096)
+	defer sub.Close()
+
+	const goroutines, per = 8, 100
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				b.Publish(TopicJob, "progress", fmt.Sprintf("j%d", g), nil)
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	var got []Event
+	go func() {
+		defer close(done)
+		for len(got) < goroutines*per {
+			<-sub.Notify()
+			evs, dropped := sub.Drain()
+			if dropped > 0 {
+				t.Errorf("dropped %d with an oversized buffer", dropped)
+				return
+			}
+			got = append(got, evs...)
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if len(got) != goroutines*per {
+		t.Fatalf("received %d events, want %d", len(got), goroutines*per)
+	}
+	seen := make(map[uint64]bool, len(got))
+	for _, e := range got {
+		if seen[e.ID] {
+			t.Fatalf("event ID %d delivered twice", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if st := b.Stats(); st.Published != goroutines*per || st.LastID != goroutines*per {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func ids(evs []Event) []uint64 {
+	out := make([]uint64, len(evs))
+	for i, e := range evs {
+		out[i] = e.ID
+	}
+	return out
+}

@@ -52,6 +52,20 @@ type Config struct {
 	Logf func(format string, args ...any)
 }
 
+// Event is one fleet lifecycle notification: a worker joining or going
+// away, a shard changing hands, a run opening or closing. The API server
+// forwards these onto its event bus as topic "fleet". Types: join, left,
+// retired, drain, lease, steal, requeue, complete, duplicate, run_start,
+// run_end.
+type Event struct {
+	Type   string `json:"type"`
+	Worker string `json:"worker,omitempty"`
+	Run    string `json:"run,omitempty"`
+	Shard  int    `json:"shard,omitempty"`  // k of k/n
+	Shards int    `json:"shards,omitempty"` // n of k/n
+	Detail string `json:"detail,omitempty"`
+}
+
 // Stats is the counter snapshot exposed on GET /api/v1/meta.
 type Stats struct {
 	WorkersJoined       int64 `json:"workers_joined"`
@@ -107,6 +121,7 @@ type Manager struct {
 	runs      []*Run
 	joinWake  chan struct{} // closed and replaced on every join, for WaitWorkers
 	stats     Stats
+	onEvent   func(Event)
 }
 
 // NewManager validates the config and returns an empty fleet.
@@ -146,6 +161,22 @@ func (m *Manager) logf(format string, args ...any) {
 	}
 }
 
+// SetOnEvent registers fn to receive every fleet lifecycle Event. fn runs
+// with the manager lock held, so it must not call back into the Manager;
+// publishing to an event bus (which never blocks) is the intended use.
+func (m *Manager) SetOnEvent(fn func(Event)) {
+	m.mu.Lock()
+	m.onEvent = fn
+	m.mu.Unlock()
+}
+
+// event fires the lifecycle hook. Callers hold m.mu.
+func (m *Manager) event(e Event) {
+	if m.onEvent != nil {
+		m.onEvent(e)
+	}
+}
+
 // Join registers a worker and returns its identity plus the protocol
 // pacing. Workers that lose their registration (ErrUnknownWorker anywhere)
 // simply join again.
@@ -164,6 +195,7 @@ func (m *Manager) Join(name string, caps map[string]string) Worker {
 	m.workers[w.id] = w
 	m.stats.WorkersJoined++
 	m.logf("fleet: worker %s (%s) joined", w.id, w.name)
+	m.event(Event{Type: "join", Worker: w.id, Detail: w.name})
 	close(m.joinWake)
 	m.joinWake = make(chan struct{})
 	return m.snapshotLocked(w)
@@ -197,6 +229,7 @@ func (m *Manager) Drain(id string) error {
 	if !w.draining {
 		w.draining = true
 		m.logf("fleet: worker %s draining", w.id)
+		m.event(Event{Type: "drain", Worker: w.id})
 	}
 	return nil
 }
@@ -223,6 +256,11 @@ func (m *Manager) dropWorkerLocked(w *workerState, cause string) {
 	}
 	delete(m.workers, w.id)
 	m.logf("fleet: worker %s (%s) %s", w.id, w.name, cause)
+	typ := "retired"
+	if cause == "left" {
+		typ = "left"
+	}
+	m.event(Event{Type: typ, Worker: w.id, Detail: cause})
 }
 
 // Workers snapshots the registry, joined-order sorted by ID sequence.

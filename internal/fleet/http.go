@@ -3,8 +3,9 @@ package fleet
 import (
 	"encoding/json"
 	"errors"
-	"fmt"
 	"net/http"
+
+	"repro/internal/apierr"
 )
 
 // The worker protocol, as served under /api/v1/:
@@ -47,7 +48,7 @@ func Handler(m *Manager) http.Handler {
 		var req JoinRequest
 		if r.Body != nil && r.ContentLength != 0 {
 			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-				fleetError(w, http.StatusBadRequest, "bad join request: %v", err)
+				apierr.Write(w, http.StatusBadRequest, "bad_request", "bad join request: %v", err)
 				return
 			}
 		}
@@ -87,7 +88,7 @@ func Handler(m *Manager) http.Handler {
 		defer body.Close()
 		var req CompleteRequest
 		if err := json.NewDecoder(body).Decode(&req); err != nil {
-			fleetError(w, http.StatusBadRequest, "bad completion: %v", err)
+			apierr.Write(w, http.StatusBadRequest, "bad_request", "bad completion: %v", err)
 			return
 		}
 		resp, err := m.Complete(r.PathValue("id"), req)
@@ -97,7 +98,7 @@ func Handler(m *Manager) http.Handler {
 			} else {
 				// Verification failure: the result is rejected and the shard
 				// requeued; 422 tells the worker its work was unusable.
-				fleetError(w, http.StatusUnprocessableEntity, "%v", err)
+				apierr.Write(w, http.StatusUnprocessableEntity, "completion_rejected", "%v", err)
 			}
 			return
 		}
@@ -125,14 +126,10 @@ func fleetJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v) //nolint:errcheck // headers already sent
 }
 
-func fleetError(w http.ResponseWriter, code int, format string, args ...any) {
-	fleetJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
 func fleetErr(w http.ResponseWriter, err error) {
-	code := http.StatusInternalServerError
 	if errors.Is(err, ErrUnknownWorker) {
-		code = http.StatusNotFound
+		apierr.Write(w, http.StatusNotFound, "unknown_worker", "%v", err)
+		return
 	}
-	fleetError(w, code, "%v", err)
+	apierr.Write(w, http.StatusInternalServerError, "internal", "%v", err)
 }

@@ -124,6 +124,7 @@ func (m *Manager) StartRun(rc RunConfig) (*Run, error) {
 	}
 	m.runs = append(m.runs, r)
 	m.logf("fleet: run %s opened (%d shards pending)", r.id, len(rc.Pending))
+	m.event(Event{Type: "run_start", Run: r.id, Shards: rc.Shards})
 	return r, nil
 }
 
@@ -185,6 +186,7 @@ func (m *Manager) endRunLocked(r *Run) {
 		}
 	}
 	m.logf("fleet: run %s closed", r.id)
+	m.event(Event{Type: "run_end", Run: r.id})
 }
 
 // failLocked ends the run with a terminal error on the completion channel.
@@ -251,6 +253,7 @@ func (m *Manager) Lease(workerID string) (*Assignment, error) {
 		spec.Shard = fmt.Sprintf("%d/%d", t.k, r.shards)
 		m.logf("fleet: shard %s of %s -> worker %s (lease %s, attempt %d)",
 			spec.Shard, r.id, w.id, l.id, l.attempts)
+		m.event(Event{Type: "lease", Worker: w.id, Run: r.id, Shard: t.k, Shards: r.shards})
 		return &Assignment{
 			Run: r.id, Lease: l.id, Shard: t.k, Shards: r.shards,
 			Spec:     spec,
@@ -275,6 +278,9 @@ func (m *Manager) requeueLocked(l *shardLease, stolen bool) {
 		m.stats.ShardsStolen++
 		m.logf("fleet: shard %d/%d of %s stolen from %s (lease %s expired)",
 			l.k, r.shards, r.id, l.worker, l.id)
+		m.event(Event{Type: "steal", Worker: l.worker, Run: r.id, Shard: l.k, Shards: r.shards})
+	} else {
+		m.event(Event{Type: "requeue", Worker: l.worker, Run: r.id, Shard: l.k, Shards: r.shards})
 	}
 	if l.attempts >= r.maxAttempts {
 		r.failLocked(fmt.Errorf("fleet: shard %d/%d failed after %d attempts (last lease %s on %s expired)",
@@ -337,6 +343,7 @@ func (m *Manager) Complete(workerID string, req CompleteRequest) (CompleteRespon
 		}
 		m.logf("fleet: duplicate completion of shard %d/%d of %s by %s discarded",
 			req.Shard, r.shards, r.id, w.id)
+		m.event(Event{Type: "duplicate", Worker: w.id, Run: r.id, Shard: req.Shard, Shards: r.shards})
 		return CompleteResponse{Reason: "shard already complete (first verified result won)"}, nil
 	}
 	if err := m.verifyLocked(r, req); err != nil {
@@ -372,6 +379,7 @@ func (m *Manager) Complete(workerID string, req CompleteRequest) (CompleteRespon
 	m.stats.ShardsCompleted++
 	m.logf("fleet: shard %d/%d of %s completed by %s (%d cells, %d shards left)",
 		req.Shard, r.shards, r.id, w.id, len(req.Cells), r.remaining)
+	m.event(Event{Type: "complete", Worker: w.id, Run: r.id, Shard: req.Shard, Shards: r.shards})
 	r.completions <- ShardDone{K: req.Shard, Worker: w.id, Cells: req.Cells}
 	if r.remaining == 0 {
 		m.endRunLocked(r)

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/apierr"
 	"repro/internal/campaign"
 )
 
@@ -67,11 +68,8 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		return ErrUnknownWorker
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		var envelope struct {
-			Error string `json:"error"`
-		}
-		if json.Unmarshal(raw, &envelope) == nil && envelope.Error != "" {
-			return fmt.Errorf("fleet: coordinator answered %d: %s", resp.StatusCode, envelope.Error)
+		if e, ok := apierr.Decode(raw); ok {
+			return fmt.Errorf("fleet: coordinator answered %d: %s", resp.StatusCode, e.Message)
 		}
 		return fmt.Errorf("fleet: coordinator answered %d", resp.StatusCode)
 	}

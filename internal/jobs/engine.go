@@ -45,6 +45,13 @@ func (s State) Terminal() bool {
 // progress through the job's SetTotal/Advance.
 type Fn func(ctx context.Context, j *Job) (any, error)
 
+// Observer receives job lifecycle notifications: change is "submitted",
+// "started", "progress", or the terminal state name ("done", "failed",
+// "cancelled"). Like the journal, it is captured per job at submission time
+// and always invoked outside the job's lock — it may call Status freely but
+// must not block for long.
+type Observer func(j *Job, change string)
+
 // Status is a point-in-time snapshot of a job, safe to hold after the job
 // moved on.
 type Status struct {
@@ -61,13 +68,14 @@ type Status struct {
 
 // Job is one unit of asynchronous work tracked by an Engine.
 type Job struct {
-	id      string
-	kind    string
-	fn      Fn
-	meta    []byte  // opaque submission descriptor, persisted for recovery
-	journal Journal // engine journal at submission time; nil = no journaling
-	ctx     context.Context
-	cancel  context.CancelFunc
+	id       string
+	kind     string
+	fn       Fn
+	meta     []byte   // opaque submission descriptor, persisted for recovery
+	journal  Journal  // engine journal at submission time; nil = no journaling
+	observer Observer // engine observer at submission time; nil = none
+	ctx      context.Context
+	cancel   context.CancelFunc
 
 	mu                         sync.Mutex
 	state                      State
@@ -117,8 +125,16 @@ func (j *Job) SetTotal(total int) {
 // Advance increments the progress counter by n.
 func (j *Job) Advance(n int) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	j.done += n
+	j.mu.Unlock()
+	j.notify("progress")
+}
+
+// notify fires the observer, if any. Callers must not hold j.mu.
+func (j *Job) notify(change string) {
+	if j.observer != nil {
+		j.observer(j, change)
+	}
 }
 
 // Cancel requests cancellation: a queued job is cancelled immediately, a
@@ -136,8 +152,11 @@ func (j *Job) Cancel() {
 		finished = true
 	}
 	j.mu.Unlock()
-	if finished && j.journal != nil {
-		j.journal.JobFinished(j)
+	if finished {
+		if j.journal != nil {
+			j.journal.JobFinished(j)
+		}
+		j.notify(string(Cancelled))
 	}
 }
 
@@ -162,6 +181,7 @@ func (j *Job) run() {
 	j.state = Running
 	j.started = time.Now()
 	j.mu.Unlock()
+	j.notify("started")
 
 	result, err := j.fn(j.ctx, j)
 
@@ -174,6 +194,7 @@ func (j *Job) run() {
 	default:
 		j.state, j.err = Failed, err
 	}
+	terminal := j.state
 	j.finished = time.Now()
 	close(j.finishedCh)
 	j.mu.Unlock()
@@ -182,23 +203,25 @@ func (j *Job) run() {
 	if j.journal != nil {
 		j.journal.JobFinished(j)
 	}
+	j.notify(string(terminal))
 }
 
 // Engine runs submitted jobs on a fixed pool of worker goroutines. The
 // submission queue is unbounded — Submit never blocks, so an HTTP handler
 // can always accept a job and answer 202.
 type Engine struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	seq     int
-	prefix  string
-	retain  int
-	jobs    map[string]*Job
-	order   []*Job
-	queue   []*Job
-	closed  bool
-	journal Journal // nil = no persistence
-	wg      sync.WaitGroup
+	mu       sync.Mutex
+	cond     *sync.Cond
+	seq      int
+	prefix   string
+	retain   int
+	jobs     map[string]*Job
+	order    []*Job
+	queue    []*Job
+	closed   bool
+	journal  Journal  // nil = no persistence
+	observer Observer // nil = no lifecycle notifications
+	wg       sync.WaitGroup
 
 	evictions atomic.Int64
 }
@@ -242,6 +265,7 @@ func (e *Engine) SubmitWithMeta(kind string, total int, meta []byte, fn Fn) *Job
 	e.seq++
 	j.id = fmt.Sprintf("%s%d", e.prefix, e.seq)
 	j.journal = e.journal
+	j.observer = e.observer
 	e.jobs[j.id] = j
 	e.order = append(e.order, j)
 	if e.closed {
@@ -252,6 +276,7 @@ func (e *Engine) SubmitWithMeta(kind string, total int, meta []byte, fn Fn) *Job
 		j.finished = time.Now()
 		close(j.finishedCh)
 		j.mu.Unlock()
+		j.notify(string(Failed))
 		return j
 	}
 	e.queue = append(e.queue, j)
@@ -261,6 +286,7 @@ func (e *Engine) SubmitWithMeta(kind string, total int, meta []byte, fn Fn) *Job
 	if j.journal != nil {
 		j.journal.JobSubmitted(j)
 	}
+	j.notify("submitted")
 	e.notifyEvicted(evicted)
 	return j
 }
@@ -292,12 +318,14 @@ func (e *Engine) Resubmit(id, kind string, total int, meta []byte, fn Fn) (*Job,
 		return nil, fmt.Errorf("jobs: engine closed")
 	}
 	j.journal = e.journal
+	j.observer = e.observer
 	e.jobs[id] = j
 	e.order = append(e.order, j)
 	e.bumpSeqLocked(id)
 	e.queue = append(e.queue, j)
 	e.cond.Signal()
 	e.mu.Unlock()
+	j.notify("submitted")
 	return j, nil
 }
 
@@ -361,6 +389,15 @@ func (e *Engine) SetJournal(jn Journal) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.journal = jn
+}
+
+// SetObserver attaches a lifecycle observer (the API server feeds it into
+// the event bus). Call before the first Submit; nil (the default) disables
+// notifications.
+func (e *Engine) SetObserver(fn Observer) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.observer = fn
 }
 
 // Evictions counts terminal jobs dropped by the retention cap — each one a

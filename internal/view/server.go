@@ -91,13 +91,17 @@ func (s *Server) Handler() http.Handler {
 
 // apiAlias serves a legacy read path by redirecting to the equivalent
 // stateless endpoint on the default session, preserving the query string.
+// The Deprecation and Link (successor-version) headers announce the move
+// machine-readably; a future release drops the aliases.
 func (s *Server) apiAlias(endpoint string) http.HandlerFunc {
+	successor := "/api/v1/sessions/" + DefaultSessionID + "/" + endpoint
 	return func(w http.ResponseWriter, r *http.Request) {
-		target := "/api/v1/sessions/" + DefaultSessionID + "/" + endpoint
+		target := successor
 		if r.URL.RawQuery != "" {
 			target += "?" + r.URL.RawQuery
 		}
 		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
 		http.Redirect(w, r, target, http.StatusTemporaryRedirect)
 	}
 }
