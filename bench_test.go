@@ -13,9 +13,11 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
+	"repro/internal/api"
 	"repro/internal/campaign"
 	"repro/internal/colormap"
 	"repro/internal/core"
@@ -637,6 +639,35 @@ func BenchmarkSideBySide(b *testing.B) {
 		c := raster.New(1400, 500)
 		render.SideBySide(c, "cpa vs mcpa", []*core.Schedule{r.CPA, r.MCPA},
 			[]render.Options{{Labels: true}, {Labels: true}})
+	}
+}
+
+// BenchmarkRender1MHTTP: the full HTTP path of the interactive pan/zoom
+// shape — obs middleware, routing, rate-limit check, render cache — over the
+// 1M-task trace. The warm-up request populates the render cache, so the
+// steady state measured here is exactly the per-request overhead the
+// observability middleware must keep inside the render regression gate.
+func BenchmarkRender1MHTTP(b *testing.B) {
+	s, _, win := schedule1M()
+	srv := api.NewServer(api.NewStore())
+	defer srv.Close()
+	sess := srv.Store().Add("bench1m", "generated", s)
+	h := srv.Handler()
+	target := fmt.Sprintf("/api/v1/sessions/%s/render?width=1200&height=800&lod=true&window=%g,%g",
+		sess.ID, win.Min, win.Max)
+	run := func() {
+		req := httptest.NewRequest("GET", target, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			b.Fatalf("render = %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	run() // warm the render cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
 	}
 }
 

@@ -31,6 +31,14 @@
 // without re-dispatching finished shards. In fleet mode GET /api/v1/meta on
 // the fleet address reports the fleet counters.
 //
+// Observability: every run mints a trace ID (printed on stderr) and sends it
+// as X-Jed-Trace on each worker hop, so one coordinator run is attributable
+// in every worker's access log; -v prints the per-shard span breakdown after
+// the run. In fleet mode GET /api/v1/metrics on the fleet address serves the
+// coordinator's registry (shard timings, fleet counters, worker-protocol
+// request metrics) in the Prometheus text format, and -pprof mounts
+// /debug/pprof/ there.
+//
 // -state-dir with -run-id journals the run's identity header and every
 // fetched cell into a shared persistence directory (the jedserve
 // -state-dir format) instead of — or alongside — the -out file, so a
@@ -45,8 +53,10 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -54,6 +64,7 @@ import (
 	"repro/internal/coord"
 	"repro/internal/fleet"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	_ "repro/internal/sched/all"
 )
@@ -78,6 +89,8 @@ func main() {
 		maxAttempts = flag.Int("max-attempts", 3, "dispatch attempts per shard before the run fails")
 		poll        = flag.Duration("poll", 200*time.Millisecond, "poll pacing against workers without long-poll support")
 		quiet       = flag.Bool("quiet", false, "suppress progress lines on stderr")
+		pprofOn     = flag.Bool("pprof", false, "fleet mode: mount /debug/pprof/ on the fleet address (off by default)")
+		verbose     = flag.Bool("v", false, "print the per-shard span breakdown on stderr after the run")
 	)
 	flag.Parse()
 	if (*workers == "") == (*fleetAddr == "") {
@@ -92,6 +105,12 @@ func main() {
 		fail(fmt.Errorf("-resume requires -out or -state-dir"))
 	}
 
+	// Every dispatch carries this run's trace ID in X-Jed-Trace, so the
+	// coordinator's work is attributable in each worker's access log, and
+	// every completed shard appends a timed span for the -v breakdown.
+	reg := obs.NewRegistry()
+	trace := obs.NewTrace("")
+
 	cfg := coord.Config{
 		Spec: jobs.CampaignSpec{
 			Algos:      cliutil.SplitList(*algos),
@@ -104,6 +123,8 @@ func main() {
 		ProbeTimeout: *probeTO,
 		Checkpoint:   *out,
 		Resume:       *resume,
+		Metrics:      reg,
+		Trace:        trace,
 	}
 	if *stateDir != "" {
 		ps, err := persist.Open(*stateDir)
@@ -134,12 +155,13 @@ func main() {
 			LeaseTTL:          *leaseTTL,
 			Logf:              cfg.Logf,
 		})
-		srv, err := serveFleet(m, *fleetAddr)
+		fleet.RegisterMetrics(reg, m)
+		srv, err := serveFleet(m, *fleetAddr, reg, *pprofOn)
 		if err != nil {
 			fail(err)
 		}
 		defer srv.Close()
-		logf("jedcoord: fleet listening on %s (workers join with `jedserve -join http://<this-host>%s`)",
+		logf("jedcoord: fleet listening on %s (workers join with `jedserve -join http://<this-host>%s`; metrics at /api/v1/metrics)",
 			srv.Addr, srv.Addr)
 		cfg.Fleet = m
 		cfg.MinWorkers = *minWorkers
@@ -154,7 +176,13 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	logf("jedcoord: trace %s", trace.ID())
 	res, err := c.Run(ctx)
+	if *verbose {
+		for _, sp := range trace.Spans() {
+			fmt.Fprintf(os.Stderr, "jedcoord: span %-28s %12v\n", sp.Name, sp.Duration.Round(time.Microsecond))
+		}
+	}
 	if m != nil {
 		st := m.Stats()
 		logf("jedcoord: fleet: %d joined, %d retired, %d left; %d leases granted, %d expired, %d shards stolen, %d duplicates discarded",
@@ -169,11 +197,12 @@ func main() {
 	}
 }
 
-// serveFleet binds the fleet address and serves the worker protocol plus a
-// minimal GET /api/v1/meta with the fleet counters. It returns once the
+// serveFleet binds the fleet address and serves the worker protocol, a
+// minimal GET /api/v1/meta with the fleet counters, and the Prometheus
+// metrics endpoint, all measured by the obs middleware. It returns once the
 // listener is bound, so "fleet listening" is never printed before workers
 // could actually join.
-func serveFleet(m *fleet.Manager, addr string) (*http.Server, error) {
+func serveFleet(m *fleet.Manager, addr string, reg *obs.Registry, pprofOn bool) (*http.Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("fleet listen %s: %w", addr, err)
@@ -188,9 +217,46 @@ func serveFleet(m *fleet.Manager, addr string) (*http.Server, error) {
 		enc.SetIndent("", "  ")
 		enc.Encode(map[string]any{"fleet": m.Stats()}) //nolint:errcheck
 	})
-	srv := &http.Server{Addr: ln.Addr().String(), Handler: mux}
+	mux.HandleFunc("GET /api/v1/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w) //nolint:errcheck // client gone mid-scrape
+	})
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	h := obs.Middleware(mux, obs.MiddlewareOptions{Registry: reg, RouteLabel: fleetRouteLabel})
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: h}
 	go srv.Serve(ln) //nolint:errcheck // Close on exit surfaces ErrServerClosed
 	return srv, nil
+}
+
+// fleetRouteLabel bounds the route label space of the coordinator's small
+// surface: worker IDs collapse to {id} so cardinality tracks the protocol,
+// not the fleet size.
+func fleetRouteLabel(r *http.Request) string {
+	p := r.URL.Path
+	switch p {
+	case "/api/v1/workers", "/api/v1/meta", "/api/v1/metrics":
+		return p
+	}
+	if strings.HasPrefix(p, "/debug/pprof/") {
+		return "/debug/pprof/"
+	}
+	if rest, ok := strings.CutPrefix(p, "/api/v1/workers/"); ok {
+		i := strings.IndexByte(rest, '/')
+		if i < 0 {
+			return "/api/v1/workers/{id}"
+		}
+		switch sub := rest[i+1:]; sub {
+		case "heartbeat", "lease", "complete", "drain":
+			return "/api/v1/workers/{id}/" + sub
+		}
+	}
+	return "other"
 }
 
 func fail(err error) {

@@ -47,6 +47,17 @@
 // current shard, deregister, exit); a second signal aborts immediately and
 // the coordinator requeues the abandoned shard on lease expiry.
 //
+// Observability: GET /api/v1/metrics serves the Prometheus text exposition
+// (request latency histograms, render stage timings, fleet shard counters),
+// exempt from -rate-limit so scrapes survive traffic spikes. -access-log
+// writes one JSON line per API request (method, route, status, bytes,
+// duration, trace ID, render-cache disposition) to stderr.
+// -metrics-interval publishes registry snapshots on the events bus (topic
+// "metrics") so SSE consumers get live counters without polling. -pprof
+// mounts net/http/pprof at /debug/pprof/ — off by default, it exposes heap
+// and CPU profiles. Every request carries an X-Jed-Trace ID (adopted from
+// the request header or minted) that campaign dispatch forwards to workers.
+//
 // -state-dir makes the server durable: session descriptors, job records,
 // finished results, and the streamed cells of running campaign jobs are
 // journaled into that directory, and a restarted server recovers them —
@@ -93,6 +104,9 @@ func main() {
 		join          = flag.String("join", "", "run as a fleet worker of the coordinator at this base URL (worker mode; excludes -dir, -fleet, -workers)")
 		workerName    = flag.String("worker-name", "", "worker mode: name reported to the coordinator (default: hostname)")
 		workerPoll    = flag.Duration("worker-poll", 500*time.Millisecond, "worker mode: idle lease-poll pacing")
+		pprofOn       = flag.Bool("pprof", false, "mount net/http/pprof at /debug/pprof/ (off by default)")
+		metricsEvery  = flag.Duration("metrics-interval", 0, "publish a metrics snapshot on the events bus (topic \"metrics\") at this interval (0 = off)")
+		accessLog     = flag.Bool("access-log", false, "write one JSON line per API request to stderr")
 	)
 	flag.Parse()
 	if *join != "" {
@@ -123,6 +137,7 @@ func main() {
 		fleet:   *fleetOn, minWorkers: *minWorkers,
 		heartbeat: *heartbeat, leaseTTL: *leaseTTL,
 		stateDir: *stateDir,
+		pprof:    *pprofOn, metricsInterval: *metricsEvery, accessLog: *accessLog,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "jedserve:", err)
@@ -143,6 +158,9 @@ type serveOptions struct {
 	minWorkers                   int
 	heartbeat, leaseTTL          time.Duration
 	stateDir                     string
+	pprof                        bool
+	metricsInterval              time.Duration
+	accessLog                    bool
 }
 
 func run(o serveOptions) error {
@@ -212,7 +230,19 @@ func run(o serveOptions) error {
 		srv.SetFleet(m, o.minWorkers)
 		fmt.Printf("jedserve: elastic fleet enabled (workers join at /api/v1/workers; campaigns wait for %d)\n", o.minWorkers)
 	}
-	fmt.Printf("jedserve: serving %d sessions on %s (API at /api/v1/)\n", store.Len(), o.addr)
+	if o.pprof {
+		srv.EnablePprof()
+		fmt.Printf("jedserve: pprof mounted at /debug/pprof/\n")
+	}
+	if o.accessLog {
+		srv.SetAccessLog(os.Stderr)
+	}
+	if o.metricsInterval > 0 {
+		stop := srv.StartMetricsPublisher(o.metricsInterval)
+		defer stop()
+		fmt.Printf("jedserve: publishing metrics snapshots every %v (topic \"metrics\")\n", o.metricsInterval)
+	}
+	fmt.Printf("jedserve: serving %d sessions on %s (API at /api/v1/, metrics at /api/v1/metrics)\n", store.Len(), o.addr)
 	return srv.ListenAndServe(o.addr)
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/coord"
 	"repro/internal/events"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 )
 
 // shardEvent is the payload of topic "shard" events: the coordinator's
@@ -107,6 +108,11 @@ func (s *Server) createCampaign(w http.ResponseWriter, r *http.Request) {
 		Spec:        req.CampaignSpec,
 		Shards:      req.Shards,
 		MaxAttempts: req.MaxAttempts,
+		Metrics:     s.metrics,
+		// The request's trace (minted or adopted by the obs middleware)
+		// follows the campaign to every worker hop, so one ID submitted on
+		// POST /api/v1/campaigns shows up in each worker's access log.
+		Trace: obs.FromContext(r.Context()),
 	}
 	switch {
 	case len(workers) > 0:

@@ -135,10 +135,13 @@ func clientIP(r *http.Request) string {
 }
 
 // middleware enforces the limit on the API routes (the HTML index stays
-// reachable for humans even when a client burned its quota).
+// reachable for humans even when a client burned its quota). The metrics
+// endpoint is exempt: a scraper must keep working during exactly the
+// traffic spikes the limiter exists to absorb.
 func (rl *rateLimiter) middleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if rl != nil && len(r.URL.Path) >= len(apiPrefix) && r.URL.Path[:len(apiPrefix)] == apiPrefix {
+		if rl != nil && r.URL.Path != metricsPath &&
+			len(r.URL.Path) >= len(apiPrefix) && r.URL.Path[:len(apiPrefix)] == apiPrefix {
 			if ok, retryAfter := rl.allow(clientIP(r)); !ok {
 				seconds := int(math.Ceil(retryAfter.Seconds()))
 				if seconds < 1 {

@@ -10,7 +10,6 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/apierr"
@@ -19,6 +18,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/jedxml"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/render"
 	"repro/internal/sched"
@@ -40,8 +40,6 @@ type Server struct {
 	cache         *renderCache
 	renderWorkers int  // render.Options.Workers for every rasterization; 0 = GOMAXPROCS
 	lodDefault    bool // render.Options.LOD when the request has no lod= param
-	lodRenders    atomic.Int64
-	lodAggregated atomic.Int64
 	limiter       *rateLimiter
 	coordWorkers  []string       // static remote worker pool for POST /api/v1/campaigns
 	fleet         *fleet.Manager // elastic pull-based pool; serves /api/v1/workers
@@ -49,7 +47,15 @@ type Server struct {
 	campaigns     campaignTracker
 	bus           *events.Bus   // the broadcast bus behind GET /api/v1/events
 	heartbeat     time.Duration // SSE heartbeat-comment interval
-	longPolls     atomic.Int64  // ?wait= long-polls served (the polls SSE replaces)
+
+	// Observability (see obs.go). The registry is always present; access
+	// logging and pprof are opt-in.
+	metrics     *obs.Registry
+	mLongPolls  *obs.Counter // ?wait= long-polls served (the polls SSE replaces)
+	mLodRenders *obs.Counter
+	mLodTasks   *obs.Counter
+	accessLog   io.Writer
+	pprof       bool
 
 	// Durable state (nil/zero without EnablePersistence).
 	persist        persist.Store
@@ -81,7 +87,9 @@ func NewServer(store *Store) *Server {
 		cache:     newRenderCache(defaultRenderCacheBytes),
 		bus:       events.NewBus(0),
 		heartbeat: defaultEventHeartbeat,
+		metrics:   obs.NewRegistry(),
 	}
+	s.registerMetrics()
 	store.OnDrop(s.cache.InvalidateSession)
 	// Producer wiring: every job transition, session change, and (via
 	// createCampaign/SetFleet) shard and fleet event lands on the bus.
@@ -148,6 +156,7 @@ func (s *Server) SetCoordWorkers(workers []string) {
 func (s *Server) SetFleet(m *fleet.Manager, minWorkers int) {
 	s.fleet = m
 	s.fleetMin = minWorkers
+	registerFleetMetrics(s.metrics, m)
 	m.SetOnEvent(func(e fleet.Event) {
 		s.bus.Publish(events.TopicFleet, e.Type, e.Worker, e)
 	})
@@ -175,6 +184,7 @@ func (s *Server) EnablePersistence(ps persist.Store) error {
 	if s.coordRecovered, err = s.coordPersist.Recover(s.coordJobs); err != nil {
 		return err
 	}
+	s.registerPersistMetrics()
 	return nil
 }
 
@@ -203,6 +213,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /{$}", s.index)
 	mux.HandleFunc("GET /api/v1/schedulers", s.schedulers)
 	mux.HandleFunc("GET /api/v1/meta", s.serverMeta)
+	mux.HandleFunc("GET "+metricsPath, s.metricsHandler)
 	mux.HandleFunc("GET /api/v1/events", s.events)
 	mux.HandleFunc("POST /api/v1/sessions", s.createSession)
 	mux.HandleFunc("GET /api/v1/sessions", s.listSessions)
@@ -231,7 +242,16 @@ func (s *Server) Handler() http.Handler {
 		mux.Handle("/api/v1/workers", fh)
 		mux.Handle("/api/v1/workers/", fh)
 	}
-	return s.limiter.middleware(mux)
+	if s.pprof {
+		mountPprof(mux)
+	}
+	// The obs middleware wraps outside the rate limiter so rejected (429)
+	// requests still land in the request metrics and the access log.
+	return obs.Middleware(s.limiter.middleware(mux), obs.MiddlewareOptions{
+		Registry:   s.metrics,
+		RouteLabel: routeLabel,
+		AccessLog:  s.accessLog,
+	})
 }
 
 // ListenAndServe runs the API server on addr.
@@ -512,9 +532,21 @@ func (s *Server) encodeImage(w http.ResponseWriter, r *http.Request, download bo
 	}
 	if vp.Opts.LOD {
 		vp.Opts.LODReport = func(n int) {
-			s.lodRenders.Add(1)
-			s.lodAggregated.Add(int64(n))
+			s.mLodRenders.Inc()
+			s.mLodTasks.Add(int64(n))
 		}
+	}
+	// Stage timings belong to the request that actually rasterizes: the
+	// closure runs at most once per flight, synchronously in the first
+	// caller's goroutine, so the slice needs no locking. Cache hits and
+	// collapsed waiters report only the cache disposition.
+	type stageTiming struct {
+		name string
+		d    time.Duration
+	}
+	var stages []stageTiming
+	vp.Opts.StageReport = func(stage string, d time.Duration) {
+		stages = append(stages, stageTiming{stage, d})
 	}
 	body, cachedCT, hit, err := s.cache.Render(etag, sess.ID, func() ([]byte, string, error) {
 		var buf bytes.Buffer
@@ -531,11 +563,20 @@ func (s *Server) encodeImage(w http.ResponseWriter, r *http.Request, download bo
 	if download {
 		w.Header().Set("Content-Disposition", attachment(sess.ID, format))
 	}
+	cacheState := "miss"
 	if hit {
-		w.Header().Set("X-Render-Cache", "hit")
-	} else {
-		w.Header().Set("X-Render-Cache", "miss")
+		cacheState = "hit"
 	}
+	w.Header().Set("X-Render-Cache", cacheState)
+	timing := make([]string, 0, len(stages)+1)
+	for _, st := range stages {
+		timing = append(timing, fmt.Sprintf("%s;dur=%.2f", st.name, float64(st.d.Microseconds())/1000))
+		s.metrics.Histogram("jed_render_stage_seconds",
+			"Render stage wall time in seconds, by stage.",
+			obs.DefBuckets(), "stage", st.name).Observe(st.d.Seconds())
+	}
+	timing = append(timing, "cache;desc="+cacheState)
+	w.Header().Set("Server-Timing", strings.Join(timing, ", "))
 	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
 	w.Write(body) //nolint:errcheck
 }
@@ -543,21 +584,36 @@ func (s *Server) encodeImage(w http.ResponseWriter, r *http.Request, download bo
 // serverMeta reports server-level observability: session count, render
 // worker bound, session TTL, the render-cache counters, and — with a fleet
 // mounted — the fleet counters (workers joined/active/retired, leases
-// granted/expired, shards stolen, queue depth).
+// granted/expired, shards stolen, queue depth). The established top-level
+// field names are stable (scripts and CI assert on them); the "metrics"
+// block mirrors the full registry for JSON consumers of /api/v1/metrics.
 func (s *Server) serverMeta(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.metaSnapshot())
+}
+
+// metaSnapshot assembles the meta document in one pass: every subsystem's
+// stats are read exactly once, up front, so the legacy blocks and the
+// registry-backed counters describe the same instant instead of being
+// gathered under different locks at different times as requests land
+// between reads.
+func (s *Server) metaSnapshot() map[string]any {
+	cacheStats := s.cache.Stats()
+	limitStats := s.limiter.Stats()
+	busStats := s.bus.Stats()
 	meta := map[string]any{
 		"sessions":             s.store.Len(),
 		"render_workers":       s.renderWorkers,
 		"session_ttl_seconds":  s.store.TTL().Seconds(),
-		"render_cache":         s.cache.Stats(),
-		"rate_limit":           s.limiter.Stats(),
+		"render_cache":         cacheStats,
+		"rate_limit":           limitStats,
 		"coord_workers":        len(s.coordWorkers),
 		"lod_default":          s.lodDefault,
-		"lod_renders":          s.lodRenders.Load(),
-		"lod_tasks_aggregated": s.lodAggregated.Load(),
+		"lod_renders":          s.mLodRenders.Value(),
+		"lod_tasks_aggregated": s.mLodTasks.Value(),
 		"jobs_evicted":         s.jobs.Evictions() + s.coordJobs.Evictions(),
-		"events":               s.bus.Stats(),
-		"long_polls":           s.longPolls.Load(),
+		"events":               busStats,
+		"long_polls":           s.mLongPolls.Value(),
+		"metrics":              s.metrics.Snapshot(),
 	}
 	if s.fleet != nil {
 		meta["fleet"] = s.fleet.Stats()
@@ -573,7 +629,7 @@ func (s *Server) serverMeta(w http.ResponseWriter, _ *http.Request) {
 			"campaigns":          s.coordRecovered,
 		}
 	}
-	writeJSON(w, http.StatusOK, meta)
+	return meta
 }
 
 // statsJSON mirrors core.Stats for the wire.

@@ -54,7 +54,7 @@ func (s *Server) maybeWait(w http.ResponseWriter, r *http.Request, e *jobs.Engin
 	if !ok {
 		return true
 	}
-	s.longPolls.Add(1)
+	s.mLongPolls.Inc()
 	ctx, cancel := context.WithTimeout(r.Context(), d)
 	defer cancel()
 	e.Wait(ctx, j.ID()) //nolint:errcheck // timeout just means "answer with the current state"
@@ -63,7 +63,7 @@ func (s *Server) maybeWait(w http.ResponseWriter, r *http.Request, e *jobs.Engin
 
 // LongPolls counts the ?wait= long-polls this server answered — the polls
 // an event-stream consumer no longer issues. Served on /api/v1/meta.
-func (s *Server) LongPolls() int64 { return s.longPolls.Load() }
+func (s *Server) LongPolls() int64 { return s.mLongPolls.Value() }
 
 // page is a parsed limit=/offset= pair. limit 0 (the default) means "no
 // limit"; offset past the end yields an empty window with total intact.

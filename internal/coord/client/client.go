@@ -21,6 +21,7 @@ import (
 	"repro/internal/apierr"
 	"repro/internal/campaign"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 )
 
 // maxResponseBytes bounds how much of a worker response the client is
@@ -91,6 +92,10 @@ type Client struct {
 	// Logf, when set, receives the client's connection-mode notes (event
 	// subscription, long-poll fallback). Set it before the first Wait.
 	Logf func(format string, args ...any)
+	// Trace, when non-empty, is sent as the X-Jed-Trace header on every
+	// request, so the worker's access log ties its jobs back to the
+	// coordinated run that dispatched them.
+	Trace string
 
 	// sseUnsupported remembers a worker that answered the event stream with
 	// 404 (it predates /api/v1/events), so later Waits skip the attempt.
@@ -136,6 +141,9 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.Trace != "" {
+		req.Header.Set(obs.TraceHeader, c.Trace)
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {

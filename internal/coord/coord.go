@@ -34,6 +34,7 @@ import (
 	"repro/internal/coord/client"
 	"repro/internal/fleet"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/persist"
 )
 
@@ -101,6 +102,15 @@ type Config struct {
 	OnShard func(ShardProgress)
 	// Logf, when set, receives human-readable progress lines.
 	Logf func(format string, args ...any)
+	// Metrics, when set, receives shard dispatch/retry/throttle counters
+	// and the per-shard wall-time histogram (jed_coord_*). Nil is fine:
+	// the handles still work, they just aren't exported anywhere.
+	Metrics *obs.Registry
+	// Trace, when set, is propagated to every worker hop (the X-Jed-Trace
+	// header on static dispatch, the lease assignment on fleet dispatch)
+	// and collects one span per completed shard, so `jedcoord -v` can
+	// print where the run's wall time went.
+	Trace *obs.Trace
 }
 
 // ShardProgress is the state of one shard in a Progress snapshot.
@@ -144,6 +154,13 @@ type Coordinator struct {
 	cellsDone int
 	started   bool
 	fleetRun  *fleet.Run // live shard queue while a fleet run is in flight
+
+	// Metric handles, resolved once in New so series exist (at zero)
+	// before the first shard completes. Nil-registry safe.
+	mShardSeconds *obs.Histogram
+	mDispatched   *obs.Counter
+	mRetries      *obs.Counter
+	mThrottled    *obs.Counter
 }
 
 // New validates the configuration and resolves the campaign. The spec is
@@ -205,6 +222,14 @@ func New(cfg Config) (*Coordinator, error) {
 		// More shards than cells would dispatch provably empty jobs.
 		c.shards = len(c.specs)
 	}
+	c.mShardSeconds = cfg.Metrics.Histogram("jed_coord_shard_seconds",
+		"Wall time of one completed shard dispatch, in seconds.", obs.DefBuckets())
+	c.mDispatched = cfg.Metrics.Counter("jed_coord_shards_dispatched_total",
+		"Shard dispatch attempts (static submits and fleet completions).")
+	c.mRetries = cfg.Metrics.Counter("jed_coord_shard_retries_total",
+		"Shards requeued after a worker failure.")
+	c.mThrottled = cfg.Metrics.Counter("jed_coord_shard_throttled_total",
+		"Shards requeued on a worker's 429 backoff (attempt budget not burned).")
 	c.shardStat = make([]ShardProgress, c.shards)
 	for k := 1; k <= c.shards; k++ {
 		c.shardStat[k-1] = ShardProgress{Shard: k, State: "pending"}
@@ -474,6 +499,7 @@ func (c *Coordinator) dispatchFleet(ctx context.Context, pending []int, cw *chec
 		Header:      c.header,
 		CellCount:   len(c.specs),
 		MaxAttempts: c.cfg.MaxAttempts,
+		Trace:       c.cfg.Trace.ID(),
 	})
 	if err != nil {
 		return err
@@ -516,6 +542,10 @@ func (c *Coordinator) dispatchFleet(ctx context.Context, pending []int, cw *chec
 			if err := c.recordCells(d.K, d.Cells, cw); err != nil {
 				return err
 			}
+			c.mDispatched.Inc()
+			c.mShardSeconds.Observe(d.Elapsed.Seconds())
+			c.cfg.Trace.AddSpan(fmt.Sprintf("shard %d/%d %s", d.K, c.shards, d.Worker),
+				time.Now().Add(-d.Elapsed), d.Elapsed)
 			c.setShardState(d.K, func(s *ShardProgress) {
 				s.State, s.Worker = "done", d.Worker
 			})
@@ -540,6 +570,7 @@ func (c *Coordinator) dispatch(ctx context.Context, pending []int, cw *checkpoin
 			defer wg.Done()
 			cl := client.New(c.cfg.Workers[i])
 			cl.Logf = c.cfg.Logf // surfaces "subscribed to events" / fallback notes
+			cl.Trace = c.cfg.Trace.ID()
 			for t := range queue {
 				if wait := time.Until(t.notBefore); wait > 0 {
 					// Honor the backoff of a throttled requeue; a cancelled
@@ -582,6 +613,7 @@ func (c *Coordinator) dispatch(ctx context.Context, pending []int, cw *checkpoin
 				c.setShardState(o.t.k, func(s *ShardProgress) {
 					s.State, s.Worker, s.Job = "pending", "", ""
 				})
+				c.mThrottled.Inc()
 				c.logf("coord: shard %d/%d throttled, retrying in %v", o.t.k, c.shards, o.retryAfter)
 				queue <- task{
 					k: o.t.k, attempts: o.t.attempts, throttles: o.t.throttles + 1,
@@ -600,6 +632,7 @@ func (c *Coordinator) dispatch(ctx context.Context, pending []int, cw *checkpoin
 				c.setShardState(o.t.k, func(s *ShardProgress) {
 					s.State, s.Worker, s.Job = "pending", "", ""
 				})
+				c.mRetries.Inc()
 				c.logf("coord: requeueing shard %d/%d (attempt %d): %v", o.t.k, c.shards, o.t.attempts, o.err)
 				queue <- task{k: o.t.k, attempts: o.t.attempts + 1}
 			}
@@ -623,6 +656,8 @@ func (c *Coordinator) dispatch(ctx context.Context, pending []int, cw *checkpoin
 
 // runShard drives one shard on one worker: submit, wait, fetch, verify.
 func (c *Coordinator) runShard(ctx context.Context, cl *client.Client, worker int, t task) outcome {
+	start := time.Now()
+	c.mDispatched.Inc()
 	spec := c.cfg.Spec
 	spec.Shard = fmt.Sprintf("%d/%d", t.k, c.shards)
 	c.setShardState(t.k, func(s *ShardProgress) {
@@ -665,6 +700,9 @@ func (c *Coordinator) runShard(ctx context.Context, cl *client.Client, worker in
 				fmt.Errorf("job %s returned cell %d outside shard %s", id, cell.Index, spec.Shard))
 		}
 	}
+	elapsed := time.Since(start)
+	c.mShardSeconds.Observe(elapsed.Seconds())
+	c.cfg.Trace.AddSpan(fmt.Sprintf("shard %d/%d %s", t.k, c.shards, cl.Base), start, elapsed)
 	return outcome{t: t, worker: worker, cells: res.Cells}
 }
 

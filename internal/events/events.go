@@ -29,17 +29,18 @@ const (
 	TopicShard    Topic = "shard"    // coordinator shard dispatch/complete/reassign
 	TopicFleet    Topic = "fleet"    // worker join/retire/lease/steal
 	TopicSession  Topic = "session"  // session create/replace/evict
+	TopicMetrics  Topic = "metrics"  // periodic metrics-registry snapshots
 )
 
 // Topics lists every topic the bus carries, in documentation order.
 func Topics() []Topic {
-	return []Topic{TopicJob, TopicCampaign, TopicShard, TopicFleet, TopicSession}
+	return []Topic{TopicJob, TopicCampaign, TopicShard, TopicFleet, TopicSession, TopicMetrics}
 }
 
 // ValidTopic reports whether t names a known topic.
 func ValidTopic(t Topic) bool {
 	switch t {
-	case TopicJob, TopicCampaign, TopicShard, TopicFleet, TopicSession:
+	case TopicJob, TopicCampaign, TopicShard, TopicFleet, TopicSession, TopicMetrics:
 		return true
 	}
 	return false

@@ -1,0 +1,54 @@
+package fleet
+
+import "repro/internal/obs"
+
+// RegisterMetrics exposes the manager's counters and gauges on r as callback
+// metrics, so each scrape reads the live Stats() snapshot in one pass. Both
+// jedserve (api.SetFleet) and jedcoord's embedded fleet endpoint use it.
+func RegisterMetrics(r *obs.Registry, m *Manager) {
+	stat := func(f func(Stats) float64) func() float64 {
+		return func() float64 { return f(m.Stats()) }
+	}
+	counters := []struct {
+		name, help string
+		f          func(Stats) float64
+	}{
+		{"jed_fleet_workers_joined_total", "Workers that ever joined.",
+			func(s Stats) float64 { return float64(s.WorkersJoined) }},
+		{"jed_fleet_workers_retired_total", "Workers retired after missed heartbeats.",
+			func(s Stats) float64 { return float64(s.WorkersRetired) }},
+		{"jed_fleet_workers_left_total", "Workers that left voluntarily.",
+			func(s Stats) float64 { return float64(s.WorkersLeft) }},
+		{"jed_fleet_leases_granted_total", "Shard leases granted.",
+			func(s Stats) float64 { return float64(s.LeasesGranted) }},
+		{"jed_fleet_leases_expired_total", "Leases that outlived their TTL.",
+			func(s Stats) float64 { return float64(s.LeasesExpired) }},
+		{"jed_fleet_shards_stolen_total", "Expired-lease shards requeued for theft.",
+			func(s Stats) float64 { return float64(s.ShardsStolen) }},
+		{"jed_fleet_shards_completed_total", "Shards completed and verified.",
+			func(s Stats) float64 { return float64(s.ShardsCompleted) }},
+		{"jed_fleet_duplicates_discarded_total", "Duplicate shard completions discarded.",
+			func(s Stats) float64 { return float64(s.DuplicatesDiscarded) }},
+	}
+	for _, c := range counters {
+		r.CounterFunc(c.name, c.help, stat(c.f))
+	}
+	gauges := []struct {
+		name, help string
+		f          func(Stats) float64
+	}{
+		{"jed_fleet_workers_active", "Workers currently holding a live heartbeat lease.",
+			func(s Stats) float64 { return float64(s.WorkersActive) }},
+		{"jed_fleet_workers_draining", "Workers finishing their last shard before leaving.",
+			func(s Stats) float64 { return float64(s.WorkersDraining) }},
+		{"jed_fleet_queue_depth", "Shards waiting for a worker lease.",
+			func(s Stats) float64 { return float64(s.QueueDepth) }},
+		{"jed_fleet_active_leases", "Shard leases currently outstanding.",
+			func(s Stats) float64 { return float64(s.ActiveLeases) }},
+		{"jed_fleet_active_runs", "Campaign runs currently dispatching.",
+			func(s Stats) float64 { return float64(s.ActiveRuns) }},
+	}
+	for _, g := range gauges {
+		r.GaugeFunc(g.name, g.help, stat(g.f))
+	}
+}

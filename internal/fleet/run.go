@@ -28,6 +28,10 @@ type RunConfig struct {
 	// fails (0 means 3). Lease expiry and verification failure burn an
 	// attempt; a discarded duplicate does not.
 	MaxAttempts int
+	// Trace is the coordinator's request-trace ID. It rides along on every
+	// lease assignment so workers can stamp their logs with it, and comes
+	// back on each completion.
+	Trace string
 }
 
 // ShardDone is one delivery on a Run's completion channel: a verified shard
@@ -37,6 +41,11 @@ type ShardDone struct {
 	Worker string
 	Cells  []campaign.Cell
 	Err    error
+	// Elapsed is the wall time from lease grant to verified completion —
+	// the fleet's per-shard latency measure.
+	Elapsed time.Duration
+	// Trace echoes the trace ID the completing worker reported.
+	Trace string
 }
 
 // ShardState mirrors the coordinator's per-shard progress view.
@@ -59,6 +68,7 @@ type shardLease struct {
 	run      *Run
 	k        int
 	worker   string
+	granted  time.Time
 	expires  time.Time
 	attempts int
 }
@@ -73,6 +83,7 @@ type Run struct {
 	header      campaign.Header
 	cellCount   int
 	maxAttempts int
+	trace       string
 
 	queue       []shardTask
 	leases      map[string]*shardLease // lease ID -> lease
@@ -111,6 +122,7 @@ func (m *Manager) StartRun(rc RunConfig) (*Run, error) {
 		header:      rc.Header,
 		cellCount:   rc.CellCount,
 		maxAttempts: rc.MaxAttempts,
+		trace:       rc.Trace,
 		leases:      map[string]*shardLease{},
 		done:        map[int]bool{},
 		remaining:   len(rc.Pending),
@@ -207,6 +219,9 @@ type Assignment struct {
 	Shards   int               `json:"shards"` // n
 	Spec     jobs.CampaignSpec `json:"spec"`
 	LeaseTTL float64           `json:"lease_ttl_seconds"`
+	// Trace is the coordinated run's trace ID; the worker stamps it on its
+	// logs and echoes it in the completion report.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Lease hands the next unowned shard to the worker — the pull that makes
@@ -243,6 +258,7 @@ func (m *Manager) Lease(workerID string) (*Assignment, error) {
 			run:      r,
 			k:        t.k,
 			worker:   w.id,
+			granted:  m.now(),
 			expires:  m.now().Add(m.cfg.LeaseTTL),
 			attempts: t.attempts + 1,
 		}
@@ -258,6 +274,7 @@ func (m *Manager) Lease(workerID string) (*Assignment, error) {
 			Run: r.id, Lease: l.id, Shard: t.k, Shards: r.shards,
 			Spec:     spec,
 			LeaseTTL: m.cfg.LeaseTTL.Seconds(),
+			Trace:    r.trace,
 		}, nil
 	}
 	return nil, nil
@@ -297,6 +314,8 @@ type CompleteRequest struct {
 	Shard  int             `json:"shard"`
 	Header campaign.Header `json:"header"`
 	Cells  []campaign.Cell `json:"cells"`
+	// Trace echoes the Assignment's trace ID back to the coordinator.
+	Trace string `json:"trace,omitempty"`
 }
 
 // CompleteResponse tells the worker what happened to its result. Accepted
@@ -358,9 +377,15 @@ func (m *Manager) Complete(workerID string, req CompleteRequest) (CompleteRespon
 	}
 	// Accept: drop every live lease on this shard — the holder's own, and a
 	// thief's still in flight (its eventual completion becomes a duplicate).
+	// The reporting worker's own lease (when still live) dates the shard's
+	// wall time; a completion whose lease already expired reports zero.
+	var elapsed time.Duration
 	for id, l := range r.leases {
 		if l.k != req.Shard {
 			continue
+		}
+		if l.worker == w.id {
+			elapsed = m.now().Sub(l.granted)
 		}
 		if lw, ok := m.workers[l.worker]; ok && lw.lease == l {
 			lw.lease = nil
@@ -380,7 +405,8 @@ func (m *Manager) Complete(workerID string, req CompleteRequest) (CompleteRespon
 	m.logf("fleet: shard %d/%d of %s completed by %s (%d cells, %d shards left)",
 		req.Shard, r.shards, r.id, w.id, len(req.Cells), r.remaining)
 	m.event(Event{Type: "complete", Worker: w.id, Run: r.id, Shard: req.Shard, Shards: r.shards})
-	r.completions <- ShardDone{K: req.Shard, Worker: w.id, Cells: req.Cells}
+	r.completions <- ShardDone{K: req.Shard, Worker: w.id, Cells: req.Cells,
+		Elapsed: elapsed, Trace: req.Trace}
 	if r.remaining == 0 {
 		m.endRunLocked(r)
 	}

@@ -1,0 +1,111 @@
+package fleet_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+// TestTracePropagation follows one trace ID through the whole pull protocol:
+// the RunConfig's trace rides every Assignment, the worker echoes it on
+// Complete, and the ShardDone hands it back to the coordinator together with
+// the wall time measured from the worker's own lease grant.
+func TestTracePropagation(t *testing.T) {
+	clk := newFakeClock()
+	m := fleet.NewManager(fleet.Config{Clock: clk.Now})
+	w := m.Join("tracer", nil)
+
+	header, cells := testIdentity(t)
+	run, err := m.StartRun(fleet.RunConfig{
+		Spec: testSpec(), Shards: 2, Pending: []int{1, 2},
+		Header: header, CellCount: cells, MaxAttempts: 3,
+		Trace: "trace-fleet-42",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 2; i++ {
+		a, err := m.Lease(w.ID)
+		if err != nil || a == nil {
+			t.Fatalf("lease %d = %v, %v", i, a, err)
+		}
+		if a.Trace != "trace-fleet-42" {
+			t.Fatalf("assignment %d trace = %q", i, a.Trace)
+		}
+		clk.Advance(3 * time.Second) // simulated shard compute time
+		resp, err := m.Complete(w.ID, fleet.CompleteRequest{
+			Run: a.Run, Lease: a.Lease, Shard: a.Shard,
+			Header: header, Cells: shardCells(a.Shard, 2, cells),
+			Trace: a.Trace,
+		})
+		if err != nil || !resp.Accepted {
+			t.Fatalf("completion %d = %+v, %v", i, resp, err)
+		}
+	}
+
+	for i := 0; i < 2; i++ {
+		select {
+		case d := <-run.Completions():
+			if d.Trace != "trace-fleet-42" {
+				t.Fatalf("shard %d done trace = %q", d.K, d.Trace)
+			}
+			if d.Elapsed != 3*time.Second {
+				t.Fatalf("shard %d elapsed = %v, want 3s (lease grant to completion)", d.K, d.Elapsed)
+			}
+		default:
+			t.Fatalf("completion %d missing", i)
+		}
+	}
+}
+
+// TestTraceExpiredLeaseElapsedZero: a completion arriving after the lease was
+// requeued cannot time itself against a lease it no longer holds, so Elapsed
+// stays zero rather than inventing a number.
+func TestTraceExpiredLeaseElapsedZero(t *testing.T) {
+	clk := newFakeClock()
+	m := fleet.NewManager(fleet.Config{
+		HeartbeatInterval: 10 * time.Second,
+		LeaseTTL:          5 * time.Second,
+		Clock:             clk.Now,
+	})
+	w := m.Join("slow", nil)
+	run, header, cells := startTestRun(t, m, []int{1, 2}, 3)
+
+	a, err := m.Lease(w.ID)
+	if err != nil || a == nil {
+		t.Fatalf("lease = %v, %v", a, err)
+	}
+	clk.Advance(6 * time.Second)
+	if _, err := m.Heartbeat(w.ID); err != nil {
+		t.Fatal(err)
+	}
+	m.Tick() // lease expired, shard requeued
+
+	// The worker immediately re-leases the stolen-back shard and completes:
+	// the first verified result still wins, but it is timed against the NEW
+	// lease, and a late echo of the old lease would have reported zero.
+	a2, err := m.Lease(w.ID)
+	if err != nil || a2 == nil || a2.Shard != a.Shard {
+		t.Fatalf("re-lease = %v, %v", a2, err)
+	}
+	clk.Advance(time.Second)
+	resp, err := m.Complete(w.ID, fleet.CompleteRequest{
+		Run: a2.Run, Lease: a2.Lease, Shard: a2.Shard,
+		Header: header, Cells: shardCells(a2.Shard, 2, cells),
+		Trace: a2.Trace,
+	})
+	if err != nil || !resp.Accepted {
+		t.Fatalf("completion = %+v, %v", resp, err)
+	}
+	select {
+	case d := <-run.Completions():
+		// Timed against the new lease (1s), not the original grant (7s ago).
+		if d.Elapsed != time.Second {
+			t.Fatalf("elapsed = %v, want 1s", d.Elapsed)
+		}
+	default:
+		t.Fatal("completion missing")
+	}
+}

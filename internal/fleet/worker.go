@@ -325,7 +325,11 @@ func workerSession(ctx context.Context, cl *Client, cfg WorkerConfig, join JoinR
 			continue
 		}
 
-		logf("fleet: leased shard %d/%d of %s", a.Shard, a.Shards, a.Run)
+		if a.Trace != "" {
+			logf("fleet: leased shard %d/%d of %s (trace %s)", a.Shard, a.Shards, a.Run, a.Trace)
+		} else {
+			logf("fleet: leased shard %d/%d of %s", a.Shard, a.Shards, a.Run)
+		}
 		header, cells, err := cfg.Run(ctx, a)
 		if err != nil {
 			if ctx.Err() != nil {
@@ -340,7 +344,7 @@ func workerSession(ctx context.Context, cl *Client, cfg WorkerConfig, join JoinR
 		}
 		resp, err := cl.Complete(ctx, join.ID, CompleteRequest{
 			Run: a.Run, Lease: a.Lease, Shard: a.Shard,
-			Header: header, Cells: cells,
+			Header: header, Cells: cells, Trace: a.Trace,
 		})
 		switch {
 		case errors.Is(err, ErrUnknownWorker):

@@ -404,6 +404,13 @@ func (e *Engine) SetObserver(fn Observer) {
 // result that is no longer fetchable. Served on /api/v1/meta.
 func (e *Engine) Evictions() int64 { return e.evictions.Load() }
 
+// QueueDepth reports how many submitted jobs are waiting for a worker.
+func (e *Engine) QueueDepth() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.queue)
+}
+
 // notifyEvicted counts and journals retention evictions, outside e.mu.
 func (e *Engine) notifyEvicted(ids []string) {
 	if len(ids) == 0 {

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// MiddlewareOptions configures Middleware. Registry may be nil (tracing and
+// access logging still work); AccessLog may be nil (no log lines).
+type MiddlewareOptions struct {
+	// Registry receives jed_http_requests_total, jed_http_in_flight, and
+	// jed_http_request_seconds.
+	Registry *Registry
+	// RouteLabel maps a request to a bounded-cardinality route label. Nil
+	// uses the raw path — callers with parameterized routes should supply a
+	// normalizer so per-ID paths don't mint unbounded label values.
+	RouteLabel func(*http.Request) string
+	// AccessLog, when non-nil, receives one JSON line per request. Writes
+	// are serialized by the middleware.
+	AccessLog io.Writer
+}
+
+// accessRecord is one access-log line.
+type accessRecord struct {
+	Time     string  `json:"time"`
+	Method   string  `json:"method"`
+	Path     string  `json:"path"`
+	Route    string  `json:"route"`
+	Status   int     `json:"status"`
+	Bytes    int64   `json:"bytes"`
+	Duration float64 `json:"duration_ms"`
+	Trace    string  `json:"trace,omitempty"`
+	Cache    string  `json:"cache,omitempty"`
+}
+
+// statusRecorder captures status and byte count while passing everything
+// else through. It must keep http.Flusher working: the SSE stream on
+// /api/v1/events type-asserts its writer and refuses to run otherwise.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(p []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	n, err := sr.ResponseWriter.Write(p)
+	sr.bytes += int64(n)
+	return n, err
+}
+
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Hijack keeps connection upgrades working through the wrapper.
+func (sr *statusRecorder) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	if hj, ok := sr.ResponseWriter.(http.Hijacker); ok {
+		return hj.Hijack()
+	}
+	return nil, nil, http.ErrNotSupported
+}
+
+func statusClass(code int) string {
+	switch {
+	case code < 200:
+		return "1xx"
+	case code < 300:
+		return "2xx"
+	case code < 400:
+		return "3xx"
+	case code < 500:
+		return "4xx"
+	default:
+		return "5xx"
+	}
+}
+
+// Middleware wraps next with request metrics, trace propagation, and
+// optional structured access logging.
+//
+// Per request it: adopts the X-Jed-Trace header (or mints an ID), threads
+// the Trace through the request context, echoes the ID on the response;
+// counts jed_http_requests_total{route,method,class}, tracks the
+// jed_http_in_flight gauge, and observes jed_http_request_seconds{route}.
+// The access log line is written after the handler returns, reusing the
+// same measurements.
+func Middleware(next http.Handler, opt MiddlewareOptions) http.Handler {
+	routeOf := opt.RouteLabel
+	if routeOf == nil {
+		routeOf = func(r *http.Request) string { return r.URL.Path }
+	}
+	var inFlight *Gauge
+	if opt.Registry != nil {
+		inFlight = opt.Registry.Gauge("jed_http_in_flight",
+			"HTTP requests currently being served.")
+	}
+	var logMu sync.Mutex
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		route := routeOf(r)
+
+		tr := NewTrace(r.Header.Get(TraceHeader))
+		w.Header().Set(TraceHeader, tr.ID())
+		r = r.WithContext(NewContext(r.Context(), tr))
+
+		sr := &statusRecorder{ResponseWriter: w}
+		if inFlight != nil {
+			inFlight.Inc()
+		}
+		next.ServeHTTP(sr, r)
+		if inFlight != nil {
+			inFlight.Dec()
+		}
+		if sr.status == 0 {
+			sr.status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+
+		if opt.Registry != nil {
+			opt.Registry.Counter("jed_http_requests_total",
+				"HTTP requests served, by route, method, and status class.",
+				"route", route, "method", r.Method, "class", statusClass(sr.status)).Inc()
+			opt.Registry.Histogram("jed_http_request_seconds",
+				"HTTP request latency in seconds, by route.",
+				DefBuckets(), "route", route).Observe(elapsed.Seconds())
+		}
+
+		if opt.AccessLog != nil {
+			line, err := json.Marshal(accessRecord{
+				Time:     start.UTC().Format(time.RFC3339Nano),
+				Method:   r.Method,
+				Path:     r.URL.Path,
+				Route:    route,
+				Status:   sr.status,
+				Bytes:    sr.bytes,
+				Duration: float64(elapsed.Microseconds()) / 1000,
+				Trace:    tr.ID(),
+				Cache:    sr.Header().Get("X-Render-Cache"),
+			})
+			if err == nil {
+				logMu.Lock()
+				opt.AccessLog.Write(append(line, '\n'))
+				logMu.Unlock()
+			}
+		}
+	})
+}

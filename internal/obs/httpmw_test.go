@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMiddlewareMetricsAndTrace(t *testing.T) {
+	r := NewRegistry()
+	var sawTrace string
+	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		sawTrace = FromContext(req.Context()).ID()
+		w.WriteHeader(http.StatusNotFound)
+	}), MiddlewareOptions{
+		Registry:   r,
+		RouteLabel: func(*http.Request) string { return "/x/{id}" },
+	})
+
+	req := httptest.NewRequest("GET", "/x/123", nil)
+	req.Header.Set(TraceHeader, "trace-abc")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+
+	if sawTrace != "trace-abc" {
+		t.Fatalf("handler saw trace %q, want trace-abc", sawTrace)
+	}
+	if got := rec.Header().Get(TraceHeader); got != "trace-abc" {
+		t.Fatalf("response trace header = %q", got)
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if !strings.Contains(text, `jed_http_requests_total{class="4xx",method="GET",route="/x/{id}"} 1`) {
+		t.Fatalf("missing request counter:\n%s", text)
+	}
+	if !strings.Contains(text, `jed_http_request_seconds_count{route="/x/{id}"} 1`) {
+		t.Fatalf("missing latency histogram:\n%s", text)
+	}
+	if !strings.Contains(text, "jed_http_in_flight 0") {
+		t.Fatalf("in-flight gauge should settle at 0:\n%s", text)
+	}
+}
+
+func TestMiddlewareMintsTraceID(t *testing.T) {
+	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Write([]byte("ok"))
+	}), MiddlewareOptions{})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if id := rec.Header().Get(TraceHeader); !ValidTraceID(id) {
+		t.Fatalf("minted trace ID %q invalid", id)
+	}
+	// Hostile header values are replaced, not echoed.
+	req := httptest.NewRequest("GET", "/", nil)
+	req.Header.Set(TraceHeader, "evil\nid")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if id := rec.Header().Get(TraceHeader); !ValidTraceID(id) {
+		t.Fatalf("hostile trace replaced with invalid %q", id)
+	}
+}
+
+func TestMiddlewareAccessLog(t *testing.T) {
+	var buf bytes.Buffer
+	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("X-Render-Cache", "hit")
+		w.Write([]byte("hello"))
+	}), MiddlewareOptions{
+		AccessLog:  &buf,
+		RouteLabel: func(*http.Request) string { return "/sessions/{id}/render" },
+	})
+	req := httptest.NewRequest("GET", "/sessions/s1/render?w=10", nil)
+	req.Header.Set(TraceHeader, "log-trace")
+	h.ServeHTTP(httptest.NewRecorder(), req)
+
+	var rec accessRecord
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("access log not JSON: %v (%q)", err, buf.String())
+	}
+	want := accessRecord{
+		Method: "GET", Path: "/sessions/s1/render",
+		Route: "/sessions/{id}/render", Status: 200, Bytes: 5,
+		Trace: "log-trace", Cache: "hit",
+	}
+	rec.Time, rec.Duration = "", 0
+	if rec != want {
+		t.Fatalf("access record = %+v, want %+v", rec, want)
+	}
+}
+
+// flushRecorder proves the wrapper preserves http.Flusher — the SSE handler
+// refuses to stream without it.
+type flushRecorder struct {
+	*httptest.ResponseRecorder
+	flushed int
+}
+
+func (f *flushRecorder) Flush() { f.flushed++ }
+
+func TestMiddlewarePreservesFlusher(t *testing.T) {
+	fr := &flushRecorder{ResponseRecorder: httptest.NewRecorder()}
+	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		fl, ok := w.(http.Flusher)
+		if !ok {
+			t.Fatal("middleware writer lost http.Flusher")
+		}
+		fl.Flush()
+	}), MiddlewareOptions{Registry: NewRegistry()})
+	h.ServeHTTP(fr, httptest.NewRequest("GET", "/events", nil))
+	if fr.flushed != 1 {
+		t.Fatalf("flush count = %d, want 1", fr.flushed)
+	}
+}

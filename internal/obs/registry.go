@@ -1,0 +1,530 @@
+// Package obs is the observability layer: a stdlib-only metrics registry
+// (atomic counters, gauges, fixed-bucket histograms) with JSON snapshots and
+// Prometheus text exposition, plus a lightweight request-tracing primitive
+// (Trace) propagated across hops via the X-Jed-Trace header.
+//
+// The registry is designed for hot paths: a metric handle, once obtained, is
+// a couple of atomic operations per update with no locking and no
+// allocation. Handles are memoized by (family name, label values), so
+// obtaining one repeatedly is a single map lookup under a short lock —
+// callers on genuinely hot paths keep the handle.
+//
+// Metrics are observational only: nothing in this package may influence what
+// the instrumented code computes, so rendering stays byte-identical and
+// campaign results stay deterministic with observability on or off.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Metric kinds, as exposed on the TYPE line of the Prometheus exposition.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are ignored — counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the value by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Inc adds one; Dec subtracts one.
+func (g *Gauge) Inc() { g.Add(1) }
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets and keeps count and sum,
+// so averages are exact and quantiles are estimated from the bucket
+// boundaries. All updates are atomic; Observe never locks.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; an implicit +Inf bucket follows
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+	sort.Float64s(h.bounds)
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Buckets are few (tens); linear scan beats binary search at this size
+	// and keeps the hot path branch-predictable.
+	i := len(h.bounds)
+	for b, ub := range h.bounds {
+		if v <= ub {
+			i = b
+			break
+		}
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// inside the bucket holding it. Values in the +Inf bucket are attributed to
+// the largest finite bound — an estimate can never exceed what the buckets
+// resolve. Returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := uint64(0)
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i >= len(h.bounds) {
+				// +Inf bucket: the best upper estimate is the last finite bound.
+				if len(h.bounds) == 0 {
+					return 0
+				}
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + frac*(h.bounds[i]-lo)
+		}
+		cum += n
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// buckets returns the cumulative per-bound counts (Prometheus "le" shape):
+// one entry per finite bound plus the +Inf total.
+func (h *Histogram) buckets() []uint64 {
+	out := make([]uint64, len(h.counts))
+	cum := uint64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		out[i] = cum
+	}
+	return out
+}
+
+// DefBuckets is a latency ladder in seconds, from 1ms to ~40s — covers an
+// in-memory cache hit through a million-task rasterization through a remote
+// shard wait.
+func DefBuckets() []float64 {
+	return []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+		0.25, 0.5, 1, 2.5, 5, 10, 20, 40}
+}
+
+// ExpBuckets returns n exponentially spaced upper bounds starting at start.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, 0, n)
+	for v := start; len(out) < n; v *= factor {
+		out = append(out, v)
+	}
+	return out
+}
+
+// metric is one (label values, value) pair inside a family.
+type metric struct {
+	labels []string // alternating key, value — sorted by key
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	fn     func() float64 // callback counter/gauge ("func metric")
+}
+
+// family is all metrics sharing one name, type, and help string.
+type family struct {
+	name, help, kind string
+	bounds           []float64 // histograms only
+	byKey            map[string]*metric
+}
+
+// Registry holds metric families. The zero value is not usable; call
+// NewRegistry. A nil *Registry is safe: every lookup returns a live unshared
+// metric, so instrumented code never branches on whether observability is
+// wired up.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// labelKey canonicalizes alternating key/value pairs: sorted by key, joined
+// with explicit separators so distinct label sets can never collide.
+func labelKey(labels []string) (string, []string) {
+	if len(labels)%2 != 0 {
+		panic("obs: odd label list (want key, value pairs)")
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var sb strings.Builder
+	sorted := make([]string, 0, len(labels))
+	for _, p := range pairs {
+		sb.WriteString(p.k)
+		sb.WriteByte(1)
+		sb.WriteString(p.v)
+		sb.WriteByte(2)
+		sorted = append(sorted, p.k, p.v)
+	}
+	return sb.String(), sorted
+}
+
+// lookup returns (creating if needed) the metric of family name with the
+// given labels, enforcing one kind per family.
+func (r *Registry) lookup(name, help, kind string, bounds []float64, labels []string) *metric {
+	key, sorted := labelKey(labels)
+	if r == nil {
+		// A nil registry still hands out working handles so callers never
+		// need to guard their instrumentation.
+		m := &metric{labels: sorted}
+		switch kind {
+		case kindCounter:
+			m.c = &Counter{}
+		case kindGauge:
+			m.g = &Gauge{}
+		case kindHistogram:
+			m.h = newHistogram(bounds)
+		}
+		return m
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, byKey: map[string]*metric{}}
+		if kind == kindHistogram {
+			f.bounds = append([]float64(nil), bounds...)
+			sort.Float64s(f.bounds)
+		}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %s registered as %s and %s", name, f.kind, kind))
+	}
+	m := f.byKey[key]
+	if m == nil {
+		m = &metric{labels: sorted}
+		switch kind {
+		case kindCounter:
+			m.c = &Counter{}
+		case kindGauge:
+			m.g = &Gauge{}
+		case kindHistogram:
+			m.h = newHistogram(f.bounds)
+		}
+		f.byKey[key] = m
+	}
+	return m
+}
+
+// Counter returns the counter of family name with the given label values
+// (alternating key, value), creating family and metric on first use.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	return r.lookup(name, help, kindCounter, nil, labels).c
+}
+
+// Gauge returns the gauge of family name with the given label values.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	return r.lookup(name, help, kindGauge, nil, labels).g
+}
+
+// Histogram returns the histogram of family name with the given label
+// values. The bounds of the first registration win for the whole family.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	return r.lookup(name, help, kindHistogram, bounds, labels).h
+}
+
+// CounterFunc registers a callback counter: fn is read at snapshot and
+// exposition time. This is how existing subsystems with their own internal
+// counters (render cache, rate limiter, fleet, events bus) surface on the
+// registry without restructuring their locking.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...string) {
+	if r == nil {
+		return
+	}
+	m := r.lookup(name, help, kindCounter, nil, labels)
+	r.mu.Lock()
+	m.fn = fn
+	r.mu.Unlock()
+}
+
+// GaugeFunc registers a callback gauge.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	if r == nil {
+		return
+	}
+	m := r.lookup(name, help, kindGauge, nil, labels)
+	r.mu.Lock()
+	m.fn = fn
+	r.mu.Unlock()
+}
+
+// snapshotFamilies returns a stable-ordered copy of the family table; metric
+// reads happen outside the registry lock (callback metrics may take
+// subsystem locks of their own).
+func (r *Registry) snapshotFamilies() []*family {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// sortedMetrics returns a family's metrics ordered by label key.
+func (f *family) sortedMetrics() []*metric {
+	keys := make([]string, 0, len(f.byKey))
+	for k := range f.byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*metric, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, f.byKey[k])
+	}
+	return out
+}
+
+func (m *metric) labelMap() map[string]string {
+	if len(m.labels) == 0 {
+		return nil
+	}
+	lm := make(map[string]string, len(m.labels)/2)
+	for i := 0; i < len(m.labels); i += 2 {
+		lm[m.labels[i]] = m.labels[i+1]
+	}
+	return lm
+}
+
+// scalarValue resolves a counter/gauge metric, preferring the callback.
+func (m *metric) scalarValue() float64 {
+	if m.fn != nil {
+		return m.fn()
+	}
+	if m.c != nil {
+		return float64(m.c.Value())
+	}
+	if m.g != nil {
+		return m.g.Value()
+	}
+	return 0
+}
+
+// Snapshot returns the whole registry as a JSON-marshalable tree: one entry
+// per family carrying type, help, and the metric values (histograms include
+// count, sum, and p50/p90/p99 estimates). Served inside GET /api/v1/meta and
+// published on the events bus as topic "metrics".
+func (r *Registry) Snapshot() map[string]any {
+	out := map[string]any{}
+	for _, f := range r.snapshotFamilies() {
+		values := make([]map[string]any, 0, len(f.byKey))
+		for _, m := range f.sortedMetrics() {
+			v := map[string]any{}
+			if lm := m.labelMap(); lm != nil {
+				v["labels"] = lm
+			}
+			if f.kind == kindHistogram {
+				v["count"] = m.h.Count()
+				v["sum"] = m.h.Sum()
+				v["p50"] = m.h.Quantile(0.50)
+				v["p90"] = m.h.Quantile(0.90)
+				v["p99"] = m.h.Quantile(0.99)
+			} else {
+				v["value"] = m.scalarValue()
+			}
+			values = append(values, v)
+		}
+		out[f.name] = map[string]any{
+			"type":   f.kind,
+			"help":   f.help,
+			"values": values,
+		}
+	}
+	return out
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): HELP and TYPE comments per family, one line per
+// sample, histograms as cumulative le-labeled buckets plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.snapshotFamilies() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, m := range f.sortedMetrics() {
+			var err error
+			if f.kind == kindHistogram {
+				err = writeHistogram(w, f, m)
+			} else {
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, formatLabels(m.labels, "", ""), formatValue(m.scalarValue()))
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, f *family, m *metric) error {
+	cum := m.h.buckets()
+	for i, ub := range m.h.bounds {
+		le := formatValue(ub)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, formatLabels(m.labels, "le", le), cum[i]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, formatLabels(m.labels, "le", "+Inf"), cum[len(cum)-1]); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, formatLabels(m.labels, "", ""), formatValue(m.h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, formatLabels(m.labels, "", ""), m.h.Count())
+	return err
+}
+
+// formatLabels renders {k="v",...}, appending one extra pair (the histogram
+// le label) when extraK is non-empty. Empty label sets render as nothing.
+func formatLabels(labels []string, extraK, extraV string) string {
+	if len(labels) == 0 && extraK == "" {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i := 0; i < len(labels); i += 2 {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(labels[i])
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(labels[i+1]))
+		sb.WriteByte('"')
+	}
+	if extraK != "" {
+		if len(labels) > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(extraK)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(extraV))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

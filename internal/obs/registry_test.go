@@ -1,0 +1,325 @@
+package obs
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("c_total", "help"); again != c {
+		t.Fatal("same name+labels should return the same counter")
+	}
+	if other := r.Counter("c_total", "help", "k", "v"); other == c {
+		t.Fatal("different labels should return a different counter")
+	}
+
+	g := r.Gauge("g", "help")
+	g.Set(2.5)
+	g.Inc()
+	g.Add(-0.5)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge = %v, want 3", got)
+	}
+}
+
+func TestLabelOrderCanonical(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "", "b", "2", "a", "1")
+	b := r.Counter("x_total", "", "a", "1", "b", "2")
+	if a != b {
+		t.Fatal("label order should not distinguish metrics")
+	}
+	// Values that collide under naive joining must stay distinct.
+	p := r.Counter("y_total", "", "k", "a,b")
+	q := r.Counter("y_total", "", "k", "a", "k2", "b")
+	if p == q {
+		t.Fatal("distinct label sets collided")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+func TestNilRegistrySafe(t *testing.T) {
+	var r *Registry
+	r.Counter("a_total", "").Inc()
+	r.Gauge("b", "").Set(1)
+	r.Histogram("c", "", DefBuckets()).Observe(0.1)
+	r.CounterFunc("d_total", "", func() float64 { return 1 })
+	if got := r.Snapshot(); len(got) != 0 {
+		t.Fatalf("nil registry snapshot = %v, want empty", got)
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatalf("nil registry WritePrometheus: %v", err)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 10} {
+		h.Observe(v)
+	}
+	// Per-bucket: (<=1): 0.5, 1 → 2; (<=2): 1.5, 2 → 2; (<=5): 3 → 1; +Inf: 10 → 1
+	want := []uint64{2, 4, 5, 6} // cumulative
+	got := h.buckets()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket[%d] = %d, want %d (all %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if h.Sum() != 18 {
+		t.Fatalf("sum = %v, want 18", h.Sum())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+	// 100 observations uniform in (0,1]: quantiles interpolate inside the
+	// first bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("p50 = %v, want 0.5", got)
+	}
+	if got := h.Quantile(0.99); math.Abs(got-0.99) > 1e-9 {
+		t.Fatalf("p99 = %v, want 0.99", got)
+	}
+
+	// Observations past the last bound report the last finite bound.
+	h2 := newHistogram([]float64{1, 2})
+	h2.Observe(50)
+	if got := h2.Quantile(0.5); got != 2 {
+		t.Fatalf("overflow quantile = %v, want 2 (last finite bound)", got)
+	}
+
+	// Interpolation across a middle bucket: 10 in (0,1], 10 in (2,4].
+	h3 := newHistogram([]float64{1, 2, 4})
+	for i := 0; i < 10; i++ {
+		h3.Observe(0.5)
+		h3.Observe(3)
+	}
+	// p75 → rank 15, bucket (2,4], frac 5/10 → 3.
+	if got := h3.Quantile(0.75); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("p75 = %v, want 3", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := newHistogram(DefBuckets())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+	if math.Abs(h.Sum()-80) > 1e-6 {
+		t.Fatalf("sum = %v, want 80", h.Sum())
+	}
+}
+
+func TestFuncMetrics(t *testing.T) {
+	r := NewRegistry()
+	n := 7.0
+	r.CounterFunc("fn_total", "callback", func() float64 { return n })
+	r.GaugeFunc("fn_gauge", "callback", func() float64 { return -n })
+	snap := r.Snapshot()
+	fam := snap["fn_total"].(map[string]any)
+	vals := fam["values"].([]map[string]any)
+	if got := vals[0]["value"].(float64); got != 7 {
+		t.Fatalf("func counter = %v, want 7", got)
+	}
+	n = 9
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "fn_total 9") {
+		t.Fatalf("exposition missing updated callback value:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "fn_gauge -9") {
+		t.Fatalf("exposition missing gauge:\n%s", sb.String())
+	}
+}
+
+// parseProm is a minimal exposition-format parser: enough to round-trip what
+// WritePrometheus emits and catch formatting regressions.
+func parseProm(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := map[string]float64{}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("unparseable line: %q", line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		var val float64
+		switch valStr {
+		case "+Inf":
+			val = math.Inf(1)
+		case "-Inf":
+			val = math.Inf(-1)
+		default:
+			v, err := strconv.ParseFloat(valStr, 64)
+			if err != nil {
+				t.Fatalf("bad value in line %q: %v", line, err)
+			}
+			val = v
+		}
+		// Validate the name/labels shape.
+		name := key
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			name = key[:i]
+			if !strings.HasSuffix(key, "}") {
+				t.Fatalf("unterminated labels in %q", line)
+			}
+		}
+		for j := 0; j < len(name); j++ {
+			c := name[j]
+			ok := c == '_' || c == ':' ||
+				(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+				(j > 0 && c >= '0' && c <= '9')
+			if !ok {
+				t.Fatalf("invalid metric name %q", name)
+			}
+		}
+		out[key] = val
+	}
+	return out
+}
+
+func TestPrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jed_req_total", "Requests.", "route", "/api/v1/meta", "method", "GET").Add(3)
+	r.Gauge("jed_in_flight", "In flight.").Set(2)
+	h := r.Histogram("jed_latency_seconds", "Latency.", []float64{0.1, 1}, "route", "/x")
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	r.Counter("jed_weird_total", `needs "escaping"`, "k", "a\\b\"c\nd").Inc()
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	vals := parseProm(t, text)
+
+	if got := vals[`jed_req_total{method="GET",route="/api/v1/meta"}`]; got != 3 {
+		t.Fatalf("counter sample = %v, want 3 in:\n%s", got, text)
+	}
+	if got := vals["jed_in_flight"]; got != 2 {
+		t.Fatalf("gauge sample = %v, want 2", got)
+	}
+	for key, want := range map[string]float64{
+		`jed_latency_seconds_bucket{route="/x",le="0.1"}`:  1,
+		`jed_latency_seconds_bucket{route="/x",le="1"}`:    2,
+		`jed_latency_seconds_bucket{route="/x",le="+Inf"}`: 3,
+		`jed_latency_seconds_count{route="/x"}`:            3,
+	} {
+		if vals[key] != want {
+			t.Fatalf("%s = %v, want %v in:\n%s", key, vals[key], want, text)
+		}
+	}
+	if got := vals[`jed_latency_seconds_sum{route="/x"}`]; math.Abs(got-5.55) > 1e-9 {
+		t.Fatalf("histogram sum = %v, want 5.55", got)
+	}
+	if !strings.Contains(text, `k="a\\b\"c\nd"`) {
+		t.Fatalf("label escaping wrong:\n%s", text)
+	}
+	if !strings.Contains(text, "# TYPE jed_latency_seconds histogram") {
+		t.Fatalf("missing TYPE line:\n%s", text)
+	}
+
+	// Families must appear in sorted order for deterministic scrapes.
+	iLat := strings.Index(text, "# TYPE jed_latency_seconds")
+	iReq := strings.Index(text, "# TYPE jed_req_total")
+	if iLat < 0 || iReq < 0 || iLat > iReq {
+		t.Fatalf("families not sorted:\n%s", text)
+	}
+}
+
+func TestSnapshotHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	snap := r.Snapshot()
+	fam := snap["h_seconds"].(map[string]any)
+	if fam["type"] != "histogram" {
+		t.Fatalf("type = %v", fam["type"])
+	}
+	v := fam["values"].([]map[string]any)[0]
+	if v["count"].(uint64) != 2 {
+		t.Fatalf("count = %v", v["count"])
+	}
+	if v["sum"].(float64) != 2 {
+		t.Fatalf("sum = %v", v["sum"])
+	}
+	if _, ok := v["p99"]; !ok {
+		t.Fatal("missing p99")
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Counter("cc_total", "", "g", strconv.Itoa(g%4)).Inc()
+				r.Histogram("ch_seconds", "", DefBuckets()).Observe(0.001)
+				if i%50 == 0 {
+					r.Snapshot()
+					r.WritePrometheus(&strings.Builder{})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0.0
+	for _, v := range r.Snapshot()["cc_total"].(map[string]any)["values"].([]map[string]any) {
+		total += v["value"].(float64)
+	}
+	if total != 1600 {
+		t.Fatalf("total = %v, want 1600", total)
+	}
+}

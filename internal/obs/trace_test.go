@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestValidTraceID(t *testing.T) {
+	for _, ok := range []string{"abc", "A-b_c.9", strings.Repeat("x", 64)} {
+		if !ValidTraceID(ok) {
+			t.Errorf("ValidTraceID(%q) = false, want true", ok)
+		}
+	}
+	for _, bad := range []string{"", "has space", "semi;colon", "a\nb",
+		strings.Repeat("x", 65), `quote"id`} {
+		if ValidTraceID(bad) {
+			t.Errorf("ValidTraceID(%q) = true, want false", bad)
+		}
+	}
+}
+
+func TestNewTrace(t *testing.T) {
+	if got := NewTrace("req-42").ID(); got != "req-42" {
+		t.Fatalf("ID = %q, want req-42", got)
+	}
+	// Invalid/empty IDs are replaced, not propagated.
+	for _, in := range []string{"", "bad id!"} {
+		tr := NewTrace(in)
+		if !ValidTraceID(tr.ID()) || tr.ID() == in {
+			t.Fatalf("NewTrace(%q).ID() = %q, want fresh valid ID", in, tr.ID())
+		}
+	}
+	a, b := NewTrace(""), NewTrace("")
+	if a.ID() == b.ID() {
+		t.Fatal("fresh IDs should differ")
+	}
+}
+
+func TestTraceSpans(t *testing.T) {
+	tr := NewTrace("t")
+	end := tr.StartSpan("layout")
+	time.Sleep(time.Millisecond)
+	end()
+	tr.AddSpan("encode", time.Now().Add(-time.Second), 250*time.Millisecond)
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// Ordered by start time: the backdated encode span comes first.
+	if spans[0].Name != "encode" || spans[1].Name != "layout" {
+		t.Fatalf("span order = %s, %s", spans[0].Name, spans[1].Name)
+	}
+	if spans[1].Duration <= 0 {
+		t.Fatalf("layout duration = %v, want > 0", spans[1].Duration)
+	}
+}
+
+func TestNilTraceSafe(t *testing.T) {
+	var tr *Trace
+	if tr.ID() != "" {
+		t.Fatal("nil ID should be empty")
+	}
+	tr.StartSpan("x")()
+	tr.AddSpan("y", time.Now(), time.Second)
+	if tr.Spans() != nil {
+		t.Fatal("nil Spans should be nil")
+	}
+}
+
+func TestTraceContext(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context should carry no trace")
+	}
+	tr := NewTrace("ctx-1")
+	ctx := NewContext(context.Background(), tr)
+	if got := FromContext(ctx); got != tr {
+		t.Fatalf("FromContext = %v, want %v", got, tr)
+	}
+}
+
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace("c")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.StartSpan("s")()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != 800 {
+		t.Fatalf("spans = %d, want 800", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/pdf"
@@ -66,19 +67,27 @@ func Encode(w io.Writer, format string, s *core.Schedule, width, height int, opt
 	if err := s.Validate(); err != nil {
 		return fmt.Errorf("render: %w", err)
 	}
+	encode := func(fn func() error) error {
+		t0 := time.Now()
+		err := fn()
+		if opt.StageReport != nil {
+			opt.StageReport("encode", time.Since(t0))
+		}
+		return err
+	}
 	switch format {
 	case "png":
 		c := raster.New(width, height)
 		Render(c, s, opt)
-		return c.EncodePNG(w)
+		return encode(func() error { return c.EncodePNG(w) })
 	case "svg":
 		c := svg.New(float64(width), float64(height))
 		Render(c, s, opt)
-		return c.Encode(w)
+		return encode(func() error { return c.Encode(w) })
 	case "pdf":
 		c := pdf.New(float64(width), float64(height))
 		Render(c, s, opt)
-		return c.Encode(w)
+		return encode(func() error { return c.Encode(w) })
 	default:
 		return fmt.Errorf("render: unsupported stream format %q (want %s)",
 			format, strings.Join(EncodeFormats(), ", "))

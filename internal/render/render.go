@@ -15,6 +15,7 @@ import (
 	"image/color"
 	"math"
 	"strings"
+	"time"
 
 	"repro/internal/colormap"
 	"repro/internal/core"
@@ -83,6 +84,11 @@ type Options struct {
 	// of tasks that were folded into density bands (0 when LOD is off or
 	// no panel crossed the density threshold).
 	LODReport func(tasksAggregated int)
+	// StageReport, when non-nil, receives the wall time of each render
+	// stage ("index", "layout", "lod", "raster"; export.Encode adds
+	// "encode"). Timing is observational only — it never changes what is
+	// drawn, so output stays byte-identical with reporting on or off.
+	StageReport func(stage string, d time.Duration)
 	// NoCull disables the binary-search window culling and scans every
 	// indexed task of each panel — the pre-index code path, kept as an
 	// ablation switch for benchmarks and equivalence tests.
@@ -308,6 +314,11 @@ func (l *Layout) HitTest(s *core.Schedule, x, y float64) (int, bool) {
 
 // Render paints the schedule onto the canvas.
 func Render(c Canvas, s *core.Schedule, opt Options) *Layout {
+	stage := func(name string, start time.Time) {
+		if opt.StageReport != nil {
+			opt.StageReport(name, time.Since(start))
+		}
+	}
 	if opt.Composites {
 		s = s.WithComposites()
 	}
@@ -316,8 +327,23 @@ func Render(c Canvas, s *core.Schedule, opt Options) *Layout {
 		cmap = colormap.Default()
 	}
 	w, h := c.Size()
+	if opt.StageReport != nil {
+		// Pre-resolve the index so its cost is attributed to "index"
+		// rather than folded into "layout". ComputeLayout adopts it
+		// unchanged, so the drawn output is identical either way.
+		t0 := time.Now()
+		if !opt.Index.Matches(s) {
+			opt.Index = BuildIndex(s)
+		}
+		stage("index", t0)
+	}
+	t0 := time.Now()
 	l := ComputeLayout(s, w, h, opt)
+	stage("layout", t0)
+	t0 = time.Now()
 	st := newRenderState(s, l, cmap, opt)
+	stage("lod", t0)
+	t0 = time.Now()
 	if l.Title != "" {
 		c.Text(marginLeft, marginTop, elide(c, l.Title, fontTitle, w-marginLeft-marginRight), fontTitle, colAxis)
 	}
@@ -339,6 +365,7 @@ func Render(c Canvas, s *core.Schedule, opt Options) *Layout {
 		first := &l.Panels[0]
 		c.VerticalText(2, first.Plot.Y+first.Plot.H/2-c.TextWidth("hosts", fontAxes)/2, "hosts", fontAxes, colAxis)
 	}
+	stage("raster", t0)
 	if opt.LODReport != nil {
 		opt.LODReport(st.lodAggregated)
 	}
